@@ -1,0 +1,1 @@
+bench/ablate.ml: Array Harness Hashtbl List Option Printf Runtime Types Vsync_core Vsync_msg Vsync_util World

@@ -1,0 +1,1 @@
+bench/fig2.ml: Array Bytes Harness List Printf Runtime Types Vsync_core Vsync_msg Vsync_util World

@@ -1,0 +1,1 @@
+bench/fig3.ml: Array Harness Printf Runtime Types Vsync_core Vsync_msg Vsync_sim World

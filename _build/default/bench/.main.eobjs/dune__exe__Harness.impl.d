@@ -1,0 +1,1 @@
+bench/harness.ml: Array Bytes List Option Printf Runtime String Vsync_core Vsync_msg Vsync_util World

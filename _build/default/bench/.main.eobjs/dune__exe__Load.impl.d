@@ -1,0 +1,1 @@
+bench/load.ml: Array Float Harness Printf Runtime Types Vsync_core Vsync_msg World

@@ -1,0 +1,1 @@
+bench/main.ml: Ablate Array Fig2 Fig3 List Load Micro Printf Scale String Sys Table1 Twentyq_bench

@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Benchmark Bytes Causal Int List Measure Printf Staged Test Time Toolkit Total Types Vsync_core Vsync_msg Vsync_sim Vsync_util

@@ -1,0 +1,1 @@
+bench/scale.ml: Array Harness Int64 List Printf Runtime Types Vsync_core Vsync_msg World

@@ -1,0 +1,1 @@
+bench/table1.ml: Array Bytes Config_tool Coordinator Harness List News Option Repdata Runtime Semaphore State_transfer Types View Vsync_core Vsync_msg Vsync_toolkit Vsync_util World

@@ -1,0 +1,1 @@
+bench/twentyq_bench.ml: Array Client Database Harness Option Printf Service Twentyq Vsync_core Vsync_msg World

@@ -1,0 +1,116 @@
+(* Shared plumbing for the paper-reproduction experiments. *)
+
+open Vsync_core
+module Addr = Vsync_msg.Addr
+module Entry = Vsync_msg.Entry
+module Message = Vsync_msg.Message
+module Stats = Vsync_util.Stats
+
+let e_app = Entry.user 0
+
+(* A group with one member per site, fully formed. *)
+type cluster = {
+  w : World.t;
+  members : Runtime.proc array;
+  gid : Addr.group_id;
+}
+
+let make_cluster ?(seed = 0xBE5CL) ?(name = "bench") ~sites () =
+  let w = World.create ~seed ~sites () in
+  let members =
+    Array.init sites (fun s -> World.proc w ~site:s ~name:(Printf.sprintf "b%d" s))
+  in
+  let gid = ref None in
+  World.run_task w members.(0) (fun () -> gid := Some (Runtime.pg_create members.(0) name));
+  World.run w;
+  let gid = Option.get !gid in
+  for i = 1 to sites - 1 do
+    World.run_task w members.(i) (fun () ->
+        ignore (Runtime.pg_lookup members.(i) name);
+        match Runtime.pg_join members.(i) gid ~credentials:(Message.create ()) with
+        | Ok () -> ()
+        | Error e -> failwith ("bench cluster join: " ^ e))
+  done;
+  World.run w;
+  { w; members; gid }
+
+(* Messages padded to a target payload size. *)
+let padded_msg bytes =
+  let m = Message.create () in
+  if bytes > 0 then Message.set_bytes m "pad" (Bytes.make bytes 'x');
+  m
+
+(* Counter snapshots: the protocol-primitive counters summed over all
+   runtimes. *)
+let prim_keys =
+  [
+    "prim.cbcast"; "prim.abcast"; "prim.gbcast"; "prim.gbcast_req"; "prim.reply";
+    "prim.null_reply"; "prim.local_rpc";
+  ]
+
+let snapshot_prims w =
+  List.map
+    (fun key ->
+      let total = ref 0 in
+      for s = 0 to World.n_sites w - 1 do
+        total := !total + Stats.Counter.get (Runtime.counters (World.runtime w s)) key
+      done;
+      (key, !total))
+    prim_keys
+
+let diff_prims later earlier =
+  List.map2
+    (fun (k, v) (k', v') ->
+      assert (String.equal k k');
+      (k, v - v'))
+    later earlier
+  |> List.filter (fun (_, d) -> d <> 0)
+
+let render_prims diffs =
+  if diffs = [] then "none"
+  else
+    String.concat ", "
+      (List.map
+         (fun (k, d) ->
+           let label =
+             match k with
+             | "prim.cbcast" -> "CBCAST"
+             | "prim.abcast" -> "ABCAST"
+             | "prim.gbcast" -> "GBCAST"
+             | "prim.gbcast_req" -> "GBCAST req"
+             | "prim.reply" -> "reply"
+             | "prim.null_reply" -> "null reply"
+             | "prim.local_rpc" -> "local RPC"
+             | other -> other
+           in
+           Printf.sprintf "%d %s" d label)
+         diffs)
+
+(* Simple fixed-width table printer. *)
+let print_table ~title ~header rows =
+  let ncols = List.length header in
+  let widths = Array.of_list (List.map String.length header) in
+  List.iter
+    (fun row ->
+      List.iteri (fun i cell -> if String.length cell > widths.(i) then widths.(i) <- String.length cell) row)
+    rows;
+  let line c =
+    print_string "+";
+    Array.iter (fun w -> print_string (String.make (w + 2) c ^ "+")) widths;
+    print_newline ()
+  in
+  let print_row row =
+    print_string "|";
+    List.iteri (fun i cell -> Printf.printf " %-*s |" widths.(i) cell) row;
+    print_newline ()
+  in
+  Printf.printf "\n== %s ==\n" title;
+  ignore ncols;
+  line '-';
+  print_row header;
+  line '=';
+  List.iter print_row rows;
+  line '-'
+
+let pct x = Printf.sprintf "%.0f%%" (100.0 *. x)
+let ms_of_us us = float_of_int us /. 1000.0

@@ -1,0 +1,40 @@
+(* Benchmark harness: regenerates every table and figure from the
+   paper's evaluation (Sec 7) plus the Sec 5 application throughput and
+   an ablation, on the simulated testbed.
+
+     dune exec bench/main.exe            # all paper experiments + micro
+     dune exec bench/main.exe table1     # just Table I
+     dune exec bench/main.exe fig2 fig3  # a subset
+
+   Experiments: table1 fig2 fig3 twentyq ablate micro. *)
+
+let experiments =
+  [
+    ("table1", Table1.run);
+    ("fig2", Fig2.run);
+    ("fig3", Fig3.run);
+    ("twentyq", Twentyq_bench.run);
+    ("ablate", Ablate.run);
+    ("load", Load.run);
+    ("scale", Scale.run);
+    ("micro", Micro.run);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map fst experiments
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name experiments with
+      | Some f ->
+        Printf.printf "\n################ experiment: %s ################\n" name;
+        f ()
+      | None ->
+        Printf.eprintf "unknown experiment %S; known: %s\n" name
+          (String.concat " " (List.map fst experiments));
+        exit 2)
+    requested;
+  Printf.printf "\nbench: done\n%!"

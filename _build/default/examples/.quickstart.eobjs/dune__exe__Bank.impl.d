@@ -1,0 +1,1 @@
+examples/bank.ml: Array Option Printf Result Runtime Stable_store Transactions Vsync_core Vsync_msg Vsync_toolkit World

@@ -1,0 +1,1 @@
+examples/factory.ml: Array Config_tool Coordinator News Option Printf Runtime String Types View Vsync_core Vsync_msg Vsync_toolkit World

@@ -1,0 +1,1 @@
+examples/migration.ml: Bytes List Option Printf Runtime State_transfer Types Vsync_core Vsync_msg Vsync_toolkit World

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format List Option Printf Runtime String Types View Vsync_core Vsync_msg World

@@ -1,0 +1,1 @@
+examples/replicated_queue.ml: Array List Option Printf Runtime String Types Vsync_core Vsync_msg World

@@ -1,0 +1,1 @@
+examples/sensors.ml: Array List Option Printf Realtime Runtime Vsync_core Vsync_msg Vsync_toolkit World

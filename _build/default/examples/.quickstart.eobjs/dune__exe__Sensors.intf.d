@@ -1,0 +1,1 @@
+examples/sensors.mli:

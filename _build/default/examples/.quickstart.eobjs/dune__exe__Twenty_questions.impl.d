@@ -1,0 +1,1 @@
+examples/twenty_questions.ml: Array Client Database List Printf Runtime Service String Twentyq Vsync_core Vsync_msg World

@@ -1,0 +1,1 @@
+examples/twenty_questions.mli:

@@ -1,0 +1,148 @@
+(* The paper's opening scenario (Sec 1): factory automation for VLSI
+   chip fabrication.
+
+   Two services run as process groups:
+   - "emulsion": accepts batches of chips needing photographic
+     emulsions; requests are executed with the coordinator-cohort tool
+     so a member failure mid-batch is invisible to the caller;
+   - "transport": oversees moving chips from station to station; its
+     station assignments live in the configuration tool so all members
+     divide the work consistently, and can be re-balanced on the fly.
+
+   A monitoring console subscribes to the news service for completed
+   batches.  Halfway through, the emulsion coordinator's machine
+   crashes; a cohort takes over, the view change re-ranks the members,
+   and production continues.
+
+     dune exec examples/factory.exe *)
+
+open Vsync_core
+open Vsync_toolkit
+module Addr = Vsync_msg.Addr
+module Entry = Vsync_msg.Entry
+module Message = Vsync_msg.Message
+
+let e_batch = Entry.user 0
+
+let () =
+  let w = World.create ~sites:4 () in
+  let now () = float_of_int (World.now w) /. 1000.0 in
+  let say fmt = Printf.ksprintf (fun s -> Printf.printf "[%8.1fms] %s\n" (now ()) s) fmt in
+
+  (* News agents on every site so the console can watch from anywhere. *)
+  let agents = Array.init 4 (fun s -> News.start_agent (World.runtime w s)) in
+  World.run w;
+
+  (* --- the emulsion service: 3 members on sites 0..2 --- *)
+  let emulsion = Array.init 3 (fun s -> World.proc w ~site:s ~name:(Printf.sprintf "emul%d" s)) in
+  let egid = ref None in
+  World.run_task w emulsion.(0) (fun () -> egid := Some (Runtime.pg_create emulsion.(0) "emulsion"));
+  World.run w;
+  let egid = Option.get !egid in
+  for i = 1 to 2 do
+    World.run_task w emulsion.(i) (fun () ->
+        ignore (Runtime.pg_lookup emulsion.(i) "emulsion");
+        ignore (Runtime.pg_join emulsion.(i) egid ~credentials:(Message.create ())))
+  done;
+  World.run w;
+
+  (* Members execute batches coordinator-cohort style and post progress
+     to the news service. *)
+  Array.iteri
+    (fun i m ->
+      let cc = Coordinator.attach m ~gid:egid in
+      Runtime.bind m e_batch (fun request ->
+          let plist = match Runtime.pg_view m egid with Some v -> v.View.members | None -> [] in
+          Coordinator.handle cc ~request ~plist
+            ~action:(fun req ->
+              let batch = Option.value ~default:0 (Message.get_int req "batch") in
+              say "emulsion member %d coating batch %d (takes 2s)" i batch;
+              Runtime.sleep m 2_000_000;
+              let note = Message.create () in
+              Message.set_int note "batch" batch;
+              News.post m ~subject:"batches" note;
+              let r = Message.create () in
+              Message.set_int r "batch" batch;
+              Message.set_int r "worker" i;
+              r)
+            ()))
+    emulsion;
+
+  (* --- the transport service: station assignments via config tool --- *)
+  let transport = Array.init 2 (fun s -> World.proc w ~site:(s + 1) ~name:(Printf.sprintf "trans%d" s)) in
+  let tgid = ref None in
+  World.run_task w transport.(0) (fun () -> tgid := Some (Runtime.pg_create transport.(0) "transport"));
+  World.run w;
+  let tgid = Option.get !tgid in
+  World.run_task w transport.(1) (fun () ->
+      ignore (Runtime.pg_lookup transport.(1) "transport");
+      ignore (Runtime.pg_join transport.(1) tgid ~credentials:(Message.create ())));
+  World.run w;
+  let tconfigs = Array.map (fun m -> Config_tool.attach m ~gid:tgid) transport in
+  Array.iteri
+    (fun i cfg ->
+      Config_tool.on_change cfg (fun key ->
+          if String.equal key "stations" then
+            say "transport member %d sees station plan: %s" i
+              (match Config_tool.read cfg ~key:"stations" with
+              | Some (Message.Str s) -> s
+              | _ -> "?")))
+    tconfigs;
+  World.run_task w transport.(0) (fun () ->
+      Config_tool.update tconfigs.(0) ~key:"stations" (Message.Str "t0:A-D t1:E-H"));
+  World.run w;
+
+  (* --- the monitoring console --- *)
+  let console = World.proc w ~site:3 ~name:"console" in
+  News.subscribe agents.(3) console ~subject:"batches" (fun m ->
+      say "console: batch %d coated"
+        (Option.value ~default:(-1) (Message.get_int m "batch")));
+
+  (* --- production: a line controller submits batches --- *)
+  let controller = World.proc w ~site:3 ~name:"line-ctl" in
+  World.run_task w controller (fun () ->
+      (* Resolve the service so the runtime knows which sites to relay
+         through. *)
+      ignore (Runtime.pg_lookup controller "emulsion");
+      for batch = 1 to 4 do
+        (match
+           Runtime.bcast controller Types.Cbcast ~dest:(Addr.Group egid) ~entry:e_batch
+             (let m = Message.create () in
+              Message.set_int m "batch" batch;
+              m)
+             ~want:(Types.Wait_n 1)
+         with
+        | Runtime.Replies ((_, r) :: _) ->
+          say "controller: batch %d done by member %d" batch
+            (Option.value ~default:(-1) (Message.get_int r "worker"))
+        | Runtime.Replies [] | Runtime.All_failed ->
+          (* The relay or coordinator died mid-call: refresh the
+             contact and reissue once (the paper's retry pattern). *)
+          say "controller: batch %d failed, reissuing" batch;
+          ignore (Runtime.pg_lookup controller "emulsion");
+          (match
+             Runtime.bcast controller Types.Cbcast ~dest:(Addr.Group egid) ~entry:e_batch
+               (let m = Message.create () in
+                Message.set_int m "batch" batch;
+                m)
+               ~want:(Types.Wait_n 1)
+           with
+          | Runtime.Replies ((_, r) :: _) ->
+            say "controller: batch %d done by member %d (after retry)" batch
+              (Option.value ~default:(-1) (Message.get_int r "worker"))
+          | Runtime.Replies [] | Runtime.All_failed ->
+            say "controller: batch %d lost" batch));
+        (* Crash the coordinator's site mid-way through batch 3. *)
+        if batch = 3 then begin
+          say ">>> site 0 (emulsion coordinator's machine) crashes <<<";
+          World.crash_site w 0
+        end
+      done;
+      (* Re-balance transport after the crash. *)
+      say "re-balancing transport stations after the failure";
+      Config_tool.update tconfigs.(1) ~key:"stations" (Message.Str "t1:A-H"));
+  World.run ~until:(World.now w + 120_000_000) w;
+  (match Runtime.pg_view emulsion.(1) egid with
+  | Some v -> say "emulsion survivors: view #%d with %d members" v.View.view_id (View.n_members v)
+  | None -> say "emulsion group gone");
+  Printf.printf "factory: done\n"

@@ -1,0 +1,72 @@
+(* The paper's motivating example for ABCAST (Sec 2.4 / 3.1): a shared
+   replicated FIFO queue.
+
+   "Concurrent operations on a shared replicated FIFO queue must be
+   received and processed at all copies in the same order."  Three
+   producers on three sites enqueue concurrently:
+
+   - with ABCAST, every replica ends up with the identical queue;
+   - with plain CBCAST (same experiment, second run), each producer's
+     own items stay in order, but the interleaving differs from
+     replica to replica — exactly why the weaker, cheaper primitive is
+     inadequate for this data structure, and why ISIS lets the
+     application choose per structure.
+
+     dune exec examples/replicated_queue.exe *)
+
+open Vsync_core
+module Addr = Vsync_msg.Addr
+module Entry = Vsync_msg.Entry
+module Message = Vsync_msg.Message
+
+let e_enqueue = Entry.user 0
+
+let run_experiment ~mode ~label =
+  let w = World.create ~sites:3 () in
+  let members = Array.init 3 (fun s -> World.proc w ~site:s ~name:(Printf.sprintf "q%d" s)) in
+  let queues = Array.make 3 [] in
+  Array.iteri
+    (fun i m ->
+      Runtime.bind m e_enqueue (fun msg ->
+          queues.(i) <- Option.get (Message.get_str msg "item") :: queues.(i)))
+    members;
+  let gid = ref None in
+  World.run_task w members.(0) (fun () -> gid := Some (Runtime.pg_create members.(0) "fifo"));
+  World.run w;
+  let gid = Option.get !gid in
+  for i = 1 to 2 do
+    World.run_task w members.(i) (fun () ->
+        match Runtime.pg_lookup members.(i) "fifo" with
+        | Some g -> ignore (Runtime.pg_join members.(i) g ~credentials:(Message.create ()))
+        | None -> ())
+  done;
+  World.run w;
+  (* Three concurrent producers, deliberately interleaved in time. *)
+  Array.iteri
+    (fun i m ->
+      World.run_task w m (fun () ->
+          for k = 1 to 4 do
+            Runtime.sleep m ((k * 1700) + (i * 900));
+            let msg = Message.create () in
+            Message.set_str msg "item" (Printf.sprintf "p%d.%d" i k);
+            ignore
+              (Runtime.bcast m mode ~dest:(Addr.Group gid) ~entry:e_enqueue msg
+                 ~want:Types.No_reply)
+          done))
+    members;
+  World.run w;
+  Printf.printf "%s:\n" label;
+  Array.iteri
+    (fun i q -> Printf.printf "  replica %d: [%s]\n" i (String.concat " " (List.rev q)))
+    queues;
+  let orders = Array.to_list (Array.map (fun q -> List.rev q) queues) in
+  let identical = List.for_all (( = ) (List.hd orders)) orders in
+  Printf.printf "  -> replicas %s\n\n" (if identical then "IDENTICAL" else "DIVERGED");
+  identical
+
+let () =
+  let ab = run_experiment ~mode:Types.Abcast ~label:"ABCAST (total order)" in
+  let cb = run_experiment ~mode:Types.Cbcast ~label:"CBCAST (causal order only)" in
+  Printf.printf "ABCAST replicas identical: %b\n" ab;
+  Printf.printf "CBCAST replicas identical: %b (FIFO per producer, but interleavings differ)\n" cb;
+  if not ab then exit 1

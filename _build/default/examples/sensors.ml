@@ -1,0 +1,84 @@
+(* The real-time facility (paper Sec 3.11) in a factory setting.
+
+   The paper planned "clock synchronization within site clusters,
+   scheduling actions at predetermined global times, and reconciliation
+   of sensor readings".  Here three furnace controllers on three
+   machines — whose wall clocks disagree by up to 80 ms — synchronize
+   against the oldest member, report temperature readings into the
+   shared sensor database, and trigger a coordinated pressure release
+   at the same global instant.
+
+     dune exec examples/sensors.exe *)
+
+open Vsync_core
+open Vsync_toolkit
+module Message = Vsync_msg.Message
+
+let () =
+  let w = World.create ~clock_skew_us:80_000 ~sites:3 () in
+  let say fmt =
+    Printf.ksprintf
+      (fun s -> Printf.printf "[%8.1fms true time] %s\n" (float_of_int (World.now w) /. 1000.) s)
+      fmt
+  in
+  let members = Array.init 3 (fun s -> World.proc w ~site:s ~name:(Printf.sprintf "ctl%d" s)) in
+  let gid = ref None in
+  World.run_task w members.(0) (fun () -> gid := Some (Runtime.pg_create members.(0) "furnace"));
+  World.run w;
+  let gid = Option.get !gid in
+  for i = 1 to 2 do
+    World.run_task w members.(i) (fun () ->
+        ignore (Runtime.pg_lookup members.(i) "furnace");
+        ignore (Runtime.pg_join members.(i) gid ~credentials:(Message.create ())))
+  done;
+  World.run w;
+  let tools = Array.map (fun m -> Realtime.attach m ~gid) members in
+
+  Array.iteri
+    (fun i m ->
+      say "controller %d local clock reads %.1fms" i
+        (float_of_int (Runtime.local_time_us (Runtime.runtime_of m)) /. 1000.))
+    members;
+
+  (* Clock synchronization (Cristian rounds against the master). *)
+  Array.iteri
+    (fun i m ->
+      World.run_task w m (fun () ->
+          match Realtime.sync tools.(i) with
+          | Ok offset -> say "controller %d synced (correction %+.1fms)" i (float_of_int offset /. 1000.)
+          | Error e -> say "controller %d sync failed: %s" i e))
+    members;
+  World.run w;
+
+  (* Sensor reporting: every controller feeds the shared database. *)
+  Array.iteri
+    (fun i m ->
+      World.run_task w m (fun () ->
+          for k = 0 to 2 do
+            Realtime.report tools.(i) ~sensor:"temp" (900.0 +. float_of_int ((i * 10) + k));
+            Runtime.sleep m 400_000
+          done))
+    members;
+  World.run w;
+  let now_g = Realtime.global_time tools.(0) in
+  let window = Realtime.readings tools.(0) ~sensor:"temp" ~from_:0 ~until:now_g in
+  say "controller 0 sees %d temperature readings so far" (List.length window);
+  let window2 = Realtime.readings tools.(2) ~sensor:"temp" ~from_:0 ~until:now_g in
+  say "controller 2 sees %d — same reconciled view of the sensors" (List.length window2);
+
+  (* Coordinated action at a global instant. *)
+  let release_at = Realtime.global_time tools.(0) + 2_000_000 in
+  let fired = Array.make 3 0 in
+  Array.iteri
+    (fun i tool ->
+      Realtime.schedule_at tool ~global:release_at (fun () ->
+          fired.(i) <- World.now w;
+          say "controller %d opens its pressure valve" i))
+    tools;
+  World.run w;
+  let spread =
+    Array.fold_left max min_int fired - Array.fold_left min max_int fired
+  in
+  say "valves opened within %.1fms of each other (raw clock skew was up to 160ms)"
+    (float_of_int spread /. 1000.);
+  Printf.printf "sensors: done (aligned: %b)\n" (spread < 40_000)

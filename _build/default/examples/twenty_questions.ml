@@ -1,0 +1,93 @@
+(* The paper's Sec 5 application, played end to end.
+
+   Six service members (five active + one hot standby) across three
+   sites partition the demo database.  A front end plays a round of the
+   guessing game with vertical and horizontal queries; halfway through,
+   the member responsible for the "price" column is killed, and the
+   standby takes over so the game continues without client-visible
+   disruption.  A dynamic update (GBCAST) then lands mid-stream,
+   consistently at every replica.
+
+     dune exec examples/twenty_questions.exe *)
+
+open Vsync_core
+open Twentyq
+module Message = Vsync_msg.Message
+
+let () =
+  let w = World.create ~sites:3 () in
+  let now () = float_of_int (World.now w) /. 1000.0 in
+  let say fmt = Printf.ksprintf (fun s -> Printf.printf "[%8.1fms] %s\n" (now ()) s) fmt in
+
+  (* Stand the service up: creator plus five joiners (Steps 2-4). *)
+  let procs = Array.init 6 (fun i -> World.proc w ~site:(i mod 3) ~name:(Printf.sprintf "tq%d" i)) in
+  let services = Array.make 6 None in
+  World.run_task w procs.(0) (fun () ->
+      services.(0) <- Some (Service.create procs.(0) ~db:(Database.demo_cars ()) ~nmembers:5 ());
+      say "service created at site 0 (NMEMBERS = 5)");
+  World.run w;
+  for i = 1 to 5 do
+    World.run_task w procs.(i) (fun () ->
+        match Service.join procs.(i) () with
+        | Ok s ->
+          services.(i) <- Some s;
+          say "member %d joined (number %s)" i
+            (match Service.my_number s with Some n -> string_of_int n | None -> "?")
+        | Error e -> say "member %d failed to join: %s" i e);
+    World.run w
+  done;
+  say "member 5 is a hot standby (number >= NMEMBERS: answers with null replies)";
+
+  let frontend = World.proc w ~site:2 ~name:"frontend" in
+  let ask client q =
+    match Client.vertical client q with
+    | Ok a -> say "Q: %-18s A: %s" q (Database.answer_to_string a)
+    | Error e -> say "Q: %-18s failed: %s" q e
+  in
+  World.run_task w frontend (fun () ->
+      match Client.connect frontend with
+      | Error e -> say "connect failed: %s" e
+      | Ok client ->
+        say "--- round 1: the service thinks of a plane ---";
+        (match services.(0) with
+        | Some s -> Service.set_secret s "plane"
+        | None -> ());
+        Runtime.sleep frontend 1_000_000;
+        ask client "price>100000";
+        ask client "color=blue";
+        ask client "make=Boeing";
+        say "front end guesses: a plane!";
+
+        say "--- round over: secret cleared ---";
+        (match services.(0) with Some s -> Service.set_secret s "" | None -> ());
+        Runtime.sleep frontend 1_000_000;
+
+        say "--- horizontal query across the row partition ---";
+        (match Client.horizontal client "price>9000" with
+        | Ok answers ->
+          say "*price>9000        -> [%s]"
+            (String.concat "; " (List.map Database.answer_to_string answers))
+        | Error e -> say "horizontal failed: %s" e);
+
+        say "--- killing the member that answers 'price' queries ---";
+        (match
+           Array.to_list procs
+           |> List.find_opt (fun p ->
+                  match Runtime.pg_rank p (Client.group client) with
+                  | Some 3 -> true
+                  | _ -> false)
+         with
+        | Some victim ->
+          Runtime.kill_proc victim;
+          say "killed member number 3 (%s)" (Runtime.proc_name victim)
+        | None -> say "no member to kill?");
+        Runtime.sleep frontend 3_000_000;
+        ask client "price>9000";
+        say "(the standby was promoted; the reissued query succeeded)";
+
+        say "--- dynamic update, Step 5: a Ferrari appears ---";
+        Client.add_row client [ "car"; "red"; "sport"; "99999"; "Ferrari"; "F40" ];
+        Runtime.sleep frontend 2_000_000;
+        ask client "make=Ferrari");
+  World.run w;
+  Printf.printf "twenty questions: done\n"

@@ -1,0 +1,1 @@
+lib/msg/addr.ml: Format Int64

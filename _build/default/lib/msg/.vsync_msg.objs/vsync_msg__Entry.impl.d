@@ -1,0 +1,1 @@
+lib/msg/entry.ml: Format

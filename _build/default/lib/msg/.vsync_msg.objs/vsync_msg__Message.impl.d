@@ -1,0 +1,1 @@
+lib/msg/message.ml: Addr Buffer Bytes Format Int32 Int64 List Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/msg/message.mli: Addr Entry Format

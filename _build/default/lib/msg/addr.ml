@@ -1,0 +1,84 @@
+type site = int
+
+type proc = { site : site; idx : int; incarnation : int }
+
+type group_id = int
+
+type t =
+  | Proc of proc
+  | Group of group_id
+
+(* Field widths for the 8-byte encoding: 1 tag byte, then either
+   site:16 idx:16 incarnation:24 for a process, or id:56 for a group. *)
+let max_site = 0xFFFF
+let max_idx = 0xFFFF
+let max_incarnation = 0xFFFFFF
+
+let proc ~site ~idx ~incarnation =
+  if site < 0 || site > max_site then invalid_arg "Addr.proc: site out of range";
+  if idx < 0 || idx > max_idx then invalid_arg "Addr.proc: idx out of range";
+  if incarnation < 0 || incarnation > max_incarnation then
+    invalid_arg "Addr.proc: incarnation out of range";
+  { site; idx; incarnation }
+
+let group_of_int i =
+  if i < 0 then invalid_arg "Addr.group_of_int: negative id";
+  i
+
+let group_to_int g = g
+
+let same_slot a b = a.site = b.site && a.idx = b.idx
+
+let equal_proc a b = a.site = b.site && a.idx = b.idx && a.incarnation = b.incarnation
+
+let compare_proc a b =
+  match compare a.site b.site with
+  | 0 -> (match compare a.idx b.idx with 0 -> compare a.incarnation b.incarnation | c -> c)
+  | c -> c
+
+let equal a b =
+  match a, b with
+  | Proc p, Proc q -> equal_proc p q
+  | Group g, Group h -> g = h
+  | Proc _, Group _ | Group _, Proc _ -> false
+
+let compare a b =
+  match a, b with
+  | Proc p, Proc q -> compare_proc p q
+  | Group g, Group h -> compare g h
+  | Proc _, Group _ -> -1
+  | Group _, Proc _ -> 1
+
+let tag_proc = 0x01L
+let tag_group = 0x02L
+
+let to_int64 = function
+  | Proc { site; idx; incarnation } ->
+    let open Int64 in
+    logor
+      (shift_left tag_proc 56)
+      (logor
+         (shift_left (of_int site) 40)
+         (logor (shift_left (of_int idx) 24) (of_int incarnation)))
+  | Group g ->
+    Int64.logor (Int64.shift_left tag_group 56) (Int64.of_int g)
+
+let of_int64 v =
+  let open Int64 in
+  let tag = shift_right_logical v 56 in
+  if equal tag tag_proc then
+    let site = to_int (logand (shift_right_logical v 40) 0xFFFFL) in
+    let idx = to_int (logand (shift_right_logical v 24) 0xFFFFL) in
+    let incarnation = to_int (logand v 0xFFFFFFL) in
+    Proc { site; idx; incarnation }
+  else if equal tag tag_group then Group (to_int (logand v 0xFFFFFFFFFFFFFFL))
+  else invalid_arg "Addr.of_int64: bad tag"
+
+let pp_proc ppf p = Format.fprintf ppf "p%d.%d/%d" p.site p.idx p.incarnation
+
+let pp ppf = function
+  | Proc p -> pp_proc ppf p
+  | Group g -> Format.fprintf ppf "g%d" g
+
+let proc_to_string p = Format.asprintf "%a" pp_proc p
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,55 @@
+(** ISIS addresses.
+
+    The paper (Sec 4.1) uses a "highly encoded process addressing scheme
+    that represents addresses using an 8-byte identifier", where group
+    addresses can be used in any context a process address is accepted.
+    We reproduce that: every address packs into an [int64]
+    ({!to_int64}/{!of_int64}), and {!t} is the sum of process and group
+    addresses.
+
+    A process address identifies a particular {e incarnation} of a
+    process slot at a site: after a crash, a restarted process receives a
+    fresh incarnation number, so stale messages addressed to the dead
+    incarnation are never delivered to its successor. *)
+
+(** Site (machine) identifier. *)
+type site = int
+
+(** A process address: site, slot index at that site, incarnation. *)
+type proc = private { site : site; idx : int; incarnation : int }
+
+(** Group identifier, globally unique. *)
+type group_id = private int
+
+(** An address: either a single process or a process group. *)
+type t =
+  | Proc of proc
+  | Group of group_id
+
+val proc : site:site -> idx:int -> incarnation:int -> proc
+
+(** [group_of_int i] casts a raw group id (used by the group name
+    service, which allocates them densely). *)
+val group_of_int : int -> group_id
+
+val group_to_int : group_id -> int
+
+(** [same_slot a b] is true when [a] and [b] name the same site slot,
+    ignoring incarnation. *)
+val same_slot : proc -> proc -> bool
+
+val equal_proc : proc -> proc -> bool
+val compare_proc : proc -> proc -> int
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+(** 8-byte wire encoding, as in the paper. *)
+val to_int64 : t -> int64
+
+(** @raise Invalid_argument on a malformed encoding. *)
+val of_int64 : int64 -> t
+
+val pp_proc : Format.formatter -> proc -> unit
+val pp : Format.formatter -> t -> unit
+val proc_to_string : proc -> string
+val to_string : t -> string

@@ -1,0 +1,43 @@
+type t = int
+
+let generic_join = 0
+let generic_monitor = 1
+let generic_cc_reply = 2
+let generic_state_send = 3
+let generic_news = 4
+let generic_reply = 5
+let generic_config = 6
+let generic_repdata = 7
+let generic_semaphore = 8
+let generic_bboard = 9
+let generic_txn = 10
+let generic_recovery = 11
+
+let user_base = 16
+
+let user n =
+  if n < 0 then invalid_arg "Entry.user: negative index";
+  let e = user_base + n in
+  if e > 255 then invalid_arg "Entry.user: entry identifiers are one byte";
+  e
+
+let pp ppf t =
+  if t >= user_base then Format.fprintf ppf "entry:user%d" (t - user_base)
+  else
+    let name =
+      match t with
+      | 0 -> "join"
+      | 1 -> "monitor"
+      | 2 -> "cc_reply"
+      | 3 -> "state_send"
+      | 4 -> "news"
+      | 5 -> "reply"
+      | 6 -> "config"
+      | 7 -> "repdata"
+      | 8 -> "semaphore"
+      | 9 -> "bboard"
+      | 10 -> "txn"
+      | 11 -> "recovery"
+      | _ -> "reserved"
+    in
+    Format.fprintf ppf "entry:%s" name

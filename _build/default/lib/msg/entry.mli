@@ -1,0 +1,60 @@
+(** Entry points.
+
+    Every ISIS process binds handler routines to {e entry points} known
+    to callers through 1-byte identifiers (paper Sec 4.1).  Some entries
+    are {e generic}: reserved by the toolkit for its own protocols.  User
+    entries start at {!user_base}. *)
+
+type t = int
+
+(** {1 Generic entries}
+
+    Reserved by the toolkit; values below {!user_base} cannot be bound
+    by applications. *)
+
+(** Join requests to a group. *)
+val generic_join : t
+
+(** Membership-change upcall. *)
+val generic_monitor : t
+
+(** Coordinator-cohort reply copy. *)
+val generic_cc_reply : t
+
+(** State-transfer chunks. *)
+val generic_state_send : t
+
+(** News-service delivery. *)
+val generic_news : t
+
+(** RPC replies. *)
+val generic_reply : t
+
+(** Configuration-tool updates. *)
+val generic_config : t
+
+(** Replicated-data tool operations. *)
+val generic_repdata : t
+
+(** Replicated-semaphore operations. *)
+val generic_semaphore : t
+
+(** Bulletin-board operations. *)
+val generic_bboard : t
+
+(** Transactional-tool operations. *)
+val generic_txn : t
+
+(** Recovery-manager queries. *)
+val generic_recovery : t
+
+(** {1 User entries} *)
+
+(** First identifier available to applications. *)
+val user_base : t
+
+(** [user n] is the [n]-th user entry ([n >= 0]).
+    @raise Invalid_argument if the result exceeds one byte. *)
+val user : int -> t
+
+val pp : Format.formatter -> t -> unit

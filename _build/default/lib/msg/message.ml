@@ -1,0 +1,286 @@
+type t = { mutable fields : (string * value) list (* newest last *) }
+
+and value =
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bytes of bytes
+  | Address of Addr.t
+  | Addresses of Addr.t list
+  | Nested of t
+
+let create () = { fields = [] }
+
+let rec copy t = { fields = List.map copy_field t.fields }
+
+and copy_field (name, v) =
+  let v' =
+    match v with
+    | Bytes b -> Bytes (Stdlib.Bytes.copy b)
+    | Nested m -> Nested (copy m)
+    | Bool _ | Int _ | Float _ | Str _ | Address _ | Addresses _ -> v
+  in
+  (name, v')
+
+let set t name v =
+  if List.mem_assoc name t.fields then
+    t.fields <- List.map (fun (n, old) -> if String.equal n name then (n, v) else (n, old)) t.fields
+  else t.fields <- t.fields @ [ (name, v) ]
+
+let get t name = List.assoc_opt name t.fields
+
+let get_exn t name =
+  match get t name with
+  | Some v -> v
+  | None -> raise Not_found
+
+let remove t name = t.fields <- List.filter (fun (n, _) -> not (String.equal n name)) t.fields
+
+let mem t name = List.mem_assoc name t.fields
+
+let fields t = t.fields
+
+let type_error name = invalid_arg (Printf.sprintf "Message: field %S has unexpected type" name)
+
+let get_int t name =
+  match get t name with Some (Int i) -> Some i | None -> None | Some _ -> type_error name
+
+let get_str t name =
+  match get t name with Some (Str s) -> Some s | None -> None | Some _ -> type_error name
+
+let get_bool t name =
+  match get t name with Some (Bool b) -> Some b | None -> None | Some _ -> type_error name
+
+let get_float t name =
+  match get t name with Some (Float f) -> Some f | None -> None | Some _ -> type_error name
+
+let get_bytes t name =
+  match get t name with Some (Bytes b) -> Some b | None -> None | Some _ -> type_error name
+
+let get_addr t name =
+  match get t name with Some (Address a) -> Some a | None -> None | Some _ -> type_error name
+
+let get_addrs t name =
+  match get t name with Some (Addresses a) -> Some a | None -> None | Some _ -> type_error name
+
+let get_msg t name =
+  match get t name with Some (Nested m) -> Some m | None -> None | Some _ -> type_error name
+
+let set_int t name i = set t name (Int i)
+let set_str t name s = set t name (Str s)
+let set_bool t name b = set t name (Bool b)
+let set_float t name f = set t name (Float f)
+let set_bytes t name b = set t name (Bytes b)
+let set_addr t name a = set t name (Address a)
+let set_addrs t name a = set t name (Addresses a)
+let set_msg t name m = set t name (Nested m)
+
+(* System fields live in the same symbol table under reserved names. *)
+let f_sender = "$sender"
+let f_session = "$session"
+let f_entry = "$entry"
+
+let sender t =
+  match get_addr t f_sender with
+  | Some (Addr.Proc p) -> Some p
+  | Some (Addr.Group _) -> invalid_arg "Message.sender: group address in $sender"
+  | None -> None
+
+let set_sender t p = set_addr t f_sender (Addr.Proc p)
+
+let session t = get_int t f_session
+let set_session t s = set_int t f_session s
+
+let entry t = get_int t f_entry
+let set_entry t e = set_int t f_entry e
+
+(* --- Wire format ---
+
+   message  := u16 field-count, fields
+   field    := u8 name-len, name bytes, u8 type-tag, payload
+   payloads := Bool u8 | Int i64 | Float 8 bytes | Str/Bytes u32+body
+             | Address i64 | Addresses u16 + i64s | Nested u32 + message *)
+
+let tag_bool = 0
+let tag_int = 1
+let tag_float = 2
+let tag_str = 3
+let tag_bytes = 4
+let tag_addr = 5
+let tag_addrs = 6
+let tag_nested = 7
+
+let rec encode_to buf t =
+  let n = List.length t.fields in
+  if n > 0xFFFF then invalid_arg "Message.encode: too many fields";
+  Buffer.add_uint16_be buf n;
+  List.iter (encode_field buf) t.fields
+
+and encode_field buf (name, v) =
+  let name_len = String.length name in
+  if name_len > 255 then invalid_arg "Message.encode: field name too long";
+  Buffer.add_uint8 buf name_len;
+  Buffer.add_string buf name;
+  match v with
+  | Bool b ->
+    Buffer.add_uint8 buf tag_bool;
+    Buffer.add_uint8 buf (if b then 1 else 0)
+  | Int i ->
+    Buffer.add_uint8 buf tag_int;
+    Buffer.add_int64_be buf (Int64.of_int i)
+  | Float f ->
+    Buffer.add_uint8 buf tag_float;
+    Buffer.add_int64_be buf (Int64.bits_of_float f)
+  | Str s ->
+    Buffer.add_uint8 buf tag_str;
+    Buffer.add_int32_be buf (Int32.of_int (String.length s));
+    Buffer.add_string buf s
+  | Bytes b ->
+    Buffer.add_uint8 buf tag_bytes;
+    Buffer.add_int32_be buf (Int32.of_int (Bytes.length b));
+    Buffer.add_bytes buf b
+  | Address a ->
+    Buffer.add_uint8 buf tag_addr;
+    Buffer.add_int64_be buf (Addr.to_int64 a)
+  | Addresses addrs ->
+    Buffer.add_uint8 buf tag_addrs;
+    let n = List.length addrs in
+    if n > 0xFFFF then invalid_arg "Message.encode: too many addresses";
+    Buffer.add_uint16_be buf n;
+    List.iter (fun a -> Buffer.add_int64_be buf (Addr.to_int64 a)) addrs
+  | Nested m ->
+    Buffer.add_uint8 buf tag_nested;
+    let inner = Buffer.create 64 in
+    encode_to inner m;
+    Buffer.add_int32_be buf (Int32.of_int (Buffer.length inner));
+    Buffer.add_buffer buf inner
+
+let encode t =
+  let buf = Buffer.create 256 in
+  encode_to buf t;
+  Buffer.to_bytes buf
+
+let size t = Bytes.length (encode t)
+
+exception Malformed of string
+
+type cursor = { data : bytes; mutable pos : int }
+
+let need cur n =
+  if cur.pos + n > Bytes.length cur.data then raise (Malformed "truncated buffer")
+
+let read_u8 cur =
+  need cur 1;
+  let v = Bytes.get_uint8 cur.data cur.pos in
+  cur.pos <- cur.pos + 1;
+  v
+
+let read_u16 cur =
+  need cur 2;
+  let v = Bytes.get_uint16_be cur.data cur.pos in
+  cur.pos <- cur.pos + 2;
+  v
+
+let read_i32 cur =
+  need cur 4;
+  let v = Int32.to_int (Bytes.get_int32_be cur.data cur.pos) in
+  cur.pos <- cur.pos + 4;
+  if v < 0 then raise (Malformed "negative length");
+  v
+
+let read_i64 cur =
+  need cur 8;
+  let v = Bytes.get_int64_be cur.data cur.pos in
+  cur.pos <- cur.pos + 8;
+  v
+
+let read_string cur n =
+  need cur n;
+  let s = Bytes.sub_string cur.data cur.pos n in
+  cur.pos <- cur.pos + n;
+  s
+
+let rec decode_from cur =
+  let n = read_u16 cur in
+  let rec loop i acc = if i = n then List.rev acc else loop (i + 1) (decode_field cur :: acc) in
+  { fields = loop 0 [] }
+
+and decode_field cur =
+  let name_len = read_u8 cur in
+  let name = read_string cur name_len in
+  let tag = read_u8 cur in
+  let v =
+    if tag = tag_bool then Bool (read_u8 cur <> 0)
+    else if tag = tag_int then Int (Int64.to_int (read_i64 cur))
+    else if tag = tag_float then Float (Int64.float_of_bits (read_i64 cur))
+    else if tag = tag_str then
+      let len = read_i32 cur in
+      Str (read_string cur len)
+    else if tag = tag_bytes then
+      let len = read_i32 cur in
+      Bytes (Bytes.of_string (read_string cur len))
+    else if tag = tag_addr then Address (Addr.of_int64 (read_i64 cur))
+    else if tag = tag_addrs then begin
+      let n = read_u16 cur in
+      let rec loop i acc =
+        if i = n then List.rev acc else loop (i + 1) (Addr.of_int64 (read_i64 cur) :: acc)
+      in
+      Addresses (loop 0 [])
+    end
+    else if tag = tag_nested then begin
+      let len = read_i32 cur in
+      need cur len;
+      let stop = cur.pos + len in
+      let m = decode_from cur in
+      if cur.pos <> stop then raise (Malformed "nested message length mismatch");
+      Nested m
+    end
+    else raise (Malformed (Printf.sprintf "unknown field tag %d" tag))
+  in
+  (name, v)
+
+let decode b =
+  let cur = { data = b; pos = 0 } in
+  match decode_from cur with
+  | m ->
+    if cur.pos <> Bytes.length b then invalid_arg "Message.decode: trailing bytes";
+    m
+  | exception Malformed why -> invalid_arg ("Message.decode: " ^ why)
+  | exception Invalid_argument why -> invalid_arg ("Message.decode: " ^ why)
+
+let rec equal a b =
+  List.length a.fields = List.length b.fields
+  && List.for_all
+       (fun (name, v) ->
+         match get b name with Some w -> equal_value v w | None -> false)
+       a.fields
+
+and equal_value v w =
+  match v, w with
+  | Bool a, Bool b -> a = b
+  | Int a, Int b -> a = b
+  | Float a, Float b -> Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+  | Str a, Str b -> String.equal a b
+  | Bytes a, Bytes b -> Bytes.equal a b
+  | Address a, Address b -> Addr.equal a b
+  | Addresses a, Addresses b -> List.length a = List.length b && List.for_all2 Addr.equal a b
+  | Nested a, Nested b -> equal a b
+  | (Bool _ | Int _ | Float _ | Str _ | Bytes _ | Address _ | Addresses _ | Nested _), _ -> false
+
+let rec pp ppf t =
+  let pp_field ppf (name, v) = Format.fprintf ppf "%s=%a" name pp_value v in
+  Format.fprintf ppf "{%a}" (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ") pp_field) t.fields
+
+and pp_value ppf = function
+  | Bool b -> Format.fprintf ppf "%b" b
+  | Int i -> Format.fprintf ppf "%d" i
+  | Float f -> Format.fprintf ppf "%g" f
+  | Str s -> Format.fprintf ppf "%S" s
+  | Bytes b -> Format.fprintf ppf "<%d bytes>" (Bytes.length b)
+  | Address a -> Addr.pp ppf a
+  | Addresses addrs ->
+    Format.fprintf ppf "[%a]"
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",") Addr.pp)
+      addrs
+  | Nested m -> pp ppf m

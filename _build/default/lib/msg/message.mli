@@ -1,0 +1,113 @@
+(** The ISIS message subsystem (paper Sec 4.1).
+
+    A message is a symbol table containing multiple fields, each with a
+    name and a typed, variable-length value.  Fields can be inserted and
+    deleted at will; a field can even contain another message.  Special
+    {e system fields} carry the sender's address (which cannot be
+    forged: the runtime stamps it), the session id used to match replies
+    with pending calls, and the destination entry point.
+
+    Messages have a real binary encoding ({!encode}/{!decode}) so the
+    simulated network carries faithful byte counts; {!size} is the
+    encoded length. *)
+
+type t
+
+(** Field values. *)
+type value =
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bytes of bytes
+  | Address of Addr.t
+  | Addresses of Addr.t list
+  | Nested of t
+
+(** [create ()] returns an empty message. *)
+val create : unit -> t
+
+(** [copy t] is a deep copy: mutating the copy (or nested messages
+    reachable from it) never affects [t].  The runtime copies messages at
+    delivery so recipients cannot share state through them — processes
+    have disjoint address spaces. *)
+val copy : t -> t
+
+(** {1 Fields} *)
+
+(** [set t name v] inserts or replaces field [name]. *)
+val set : t -> string -> value -> unit
+
+(** [get t name] returns the field, if present. *)
+val get : t -> string -> value option
+
+(** [get_exn t name] raises [Not_found] when absent. *)
+val get_exn : t -> string -> value
+
+(** [remove t name] deletes the field if present. *)
+val remove : t -> string -> unit
+
+(** [mem t name] tests presence. *)
+val mem : t -> string -> bool
+
+(** [fields t] lists (name, value) pairs in insertion order. *)
+val fields : t -> (string * value) list
+
+(** Typed accessors; each raises [Invalid_argument] when the field is
+    present with another type and returns [None] when absent. *)
+
+val get_int : t -> string -> int option
+val get_str : t -> string -> string option
+val get_bool : t -> string -> bool option
+val get_float : t -> string -> float option
+val get_bytes : t -> string -> bytes option
+val get_addr : t -> string -> Addr.t option
+val get_addrs : t -> string -> Addr.t list option
+val get_msg : t -> string -> t option
+
+(** Typed setters (shorthands for {!set}). *)
+
+val set_int : t -> string -> int -> unit
+val set_str : t -> string -> string -> unit
+val set_bool : t -> string -> bool -> unit
+val set_float : t -> string -> float -> unit
+val set_bytes : t -> string -> bytes -> unit
+val set_addr : t -> string -> Addr.t -> unit
+val set_addrs : t -> string -> Addr.t list -> unit
+val set_msg : t -> string -> t -> unit
+
+(** {1 System fields}
+
+    Stored under reserved names (prefix ["$"]); the runtime fills them in
+    at send time and application code reads them at delivery. *)
+
+(** [sender t] is the address of the sending process, stamped by the
+    runtime (cannot be forged by clients working through the toolkit). *)
+val sender : t -> Addr.proc option
+
+val set_sender : t -> Addr.proc -> unit
+
+(** [session t] matches a reply with its pending call. *)
+val session : t -> int option
+
+val set_session : t -> int -> unit
+
+(** [entry t] is the destination entry point. *)
+val entry : t -> Entry.t option
+
+val set_entry : t -> Entry.t -> unit
+
+(** {1 Wire format} *)
+
+(** [size t] is the encoded length in bytes (header included). *)
+val size : t -> int
+
+val encode : t -> bytes
+
+(** @raise Invalid_argument on a malformed buffer. *)
+val decode : bytes -> t
+
+(** Structural equality (field order insensitive). *)
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,84 @@
+module Rng = Vsync_util.Rng
+module Heap = Vsync_util.Heap
+
+type time = int
+
+type handle = { mutable cancelled : bool }
+
+type event = { at : time; action : unit -> unit; h : handle }
+
+type t = {
+  mutable clock : time;
+  queue : event Heap.t;
+  root_rng : Rng.t;
+  mutable fired : int;
+  mutable live : int; (* scheduled and not yet fired or cancelled *)
+}
+
+let create ?(seed = 0x5EEDL) () =
+  {
+    clock = 0;
+    queue = Heap.create ~compare:(fun a b -> compare a.at b.at);
+    root_rng = Rng.create seed;
+    fired = 0;
+    live = 0;
+  }
+
+let now t = t.clock
+let rng t = t.root_rng
+
+let schedule_at t at action =
+  let at = if at < t.clock then t.clock else at in
+  let h = { cancelled = false } in
+  Heap.push t.queue { at; action; h };
+  t.live <- t.live + 1;
+  h
+
+let schedule t ~delay action =
+  if delay < 0 then invalid_arg "Engine.schedule: negative delay";
+  schedule_at t (t.clock + delay) action
+
+let cancel h = h.cancelled <- true
+
+let pending t =
+  (* [live] over-counts cancelled-but-not-popped events; walk the heap
+     for the exact figure (diagnostics only, so O(n) is fine). *)
+  List.length (List.filter (fun e -> not (e.h.cancelled)) (Heap.to_list t.queue))
+
+let step t =
+  match Heap.pop t.queue with
+  | None -> false
+  | Some e ->
+    t.live <- t.live - 1;
+    if not e.h.cancelled then begin
+      t.clock <- e.at;
+      t.fired <- t.fired + 1;
+      e.action ()
+    end;
+    true
+
+let run ?until t =
+  match until with
+  | None -> while step t do () done
+  | Some stop ->
+    if stop < t.clock then invalid_arg "Engine.run: until is in the past";
+    let continue = ref true in
+    while !continue do
+      match Heap.peek t.queue with
+      | Some e when e.at <= stop -> ignore (step t)
+      | Some _ | None -> continue := false
+    done;
+    t.clock <- stop
+
+let events_fired t = t.fired
+
+let us n = n
+let ms n = n * 1_000
+let sec n = n * 1_000_000
+
+let to_sec t = float_of_int t /. 1e6
+
+let pp_time ppf t =
+  if t >= 1_000_000 then Format.fprintf ppf "%.3fs" (to_sec t)
+  else if t >= 1_000 then Format.fprintf ppf "%.3fms" (float_of_int t /. 1e3)
+  else Format.fprintf ppf "%dus" t

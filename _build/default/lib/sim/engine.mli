@@ -1,0 +1,63 @@
+(** Discrete-event simulation engine.
+
+    A single-threaded event loop over a virtual clock measured in
+    microseconds.  Events scheduled for the same instant fire in the
+    order they were scheduled (the heap is stable), which — together
+    with routing all randomness through the engine's {!Vsync_util.Rng} —
+    makes every run bit-reproducible from its seed. *)
+
+(** Virtual time, in microseconds since the start of the run. *)
+type time = int
+
+type t
+
+(** Cancellable handle for a scheduled event. *)
+type handle
+
+(** [create ~seed ()] returns a fresh engine with clock at 0. *)
+val create : ?seed:int64 -> unit -> t
+
+(** [now t] is the current virtual time. *)
+val now : t -> time
+
+(** [rng t] is the engine's root generator; subsystems should
+    {!Vsync_util.Rng.split} it once at construction. *)
+val rng : t -> Vsync_util.Rng.t
+
+(** [schedule t ~delay f] runs [f] at [now t + delay].
+    @raise Invalid_argument if [delay < 0]. *)
+val schedule : t -> delay:time -> (unit -> unit) -> handle
+
+(** [schedule_at t at f] runs [f] at absolute time [at] (clamped to now). *)
+val schedule_at : t -> time -> (unit -> unit) -> handle
+
+(** [cancel h] prevents the event from firing (idempotent; a fired event
+    cannot be cancelled). *)
+val cancel : handle -> unit
+
+(** [pending t] is the number of undelivered (non-cancelled) events. *)
+val pending : t -> int
+
+(** [step t] fires the next event; [false] when the queue is empty. *)
+val step : t -> bool
+
+(** [run t] fires events until the queue drains.
+    [run ~until t] stops once the clock would pass [until] (the clock is
+    then advanced to exactly [until]).
+    @raise Invalid_argument if [until] is in the past. *)
+val run : ?until:time -> t -> unit
+
+(** [events_fired t] counts events executed so far (for diagnostics). *)
+val events_fired : t -> int
+
+(** {1 Time units} *)
+
+val us : int -> time
+val ms : int -> time
+val sec : int -> time
+
+(** [to_sec t] converts to seconds as a float. *)
+val to_sec : time -> float
+
+(** [pp_time] prints a time as e.g. ["12.345ms"]. *)
+val pp_time : Format.formatter -> time -> unit

@@ -1,0 +1,129 @@
+module Rng = Vsync_util.Rng
+module Stats = Vsync_util.Stats
+
+type site = int
+
+type config = {
+  intra_site_us : int;
+  inter_site_us : int;
+  bandwidth_bytes_per_sec : int;
+  per_packet_overhead_bytes : int;
+  max_packet_bytes : int;
+  loss_probability : float;
+}
+
+let default_config =
+  {
+    intra_site_us = 10;
+    inter_site_us = 16_000;
+    bandwidth_bytes_per_sec = 1_250_000;
+    per_packet_overhead_bytes = 64;
+    max_packet_bytes = 4096;
+    loss_probability = 0.0;
+  }
+
+type t = {
+  engine : Engine.t;
+  mutable cfg : config;
+  n_sites : int;
+  up : bool array;
+  (* Earliest time each site's transmitter is free: models NIC
+     serialization, which is what saturates throughput in Figure 2. *)
+  tx_free : Engine.time array;
+  mutable partition : (site list * site list) option;
+  rng : Rng.t;
+  counters : Stats.Counter.t;
+}
+
+let create engine cfg ~sites =
+  if sites <= 0 then invalid_arg "Net.create: need at least one site";
+  {
+    engine;
+    cfg;
+    n_sites = sites;
+    up = Array.make sites true;
+    tx_free = Array.make sites 0;
+    partition = None;
+    rng = Rng.split (Engine.rng engine);
+    counters = Stats.Counter.create ();
+  }
+
+let config t = t.cfg
+let n_sites t = t.n_sites
+let engine t = t.engine
+
+let check_site t s name =
+  if s < 0 || s >= t.n_sites then invalid_arg (Printf.sprintf "Net.%s: bad site %d" name s)
+
+let site_up t s =
+  check_site t s "site_up";
+  t.up.(s)
+
+let crash_site t s =
+  check_site t s "crash_site";
+  t.up.(s) <- false
+
+let restart_site t s =
+  check_site t s "restart_site";
+  t.up.(s) <- true;
+  t.tx_free.(s) <- Engine.now t.engine
+
+let set_loss t p = t.cfg <- { t.cfg with loss_probability = p }
+
+let partition t left right = t.partition <- Some (left, right)
+let heal t = t.partition <- None
+
+let partitioned t a b =
+  match t.partition with
+  | None -> false
+  | Some (left, right) ->
+    (List.mem a left && List.mem b right) || (List.mem a right && List.mem b left)
+
+let fragments t ~bytes =
+  if bytes < 0 then invalid_arg "Net.fragments: negative size";
+  let max = t.cfg.max_packet_bytes in
+  if bytes <= max then [ bytes ]
+  else begin
+    let rec loop remaining acc =
+      if remaining <= max then List.rev (remaining :: acc) else loop (remaining - max) (max :: acc)
+    in
+    loop bytes []
+  end
+
+let send t ~src ~dst ~bytes deliver =
+  check_site t src "send";
+  check_site t dst "send";
+  if bytes < 0 || bytes > t.cfg.max_packet_bytes then
+    invalid_arg "Net.send: packet exceeds max_packet_bytes (fragment first)";
+  if not t.up.(src) then () (* a dead site sends nothing *)
+  else if src = dst then begin
+    (* Intra-site hop: fixed cost, no medium contention, never lost. *)
+    ignore (Engine.schedule t.engine ~delay:t.cfg.intra_site_us (fun () -> if t.up.(dst) then deliver ()))
+  end
+  else begin
+    let wire_bytes = bytes + t.cfg.per_packet_overhead_bytes in
+    Stats.Counter.incr t.counters "net.packets";
+    Stats.Counter.add t.counters "net.bytes" wire_bytes;
+    if Rng.bernoulli t.rng t.cfg.loss_probability then
+      Stats.Counter.incr t.counters "net.lost"
+    else begin
+      let now = Engine.now t.engine in
+      (* Serialize on the sender's transmitter, then propagate. *)
+      let tx_start = if t.tx_free.(src) > now then t.tx_free.(src) else now in
+      let tx_time = wire_bytes * 1_000_000 / t.cfg.bandwidth_bytes_per_sec in
+      let tx_done = tx_start + tx_time in
+      t.tx_free.(src) <- tx_done;
+      let arrival = tx_done + t.cfg.inter_site_us in
+      ignore
+        (Engine.schedule_at t.engine arrival (fun () ->
+             (* Partition/destination checks happen at arrival time:
+                a packet in flight when the link goes bad is lost. *)
+             if t.up.(dst) && not (partitioned t src dst) then deliver ()
+             else Stats.Counter.incr t.counters "net.lost"))
+    end
+  end
+
+let packets_sent t = Stats.Counter.get t.counters "net.packets"
+let bytes_sent t = Stats.Counter.get t.counters "net.bytes"
+let packets_lost t = Stats.Counter.get t.counters "net.lost"
+let counters t = t.counters

@@ -1,0 +1,92 @@
+(** Network model.
+
+    Reproduces the paper's testbed at the packet level: SUN-3
+    workstations on a 10 Mbit shared Ethernet, with the link constants
+    the paper reports in Figure 3 — 10 µs to traverse a link within a
+    site, 16 ms to send an inter-site packet — and fragmentation of
+    large messages into 4 KB packets (the cause of Figure 2's latency
+    knee between 1 KB and 10 KB).
+
+    Failure model (paper Sec 2.1): packets can be lost; sites can crash
+    (everything in flight to/from them is dropped); the network can
+    partition, in which case cross-partition packets are silently
+    dropped until {!heal} — ISIS does not tolerate partitions, it stalls
+    until communication is restored, and so do we. *)
+
+type site = int
+
+type config = {
+  intra_site_us : int;      (** one-way latency within a site (paper: 10 µs). *)
+  inter_site_us : int;      (** one-way inter-site packet latency (paper: 16 ms). *)
+  bandwidth_bytes_per_sec : int;
+      (** shared-medium capacity (paper: 10 Mbit ≈ 1.25 MB/s). *)
+  per_packet_overhead_bytes : int;
+      (** header bytes added to every packet on the wire. *)
+  max_packet_bytes : int;   (** fragmentation threshold (paper: 4 KB). *)
+  loss_probability : float; (** per-packet drop probability. *)
+}
+
+(** The paper's constants. *)
+val default_config : config
+
+type t
+
+(** [create engine config ~sites] builds a network of [sites] sites, all
+    initially up. *)
+val create : Engine.t -> config -> sites:int -> t
+
+val config : t -> config
+val n_sites : t -> int
+val engine : t -> Engine.t
+
+(** [send t ~src ~dst ~bytes deliver] transmits one {e packet} of
+    [bytes] payload bytes from [src] to [dst] and calls [deliver] at the
+    receiver-side arrival time — unless the packet is lost, a site is
+    down, or the two sites are partitioned, in which case [deliver] is
+    never called.  Fragmentation is the sender's job ({!fragments}
+    helps); [bytes] beyond [max_packet_bytes] raises. *)
+val send : t -> src:site -> dst:site -> bytes:int -> (unit -> unit) -> unit
+
+(** [fragments t ~bytes] is the list of packet payload sizes a message
+    of [bytes] bytes fragments into (always non-empty). *)
+val fragments : t -> bytes:int -> int list
+
+(** {1 Failures} *)
+
+val site_up : t -> site -> bool
+
+(** [crash_site t s] takes the site down: packets to or from it are
+    dropped from now on (packets already in flight towards it are also
+    discarded at arrival). *)
+val crash_site : t -> site -> unit
+
+(** [restart_site t s] brings the site back (a recovered site is a new
+    incarnation; higher layers handle reintegration). *)
+val restart_site : t -> site -> unit
+
+(** [set_loss t p] changes the packet-loss probability mid-run (tests
+    form groups losslessly, then turn loss on for the traffic under
+    study). *)
+val set_loss : t -> float -> unit
+
+(** [partition t left right] drops packets between the two groups (a
+    site absent from both lists communicates with everyone). *)
+val partition : t -> site list -> site list -> unit
+
+(** [heal t] removes any partition. *)
+val heal : t -> unit
+
+val partitioned : t -> site -> site -> bool
+
+(** {1 Accounting} *)
+
+(** [packets_sent t] / [bytes_sent t] / [packets_lost t] count totals
+    since creation (inter-site only; intra-site hops are free, as in the
+    paper's accounting). *)
+val packets_sent : t -> int
+
+val bytes_sent : t -> int
+val packets_lost : t -> int
+
+(** [counters t] exposes the raw counter set for harness snapshots. *)
+val counters : t -> Vsync_util.Stats.Counter.t

@@ -1,0 +1,36 @@
+module Ring = Vsync_util.Ring
+
+type record = { at : Engine.time; category : string; detail : string }
+
+type t = {
+  engine : Engine.t;
+  mutable enabled : bool;
+  records : record Ring.t;
+}
+
+(* Enough for any single experiment; long runs keep the most recent
+   tail rather than growing without bound. *)
+let default_capacity = 200_000
+
+let create engine = { engine; enabled = false; records = Ring.create ~capacity:default_capacity }
+
+let set_enabled t b = t.enabled <- b
+let enabled t = t.enabled
+
+let emit t ~category detail =
+  if t.enabled then
+    Ring.push t.records { at = Engine.now t.engine; category; detail }
+
+let emitf t ~category fmt =
+  if t.enabled then
+    Format.kasprintf (fun detail -> emit t ~category detail) fmt
+  else Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
+
+let records t = Ring.to_list t.records
+
+let by_category t c = List.filter (fun r -> String.equal r.category c) (records t)
+
+let clear t = Ring.clear t.records
+
+let pp_record ppf r =
+  Format.fprintf ppf "[%a] %-12s %s" Engine.pp_time r.at r.category r.detail

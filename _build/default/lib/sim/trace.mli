@@ -1,0 +1,35 @@
+(** Event tracing.
+
+    Protocol layers emit timestamped records under a category; the
+    Figure-3 experiment replays the trace of a single ABCAST to break
+    its execution time into phases, and the CLI can dump traces for
+    debugging.  Tracing is off by default and costs one branch when
+    disabled. *)
+
+type record = { at : Engine.time; category : string; detail : string }
+
+type t
+
+val create : Engine.t -> t
+
+(** [set_enabled t b] turns recording on or off (records are kept). *)
+val set_enabled : t -> bool -> unit
+
+val enabled : t -> bool
+
+(** [emit t ~category detail] appends a record when enabled. *)
+val emit : t -> category:string -> string -> unit
+
+(** [emitf t ~category fmt ...] is [emit] with formatting, only
+    evaluated when enabled. *)
+val emitf : t -> category:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+
+(** [records t] returns records oldest first. *)
+val records : t -> record list
+
+(** [by_category t c] filters records with category [c]. *)
+val by_category : t -> string -> record list
+
+val clear : t -> unit
+
+val pp_record : Format.formatter -> record -> unit

@@ -1,0 +1,1 @@
+lib/tasks/condition.ml: List Sched

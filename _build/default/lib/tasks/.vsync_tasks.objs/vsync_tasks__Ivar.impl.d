@@ -1,0 +1,1 @@
+lib/tasks/ivar.ml: List Sched

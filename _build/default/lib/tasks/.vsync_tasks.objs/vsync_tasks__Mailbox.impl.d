@@ -1,0 +1,1 @@
+lib/tasks/mailbox.ml: Option Queue Sched

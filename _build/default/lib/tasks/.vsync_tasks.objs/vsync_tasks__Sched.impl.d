@@ -1,0 +1,1 @@
+lib/tasks/sched.ml: Effect Fun Queue

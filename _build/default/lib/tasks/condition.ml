@@ -1,0 +1,19 @@
+type t = { mutable queue : (unit -> unit) list (* waiters, newest first *) }
+
+let create () = { queue = [] }
+
+let wait t = Sched.suspend (fun resume -> t.queue <- resume :: t.queue)
+
+let signal t =
+  match List.rev t.queue with
+  | [] -> ()
+  | oldest :: rest ->
+    t.queue <- List.rev rest;
+    oldest ()
+
+let broadcast t =
+  let waiters = List.rev t.queue in
+  t.queue <- [];
+  List.iter (fun resume -> resume ()) waiters
+
+let waiters t = List.length t.queue

@@ -1,0 +1,23 @@
+(** Broadcast conditions.
+
+    A reusable wait point: any number of tasks block in {!wait} until
+    someone calls {!signal} (wakes one, FIFO) or {!broadcast} (wakes
+    all).  Unlike {!Ivar}, a condition carries no value and can be used
+    repeatedly; the semaphore tool and the flush primitive are built on
+    it. *)
+
+type t
+
+val create : unit -> t
+
+(** [wait t] suspends the calling task until woken. *)
+val wait : t -> unit
+
+(** [signal t] wakes the longest-waiting task, if any. *)
+val signal : t -> unit
+
+(** [broadcast t] wakes every waiting task, in FIFO order. *)
+val broadcast : t -> unit
+
+(** [waiters t] counts currently blocked tasks. *)
+val waiters : t -> int

@@ -1,0 +1,30 @@
+type 'a state =
+  | Empty of ('a -> unit) list (* waiters, newest first *)
+  | Full of 'a
+
+type 'a t = { mutable state : 'a state }
+
+let create () = { state = Empty [] }
+
+let fill_if_empty t v =
+  match t.state with
+  | Full _ -> false
+  | Empty waiters ->
+    t.state <- Full v;
+    List.iter (fun resume -> resume v) (List.rev waiters);
+    true
+
+let fill t v = if not (fill_if_empty t v) then invalid_arg "Ivar.fill: already filled"
+
+let is_filled t = match t.state with Full _ -> true | Empty _ -> false
+
+let peek t = match t.state with Full v -> Some v | Empty _ -> None
+
+let read t =
+  match t.state with
+  | Full v -> v
+  | Empty _ ->
+    Sched.suspend (fun resume ->
+        match t.state with
+        | Full v -> resume v (* filled between the check and the suspend *)
+        | Empty waiters -> t.state <- Empty (resume :: waiters))

@@ -1,0 +1,24 @@
+(** Write-once synchronization variables.
+
+    The reply-collection machinery blocks callers on ivars: a task
+    {!read}s (suspending if empty) and the runtime {!fill}s when the
+    value arrives.  Multiple tasks may wait on the same ivar. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+(** [fill t v] stores [v] and wakes all waiters.
+    @raise Invalid_argument if already filled. *)
+val fill : 'a t -> 'a -> unit
+
+(** [fill_if_empty t v] is [fill] that ignores a second fill; returns
+    whether this call stored the value. *)
+val fill_if_empty : 'a t -> 'a -> bool
+
+val is_filled : 'a t -> bool
+val peek : 'a t -> 'a option
+
+(** [read t] returns the value, suspending the calling task until
+    filled.  Must be called from inside a task. *)
+val read : 'a t -> 'a

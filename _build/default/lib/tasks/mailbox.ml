@@ -1,0 +1,24 @@
+type 'a t = {
+  queue : 'a Queue.t;
+  mutable waiter : ('a -> unit) option;
+}
+
+let create () = { queue = Queue.create (); waiter = None }
+
+let send t v =
+  match t.waiter with
+  | Some resume ->
+    t.waiter <- None;
+    resume v
+  | None -> Queue.push v t.queue
+
+let recv t =
+  match Queue.take_opt t.queue with
+  | Some v -> v
+  | None ->
+    if Option.is_some t.waiter then invalid_arg "Mailbox.recv: consumer already blocked";
+    Sched.suspend (fun resume -> t.waiter <- Some resume)
+
+let try_recv t = Queue.take_opt t.queue
+let length t = Queue.length t.queue
+let is_empty t = Queue.is_empty t.queue

@@ -1,0 +1,22 @@
+(** Unbounded FIFO mailboxes between tasks.
+
+    A mailbox decouples producers (event handlers, other tasks) from a
+    consumer task; {!recv} suspends when empty.  At most one consumer
+    may be blocked at a time (the toolkit's per-entry dispatch spawns a
+    task per message, so single-consumer is the natural discipline). *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+(** [send t v] enqueues [v], waking the blocked consumer if any. *)
+val send : 'a t -> 'a -> unit
+
+(** [recv t] dequeues the oldest value, suspending until one arrives.
+    @raise Invalid_argument if another task is already blocked in
+    [recv]. *)
+val recv : 'a t -> 'a
+
+val try_recv : 'a t -> 'a option
+val length : 'a t -> int
+val is_empty : 'a t -> bool

@@ -1,0 +1,89 @@
+open Effect
+open Effect.Deep
+
+type _ Effect.t += Suspend : (('a -> unit) -> unit) -> 'a Effect.t
+type _ Effect.t += Yield : unit Effect.t
+
+type t = {
+  sched_name : string;
+  run_queue : (unit -> unit) Queue.t;
+  mutable draining : bool;
+  mutable is_killed : bool;
+  mutable spawned : int;
+  mutable on_exn : exn -> unit;
+}
+
+let create ?(name = "sched") () =
+  {
+    sched_name = name;
+    run_queue = Queue.create ();
+    draining = false;
+    is_killed = false;
+    spawned = 0;
+    on_exn = raise;
+  }
+
+let name t = t.sched_name
+let killed t = t.is_killed
+let tasks_spawned t = t.spawned
+let set_exn_handler t f = t.on_exn <- f
+
+let suspend register = perform (Suspend register)
+let yield () = perform Yield
+
+let enqueue t thunk = if not t.is_killed then Queue.push thunk t.run_queue
+
+let drain t =
+  if not t.draining then begin
+    t.draining <- true;
+    (* Drain must end with draining=false even if a task handler
+       reraises, otherwise the scheduler would wedge. *)
+    Fun.protect
+      ~finally:(fun () -> t.draining <- false)
+      (fun () ->
+        while (not t.is_killed) && not (Queue.is_empty t.run_queue) do
+          (Queue.pop t.run_queue) ()
+        done;
+        if t.is_killed then Queue.clear t.run_queue)
+  end
+
+(* Run [f] under the effect handler.  Continuations are resumed by
+   re-entering this handler via the closures we build here, so the
+   handler stays installed for the task's whole life (deep handler). *)
+let exec t f =
+  match_with f ()
+    {
+      retc = (fun () -> ());
+      exnc = (fun e -> t.on_exn e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Suspend register ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                let consumed = ref false in
+                let resume v =
+                  if (not !consumed) && not t.is_killed then begin
+                    consumed := true;
+                    enqueue t (fun () -> continue k v);
+                    drain t
+                  end
+                in
+                register resume)
+          | Yield ->
+            Some
+              (fun (k : (a, unit) continuation) ->
+                enqueue t (fun () -> continue k ()))
+          | _ -> None);
+    }
+
+let spawn t f =
+  if not t.is_killed then begin
+    t.spawned <- t.spawned + 1;
+    enqueue t (fun () -> exec t f);
+    drain t
+  end
+
+let kill t =
+  t.is_killed <- true;
+  Queue.clear t.run_queue

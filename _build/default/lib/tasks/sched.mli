@@ -1,0 +1,54 @@
+(** Lightweight tasks (paper Sec 4.1).
+
+    ISIS "implements a light-weight task facility permitting a single
+    process to execute multiple concurrent tasks with no changes to the
+    operating system ... implemented using a coroutine mechanism".  We
+    reproduce it with OCaml 5 effect handlers: a task may call
+    {!suspend}, which captures its continuation and hands a one-shot
+    [resume] function to a registration callback; the task resumes when
+    (and if) someone calls it.
+
+    Each simulated process owns one scheduler, so killing the process
+    ({!kill}) silently drops all of its tasks — a crashed process simply
+    stops, mid-task, exactly as a crashed UNIX process would.
+
+    Scheduling is cooperative and runs to quiescence: {!spawn}ing or
+    resuming a task while the scheduler is idle drains the run queue
+    before returning, so by the time the simulator moves to the next
+    event every runnable task has either finished or suspended. *)
+
+type t
+
+(** [create ~name ()] returns an empty scheduler. *)
+val create : ?name:string -> unit -> t
+
+val name : t -> string
+
+(** [spawn t f] queues task [f] and drains the run queue (unless a drain
+    is already in progress higher up the stack).  No-op when killed. *)
+val spawn : t -> (unit -> unit) -> unit
+
+(** [suspend register] — call from inside a task only.  Captures the
+    continuation, passes a one-shot [resume] to [register], and blocks
+    the task until [resume v] is called.  [resume] may be called from
+    any context (e.g. a simulator event); calling it a second time, or
+    after the scheduler was killed, is a no-op. *)
+val suspend : (('a -> unit) -> unit) -> 'a
+
+(** [yield ()] — reschedules the calling task behind the current run
+    queue (lets sibling tasks run). *)
+val yield : unit -> unit
+
+(** [kill t] drops every queued and suspended task; subsequent resumes
+    and spawns are ignored.  Idempotent. *)
+val kill : t -> unit
+
+val killed : t -> bool
+
+(** [tasks_spawned t] counts tasks started over the scheduler's life. *)
+val tasks_spawned : t -> int
+
+(** [set_exn_handler t f] routes exceptions escaping a task to [f]
+    (default: reraise, which aborts the whole simulation — the right
+    default for tests). *)
+val set_exn_handler : t -> (exn -> unit) -> unit

@@ -1,0 +1,1 @@
+lib/toolkit/bboard.ml: Hashtbl List String Vsync_core Vsync_msg

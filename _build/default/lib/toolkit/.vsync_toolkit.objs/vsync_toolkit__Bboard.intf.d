@@ -1,0 +1,1 @@
+lib/toolkit/bboard.mli: Vsync_core Vsync_msg

@@ -1,0 +1,1 @@
+lib/toolkit/config_tool.ml: Hashtbl List Vsync_core Vsync_msg

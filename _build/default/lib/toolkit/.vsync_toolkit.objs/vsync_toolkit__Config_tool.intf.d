@@ -1,0 +1,1 @@
+lib/toolkit/config_tool.mli: Vsync_core Vsync_msg

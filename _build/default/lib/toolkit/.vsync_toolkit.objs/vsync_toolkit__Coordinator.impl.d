@@ -1,0 +1,1 @@
+lib/toolkit/coordinator.ml: Hashtbl List Vsync_core Vsync_msg

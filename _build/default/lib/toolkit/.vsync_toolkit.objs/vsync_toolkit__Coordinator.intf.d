@@ -1,0 +1,1 @@
+lib/toolkit/coordinator.mli: Vsync_core Vsync_msg

@@ -1,0 +1,1 @@
+lib/toolkit/mode_check.ml: Hashtbl List Vsync_core Vsync_msg

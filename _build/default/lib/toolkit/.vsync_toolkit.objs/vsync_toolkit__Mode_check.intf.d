@@ -1,0 +1,1 @@
+lib/toolkit/mode_check.mli: Vsync_core Vsync_msg

@@ -1,0 +1,1 @@
+lib/toolkit/news.ml: List Printf String Vsync_core Vsync_msg Vsync_util

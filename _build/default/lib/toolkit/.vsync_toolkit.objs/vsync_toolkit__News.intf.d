@@ -1,0 +1,1 @@
+lib/toolkit/news.mli: Vsync_core Vsync_msg

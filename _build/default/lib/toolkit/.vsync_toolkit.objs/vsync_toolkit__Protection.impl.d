@@ -1,0 +1,1 @@
+lib/toolkit/protection.ml: List Vsync_core Vsync_msg

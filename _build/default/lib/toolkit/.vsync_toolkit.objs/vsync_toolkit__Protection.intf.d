@@ -1,0 +1,1 @@
+lib/toolkit/protection.mli: Vsync_core Vsync_msg

@@ -1,0 +1,1 @@
+lib/toolkit/quorum.ml: Hashtbl List Vsync_core Vsync_msg

@@ -1,0 +1,1 @@
+lib/toolkit/quorum.mli: Vsync_core Vsync_msg

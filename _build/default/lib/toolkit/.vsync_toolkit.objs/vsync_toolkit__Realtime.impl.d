@@ -1,0 +1,1 @@
+lib/toolkit/realtime.ml: Hashtbl List String Vsync_core Vsync_msg Vsync_sim

@@ -1,0 +1,1 @@
+lib/toolkit/realtime.mli: Vsync_core Vsync_msg

@@ -1,0 +1,1 @@
+lib/toolkit/recovery.ml: Hashtbl List Option Printf Stable_store String Vsync_core Vsync_msg

@@ -1,0 +1,1 @@
+lib/toolkit/recovery.mli: Stable_store Vsync_core

@@ -1,0 +1,1 @@
+lib/toolkit/remote_exec.ml: Hashtbl Printf Vsync_core Vsync_msg

@@ -1,0 +1,1 @@
+lib/toolkit/remote_exec.mli: Vsync_core Vsync_msg

@@ -1,0 +1,1 @@
+lib/toolkit/repdata.ml: Hashtbl List Printf Stable_store Vsync_core Vsync_msg

@@ -1,0 +1,1 @@
+lib/toolkit/repdata.mli: Stable_store Vsync_core Vsync_msg

@@ -1,0 +1,1 @@
+lib/toolkit/semaphore.ml: Hashtbl List Option Vsync_core Vsync_msg

@@ -1,0 +1,1 @@
+lib/toolkit/semaphore.mli: Vsync_core Vsync_msg

@@ -1,0 +1,1 @@
+lib/toolkit/stable_store.ml: Array Bytes Hashtbl List Option Vsync_msg

@@ -1,0 +1,1 @@
+lib/toolkit/stable_store.mli: Vsync_msg

@@ -1,0 +1,1 @@
+lib/toolkit/state_transfer.ml: Bytes List String Vsync_core Vsync_msg Vsync_tasks

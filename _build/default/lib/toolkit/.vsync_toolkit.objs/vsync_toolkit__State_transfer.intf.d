@@ -1,0 +1,1 @@
+lib/toolkit/state_transfer.mli: Vsync_core Vsync_msg

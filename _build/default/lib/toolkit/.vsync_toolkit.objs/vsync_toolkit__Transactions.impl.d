@@ -1,0 +1,1 @@
+lib/toolkit/transactions.ml: Hashtbl List Printf Stable_store String Vsync_core Vsync_msg

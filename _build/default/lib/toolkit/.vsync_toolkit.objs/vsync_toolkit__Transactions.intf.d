@@ -1,0 +1,1 @@
+lib/toolkit/transactions.mli: Stable_store Vsync_core Vsync_msg

@@ -1,0 +1,160 @@
+module Addr = Vsync_msg.Addr
+module Entry = Vsync_msg.Entry
+module Message = Vsync_msg.Message
+module Runtime = Vsync_core.Runtime
+module Types = Vsync_core.Types
+
+type posting = { subject : string; post_id : int; body : Message.t }
+
+type t = {
+  me : Runtime.proc;
+  gid : Addr.group_id;
+  board : string;
+  ordered : bool;
+  mutable postings : posting list; (* oldest first *)
+  mutable watchers : (string * (posting -> unit)) list;
+}
+
+let f_board = "$bb.board"
+let f_op = "$bb.op"
+let f_subject = "$bb.subject"
+let f_post_id = "$bb.id"
+let f_body = "$bb.body"
+
+(* Post identifiers are minted by the poster so that every replica
+   stores the same id: site/slot/sequence packed into one integer. *)
+let post_counters : (int, int ref) Hashtbl.t = Hashtbl.create 16
+
+let mint_post_id p =
+  let key = Runtime.proc_uid p in
+  let ctr =
+    match Hashtbl.find_opt post_counters key with
+    | Some c -> c
+    | None ->
+      let c = ref 0 in
+      Hashtbl.replace post_counters key c;
+      c
+  in
+  incr ctr;
+  let a = Runtime.proc_addr p in
+  (a.Addr.site lsl 40) lor (a.Addr.idx lsl 24) lor !ctr
+
+let apply_post t ~subject ~post_id ~body =
+  if not (List.exists (fun p -> p.post_id = post_id) t.postings) then begin
+    let posting = { subject; post_id; body } in
+    t.postings <- t.postings @ [ posting ];
+    List.iter
+      (fun (s, f) -> if String.equal s subject then f posting)
+      t.watchers
+  end
+
+(* The take rule: smallest post id under the subject.  On an ordered
+   board every replica holds the same set when the (ABCAST) take
+   arrives, so all agree; on an unordered board agreement additionally
+   needs post quiescence or a single consumer. *)
+let apply_take t ~subject =
+  let candidates = List.filter (fun p -> String.equal p.subject subject) t.postings in
+  match candidates with
+  | [] -> None
+  | first :: rest ->
+    let victim = List.fold_left (fun acc p -> if p.post_id < acc.post_id then p else acc) first rest in
+    t.postings <- List.filter (fun p -> p.post_id <> victim.post_id) t.postings;
+    Some victim
+
+let handle t m =
+  match Message.get_str m f_op, Message.get_str m f_subject with
+  | Some "post", Some subject -> (
+    match Message.get_int m f_post_id, Message.get_msg m f_body with
+    | Some post_id, Some body -> apply_post t ~subject ~post_id ~body
+    | _ -> ())
+  | Some "take", Some subject -> (
+    match apply_take t ~subject with
+    | Some victim ->
+      let r = Message.create () in
+      Message.set_int r f_post_id victim.post_id;
+      Message.set_str r f_subject victim.subject;
+      Message.set_msg r f_body victim.body;
+      Runtime.reply t.me ~request:m r
+    | None -> Runtime.null_reply t.me ~request:m)
+  | _ -> ()
+
+let registry : (int, (string, t) Hashtbl.t) Hashtbl.t = Hashtbl.create 16
+
+let attach me ~gid ~board ~ordered =
+  let t = { me; gid; board; ordered; postings = []; watchers = [] } in
+  let key = Runtime.proc_uid me in
+  let tbl =
+    match Hashtbl.find_opt registry key with
+    | Some tbl -> tbl
+    | None ->
+      let tbl = Hashtbl.create 4 in
+      Hashtbl.replace registry key tbl;
+      Runtime.bind me Entry.generic_bboard (fun m ->
+          match Message.get_str m f_board with
+          | Some board -> (
+            match Hashtbl.find_opt tbl board with
+            | Some inst -> handle inst m
+            | None -> ())
+          | None -> ());
+      tbl
+  in
+  Hashtbl.replace tbl board t;
+  t
+
+let post t ~subject body =
+  let m = Message.create () in
+  Message.set_str m f_board t.board;
+  Message.set_str m f_op "post";
+  Message.set_str m f_subject subject;
+  Message.set_int m f_post_id (mint_post_id t.me);
+  Message.set_msg m f_body (Message.copy body);
+  let mode = if t.ordered then Types.Abcast else Types.Cbcast in
+  ignore
+    (Runtime.bcast t.me mode ~dest:(Addr.Group t.gid) ~entry:Entry.generic_bboard m
+       ~want:Types.No_reply)
+
+let read t ~subject = List.filter (fun p -> String.equal p.subject subject) t.postings
+
+let read_all t = t.postings
+
+let take t ~subject =
+  let m = Message.create () in
+  Message.set_str m f_board t.board;
+  Message.set_str m f_op "take";
+  Message.set_str m f_subject subject;
+  match
+    Runtime.bcast t.me Types.Abcast ~dest:(Addr.Group t.gid) ~entry:Entry.generic_bboard m
+      ~want:Types.Wait_all
+  with
+  | Runtime.All_failed | Runtime.Replies [] -> None
+  | Runtime.Replies ((_, answer) :: _) -> (
+    match
+      Message.get_str answer f_subject, Message.get_int answer f_post_id, Message.get_msg answer f_body
+    with
+    | Some subject, Some post_id, Some body -> Some { subject; post_id; body }
+    | _ -> None)
+
+let monitor t ~subject f = t.watchers <- t.watchers @ [ (subject, f) ]
+
+let size t = List.length t.postings
+
+let encode_state t =
+  List.map
+    (fun p ->
+      let m = Message.create () in
+      Message.set_str m f_subject p.subject;
+      Message.set_int m f_post_id p.post_id;
+      Message.set_msg m f_body p.body;
+      Message.encode m)
+    t.postings
+
+let decode_state t chunks =
+  t.postings <- [];
+  List.iter
+    (fun chunk ->
+      let m = Message.decode chunk in
+      match Message.get_str m f_subject, Message.get_int m f_post_id, Message.get_msg m f_body with
+      | Some subject, Some post_id, Some body ->
+        t.postings <- t.postings @ [ { subject; post_id; body } ]
+      | _ -> ())
+    chunks

@@ -1,0 +1,62 @@
+(** Bulletin boards (paper Sec 3.11, [Birman-d]).
+
+    "A very high level tool that supports bulletin boards of the sort
+    used in many artificial intelligence applications.  Unlike the news
+    service, the bulletin board facility is linked directly into its
+    clients and does not exist as a separate entity; it is intended for
+    high performance shared data management.  Processes can read and
+    post messages on one or more shared bulletin boards, and these
+    operations are implemented using the multicast primitives."
+
+    Each board lives in the members of a process group.  Posts to an
+    {e unordered} board ride asynchronous CBCAST (per-poster order);
+    posts to an {e ordered} board ride ABCAST (identical order at every
+    replica).  Reads are local and free.  {!take} removes a posting —
+    replicas agree on the winner because takes always ride ABCAST. *)
+
+module Addr = Vsync_msg.Addr
+module Message = Vsync_msg.Message
+module Runtime = Vsync_core.Runtime
+
+type t
+
+(** A posting: its subject, a replica-consistent identifier, and the
+    body. *)
+type posting = { subject : string; post_id : int; body : Message.t }
+
+(** [attach p ~gid ~board ~ordered] connects member [p] to [board].
+    Boards with the same name attach to the same shared state;
+    [ordered] selects the posting primitive and must agree across
+    members. *)
+val attach : Runtime.proc -> gid:Addr.group_id -> board:string -> ordered:bool -> t
+
+(** [post t ~subject body] adds a posting (1 async CBCAST, or 1 ABCAST
+    for ordered boards). *)
+val post : t -> subject:string -> Message.t -> unit
+
+(** [read t ~subject] lists this replica's postings under [subject],
+    oldest first (no cost). *)
+val read : t -> subject:string -> posting list
+
+(** [read_all t] lists every posting on the board, oldest first. *)
+val read_all : t -> posting list
+
+(** [take t ~subject] removes and returns the posting with the
+    smallest id under [subject] (1 ABCAST, all replies).  On an ordered
+    board every replica holds the same postings when the take arrives,
+    so all agree on the victim; on an unordered board agreement
+    additionally requires posting quiescence or a single consumer.
+    [None] when the subject is empty. *)
+val take : t -> subject:string -> posting option
+
+(** [monitor t ~subject f] runs [f posting] at this member for every
+    new posting under [subject]. *)
+val monitor : t -> subject:string -> (posting -> unit) -> unit
+
+(** [size t] counts postings held (diagnostics). *)
+val size : t -> int
+
+(** {1 State transfer} *)
+
+val encode_state : t -> bytes list
+val decode_state : t -> bytes list -> unit

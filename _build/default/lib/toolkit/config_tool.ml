@@ -1,0 +1,55 @@
+module Addr = Vsync_msg.Addr
+module Entry = Vsync_msg.Entry
+module Message = Vsync_msg.Message
+module Runtime = Vsync_core.Runtime
+module Types = Vsync_core.Types
+
+type t = {
+  me : Runtime.proc;
+  gid : Addr.group_id;
+  table : (string, Message.value) Hashtbl.t;
+  mutable watchers : (string -> unit) list;
+}
+
+let f_key = "$cfg.key"
+let f_val = "$cfg.val"
+
+let apply t m =
+  match Message.get_str m f_key, Message.get m f_val with
+  | Some key, Some v ->
+    Hashtbl.replace t.table key v;
+    List.iter (fun w -> w key) t.watchers
+  | _ -> ()
+
+let attach me ~gid =
+  let t = { me; gid; table = Hashtbl.create 8; watchers = [] } in
+  Runtime.bind me Entry.generic_config (fun m -> apply t m);
+  t
+
+let update t ~key v =
+  let m = Message.create () in
+  Message.set_str m f_key key;
+  Message.set m f_val v;
+  ignore
+    (Runtime.bcast t.me Types.Gbcast ~dest:(Addr.Group t.gid) ~entry:Entry.generic_config m
+       ~want:Types.No_reply)
+
+let read t ~key = Hashtbl.find_opt t.table key
+
+let keys t = Hashtbl.fold (fun k _ acc -> k :: acc) t.table [] |> List.sort compare
+
+let on_change t f = t.watchers <- t.watchers @ [ f ]
+
+(* State transfer: serialize the whole table as one message. *)
+let encode_state t =
+  let m = Message.create () in
+  Hashtbl.iter (fun k v -> Message.set m k v) t.table;
+  [ Message.encode m ]
+
+let decode_state t chunks =
+  Hashtbl.reset t.table;
+  List.iter
+    (fun chunk ->
+      let m = Message.decode chunk in
+      List.iter (fun (k, v) -> Hashtbl.replace t.table k v) (Message.fields m))
+    chunks

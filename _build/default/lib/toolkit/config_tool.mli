@@ -1,0 +1,45 @@
+(** The configuration tool (paper Sec 3.3).
+
+    A process group maintains a configuration data structure "much like
+    the one that lists membership".  It is stored directly in the
+    members, so reads cost nothing; updates ride a GBCAST, so "it will
+    appear that configuration changes occur when no multicasts to the
+    group are pending, hence all recipients of a message will see the
+    same group configuration when a message arrives".  Members that
+    divide work by consulting the configuration therefore make mutually
+    consistent decisions.
+
+    The paper's twenty-questions Step 7 uses this tool for dynamic load
+    balancing: changing the member-numbering rule at run time. *)
+
+module Addr = Vsync_msg.Addr
+module Message = Vsync_msg.Message
+module Runtime = Vsync_core.Runtime
+
+type t
+
+(** [attach p ~gid] connects member [p] to the group's configuration
+    structure (binds the [generic_config] entry). *)
+val attach : Runtime.proc -> gid:Addr.group_id -> t
+
+(** [update t ~key v] installs [key = v] at every member, at the same
+    logical instant everywhere (1 GBCAST). *)
+val update : t -> key:string -> Message.value -> unit
+
+(** [read t ~key] reads the local copy (no communication). *)
+val read : t -> key:string -> Message.value option
+
+(** [keys t] lists the configured keys, sorted. *)
+val keys : t -> string list
+
+(** [on_change t f] runs [f key] after each applied update. *)
+val on_change : t -> (string -> unit) -> unit
+
+(** {1 State-transfer hooks}
+
+    The configuration structure transfers automatically when the state
+    transfer tool is in use (paper Sec 3.8): pass these to
+    [State_transfer]'s segment list. *)
+
+val encode_state : t -> bytes list
+val decode_state : t -> bytes list -> unit

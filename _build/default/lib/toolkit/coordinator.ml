@@ -1,0 +1,95 @@
+module Addr = Vsync_msg.Addr
+module Entry = Vsync_msg.Entry
+module Message = Vsync_msg.Message
+module Runtime = Vsync_core.Runtime
+module View = Vsync_core.View
+
+type open_req = {
+  request : Message.t;
+  plist : Addr.proc list;
+  action : Message.t -> Message.t;
+  got_reply : Message.t -> unit;
+}
+
+type t = {
+  me : Runtime.proc;
+  gid : Addr.group_id;
+  pending : (int, open_req) Hashtbl.t; (* session -> watch state *)
+}
+
+(* The deterministic selection rule of Sec 6: prefer an operational
+   plist process at the caller's site; otherwise scan plist circularly
+   starting from an index derived from the caller's site. *)
+let choose_coordinator ~view ~plist ~(caller : Addr.proc) =
+  let operational = List.filter (View.is_member view) plist in
+  match operational with
+  | [] -> None
+  | _ -> (
+    match List.find_opt (fun (p : Addr.proc) -> p.Addr.site = caller.Addr.site) operational with
+    | Some p -> Some p
+    | None ->
+      let n = List.length operational in
+      Some (List.nth operational (caller.Addr.site mod n)))
+
+let is_me t p = Addr.equal_proc p (Runtime.proc_addr t.me)
+
+let run_as_coordinator t req =
+  Runtime.spawn_task t.me (fun () ->
+      let answer = req.action req.request in
+      let view = Runtime.pg_view t.me t.gid in
+      let cohorts =
+        match view with
+        | Some v ->
+          List.filter (fun p -> View.is_member v p && not (is_me t p)) req.plist
+        | None -> []
+      in
+      Runtime.reply_cc t.me ~request:req.request answer ~copy_to:cohorts)
+
+let on_view_change t view _changes =
+  (* Re-run the selection for every request still open; exactly one
+     survivor elects itself. *)
+  let sessions = Hashtbl.fold (fun s r acc -> (s, r) :: acc) t.pending [] in
+  List.iter
+    (fun (session, req) ->
+      match Message.sender req.request with
+      | None -> ()
+      | Some caller -> (
+        match choose_coordinator ~view ~plist:req.plist ~caller with
+        | Some c when is_me t c ->
+          Hashtbl.remove t.pending session;
+          run_as_coordinator t req
+        | Some _ -> ()
+        | None -> Hashtbl.remove t.pending session))
+    sessions
+
+let attach me ~gid =
+  let t = { me; gid; pending = Hashtbl.create 8 } in
+  Runtime.bind me Entry.generic_cc_reply (fun reply ->
+      match Message.session reply with
+      | None -> ()
+      | Some session -> (
+        match Hashtbl.find_opt t.pending session with
+        | None -> ()
+        | Some req ->
+          Hashtbl.remove t.pending session;
+          req.got_reply reply));
+  Runtime.pg_monitor me gid (fun view changes -> on_view_change t view changes);
+  t
+
+let handle t ~request ~plist ~action ?(got_reply = fun _ -> ()) () =
+  match Message.sender request, Message.session request with
+  | Some caller, Some session -> (
+    let view = Runtime.pg_view t.me t.gid in
+    match view with
+    | None -> ()
+    | Some view -> (
+      let participant = List.exists (is_me t) plist in
+      if not participant then Runtime.null_reply t.me ~request
+      else
+        match choose_coordinator ~view ~plist ~caller with
+        | Some c when is_me t c -> run_as_coordinator t { request; plist; action; got_reply }
+        | Some _ -> Hashtbl.replace t.pending session { request; plist; action; got_reply }
+        | None -> ()))
+  | _ -> invalid_arg "Coordinator.handle: request carries no caller/session"
+
+let open_requests t = Hashtbl.length t.pending

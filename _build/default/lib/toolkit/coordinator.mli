@@ -1,0 +1,52 @@
+(** The coordinator-cohort tool (paper Sec 3.3 and Sec 6).
+
+    A group responds to a request by having {e one} member (the
+    coordinator) perform the action while the others (the cohorts)
+    monitor its progress and take over one by one as failures occur.
+    Because all participants compute the coordinator from the same
+    ranked view and the same [plist], they agree without exchanging any
+    messages.
+
+    Protocol (paper Sec 6, reproduced exactly):
+    - every member receiving the request calls {!handle} with the same
+      deterministic [plist] (members able to perform this action);
+    - the coordinator is the first operational [plist] process at the
+      caller's site, if any — chosen to minimize latency — otherwise
+      the caller's site id indexes [plist] circularly;
+    - the coordinator runs [action] and replies to the caller with
+      copies to every cohort (at their [generic_cc_reply] entry, via
+      [reply_cc]);
+    - a cohort that observes the coordinator fail before the reply copy
+      arrives re-runs the selection among survivors and takes over;
+    - non-participants send null replies, so the caller's RPC fails
+      cleanly if every participant dies. *)
+
+module Addr = Vsync_msg.Addr
+module Message = Vsync_msg.Message
+module Runtime = Vsync_core.Runtime
+
+type t
+
+(** [attach p ~gid] prepares [p] to take part in coordinator-cohort
+    computations on group [gid]: binds the [generic_cc_reply] entry and
+    installs the failure monitor.  Call once per process per group,
+    after joining. *)
+val attach : Runtime.proc -> gid:Addr.group_id -> t
+
+(** [handle t ~request ~plist ~action ?got_reply ()] — call from the
+    request handler in {e every} member.  [action] computes the reply
+    message (it runs only in the coordinator, inside a task, and may
+    block); [got_reply] runs in each cohort when the coordinator's
+    reply copy arrives. *)
+val handle :
+  t ->
+  request:Message.t ->
+  plist:Addr.proc list ->
+  action:(Message.t -> Message.t) ->
+  ?got_reply:(Message.t -> unit) ->
+  unit ->
+  unit
+
+(** [open_requests t] counts requests this cohort is still watching
+    (diagnostics). *)
+val open_requests : t -> int

@@ -1,0 +1,34 @@
+module Addr = Vsync_msg.Addr
+module Entry = Vsync_msg.Entry
+module Message = Vsync_msg.Message
+module Runtime = Vsync_core.Runtime
+module Types = Vsync_core.Types
+
+type t = {
+  rules : (Entry.t, Types.mode list) Hashtbl.t;
+  mutable on_violation : Message.t -> unit;
+  mutable rejected : int;
+}
+
+let install p =
+  let t = { rules = Hashtbl.create 8; on_violation = (fun _ -> ()); rejected = 0 } in
+  Runtime.add_filter p (fun m ->
+      match Message.entry m with
+      | None -> true
+      | Some e -> (
+        match Hashtbl.find_opt t.rules e with
+        | None -> true
+        | Some allowed -> (
+          match Runtime.delivery_mode m with
+          | Some mode when List.mem mode allowed -> true
+          | Some _ | None ->
+            t.rejected <- t.rejected + 1;
+            t.on_violation m;
+            false)));
+  t
+
+let require t ~entry modes = Hashtbl.replace t.rules entry modes
+
+let on_violation t f = t.on_violation <- f
+
+let violations t = t.rejected

@@ -1,0 +1,39 @@
+(** Primitive-compliance checking (paper Sec 5, Summary).
+
+    "Correct behavior of the twenty-questions service when dynamic
+    updates are being done requires that the appropriate broadcast
+    primitive be used by clients when transmitting update and query
+    requests.  A programming error in one of many clients could violate
+    such a rule, affecting other clients.  A type checking mechanism
+    seems to be needed for verifying the compliance of clients with the
+    requirements of services they exploit."
+
+    This tool is that mechanism: a service member declares which
+    primitive each of its entries (or operation tags) requires, and the
+    tool rejects non-compliant deliveries at every member — before the
+    handler runs, identically everywhere — reporting the offender so
+    one buggy client cannot corrupt the replicas for all the others.
+
+    The runtime stamps each delivery with the primitive that carried it
+    (a field clients cannot forge any more than the sender address). *)
+
+module Addr = Vsync_msg.Addr
+module Message = Vsync_msg.Message
+module Runtime = Vsync_core.Runtime
+
+type t
+
+(** [install p] puts the compliance filter on member [p]'s inbound
+    path.  Declare rules before traffic arrives. *)
+val install : Runtime.proc -> t
+
+(** [require t ~entry modes] accepts deliveries to [entry] only when
+    they arrived by one of [modes]. *)
+val require : t -> entry:Vsync_msg.Entry.t -> Vsync_core.Types.mode list -> unit
+
+(** [on_violation t f] runs [f message] for each rejected delivery
+    (default: silently dropped). *)
+val on_violation : t -> (Message.t -> unit) -> unit
+
+(** [violations t] counts rejections so far. *)
+val violations : t -> int

@@ -1,0 +1,71 @@
+module Addr = Vsync_msg.Addr
+module Entry = Vsync_msg.Entry
+module Message = Vsync_msg.Message
+module Runtime = Vsync_core.Runtime
+module Types = Vsync_core.Types
+
+let group_name = "sys.news"
+let f_subject = "$news.subject"
+
+type agent = {
+  proc : Runtime.proc;
+  mutable subs : (string * Runtime.proc * (Message.t -> unit)) list;
+  mutable ready : bool;
+}
+
+let deliver_local a m =
+  match Message.get_str m f_subject with
+  | None -> ()
+  | Some subject ->
+    List.iter
+      (fun (s, p, f) ->
+        if String.equal s subject && Runtime.proc_alive p then
+          Runtime.spawn_task p (fun () -> f (Message.copy m)))
+      a.subs
+
+let start_agent rt =
+  let proc = Runtime.spawn_proc rt ~name:(Printf.sprintf "news.agent%d" (Runtime.site rt)) () in
+  let a = { proc; subs = []; ready = false } in
+  Runtime.bind proc Entry.generic_news (fun m -> deliver_local a m);
+  Runtime.spawn_task proc (fun () ->
+      (* Site 0's agent creates the group; the others keep looking it
+         up until it exists (agents may start concurrently). *)
+      let rec connect () =
+        match Runtime.pg_lookup proc group_name with
+        | Some gid -> (
+          match Runtime.pg_join proc gid ~credentials:(Message.create ()) with
+          | Ok () -> ()
+          | Error e -> failwith ("news agent could not join: " ^ e))
+        | None ->
+          if Runtime.site rt = 0 then ignore (Runtime.pg_create proc group_name)
+          else begin
+            Runtime.sleep proc 200_000;
+            connect ()
+          end
+      in
+      connect ();
+      a.ready <- true);
+  a
+
+let agent_ready a = a.ready
+
+let subscribe a p ~subject f =
+  Vsync_util.Stats.Counter.incr (Runtime.counters (Runtime.runtime_of p)) "prim.local_rpc";
+  a.subs <- (subject, p, f) :: a.subs
+
+let unsubscribe a p ~subject =
+  a.subs <-
+    List.filter
+      (fun (s, q, _) ->
+        not (String.equal s subject && Runtime.proc_uid q = Runtime.proc_uid p))
+      a.subs
+
+let post p ~subject m =
+  match Runtime.pg_lookup p group_name with
+  | None -> invalid_arg "News.post: no news service running"
+  | Some gid ->
+    let m = Message.copy m in
+    Message.set_str m f_subject subject;
+    ignore
+      (Runtime.bcast p Types.Abcast ~dest:(Addr.Group gid) ~entry:Entry.generic_news m
+         ~want:Types.No_reply)

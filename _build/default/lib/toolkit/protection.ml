@@ -1,0 +1,15 @@
+module Addr = Vsync_msg.Addr
+module Message = Vsync_msg.Message
+module Runtime = Vsync_core.Runtime
+
+let install p ~trusted ?(on_reject = fun _ -> ()) () =
+  Runtime.add_filter p (fun m ->
+      match Message.sender m with
+      | Some s when trusted s -> true
+      | Some _ | None ->
+        on_reject m;
+        false)
+
+let trusted_sites sites (s : Addr.proc) = List.mem s.Addr.site sites
+
+let trusted_procs procs (s : Addr.proc) = List.exists (Addr.equal_proc s) procs

@@ -1,0 +1,31 @@
+(** The protection tool (paper Sec 3.10).
+
+    Validates incoming messages using the sender address, which the
+    runtime stamps and which "cannot be forged".  Messages from unknown
+    or untrusted clients are handed to a user routine that decides what
+    to do; by default they are silently discarded.
+
+    Join validation is the runtime's [pg_join_verify]; this module adds
+    the message-path validation ("pg_msg_verify" in Table I). *)
+
+module Addr = Vsync_msg.Addr
+module Message = Vsync_msg.Message
+module Runtime = Vsync_core.Runtime
+
+(** [install p ~trusted ~on_reject] filters every message delivered to
+    [p]: a message whose sender fails [trusted] is passed to
+    [on_reject] (default: drop) and never reaches an entry.  Messages
+    with no sender stamp are rejected. *)
+val install :
+  Runtime.proc ->
+  trusted:(Addr.proc -> bool) ->
+  ?on_reject:(Message.t -> unit) ->
+  unit ->
+  unit
+
+(** [trusted_sites sites] is a convenience predicate accepting senders
+    from the listed sites. *)
+val trusted_sites : int list -> Addr.proc -> bool
+
+(** [trusted_procs procs] accepts exactly the listed processes. *)
+val trusted_procs : Addr.proc list -> Addr.proc -> bool

@@ -1,0 +1,149 @@
+module Addr = Vsync_msg.Addr
+module Entry = Vsync_msg.Entry
+module Message = Vsync_msg.Message
+module Runtime = Vsync_core.Runtime
+module View = Vsync_core.View
+module Types = Vsync_core.Types
+
+let f_item = "$q.item"
+let f_op = "$q.op"
+let f_version = "$q.version"
+let f_value = "$q.value"
+let f_quorum = "$q.quorum"
+
+(* The quorum tool shares the repdata generic entry's neighbour: use a
+   dedicated user-band entry well away from application entries. *)
+let e_quorum = Entry.user 14
+
+type t = {
+  me : Runtime.proc;
+  gid : Addr.group_id;
+  item : string;
+  read_quorum : int;
+  write_quorum : int;
+  mutable stored : (int * Message.value) option; (* version, value *)
+}
+
+(* Deterministic responder rule (paper Sec 3.3): the Q oldest members
+   reply; everyone else sends a null reply carrying no vote. *)
+let my_rank_within t q =
+  match Runtime.pg_rank t.me t.gid with Some r when r < q -> true | _ -> false
+
+let handle t m =
+  match Message.get_str m f_op with
+  | Some "read" ->
+    if my_rank_within t t.read_quorum then begin
+      let r = Message.create () in
+      Message.set_int r f_quorum t.read_quorum;
+      (match t.stored with
+      | Some (version, value) ->
+        Message.set_int r f_version version;
+        Message.set r f_value value
+      | None -> Message.set_int r f_version 0);
+      Runtime.reply t.me ~request:m r
+    end
+    else Runtime.null_reply t.me ~request:m
+  | Some "write" -> (
+    match Message.get_int m f_version, Message.get m f_value with
+    | Some version, Some value ->
+      if my_rank_within t t.write_quorum then begin
+        (* Last-writer-wins on version; ties resolve by ABCAST order,
+           which is identical at every replica. *)
+        (match t.stored with
+        | Some (cur, _) when cur > version -> ()
+        | Some _ | None -> t.stored <- Some (version, value));
+        let r = Message.create () in
+        Message.set_int r f_quorum t.write_quorum;
+        Runtime.reply t.me ~request:m r
+      end
+      else Runtime.null_reply t.me ~request:m
+    | _ -> Runtime.null_reply t.me ~request:m)
+  | Some _ | None -> Runtime.null_reply t.me ~request:m
+
+let registry : (int, (string, t) Hashtbl.t) Hashtbl.t = Hashtbl.create 16
+
+let attach me ~gid ~item ~read_quorum ~write_quorum =
+  if read_quorum < 1 || write_quorum < 1 then invalid_arg "Quorum.attach: quorums must be positive";
+  let t = { me; gid; item; read_quorum; write_quorum; stored = None } in
+  let key = Runtime.proc_uid me in
+  let tbl =
+    match Hashtbl.find_opt registry key with
+    | Some tbl -> tbl
+    | None ->
+      let tbl = Hashtbl.create 4 in
+      Hashtbl.replace registry key tbl;
+      Runtime.bind me e_quorum (fun m ->
+          match Message.get_str m f_item with
+          | Some item -> (
+            match Hashtbl.find_opt tbl item with
+            | Some inst -> handle inst m
+            | None -> ())
+          | None -> ());
+      tbl
+  in
+  Hashtbl.replace tbl item t;
+  t
+
+(* Collect the replies of a read round; the quorum size rides in each
+   reply, exactly as the paper describes for callers that do not know
+   Q. *)
+let read_round caller ~gid ~item =
+  let m = Message.create () in
+  Message.set_str m f_item item;
+  Message.set_str m f_op "read";
+  match
+    Runtime.bcast caller Types.Abcast ~dest:(Addr.Group gid) ~entry:e_quorum m
+      ~want:Types.Wait_all
+  with
+  | Runtime.All_failed -> Error "replicas unreachable"
+  | Runtime.Replies replies -> (
+    let votes =
+      List.filter_map
+        (fun (_, r) ->
+          match Message.get_int r f_version, Message.get_int r f_quorum with
+          | Some v, Some q -> Some (v, Message.get r f_value, q)
+          | _ -> None)
+        replies
+    in
+    match votes with
+    | [] -> Error "no quorum members answered"
+    | (_, _, q) :: _ ->
+      if List.length votes < q then Error "read quorum not met"
+      else
+        let best =
+          List.fold_left (fun acc (v, value, _) -> match acc with
+              | Some (bv, _) when bv >= v -> acc
+              | _ -> Some (v, value))
+            None votes
+        in
+        Ok (match best with Some (v, value) -> (v, value) | None -> (0, None)))
+
+let read caller ~gid ~item =
+  match read_round caller ~gid ~item with
+  | Ok (_, value) -> Ok value
+  | Error e -> Error e
+
+let write caller ~gid ~item value =
+  (* Phase 1: learn the current version from a read quorum. *)
+  match read_round caller ~gid ~item with
+  | Error e -> Error e
+  | Ok (version, _) -> (
+    let m = Message.create () in
+    Message.set_str m f_item item;
+    Message.set_str m f_op "write";
+    Message.set_int m f_version (version + 1);
+    Message.set m f_value value;
+    match
+      Runtime.bcast caller Types.Abcast ~dest:(Addr.Group gid) ~entry:e_quorum m
+        ~want:Types.Wait_all
+    with
+    | Runtime.All_failed -> Error "replicas unreachable"
+    | Runtime.Replies replies ->
+      let acks =
+        List.filter_map (fun (_, r) -> Message.get_int r f_quorum) replies
+      in
+      (match acks with
+      | [] -> Error "no quorum members answered"
+      | q :: _ -> if List.length acks >= q then Ok () else Error "write quorum not met"))
+
+let local t = t.stored

@@ -1,0 +1,51 @@
+(** Quorum replication (paper Sec 3.3).
+
+    "Some replicated processing methods, such as the full replication
+    method used in CIRCUS or the quorum methods used in [Gifford]
+    [Herlihy], have straightforward implementations in ISIS.  In the
+    former case, the caller waits for ALL responses and all recipients
+    respond.  If the caller knows the quorum size, Q, it simply waits
+    for Q replies.  If it does not know the quorum, it waits for ALL
+    replies, and the Q oldest group members (or any other set of Q
+    members that can be identified consistently) reply, giving the
+    value of Q as part of their reply.  Other members send null
+    replies."
+
+    This tool implements Gifford-style weighted voting on top of that
+    pattern: each member holds a versioned copy; the {e Q oldest}
+    members answer reads and apply writes (identified consistently from
+    the ranked view, with no extra communication); writes ride ABCAST
+    so racing writers resolve identically at every copy.  Because the
+    responder sets are rank prefixes, any read quorum intersects any
+    write quorum at the oldest member, and the freshest version always
+    surfaces. *)
+
+module Addr = Vsync_msg.Addr
+module Message = Vsync_msg.Message
+module Runtime = Vsync_core.Runtime
+
+type t
+
+(** [attach p ~gid ~item ~read_quorum ~write_quorum] makes member [p] a
+    replica of [item].  Quorum sizes must agree across members. *)
+val attach :
+  Runtime.proc ->
+  gid:Addr.group_id ->
+  item:string ->
+  read_quorum:int ->
+  write_quorum:int ->
+  t
+
+(** [read caller ~gid ~item] collects the read quorum and returns the
+    highest-versioned value ([Ok None] before any write). *)
+val read :
+  Runtime.proc -> gid:Addr.group_id -> item:string -> (Message.value option, string) result
+
+(** [write caller ~gid ~item v] reads the version quorum, then writes
+    [v] with the next version at the write quorum.  Waits until the
+    quorum acknowledges. *)
+val write :
+  Runtime.proc -> gid:Addr.group_id -> item:string -> Message.value -> (unit, string) result
+
+(** [local t] — this replica's (version, value), for tests. *)
+val local : t -> (int * Message.value) option

@@ -1,0 +1,117 @@
+module Addr = Vsync_msg.Addr
+module Entry = Vsync_msg.Entry
+module Message = Vsync_msg.Message
+module Runtime = Vsync_core.Runtime
+module View = Vsync_core.View
+module Types = Vsync_core.Types
+module Engine = Vsync_sim.Engine
+
+let e_time = Entry.user 13
+
+let f_op = "$rt.op"
+let f_time = "$rt.time"
+let f_sensor = "$rt.sensor"
+let f_value = "$rt.value"
+let f_stamp = "$rt.stamp"
+
+type t = {
+  me : Runtime.proc;
+  gid : Addr.group_id;
+  mutable correction : int; (* add to the local clock to approximate the master *)
+  mutable sensors : (string * int * float) list; (* sensor, global stamp, value — newest first *)
+}
+
+let local_now t = Runtime.local_time_us (Runtime.runtime_of t.me)
+
+let global_time t = local_now t + t.correction
+
+let offset_us t = t.correction
+
+let handle t m =
+  match Message.get_str m f_op with
+  | Some "ask" ->
+    (* Time request: answer with our local (at the master: the
+       reference) clock. *)
+    let r = Message.create () in
+    Message.set_int r f_time (local_now t);
+    Runtime.reply t.me ~request:m r
+  | Some "report" -> (
+    match
+      Message.get_str m f_sensor, Message.get_int m f_stamp, Message.get_float m f_value
+    with
+    | Some sensor, Some stamp, Some value -> t.sensors <- (sensor, stamp, value) :: t.sensors
+    | _ -> ())
+  | Some _ | None -> if Message.session m <> None then Runtime.null_reply t.me ~request:m
+
+let registry : (int, (int, t) Hashtbl.t) Hashtbl.t = Hashtbl.create 16
+
+let attach me ~gid =
+  let t = { me; gid; correction = 0; sensors = [] } in
+  let key = Runtime.proc_uid me in
+  let tbl =
+    match Hashtbl.find_opt registry key with
+    | Some tbl -> tbl
+    | None ->
+      let tbl = Hashtbl.create 4 in
+      Hashtbl.replace registry key tbl;
+      Runtime.bind me e_time (fun m ->
+          Hashtbl.iter (fun _ inst -> handle inst m) tbl);
+      tbl
+  in
+  Hashtbl.replace tbl (Addr.group_to_int gid) t;
+  t
+
+let master t =
+  match Runtime.pg_view t.me t.gid with
+  | Some v when View.n_members v > 0 -> Some (View.oldest v)
+  | Some _ | None -> None
+
+(* Cristian's algorithm: ask the master for its clock; its answer is
+   assumed to have been read RTT/2 before our receipt. *)
+let sync t =
+  match master t with
+  | None -> Error "no time master (not a member?)"
+  | Some m when Addr.equal_proc m (Runtime.proc_addr t.me) ->
+    t.correction <- 0;
+    Ok 0
+  | Some m -> (
+    let ask = Message.create () in
+    Message.set_str ask f_op "ask";
+    let t0 = local_now t in
+    match
+      Runtime.bcast t.me Types.Cbcast ~dest:(Addr.Proc m) ~entry:e_time ask
+        ~want:(Types.Wait_n 1)
+    with
+    | Runtime.Replies ((_, answer) :: _) -> (
+      match Message.get_int answer f_time with
+      | Some master_time ->
+        let t1 = local_now t in
+        let rtt = t1 - t0 in
+        let estimated_master_now = master_time + (rtt / 2) in
+        t.correction <- estimated_master_now - t1;
+        Ok t.correction
+      | None -> Error "malformed time reply")
+    | Runtime.Replies [] | Runtime.All_failed -> Error "time master unreachable")
+
+let schedule_at t ~global f =
+  let delay = global - global_time t in
+  let delay = if delay < 0 then 0 else delay in
+  ignore
+    (Engine.schedule (Runtime.engine (Runtime.runtime_of t.me)) ~delay (fun () ->
+         if Runtime.proc_alive t.me then Runtime.spawn_task t.me f))
+
+let report t ~sensor value =
+  let m = Message.create () in
+  Message.set_str m f_op "report";
+  Message.set_str m f_sensor sensor;
+  Message.set_int m f_stamp (global_time t);
+  Message.set_float m f_value value;
+  ignore
+    (Runtime.bcast t.me Types.Cbcast ~dest:(Addr.Group t.gid) ~entry:e_time m
+       ~want:Types.No_reply)
+
+let readings t ~sensor ~from_ ~until =
+  List.filter_map
+    (fun (s, stamp, v) ->
+      if String.equal s sensor && stamp >= from_ && stamp <= until then Some (stamp, v) else None)
+    (List.rev t.sensors)

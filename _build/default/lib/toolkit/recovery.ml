@@ -1,0 +1,117 @@
+module Addr = Vsync_msg.Addr
+module Entry = Vsync_msg.Entry
+module Message = Vsync_msg.Message
+module Runtime = Vsync_core.Runtime
+module View = Vsync_core.View
+module Types = Vsync_core.Types
+
+type t = {
+  rt : Runtime.t;
+  store : Stable_store.t;
+  proc : Runtime.proc;
+  running : (string, unit) Hashtbl.t;
+}
+
+let f_service = "$rm.svc"
+let f_view_id = "$rm.view_id"
+let f_sites = "$rm.sites"
+let f_operational = "$rm.up"
+
+let rm_group_name site = Printf.sprintf "sys.rm.%d" site
+let ckpt_name service = "rm." ^ service
+
+let my_site t = Runtime.site t.rt
+
+(* Persisted record: view id + member sites, one encoded message. *)
+let persist t ~service ~view_id ~sites =
+  let m = Message.create () in
+  Message.set_int m f_view_id view_id;
+  Message.set_str m f_sites (String.concat "," (List.map string_of_int sites));
+  Stable_store.write_checkpoint t.store ~site:(my_site t) ~name:(ckpt_name service)
+    [ Message.encode m ]
+
+let load t ~service =
+  match Stable_store.read_checkpoint t.store ~site:(my_site t) ~name:(ckpt_name service) with
+  | Some [ chunk ] -> (
+    let m = Message.decode chunk in
+    match Message.get_int m f_view_id, Message.get_str m f_sites with
+    | Some view_id, Some sites_str ->
+      let sites =
+        if String.equal sites_str "" then []
+        else List.map int_of_string (String.split_on_char ',' sites_str)
+      in
+      Some (view_id, sites)
+    | _ -> None)
+  | Some _ | None -> None
+
+let create rt ~store =
+  let proc = Runtime.spawn_proc rt ~name:(Printf.sprintf "rm%d" (Runtime.site rt)) () in
+  let t = { rt; store; proc; running = Hashtbl.create 8 } in
+  Runtime.bind proc Entry.generic_recovery (fun m ->
+      match Message.get_str m f_service with
+      | None -> ()
+      | Some service ->
+        let answer = Message.create () in
+        Message.set_bool answer f_operational (Hashtbl.mem t.running service);
+        (match load t ~service with
+        | Some (view_id, _) -> Message.set_int answer f_view_id view_id
+        | None -> Message.set_int answer f_view_id (-1));
+        Runtime.reply proc ~request:m answer);
+  (* Make this manager addressable from other sites through the
+     directory. *)
+  Runtime.spawn_task proc (fun () ->
+      ignore (Runtime.pg_create proc (rm_group_name (Runtime.site rt))));
+  t
+
+let note_view t ~service view =
+  persist t ~service ~view_id:view.View.view_id ~sites:(View.sites view)
+
+let note_running t ~service = Hashtbl.replace t.running service ()
+let note_stopped t ~service = Hashtbl.remove t.running service
+
+(* Ask the recovery manager at [site] about [service]; None when
+   unreachable. *)
+let query_peer t ~site ~service =
+  match Runtime.pg_lookup t.proc (rm_group_name site) with
+  | None -> None
+  | Some gid -> (
+    let m = Message.create () in
+    Message.set_str m f_service service;
+    match
+      Runtime.bcast t.proc Types.Cbcast ~dest:(Addr.Group gid) ~entry:Entry.generic_recovery m
+        ~want:(Types.Wait_n 1)
+    with
+    | Runtime.Replies ((_, answer) :: _) ->
+      Some
+        ( Message.get_bool answer f_operational = Some true,
+          Option.value ~default:(-1) (Message.get_int answer f_view_id) )
+    | Runtime.Replies [] | Runtime.All_failed -> None)
+
+let recover t ~service ~decide =
+  Runtime.spawn_task t.proc (fun () ->
+      match load t ~service with
+      | None -> decide `Create (* nothing persisted: first-ever start *)
+      | Some (my_view_id, sites) ->
+        let peers = List.filter (fun s -> s <> my_site t) sites in
+        let rec attempt tries =
+          let answers = List.filter_map (fun s -> Option.map (fun a -> (s, a)) (query_peer t ~site:s ~service)) peers in
+          if List.exists (fun (_, (up, _)) -> up) answers then decide `Join
+          else begin
+            let best =
+              List.fold_left
+                (fun (bs, bv) (s, (_, v)) -> if v > bv || (v = bv && s < bs) then (s, v) else (bs, bv))
+                (my_site t, my_view_id) answers
+            in
+            if fst best = my_site t then decide `Create
+            else if tries >= 5 then
+              (* The entitled site never came up; take over. *)
+              decide `Create
+            else begin
+              (* Someone else failed later than we did: wait for them to
+                 restart the service, then join it. *)
+              Runtime.sleep t.proc 2_000_000;
+              attempt (tries + 1)
+            end
+          end
+        in
+        attempt 0)

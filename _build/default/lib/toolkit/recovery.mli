@@ -1,0 +1,50 @@
+(** The recovery manager (paper Sec 3.8).
+
+    "This tool will restart processes after they fail, or if a site
+    recovers.  The recovery manager runs an algorithm similar to the
+    one in [Skeen] to distinguish the total failure of a process group
+    from the partial failure of a member, and will advise the
+    recovering process either to restart the group (if it was one of
+    the last to fail) or to wait for it to restart elsewhere and then
+    rejoin."
+
+    One manager runs per site.  Services report their group views
+    through {!note_view}; the manager persists the latest view on
+    stable storage.  After a crash, {!recover} runs the decision
+    procedure:
+
+    + if any reachable peer manager reports the service {e operational},
+      the service should [`Join] (and typically state-transfer in);
+    + otherwise the managers compare their persisted view identifiers —
+      a site holding the highest one was among the last to fail and is
+      entitled to [`Create] (restart from its checkpoint/log), ties
+      broken by lowest site id;
+    + a site that was {e not} among the last to fail waits for the
+      entitled site to bring the service up and then joins; if the
+      entitled sites never answer (their hardware is gone), it
+      eventually takes over itself. *)
+
+module Runtime = Vsync_core.Runtime
+module View = Vsync_core.View
+
+type t
+
+(** [create rt ~store] starts the site's recovery manager process. *)
+val create : Runtime.t -> store:Stable_store.t -> t
+
+(** [note_view t ~service view] persists the service's current
+    membership — call from the service's [pg_monitor] (and once after
+    creating or joining). *)
+val note_view : t -> service:string -> View.t -> unit
+
+(** [note_running t ~service] marks the service operational at this
+    site (call when the service is up and serving). *)
+val note_running : t -> service:string -> unit
+
+(** [note_stopped t ~service] clears the operational mark. *)
+val note_stopped : t -> service:string -> unit
+
+(** [recover t ~service ~decide] runs the decision procedure in a
+    fresh task and calls [decide `Create] or [decide `Join] exactly
+    once. *)
+val recover : t -> service:string -> decide:([ `Create | `Join ] -> unit) -> unit

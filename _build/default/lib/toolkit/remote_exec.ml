@@ -1,0 +1,61 @@
+module Addr = Vsync_msg.Addr
+module Entry = Vsync_msg.Entry
+module Message = Vsync_msg.Message
+module Runtime = Vsync_core.Runtime
+module Types = Vsync_core.Types
+
+type t = { proc : Runtime.proc }
+
+let f_program = "$rx.program"
+let f_status = "$rx.status"
+let f_addr = "$rx.addr"
+
+let group_name site = Printf.sprintf "sys.rx.%d" site
+
+let programs : (string, Runtime.proc -> Message.t -> unit) Hashtbl.t = Hashtbl.create 16
+
+let register_program name body = Hashtbl.replace programs name body
+
+let e_spawn = Entry.user 15
+
+let start rt =
+  let proc = Runtime.spawn_proc rt ~name:(Printf.sprintf "rx%d" (Runtime.site rt)) () in
+  Runtime.bind proc e_spawn (fun request ->
+      match Message.get_str request f_program with
+      | None -> Runtime.null_reply proc ~request
+      | Some name -> (
+        match Hashtbl.find_opt programs name with
+        | None ->
+          let r = Message.create () in
+          Message.set_str r f_status "unknown program";
+          Runtime.reply proc ~request r
+        | Some body ->
+          let fresh = Runtime.spawn_proc rt ~name () in
+          let arg = Message.copy request in
+          Runtime.spawn_task fresh (fun () -> body fresh arg);
+          let r = Message.create () in
+          Message.set_str r f_status "ok";
+          Message.set_addr r f_addr (Addr.Proc (Runtime.proc_addr fresh));
+          Runtime.reply proc ~request r));
+  (* Addressable from other sites through the directory, like the other
+     per-site services. *)
+  Runtime.spawn_task proc (fun () ->
+      ignore (Runtime.pg_create proc (group_name (Runtime.site rt))));
+  { proc }
+
+let spawn_at caller ~site ~program arg =
+  match Runtime.pg_lookup caller (group_name site) with
+  | None -> Error "no remote execution service at that site"
+  | Some gid -> (
+    let m = Message.copy arg in
+    Message.set_str m f_program program;
+    match
+      Runtime.bcast caller Types.Cbcast ~dest:(Addr.Group gid) ~entry:e_spawn m
+        ~want:(Types.Wait_n 1)
+    with
+    | Runtime.All_failed | Runtime.Replies [] -> Error "remote execution service unreachable"
+    | Runtime.Replies ((_, answer) :: _) -> (
+      match Message.get_str answer f_status, Message.get_addr answer f_addr with
+      | Some "ok", Some (Addr.Proc p) -> Ok p
+      | Some err, _ -> Error err
+      | _ -> Error "protocol error"))

@@ -1,0 +1,34 @@
+(** The remote execution service (paper Sec 4, Figure 1).
+
+    One of the per-site service processes in the ISIS architecture
+    diagram: it starts new processes at its site on request from
+    anywhere in the system.  The twenty-questions Step 3 ("have the
+    oldest member of the service start new members up at an appropriate
+    site until the number of operational ones reaches NMEMBERS") and
+    the recovery manager both build on it.
+
+    Programs are named: register the code under a string once per
+    OCaml program ({!register_program}); a spawn request names the
+    program and the service runs it in a fresh process at its site. *)
+
+module Addr = Vsync_msg.Addr
+module Message = Vsync_msg.Message
+module Runtime = Vsync_core.Runtime
+
+type t
+
+(** [register_program name body] makes [name] spawnable everywhere
+    (process-wide registry; [body] runs as the new process's first
+    task, receiving the new process and the spawn request's argument
+    message). *)
+val register_program : string -> (Runtime.proc -> Message.t -> unit) -> unit
+
+(** [start rt] launches the site's remote execution service. *)
+val start : Runtime.t -> t
+
+(** [spawn_at caller ~site ~program arg] asks [site]'s service to start
+    [program]; returns the new process's address, or an error if the
+    site is down, runs no service, or does not know the program.
+    Blocking (one RPC). *)
+val spawn_at :
+  Runtime.proc -> site:int -> program:string -> Message.t -> (Addr.proc, string) result

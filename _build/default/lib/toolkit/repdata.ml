@@ -1,0 +1,144 @@
+module Addr = Vsync_msg.Addr
+module Entry = Vsync_msg.Entry
+module Message = Vsync_msg.Message
+module Runtime = Vsync_core.Runtime
+module View = Vsync_core.View
+module Types = Vsync_core.Types
+
+type order = Causal | Ordered
+
+type t = {
+  me : Runtime.proc;
+  gid : Addr.group_id;
+  item : string;
+  order : order;
+  apply : Message.t -> unit;
+  read : (Message.t -> Message.t) option;
+  log : Stable_store.t option;
+  checkpoint : ((unit -> bytes list) * (bytes list -> unit)) option;
+  checkpoint_every : int;
+}
+
+let f_item = "$rd.item"
+let f_op = "$rd.op"
+
+let log_name t = Printf.sprintf "rd.g%d.%s" (Addr.group_to_int t.gid) t.item
+
+(* One dispatcher per process: several items can share the
+   generic_repdata entry. *)
+let dispatchers : (int, (string, t) Hashtbl.t) Hashtbl.t = Hashtbl.create 16
+
+let site_of t = (Runtime.proc_addr t.me).Addr.site
+
+let maybe_checkpoint t =
+  match t.log, t.checkpoint with
+  | Some store, Some (capture, _) ->
+    if Stable_store.log_length store ~site:(site_of t) ~log:(log_name t) >= t.checkpoint_every
+    then begin
+      Stable_store.write_checkpoint store ~site:(site_of t) ~name:(log_name t) (capture ());
+      Stable_store.truncate_log store ~site:(site_of t) ~log:(log_name t)
+    end
+  | _ -> ()
+
+let apply_update t m =
+  t.apply m;
+  match t.log with
+  | Some store ->
+    Stable_store.append store ~site:(site_of t) ~log:(log_name t) m;
+    maybe_checkpoint t
+  | None -> ()
+
+(* The deterministic reader for a client read: the manager whose rank
+   equals the client's site modulo the membership size answers; the
+   others send null replies.  All members agree without communicating
+   because they share the ranked view. *)
+let i_should_answer t (client : Addr.proc) =
+  match Runtime.pg_view t.me t.gid, Runtime.pg_rank t.me t.gid with
+  | Some v, Some my_rank -> client.Addr.site mod View.n_members v = my_rank
+  | _ -> false
+
+let handle t m =
+  match Message.get_str m f_op with
+  | Some "update" ->
+    apply_update t m;
+    (* Client updates may request confirmation. *)
+    if Message.session m <> None then Runtime.null_reply t.me ~request:m
+  | Some "read" -> (
+    match Message.sender m with
+    | Some client when i_should_answer t client -> (
+      match t.read with
+      | Some read -> Runtime.reply t.me ~request:m (read m)
+      | None -> Runtime.null_reply t.me ~request:m)
+    | Some _ | None -> Runtime.null_reply t.me ~request:m)
+  | Some _ | None -> ()
+
+let proc_key p = Runtime.proc_uid p
+
+let attach me ~gid ~item ~order ~apply ?read ?log ?checkpoint ?(checkpoint_every = 64) () =
+  let t = { me; gid; item; order; apply; read; log; checkpoint; checkpoint_every } in
+  let key = proc_key me in
+  let tbl =
+    match Hashtbl.find_opt dispatchers key with
+    | Some tbl -> tbl
+    | None ->
+      let tbl = Hashtbl.create 4 in
+      Hashtbl.replace dispatchers key tbl;
+      Runtime.bind me Entry.generic_repdata (fun m ->
+          match Message.get_str m f_item with
+          | Some item -> (
+            match Hashtbl.find_opt tbl item with
+            | Some inst -> handle inst m
+            | None -> ())
+          | None -> ());
+      tbl
+  in
+  Hashtbl.replace tbl item t;
+  t
+
+let mode_of = function Causal -> Types.Cbcast | Ordered -> Types.Abcast
+
+let update t m =
+  let m = Message.copy m in
+  Message.set_str m f_item t.item;
+  Message.set_str m f_op "update";
+  ignore
+    (Runtime.bcast t.me (mode_of t.order) ~dest:(Addr.Group t.gid) ~entry:Entry.generic_repdata
+       m ~want:Types.No_reply)
+
+let read_local t m =
+  match t.read with
+  | Some read -> read m
+  | None -> invalid_arg "Repdata.read_local: no read routine supplied"
+
+let client_update p ~gid ~item m =
+  let m = Message.copy m in
+  Message.set_str m f_item item;
+  Message.set_str m f_op "update";
+  (* The client cannot know the item's declared order; updates from
+     outside the managers always use ABCAST, the safe choice. *)
+  ignore
+    (Runtime.bcast p Types.Abcast ~dest:(Addr.Group gid) ~entry:Entry.generic_repdata m
+       ~want:Types.No_reply)
+
+let client_read p ~gid ~item m =
+  let m = Message.copy m in
+  Message.set_str m f_item item;
+  Message.set_str m f_op "read";
+  match
+    Runtime.bcast p Types.Cbcast ~dest:(Addr.Group gid) ~entry:Entry.generic_repdata m
+      ~want:(Types.Wait_n 1)
+  with
+  | Runtime.Replies ((_, answer) :: _) -> Some answer
+  | Runtime.Replies [] | Runtime.All_failed -> None
+
+let recover t =
+  match t.log with
+  | None -> invalid_arg "Repdata.recover: logging mode is off"
+  | Some store ->
+    (match t.checkpoint with
+    | Some (_, restore) -> (
+      match Stable_store.read_checkpoint store ~site:(site_of t) ~name:(log_name t) with
+      | Some chunks -> restore chunks
+      | None -> ())
+    | None -> ());
+    List.iter t.apply (Stable_store.read_log store ~site:(site_of t) ~log:(log_name t))

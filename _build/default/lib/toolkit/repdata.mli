@@ -1,0 +1,77 @@
+(** The replicated data tool (paper Sec 3.6).
+
+    Replicates a data item among the members of a process group,
+    "reducing access time in read-intensive settings and achieving
+    low-overhead fault-tolerance".  The managing processes supply the
+    [apply] (update) and optional [read] routines; arguments ride in
+    the message uninterpreted.
+
+    Ordering: a structure that needs a globally consistent request
+    ordering (the paper's replicated FIFO queue) declares
+    {!order}[ = Ordered] and its operations ride ABCAST; a structure
+    updated under mutual exclusion or by a single writer declares
+    [Causal] and rides asynchronous CBCAST — the caller "can pretend
+    that the message was delivered to its destinations at the moment
+    the CBCAST was issued".
+
+    Logging mode records updates on stable storage, enabling reload
+    after a crash ({!recover}) and automatic checkpointing when the log
+    grows long (the checkpoint routine carves the item into chunks of
+    variable size, exactly as in the paper). *)
+
+module Addr = Vsync_msg.Addr
+module Message = Vsync_msg.Message
+module Runtime = Vsync_core.Runtime
+
+type order =
+  | Causal   (** asynchronous CBCAST updates. *)
+  | Ordered  (** ABCAST updates (globally consistent request order). *)
+
+type t
+
+(** [attach p ~gid ~item ~order ~apply ...] registers member [p] as a
+    manager of replicated item [item].
+
+    - [apply m] applies one update locally;
+    - [read m] (optional) computes a read-only answer for clients;
+    - [log] (optional) turns on logging mode: updates are appended to
+      stable storage at this member's site;
+    - [checkpoint] (with [log]) is [(capture, restore)]: [capture]
+      carves the item into chunks; when the log exceeds
+      [checkpoint_every] entries the tool writes a checkpoint and
+      truncates the log. *)
+val attach :
+  Runtime.proc ->
+  gid:Addr.group_id ->
+  item:string ->
+  order:order ->
+  apply:(Message.t -> unit) ->
+  ?read:(Message.t -> Message.t) ->
+  ?log:Stable_store.t ->
+  ?checkpoint:(unit -> bytes list) * (bytes list -> unit) ->
+  ?checkpoint_every:int ->
+  unit ->
+  t
+
+(** [update t m] — manager-side update: one asynchronous CBCAST or one
+    ABCAST, per the item's declared order (Table I). *)
+val update : t -> Message.t -> unit
+
+(** [read_local t m] — read-only access by a manager: no cost. *)
+val read_local : t -> Message.t -> Message.t
+
+(** [client_update p ~gid ~item m] — update issued by a non-manager. *)
+val client_update : Runtime.proc -> gid:Addr.group_id -> item:string -> Message.t -> unit
+
+(** [client_read p ~gid ~item m] — read by a non-manager: 1 CBCAST +
+    1 reply (one deterministic manager answers; the rest send null
+    replies).  [None] if the managers are unreachable. *)
+val client_read :
+  Runtime.proc -> gid:Addr.group_id -> item:string -> Message.t -> Message.t option
+
+(** [recover t] reloads the item from the latest checkpoint plus logged
+    updates (call on restart, before serving). *)
+val recover : t -> unit
+
+(** [log_name t] is the stable-storage log this instance writes. *)
+val log_name : t -> string

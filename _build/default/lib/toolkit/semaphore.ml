@@ -1,0 +1,188 @@
+module Addr = Vsync_msg.Addr
+module Entry = Vsync_msg.Entry
+module Message = Vsync_msg.Message
+module Runtime = Vsync_core.Runtime
+module View = Vsync_core.View
+module Types = Vsync_core.Types
+
+type sem = {
+  mutable count : int;
+  mutable holders : Addr.proc list; (* one entry per held unit *)
+  mutable queue : (Addr.proc * Message.t) list; (* FIFO, oldest first *)
+}
+
+type t = {
+  me : Runtime.proc;
+  gid : Addr.group_id;
+  sems : (string, sem) Hashtbl.t;
+}
+
+let f_op = "$sem.op"
+let f_name = "$sem.name"
+let f_count = "$sem.count"
+let f_status = "$sem.status"
+
+let sem_of t name =
+  match Hashtbl.find_opt t.sems name with
+  | Some s -> s
+  | None ->
+    let s = { count = 1; holders = []; queue = [] } in
+    Hashtbl.replace t.sems name s;
+    s
+
+(* Would granting [requester] (currently blocked on [name]) close a
+   wait-for cycle?  Edges: a blocked process waits for every holder of
+   the semaphore at the head of its wait; holders may themselves be
+   blocked on other semaphores.  All managers run this on identical
+   state, so they agree. *)
+let creates_deadlock t requester name =
+  let waiting_on p =
+    Hashtbl.fold
+      (fun n s acc -> if List.exists (fun (q, _) -> Addr.equal_proc q p) s.queue then n :: acc else acc)
+      t.sems []
+  in
+  let rec reachable seen frontier =
+    match frontier with
+    | [] -> false
+    | p :: rest ->
+      if Addr.equal_proc p requester then true
+      else if List.exists (Addr.equal_proc p) seen then reachable seen rest
+      else
+        let next =
+          List.concat_map
+            (fun n -> (Hashtbl.find_opt t.sems n |> Option.map (fun s -> s.holders)) |> Option.value ~default:[])
+            (waiting_on p)
+        in
+        reachable (p :: seen) (next @ rest)
+  in
+  let s = sem_of t name in
+  s.count <= 0 && reachable [] s.holders
+
+let try_grant t name =
+  let s = sem_of t name in
+  let rec loop () =
+    match s.queue with
+    | (waiter, request) :: rest when s.count > 0 ->
+      s.count <- s.count - 1;
+      s.holders <- s.holders @ [ waiter ];
+      s.queue <- rest;
+      let answer = Message.create () in
+      Message.set_str answer f_status "granted";
+      Runtime.reply t.me ~request answer;
+      loop ()
+    | _ -> ()
+  in
+  loop ()
+
+let handle t m =
+  match Message.get_str m f_op, Message.get_str m f_name, Message.sender m with
+  | Some "define", Some name, _ ->
+    if not (Hashtbl.mem t.sems name) then
+      Hashtbl.replace t.sems name
+        { count = Option.value ~default:1 (Message.get_int m f_count); holders = []; queue = [] }
+  | Some "p", Some name, Some requester ->
+    if creates_deadlock t requester name then begin
+      let answer = Message.create () in
+      Message.set_str answer f_status "deadlock";
+      Runtime.reply t.me ~request:m answer
+    end
+    else begin
+      let s = sem_of t name in
+      s.queue <- s.queue @ [ (requester, m) ];
+      try_grant t name
+    end
+  | Some "v", Some name, Some releaser ->
+    let s = sem_of t name in
+    if List.exists (Addr.equal_proc releaser) s.holders then begin
+      (* Remove one held unit. *)
+      let removed = ref false in
+      s.holders <-
+        List.filter
+          (fun h ->
+            if (not !removed) && Addr.equal_proc h releaser then begin
+              removed := true;
+              false
+            end
+            else true)
+          s.holders;
+      s.count <- s.count + 1;
+      try_grant t name
+    end
+  | _ -> ()
+
+let release_failed t (p : Addr.proc) =
+  Hashtbl.iter
+    (fun name s ->
+      s.queue <- List.filter (fun (q, _) -> not (Addr.equal_proc q p)) s.queue;
+      let held = List.length (List.filter (Addr.equal_proc p) s.holders) in
+      if held > 0 then begin
+        s.holders <- List.filter (fun h -> not (Addr.equal_proc h p)) s.holders;
+        s.count <- s.count + held;
+        try_grant t name
+      end)
+    t.sems
+
+let registry : (int, (int, t) Hashtbl.t) Hashtbl.t = Hashtbl.create 16
+
+let attach me ~gid =
+  let t = { me; gid; sems = Hashtbl.create 8 } in
+  let key = Runtime.proc_uid me in
+  let tbl =
+    match Hashtbl.find_opt registry key with
+    | Some tbl -> tbl
+    | None ->
+      let tbl = Hashtbl.create 4 in
+      Hashtbl.replace registry key tbl;
+      Runtime.bind me Entry.generic_semaphore (fun m ->
+          Hashtbl.iter (fun _ inst -> handle inst m) tbl);
+      tbl
+  in
+  Hashtbl.replace tbl (Addr.group_to_int gid) t;
+  Runtime.pg_monitor me gid (fun _view changes ->
+      List.iter
+        (function
+          | View.Member_failed p | View.Member_left p -> release_failed t p
+          | View.Member_joined _ -> ())
+        changes);
+  t
+
+let define t ~name ~count =
+  let m = Message.create () in
+  Message.set_str m f_op "define";
+  Message.set_str m f_name name;
+  Message.set_int m f_count count;
+  ignore
+    (Runtime.bcast t.me Types.Cbcast ~dest:(Addr.Group t.gid) ~entry:Entry.generic_semaphore m
+       ~want:Types.No_reply)
+
+let p caller ~gid ~name =
+  let m = Message.create () in
+  Message.set_str m f_op "p";
+  Message.set_str m f_name name;
+  match
+    Runtime.bcast caller Types.Abcast ~dest:(Addr.Group gid) ~entry:Entry.generic_semaphore m
+      ~want:Types.Wait_all
+  with
+  | Runtime.All_failed -> Error "unreachable"
+  | Runtime.Replies [] -> Error "unreachable"
+  | Runtime.Replies ((_, answer) :: _) -> (
+    match Message.get_str answer f_status with
+    | Some "granted" -> Ok ()
+    | Some other -> Error other
+    | None -> Error "protocol error")
+
+let v caller ~gid ~name =
+  let m = Message.create () in
+  Message.set_str m f_op "v";
+  Message.set_str m f_name name;
+  ignore
+    (Runtime.bcast caller Types.Cbcast ~dest:(Addr.Group gid) ~entry:Entry.generic_semaphore m
+       ~want:Types.No_reply)
+
+let holder t ~name =
+  match Hashtbl.find_opt t.sems name with
+  | Some { holders = h :: _; _ } -> Some h
+  | Some _ | None -> None
+
+let queue_length t ~name =
+  match Hashtbl.find_opt t.sems name with Some s -> List.length s.queue | None -> 0

@@ -1,0 +1,48 @@
+(** Replicated semaphores (paper Sec 3.5).
+
+    "ISIS provides replicated semaphores, using a fair (FIFO) request
+    queueing method.  If desired, a semaphore will automatically be
+    released when the holder fails."
+
+    The semaphore state is a deterministic replicated state machine in
+    the members of a manager group: P requests ride ABCAST (Table I:
+    "1 ABCAST, all replies"), so every manager sees the same FIFO
+    queue; V rides an asynchronous CBCAST from the holder ("1 async
+    CBCAST"), which is safe because mutual exclusion makes the holder
+    unique.  A grant is the reply to the still-open P call.  Failure of
+    a member holder releases the semaphore automatically (the managers
+    observe the failure at the same logical point, so they agree on the
+    re-grant).  Wait-for cycles across semaphores of the same manager
+    group are detected deterministically and the offending P is refused
+    with [Error "deadlock"].
+
+    Holders that are not group members are released on failure only if
+    their whole site fails; see DESIGN.md. *)
+
+module Addr = Vsync_msg.Addr
+module Runtime = Vsync_core.Runtime
+
+type t
+
+(** [attach p ~gid] makes member [p] a semaphore manager.  All managers
+    of a group share every semaphore name used with it. *)
+val attach : Runtime.proc -> gid:Addr.group_id -> t
+
+(** [define t ~name ~count] initializes semaphore [name] (1 async
+    CBCAST; idempotent, deterministic). *)
+val define : t -> name:string -> count:int -> unit
+
+(** [p caller ~gid ~name] acquires (blocks until granted).
+    Errors: ["deadlock"] when granting would close a wait-for cycle,
+    ["unreachable"] when no manager can answer. *)
+val p : Runtime.proc -> gid:Addr.group_id -> name:string -> (unit, string) result
+
+(** [v caller ~gid ~name] releases.  Only the holder may release;
+    stray Vs are ignored by the managers. *)
+val v : Runtime.proc -> gid:Addr.group_id -> name:string -> unit
+
+(** [holder t ~name] — manager-side view of the current holder. *)
+val holder : t -> name:string -> Addr.proc option
+
+(** [queue_length t ~name] — manager-side queue length. *)
+val queue_length : t -> name:string -> int

@@ -1,0 +1,48 @@
+module Message = Vsync_msg.Message
+
+type site_disk = {
+  logs : (string, Message.t list ref) Hashtbl.t; (* newest first *)
+  checkpoints : (string, bytes list) Hashtbl.t;
+}
+
+type t = site_disk array
+
+let create ~sites () =
+  Array.init sites (fun _ -> { logs = Hashtbl.create 8; checkpoints = Hashtbl.create 8 })
+
+let disk t site =
+  if site < 0 || site >= Array.length t then invalid_arg "Stable_store: bad site";
+  t.(site)
+
+let log_ref d log =
+  match Hashtbl.find_opt d.logs log with
+  | Some r -> r
+  | None ->
+    let r = ref [] in
+    Hashtbl.replace d.logs log r;
+    r
+
+let append t ~site ~log m =
+  let r = log_ref (disk t site) log in
+  r := Message.copy m :: !r
+
+let read_log t ~site ~log =
+  match Hashtbl.find_opt (disk t site).logs log with
+  | Some r -> List.rev_map Message.copy !r
+  | None -> []
+
+let log_length t ~site ~log =
+  match Hashtbl.find_opt (disk t site).logs log with Some r -> List.length !r | None -> 0
+
+let truncate_log t ~site ~log = Hashtbl.remove (disk t site).logs log
+
+let write_checkpoint t ~site ~name chunks =
+  Hashtbl.replace (disk t site).checkpoints name (List.map Bytes.copy chunks)
+
+let read_checkpoint t ~site ~name =
+  Option.map (List.map Bytes.copy) (Hashtbl.find_opt (disk t site).checkpoints name)
+
+let wipe_site t ~site =
+  let d = disk t site in
+  Hashtbl.reset d.logs;
+  Hashtbl.reset d.checkpoints

@@ -1,0 +1,48 @@
+(** Stable storage (paper Sec 2.2 "Stable storage" / Sec 3.6 logging).
+
+    A simulated disk array: one store per site, surviving process and
+    site crashes (state is lost only if explicitly erased).  Tools use
+    it for update logs and checkpoints so services can be restarted
+    after partial or total failures.
+
+    The store lives {e outside} the runtimes — like a disk, it does not
+    reboot when the operating system does.  Create one per simulation
+    and share it across restarts. *)
+
+module Message = Vsync_msg.Message
+
+type t
+
+(** [create ~sites ()] makes an empty disk array. *)
+val create : sites:int -> unit -> t
+
+(** {1 Logs}
+
+    A log is an append-only sequence of messages under a name local to
+    a site. *)
+
+(** [append t ~site ~log m] appends a copy of [m]. *)
+val append : t -> site:int -> log:string -> Message.t -> unit
+
+(** [read_log t ~site ~log] returns the entries oldest first. *)
+val read_log : t -> site:int -> log:string -> Message.t list
+
+(** [log_length t ~site ~log] counts entries. *)
+val log_length : t -> site:int -> log:string -> int
+
+(** [truncate_log t ~site ~log] clears the log (after a checkpoint). *)
+val truncate_log : t -> site:int -> log:string -> unit
+
+(** {1 Checkpoints} *)
+
+(** [write_checkpoint t ~site ~name chunks] atomically replaces the
+    checkpoint (a sequence of variable-size chunks, as the replicated
+    data tool's checkpointing routine produces). *)
+val write_checkpoint : t -> site:int -> name:string -> bytes list -> unit
+
+val read_checkpoint : t -> site:int -> name:string -> bytes list option
+
+(** {1 Erasure (for tests)} *)
+
+(** [wipe_site t ~site] models a destroyed disk. *)
+val wipe_site : t -> site:int -> unit

@@ -1,0 +1,159 @@
+module Addr = Vsync_msg.Addr
+module Entry = Vsync_msg.Entry
+module Message = Vsync_msg.Message
+module Runtime = Vsync_core.Runtime
+module View = Vsync_core.View
+module Types = Vsync_core.Types
+module Ivar = Vsync_tasks.Ivar
+
+type segment = string * (unit -> bytes list) * (bytes list -> unit)
+
+let f_gid = "$xfer.gid"
+let f_seg = "$xfer.seg"
+let f_idx = "$xfer.idx"
+let f_data = "$xfer.data"
+let f_fin = "$xfer.end"
+let f_resend = "$xfer.resend"
+
+(* --- donor side --- *)
+
+let capture_and_send me ~gid ~segments ~(joiner : Addr.proc) =
+  (* Capture FIRST — synchronously, before this task can block — so the
+     cut is exactly the view event. *)
+  let captured = List.map (fun (name, capture, _) -> (name, capture ())) segments in
+  let send_chunk seg idx chunk fin =
+    let m = Message.create () in
+    Message.set_int m f_gid (Addr.group_to_int gid);
+    Message.set_str m f_seg seg;
+    Message.set_int m f_idx idx;
+    Message.set_bytes m f_data chunk;
+    if fin then Message.set_bool m f_fin true;
+    ignore
+      (Runtime.bcast me Types.Cbcast ~dest:(Addr.Proc joiner) ~entry:Entry.generic_state_send m
+         ~want:Types.No_reply)
+  in
+  let n_segs = List.length captured in
+  List.iteri
+    (fun seg_i (name, chunks) ->
+      let last_seg = seg_i = n_segs - 1 in
+      let n = List.length chunks in
+      if n = 0 then send_chunk name 0 Bytes.empty last_seg
+      else
+        List.iteri (fun i chunk -> send_chunk name i chunk (last_seg && i = n - 1)) chunks)
+    captured
+
+let i_am_donor me view ~(joiner : Addr.proc) =
+  let rec first_non_joiner = function
+    | [] -> None
+    | m :: rest -> if Addr.equal_proc m joiner then first_non_joiner rest else Some m
+  in
+  match first_non_joiner view.View.members with
+  | Some m -> Addr.equal_proc m (Runtime.proc_addr me)
+  | None -> false
+
+let attach me ~gid ~segments =
+  Runtime.pg_monitor me gid (fun view changes ->
+      List.iter
+        (function
+          | View.Member_joined joiner ->
+            if i_am_donor me view ~joiner then capture_and_send me ~gid ~segments ~joiner
+          | View.Member_left _ | View.Member_failed _ -> ())
+        changes);
+  (* A restart request arrives when the original donor died
+     mid-transfer: capture afresh and resend. *)
+  Runtime.bind me Entry.generic_state_send (fun m ->
+      if Message.get_bool m f_resend = Some true then
+        match Message.sender m with
+        | Some joiner when Message.get_int m f_gid = Some (Addr.group_to_int gid) ->
+          capture_and_send me ~gid ~segments ~joiner
+        | Some _ | None -> ())
+
+(* --- joiner side --- *)
+
+type rx = {
+  mutable chunks : (string * bytes) list; (* reversed arrival order *)
+  mutable finished : bool;
+  done_ivar : (unit, string) result Ivar.t;
+  mutable stash : Message.t list; (* reversed arrival order *)
+}
+
+let install_segments rx ~segments =
+  let by_seg name =
+    List.rev (List.filter_map (fun (s, c) -> if String.equal s name then Some c else None) rx.chunks)
+  in
+  List.iter
+    (fun (name, _, install) ->
+      let chunks = List.filter (fun c -> Bytes.length c > 0) (by_seg name) in
+      install chunks)
+    segments
+
+let join_and_xfer me ~gid ~credentials ~segments =
+  let rx = { chunks = []; finished = false; done_ivar = Ivar.create (); stash = [] } in
+  (* Buffer everything except the transfer stream itself until the
+     state is in place. *)
+  Runtime.add_filter me (fun m ->
+      if rx.finished then true
+      else
+        match Message.entry m with
+        | Some e when e = Entry.generic_state_send -> true
+        | Some _ | None ->
+          rx.stash <- Message.copy m :: rx.stash;
+          false);
+  Runtime.bind me Entry.generic_state_send (fun m ->
+      if not rx.finished then begin
+        (match Message.get_str m f_seg, Message.get_bytes m f_data with
+        | Some seg, Some data ->
+          (* A restarted transfer begins again from segment zero; the
+             simple arrival-ordered chunk list handles it because
+             install replaces state wholesale. *)
+          rx.chunks <- (seg, data) :: rx.chunks
+        | _ -> ());
+        if Message.get_bool m f_fin = Some true then begin
+          install_segments rx ~segments;
+          rx.finished <- true;
+          Ivar.fill_if_empty rx.done_ivar (Ok ()) |> ignore
+        end
+      end);
+  match Runtime.pg_join me gid ~credentials with
+  | Error e -> Error e
+  | Ok () ->
+    (* We are in the view; watch for donor loss so the transfer can be
+       restarted against the next-oldest member. *)
+    Runtime.pg_monitor me gid (fun view changes ->
+        if (not rx.finished) && changes <> [] then begin
+          let failures =
+            List.exists (function View.Member_failed _ | View.Member_left _ -> true | _ -> false) changes
+          in
+          if failures then begin
+            rx.chunks <- [];
+            if View.n_members view <= 1 then
+              (* Every potential donor is gone. *)
+              Ivar.fill_if_empty rx.done_ivar (Error "all donors lost") |> ignore
+            else begin
+              let m = Message.create () in
+              Message.set_int m f_gid (Addr.group_to_int gid);
+              Message.set_bool m f_resend true;
+              let donor =
+                List.find
+                  (fun mm -> not (Addr.equal_proc mm (Runtime.proc_addr me)))
+                  view.View.members
+              in
+              ignore
+                (Runtime.bcast me Types.Cbcast ~dest:(Addr.Proc donor)
+                   ~entry:Entry.generic_state_send m ~want:Types.No_reply)
+            end
+          end
+        end);
+    (* Sole member?  Nothing to transfer. *)
+    (match Runtime.pg_view me gid with
+    | Some v when View.n_members v = 1 ->
+      rx.finished <- true;
+      Ivar.fill_if_empty rx.done_ivar (Ok ()) |> ignore
+    | Some _ | None -> ());
+    let result = Ivar.read rx.done_ivar in
+    rx.finished <- true;
+    (* Release everything buffered during the transfer, in order. *)
+    let stashed = List.rev rx.stash in
+    rx.stash <- [];
+    List.iter (fun m -> Runtime.redeliver me m) stashed;
+    result

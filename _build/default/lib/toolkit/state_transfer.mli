@@ -1,0 +1,51 @@
+(** The state transfer tool (paper Sec 3.8).
+
+    Joins a pre-existing group while transferring state from the
+    operational members to the newcomer, {e virtually synchronously}:
+    "Up to the instant before the join occurs, the old set of members
+    continue to receive requests and the new one does not.  Then, the
+    join takes place and the next request is received by the new
+    member too, and only after it has received the state that was
+    current at the time of the join."
+
+    Mechanics: every member attaches the tool with a list of named
+    {e segments} — [(name, capture, install)] triples that carve the
+    application state into variable-size chunks, exactly the encoding
+    interface the paper describes.  When a join commits, the oldest
+    operational member captures all segments {e synchronously at the
+    view event} (a consistent cut: no post-view delivery can slip in
+    first) and streams the chunks to the newcomer.  The newcomer's
+    inbound messages are buffered from the instant it enters the view
+    and released, in order, once the state is installed.
+
+    If the donor fails mid-transfer, the newcomer asks the next-oldest
+    member to restart the transfer from the beginning with a fresh
+    capture.  On this (rare) path, messages the newcomer buffered
+    before the second capture may already be reflected in the new
+    state; applications that use the restart path should make updates
+    idempotent or version their state (see DESIGN.md).
+
+    Process migration (paper Sec 3.8) is built on this: start a new
+    member with [join_and_xfer], then have the old member drop out —
+    clients observe an atomic handoff.  *)
+
+module Addr = Vsync_msg.Addr
+module Message = Vsync_msg.Message
+module Runtime = Vsync_core.Runtime
+
+(** A named state segment: [(name, capture, install)]. *)
+type segment = string * (unit -> bytes list) * (bytes list -> unit)
+
+(** [attach p ~gid ~segments] makes member [p] a potential donor. *)
+val attach : Runtime.proc -> gid:Addr.group_id -> segments:segment list -> unit
+
+(** [join_and_xfer p ~gid ~credentials ~segments] joins and installs
+    the transferred segments.  Returns [Error _] if the join is
+    refused or every potential donor is lost before any transfer
+    completes (recover from stable storage instead). *)
+val join_and_xfer :
+  Runtime.proc ->
+  gid:Addr.group_id ->
+  credentials:Message.t ->
+  segments:segment list ->
+  (unit, string) result

@@ -1,0 +1,326 @@
+module Addr = Vsync_msg.Addr
+module Entry = Vsync_msg.Entry
+module Message = Vsync_msg.Message
+module Runtime = Vsync_core.Runtime
+module View = Vsync_core.View
+module Types = Vsync_core.Types
+
+(* --- wire fields --- *)
+
+let f_op = "$tx.op"
+let f_txid = "$tx.id"
+let f_key = "$tx.key"
+let f_mode = "$tx.mode"
+let f_value = "$tx.value"
+let f_writes = "$tx.writes"
+let f_status = "$tx.status"
+let f_present = "$tx.present"
+
+(* Transaction ids are minted by the client so every manager sees the
+   same identifier: site/slot/sequence packed into an integer. *)
+let tx_counters : (int, int ref) Hashtbl.t = Hashtbl.create 16
+
+let mint_txid p =
+  let key = Runtime.proc_uid p in
+  let ctr =
+    match Hashtbl.find_opt tx_counters key with
+    | Some c -> c
+    | None ->
+      let c = ref 0 in
+      Hashtbl.replace tx_counters key c;
+      c
+  in
+  incr ctr;
+  let a = Runtime.proc_addr p in
+  (a.Addr.site lsl 40) lor (a.Addr.idx lsl 24) lor !ctr
+
+(* --- manager-side replicated state --- *)
+
+type lock_mode = Read | Write
+
+type lock = {
+  mutable holders : (int * lock_mode) list; (* txid, mode; writers are sole holders *)
+  mutable queue : (int * lock_mode * Message.t) list; (* txid, wanted, pending request *)
+}
+
+type mgr = {
+  me : Runtime.proc;
+  gid : Addr.group_id;
+  store : Stable_store.t option;
+  kv : (string, Message.value) Hashtbl.t;
+  locks : (string, lock) Hashtbl.t;
+  owners : (int, Addr.proc) Hashtbl.t; (* txid -> client, for failure cleanup *)
+}
+
+let log_name m = Printf.sprintf "txn.g%d" (Addr.group_to_int m.gid)
+let site_of m = (Runtime.proc_addr m.me).Addr.site
+
+let lock_of m key =
+  match Hashtbl.find_opt m.locks key with
+  | Some l -> l
+  | None ->
+    let l = { holders = []; queue = [] } in
+    Hashtbl.replace m.locks key l;
+    l
+
+let compatible l txid mode =
+  match mode with
+  | Read ->
+    List.for_all (fun (h, hm) -> h = txid || hm = Read) l.holders
+  | Write -> List.for_all (fun (h, _) -> h = txid) l.holders
+
+(* Wait-for cycle detection over the replicated lock table: requester
+   -> holders of the contended key -> keys those transactions wait on
+   -> ... *)
+let creates_deadlock m txid key mode =
+  let l = lock_of m key in
+  if compatible l txid mode then false
+  else begin
+    let waiting_on tid =
+      Hashtbl.fold
+        (fun k lk acc -> if List.exists (fun (q, _, _) -> q = tid) lk.queue then k :: acc else acc)
+        m.locks []
+    in
+    let holders_of k =
+      match Hashtbl.find_opt m.locks k with
+      | Some lk -> List.map fst lk.holders
+      | None -> []
+    in
+    let rec reachable seen frontier =
+      match frontier with
+      | [] -> false
+      | tid :: rest ->
+        if tid = txid then true
+        else if List.mem tid seen then reachable seen rest
+        else
+          let next = List.concat_map holders_of (waiting_on tid) in
+          reachable (tid :: seen) (next @ rest)
+    in
+    reachable [] (List.map fst l.holders)
+  end
+
+let reply_status m request status ~value ~present =
+  let r = Message.create () in
+  Message.set_str r f_status status;
+  (match value with Some v -> Message.set r f_value v | None -> ());
+  Message.set_bool r f_present present;
+  Runtime.reply m.me ~request r
+
+let grant m key l =
+  let rec loop () =
+    match l.queue with
+    | (txid, mode, request) :: rest when compatible l txid mode ->
+      l.queue <- rest;
+      if not (List.exists (fun (h, hm) -> h = txid && hm = mode) l.holders) then
+        l.holders <- l.holders @ [ (txid, mode) ];
+      let value = Hashtbl.find_opt m.kv key in
+      reply_status m request "granted" ~value ~present:(value <> None);
+      loop ()
+    | _ -> ()
+  in
+  loop ()
+
+let release_tx m txid =
+  Hashtbl.iter
+    (fun key l ->
+      if List.exists (fun (h, _) -> h = txid) l.holders || List.exists (fun (q, _, _) -> q = txid) l.queue
+      then begin
+        l.holders <- List.filter (fun (h, _) -> h <> txid) l.holders;
+        l.queue <- List.filter (fun (q, _, _) -> q <> txid) l.queue;
+        grant m key l
+      end)
+    (Hashtbl.copy m.locks);
+  Hashtbl.remove m.owners txid
+
+let apply_writes m writes =
+  List.iter
+    (fun (key, value) ->
+      match value with
+      | Some v -> Hashtbl.replace m.kv key v
+      | None -> Hashtbl.remove m.kv key)
+    writes
+
+let writes_of_msg wm =
+  List.map (fun (k, v) -> (k, Some v)) (Message.fields wm)
+
+let handle m msg =
+  match Message.get_str msg f_op, Message.get_int msg f_txid with
+  | Some "lock", Some txid -> (
+    match Message.get_str msg f_key, Message.get_str msg f_mode, Message.sender msg with
+    | Some key, Some mode_s, Some client ->
+      let mode = if String.equal mode_s "w" then Write else Read in
+      Hashtbl.replace m.owners txid client;
+      if creates_deadlock m txid key mode then
+        reply_status m msg "deadlock" ~value:None ~present:false
+      else begin
+        let l = lock_of m key in
+        l.queue <- l.queue @ [ (txid, mode, msg) ];
+        grant m key l
+      end
+    | _ -> ())
+  | Some "commit", Some txid ->
+    (match Message.get_msg msg f_writes with
+    | Some wm ->
+      let writes = writes_of_msg wm in
+      apply_writes m writes;
+      (match m.store with
+      | Some store -> Stable_store.append store ~site:(site_of m) ~log:(log_name m) msg
+      | None -> ())
+    | None -> ());
+    release_tx m txid;
+    reply_status m msg "committed" ~value:None ~present:false
+  | Some "abort", Some txid ->
+    release_tx m txid;
+    if Message.session msg <> None then Runtime.null_reply m.me ~request:msg
+  | _ -> ()
+
+let registry : (int, mgr) Hashtbl.t = Hashtbl.create 16
+
+let attach_manager me ~gid ?store () =
+  let m =
+    {
+      me;
+      gid;
+      store;
+      kv = Hashtbl.create 32;
+      locks = Hashtbl.create 32;
+      owners = Hashtbl.create 16;
+    }
+  in
+  Hashtbl.replace registry (Runtime.proc_uid me) m;
+  Runtime.bind me Entry.generic_txn (fun msg -> handle m msg);
+  (* Locks held by member clients die with them.  (A manager attached
+     purely to replay a log after a total failure has no view yet and
+     registers no monitor.) *)
+  if Runtime.pg_view me gid <> None then
+    Runtime.pg_monitor me gid (fun _view changes ->
+      List.iter
+        (function
+          | View.Member_failed p | View.Member_left p ->
+            let stale =
+              Hashtbl.fold (fun txid owner acc -> if Addr.equal_proc owner p then txid :: acc else acc)
+                m.owners []
+            in
+            List.iter (fun txid -> release_tx m txid) stale
+          | View.Member_joined _ -> ())
+        changes);
+  m
+
+let recover m =
+  match m.store with
+  | None -> invalid_arg "Transactions.recover: no stable store attached"
+  | Some store ->
+    List.iter
+      (fun msg ->
+        match Message.get_msg msg f_writes with
+        | Some wm -> apply_writes m (writes_of_msg wm)
+        | None -> ())
+      (Stable_store.read_log store ~site:(site_of m) ~log:(log_name m))
+
+let value_at m key = Hashtbl.find_opt m.kv key
+
+let locks_held m = Hashtbl.fold (fun _ l acc -> acc + List.length l.holders) m.locks 0
+
+(* --- client side --- *)
+
+type tx = {
+  proc : Runtime.proc;
+  tgid : Addr.group_id;
+  txid : int; (* the root transaction's id: locks are inherited *)
+  parent : tx option;
+  mutable buffered : (string * Message.value) list; (* newest first *)
+  mutable finished : bool;
+}
+
+let begin_tx proc ~gid =
+  { proc; tgid = gid; txid = mint_txid proc; parent = None; buffered = []; finished = false }
+
+let begin_sub parent =
+  {
+    proc = parent.proc;
+    tgid = parent.tgid;
+    txid = parent.txid;
+    parent = Some parent;
+    buffered = [];
+    finished = false;
+  }
+
+let check_live tx = if tx.finished then invalid_arg "Transactions: transaction already finished"
+
+let send_op tx op ~extra ~want =
+  let m = Message.create () in
+  Message.set_str m f_op op;
+  Message.set_int m f_txid tx.txid;
+  extra m;
+  Runtime.bcast tx.proc Types.Abcast ~dest:(Addr.Group tx.tgid) ~entry:Entry.generic_txn m ~want
+
+let acquire tx key mode =
+  match
+    send_op tx "lock" ~want:Types.Wait_all ~extra:(fun m ->
+        Message.set_str m f_key key;
+        Message.set_str m f_mode mode)
+  with
+  | Runtime.All_failed | Runtime.Replies [] -> Error "managers unreachable"
+  | Runtime.Replies ((_, answer) :: _) -> (
+    match Message.get_str answer f_status with
+    | Some "granted" ->
+      Ok
+        (if Message.get_bool answer f_present = Some true then Message.get answer f_value
+         else None)
+    | Some other -> Error other
+    | None -> Error "protocol error")
+
+(* A read sees this transaction's own uncommitted writes first (walking
+   up through parents), then the replicated committed state. *)
+let rec local_view tx key =
+  match List.assoc_opt key tx.buffered with
+  | Some v -> Some (Some v)
+  | None -> ( match tx.parent with Some p -> local_view p key | None -> None)
+
+let read tx key =
+  check_live tx;
+  match local_view tx key with
+  | Some v -> Ok v
+  | None -> acquire tx key "r"
+
+let write tx key v =
+  check_live tx;
+  match acquire tx key "w" with
+  | Ok _ ->
+    tx.buffered <- (key, v) :: List.remove_assoc key tx.buffered;
+    Ok ()
+  | Error e -> Error e
+
+let rec root tx = match tx.parent with Some p -> root p | None -> tx
+
+let commit tx =
+  check_live tx;
+  tx.finished <- true;
+  match tx.parent with
+  | Some parent ->
+    (* Sub-commit: fold the child's writes into the parent (child wins
+       on conflicts). *)
+    List.iter
+      (fun (k, v) -> parent.buffered <- (k, v) :: List.remove_assoc k parent.buffered)
+      (List.rev tx.buffered);
+    Ok ()
+  | None -> (
+    let wm = Message.create () in
+    List.iter (fun (k, v) -> Message.set wm k v) (List.rev tx.buffered);
+    match
+      send_op tx "commit" ~want:Types.Wait_all ~extra:(fun m -> Message.set_msg m f_writes wm)
+    with
+    | Runtime.All_failed | Runtime.Replies [] -> Error "managers unreachable"
+    | Runtime.Replies _ -> Ok ())
+
+let abort tx =
+  if not tx.finished then begin
+    tx.finished <- true;
+    tx.buffered <- [];
+    match tx.parent with
+    | Some _ -> () (* locks stay with the root, effects are discarded *)
+    | None ->
+      ignore (root tx);
+      ignore
+        (send_op tx "abort" ~want:Types.No_reply ~extra:(fun _ -> ()))
+  end

@@ -1,0 +1,81 @@
+(** The transactional facility (paper Sec 3.11).
+
+    "We have also designed a transactional facility, providing a simple
+    subroutine interface implementing the nested transaction constructs
+    begin, commit, and abort [Moss], which the user simply includes in
+    his or her code.  Transactional access to stable storage and
+    2-phase locks will be provided."
+
+    A group of {e managers} replicates a key-value store and its lock
+    table.  Lock requests and commits ride ABCAST, so every manager
+    makes identical locking decisions without coordination — including
+    FIFO queueing, read-lock sharing, and deterministic wait-for-cycle
+    (deadlock) detection, which refuses the closing request with
+    [Error "deadlock"].
+
+    Clients run transactions with strict two-phase locking: {!read}
+    takes a shared lock (the grant carries the value, so a read costs
+    one ABCAST round), {!write} takes an exclusive lock and buffers the
+    update, {!commit} applies every buffered write at all managers and
+    releases the locks, {!abort} just releases.  Sub-transactions
+    ({!begin_sub}) buffer their writes separately — aborting one
+    discards only its effects — while locks are inherited by the root
+    transaction and held to the top-level commit, as in Moss's design.
+
+    With a stable store attached, committed writes are logged at each
+    manager's site and {!recover} replays them after a crash.
+
+    A manager that fails mid-transaction is harmless (the others hold
+    identical state).  If a {e member} client dies, its locks are
+    released at the failure view change; locks held by non-member
+    clients that die are not reclaimed (see DESIGN.md). *)
+
+module Addr = Vsync_msg.Addr
+module Message = Vsync_msg.Message
+module Runtime = Vsync_core.Runtime
+
+(** {1 Managers} *)
+
+type mgr
+
+(** [attach_manager p ~gid ?store ()] makes member [p] a transaction
+    manager for the group's store. *)
+val attach_manager : Runtime.proc -> gid:Addr.group_id -> ?store:Stable_store.t -> unit -> mgr
+
+(** [recover m] replays the committed-write log from stable storage
+    (call before serving after a restart). *)
+val recover : mgr -> unit
+
+(** [value_at m key] — manager-local read of committed state (tests,
+    no locking). *)
+val value_at : mgr -> string -> Message.value option
+
+(** [locks_held m] counts currently held locks (diagnostics). *)
+val locks_held : mgr -> int
+
+(** {1 Transactions} *)
+
+type tx
+
+(** [begin_tx p ~gid] starts a top-level transaction against the
+    manager group. *)
+val begin_tx : Runtime.proc -> gid:Addr.group_id -> tx
+
+(** [begin_sub tx] starts a nested sub-transaction. *)
+val begin_sub : tx -> tx
+
+(** [read tx key] — shared lock + current value.  Sees the
+    transaction's own buffered writes first. *)
+val read : tx -> string -> (Message.value option, string) result
+
+(** [write tx key v] — exclusive lock, buffered until commit. *)
+val write : tx -> string -> Message.value -> (unit, string) result
+
+(** [commit tx] — for a sub-transaction, merges its writes into the
+    parent; for the root, applies all writes at every manager, logs
+    them, and releases the locks. *)
+val commit : tx -> (unit, string) result
+
+(** [abort tx] — discards this transaction's (or sub-transaction's)
+    buffered writes; a root abort releases all locks. *)
+val abort : tx -> unit

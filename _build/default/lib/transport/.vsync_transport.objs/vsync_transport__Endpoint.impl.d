@@ -1,0 +1,1 @@
+lib/transport/endpoint.ml: Array Hashtbl List Option Rtt Vsync_sim

@@ -1,0 +1,1 @@
+lib/transport/endpoint.mli: Vsync_sim

@@ -1,0 +1,1 @@
+lib/transport/rtt.ml: Float

@@ -1,0 +1,408 @@
+module Net = Vsync_sim.Net
+module Engine = Vsync_sim.Engine
+
+type site = int
+
+type config = {
+  ping_interval_us : int;
+  suspect_after : int;
+  frame_header_bytes : int;
+  max_retransmits : int;
+}
+
+let default_config =
+  { ping_interval_us = 500_000; suspect_after = 4; frame_header_bytes = 24; max_retransmits = 16 }
+
+type 'p frame =
+  | Data of { epoch : int; seq : int; frag : int; nfrags : int; chunk : int; payload : 'p option }
+  | Ack of { epoch : int; upto : int }
+  | Ping of { epoch : int; id : int }
+  | Pong of { epoch : int; id : int }
+
+type 'p pending_msg = {
+  seq : int;
+  frames : 'p frame list;
+  first_sent_at : Engine.time;
+  mutable attempts : int;
+}
+
+type 'p out_chan = {
+  mutable next_seq : int;
+  mutable unacked : 'p pending_msg list; (* oldest first *)
+  out_rtt : Rtt.t;
+  mutable rto_timer : Engine.handle option;
+}
+
+type 'p partial = {
+  nfrags : int;
+  mutable have : int;
+  mutable payload : 'p option;
+}
+
+type 'p in_chan = {
+  mutable next_deliver : int;
+  pending : (int, 'p partial) Hashtbl.t;
+}
+
+type monitor_state = {
+  mon_rtt : Rtt.t;
+  mutable missed : int;
+  mutable outstanding : (int * Engine.time) option; (* ping id, sent at *)
+  mutable mon_timer : Engine.handle option;
+  mutable active : bool;
+}
+
+type 'p t = {
+  fabric : 'p fabric;
+  my_site : site;
+  size : 'p -> int;
+  cfg : config;
+  mutable my_epoch : int;
+  mutable is_alive : bool;
+  mutable receiver : (src:site -> 'p -> unit) option;
+  mutable on_failure : site -> unit;
+  outs : (site, 'p out_chan) Hashtbl.t;
+  ins : (site, 'p in_chan) Hashtbl.t;
+  peer_epochs : (site, int) Hashtbl.t;
+  monitors : (site, monitor_state) Hashtbl.t;
+  mutable next_ping_id : int;
+  mutable n_frames_sent : int;
+  mutable n_retransmits : int;
+}
+
+and 'p fabric = {
+  fnet : Net.t;
+  mutable endpoints : 'p t option array;
+}
+
+let fabric net = { fnet = net; endpoints = Array.make (Net.n_sites net) None }
+
+let create ?(config = default_config) fabric ~site ~size () =
+  if site < 0 || site >= Array.length fabric.endpoints then
+    invalid_arg "Endpoint.create: bad site";
+  (match fabric.endpoints.(site) with
+  | Some _ -> invalid_arg "Endpoint.create: site already has an endpoint"
+  | None -> ());
+  let t =
+    {
+      fabric;
+      my_site = site;
+      size;
+      cfg = config;
+      my_epoch = 1;
+      is_alive = true;
+      receiver = None;
+      on_failure = (fun _ -> ());
+      outs = Hashtbl.create 8;
+      ins = Hashtbl.create 8;
+      peer_epochs = Hashtbl.create 8;
+      monitors = Hashtbl.create 8;
+      next_ping_id = 0;
+      n_frames_sent = 0;
+      n_retransmits = 0;
+    }
+  in
+  fabric.endpoints.(site) <- Some t;
+  t
+
+let site t = t.my_site
+let epoch t = t.my_epoch
+let alive t = t.is_alive
+let net t = t.fabric.fnet
+let engine t = Net.engine t.fabric.fnet
+
+let set_receiver t f = t.receiver <- Some f
+let set_failure_handler t f = t.on_failure <- f
+let frames_sent t = t.n_frames_sent
+let retransmits t = t.n_retransmits
+
+let frame_bytes t = function
+  | Data { chunk; _ } -> chunk + t.cfg.frame_header_bytes
+  | Ack _ | Ping _ | Pong _ -> t.cfg.frame_header_bytes
+
+(* Forward declaration dance: transmit needs handle_frame of the peer. *)
+let rec transmit t ~dst frame =
+  if t.is_alive then begin
+    (match frame with Data _ -> t.n_frames_sent <- t.n_frames_sent + 1 | _ -> ());
+    let bytes = frame_bytes t frame in
+    Net.send t.fabric.fnet ~src:t.my_site ~dst ~bytes (fun () ->
+        match t.fabric.endpoints.(dst) with
+        | Some peer when peer.is_alive -> handle_frame peer ~src:t.my_site frame
+        | Some _ | None -> ())
+  end
+
+and out_chan t dst =
+  match Hashtbl.find_opt t.outs dst with
+  | Some ch -> ch
+  | None ->
+    let ch = { next_seq = 0; unacked = []; out_rtt = Rtt.create (); rto_timer = None } in
+    Hashtbl.replace t.outs dst ch;
+    ch
+
+and in_chan t src =
+  match Hashtbl.find_opt t.ins src with
+  | Some ch -> ch
+  | None ->
+    let ch = { next_deliver = 0; pending = Hashtbl.create 8 } in
+    Hashtbl.replace t.ins src ch;
+    ch
+
+and arm_rto t ~dst ch =
+  if ch.rto_timer = None && ch.unacked <> [] then begin
+    let my_epoch = t.my_epoch in
+    let delay = Rtt.timeout_us ch.out_rtt in
+    ch.rto_timer <-
+      Some
+        (Engine.schedule (engine t) ~delay (fun () ->
+             ch.rto_timer <- None;
+             if t.is_alive && t.my_epoch = my_epoch then retransmit t ~dst ch))
+  end
+
+and retransmit t ~dst ch =
+  if ch.unacked <> [] then begin
+    Rtt.backoff ch.out_rtt;
+    let keep =
+      List.filter
+        (fun m ->
+          m.attempts <- m.attempts + 1;
+          if m.attempts > t.cfg.max_retransmits then false
+          else begin
+            t.n_retransmits <- t.n_retransmits + List.length m.frames;
+            List.iter (fun f -> transmit t ~dst f) m.frames;
+            true
+          end)
+        ch.unacked
+    in
+    ch.unacked <- keep;
+    arm_rto t ~dst ch
+  end
+
+and handle_frame t ~src frame =
+  match t.receiver with
+  | None -> () (* not wired up yet; drop *)
+  | Some deliver ->
+    let frame_epoch =
+      match frame with
+      | Data { epoch; _ } | Ack { epoch; _ } | Ping { epoch; id = _ } | Pong { epoch; id = _ } ->
+        epoch
+    in
+    let known = Hashtbl.find_opt t.peer_epochs src in
+    let stale = match known with Some k -> frame_epoch < k | None -> false in
+    if stale then () (* stale incarnation *)
+    else begin
+      (match known with
+      | None ->
+        (* First contact with this peer: adopt its epoch. *)
+        Hashtbl.replace t.peer_epochs src frame_epoch
+      | Some k when frame_epoch > k ->
+        (* The peer restarted: all channel state for the old incarnation
+           is garbage.  Outbound unacked traffic was addressed to the
+           dead incarnation; the membership layer handles the fallout. *)
+        Hashtbl.replace t.peer_epochs src frame_epoch;
+        Hashtbl.remove t.ins src;
+        (match Hashtbl.find_opt t.outs src with
+        | Some ch ->
+          Option.iter Engine.cancel ch.rto_timer;
+          Hashtbl.remove t.outs src
+        | None -> ())
+      | Some _ -> ());
+      match frame with
+      | Ping { id; _ } -> transmit t ~dst:src (Pong { epoch = t.my_epoch; id })
+      | Pong { id; _ } -> handle_pong t ~src ~id
+      | Ack { upto; _ } -> handle_ack t ~src ~upto
+      | Data { seq; frag; nfrags; payload; _ } -> handle_data t ~src ~seq ~frag ~nfrags ~payload deliver
+    end
+
+and handle_ack t ~src ~upto =
+  match Hashtbl.find_opt t.outs src with
+  | None -> ()
+  | Some ch ->
+    let now = Engine.now (engine t) in
+    List.iter
+      (fun m ->
+        (* Karn's algorithm: only first-transmission samples train the
+           estimator. *)
+        if m.seq <= upto && m.attempts = 0 then Rtt.observe ch.out_rtt (now - m.first_sent_at))
+      ch.unacked;
+    ch.unacked <- List.filter (fun m -> m.seq > upto) ch.unacked;
+    if ch.unacked = [] then begin
+      Option.iter Engine.cancel ch.rto_timer;
+      ch.rto_timer <- None
+    end
+
+and handle_data t ~src ~seq ~frag ~nfrags ~payload deliver =
+  let ch = in_chan t src in
+  if seq < ch.next_deliver then
+    (* Duplicate of something already delivered: re-ack so the sender
+       stops resending. *)
+    transmit t ~dst:src (Ack { epoch = t.my_epoch; upto = ch.next_deliver - 1 })
+  else begin
+    let partial =
+      match Hashtbl.find_opt ch.pending seq with
+      | Some p -> p
+      | None ->
+        let p = { nfrags; have = 0; payload = None } in
+        Hashtbl.replace ch.pending seq p;
+        p
+    in
+    ignore frag;
+    partial.have <- partial.have + 1;
+    (match payload with Some _ -> partial.payload <- payload | None -> ());
+    (* Deliver every complete in-order message. *)
+    let made_progress = ref false in
+    let rec drain () =
+      match Hashtbl.find_opt ch.pending ch.next_deliver with
+      | Some p when p.have >= p.nfrags ->
+        Hashtbl.remove ch.pending ch.next_deliver;
+        ch.next_deliver <- ch.next_deliver + 1;
+        made_progress := true;
+        (match p.payload with
+        | Some v -> deliver ~src v
+        | None -> failwith "Endpoint: complete message with no payload fragment");
+        drain ()
+      | Some _ | None -> ()
+    in
+    drain ();
+    if !made_progress then
+      transmit t ~dst:src (Ack { epoch = t.my_epoch; upto = ch.next_deliver - 1 })
+  end
+
+and handle_pong t ~src ~id =
+  match Hashtbl.find_opt t.monitors src with
+  | None -> ()
+  | Some mon -> (
+    match mon.outstanding with
+    | Some (expected, sent_at) when expected = id ->
+      mon.outstanding <- None;
+      mon.missed <- 0;
+      Rtt.observe mon.mon_rtt (Engine.now (engine t) - sent_at)
+    | Some _ | None -> ())
+
+let send t ~dst p =
+  if t.is_alive then begin
+    if dst = t.my_site then begin
+      (* Local loop: one intra-site hop, no sequencing needed. *)
+      let my_epoch = t.my_epoch in
+      ignore
+        (Engine.schedule (engine t)
+           ~delay:(Net.config t.fabric.fnet).Net.intra_site_us
+           (fun () ->
+             if t.is_alive && t.my_epoch = my_epoch then
+               match t.receiver with Some deliver -> deliver ~src:t.my_site p | None -> ()))
+    end
+    else begin
+      let ch = out_chan t dst in
+      let seq = ch.next_seq in
+      ch.next_seq <- seq + 1;
+      let total = t.size p in
+      let chunk_cap = (Net.config t.fabric.fnet).Net.max_packet_bytes - t.cfg.frame_header_bytes in
+      let rec chunks remaining acc =
+        if remaining <= chunk_cap then List.rev (remaining :: acc)
+        else chunks (remaining - chunk_cap) (chunk_cap :: acc)
+      in
+      let sizes = chunks (max total 0) [] in
+      let nfrags = List.length sizes in
+      let frames =
+        List.mapi
+          (fun i chunk ->
+            Data
+              {
+                epoch = t.my_epoch;
+                seq;
+                frag = i;
+                nfrags;
+                chunk;
+                payload = (if i = 0 then Some p else None);
+              })
+          sizes
+      in
+      let msg = { seq; frames; first_sent_at = Engine.now (engine t); attempts = 0 } in
+      ch.unacked <- ch.unacked @ [ msg ];
+      List.iter (fun f -> transmit t ~dst f) frames;
+      arm_rto t ~dst ch
+    end
+  end
+
+(* --- Failure detection --- *)
+
+let rec schedule_ping t ~site mon =
+  let my_epoch = t.my_epoch in
+  mon.mon_timer <-
+    Some
+      (Engine.schedule (engine t) ~delay:t.cfg.ping_interval_us (fun () ->
+           mon.mon_timer <- None;
+           if t.is_alive && t.my_epoch = my_epoch && mon.active then send_ping t ~site mon))
+
+and send_ping t ~site mon =
+  let id = t.next_ping_id in
+  t.next_ping_id <- id + 1;
+  mon.outstanding <- Some (id, Engine.now (engine t));
+  transmit t ~dst:site (Ping { epoch = t.my_epoch; id });
+  let my_epoch = t.my_epoch in
+  let timeout = Rtt.timeout_us mon.mon_rtt in
+  ignore
+    (Engine.schedule (engine t) ~delay:timeout (fun () ->
+         if t.is_alive && t.my_epoch = my_epoch && mon.active then begin
+           (match mon.outstanding with
+           | Some (expected, _) when expected = id ->
+             (* Probe lost or peer slow: back the timeout off and count
+                the miss. *)
+             mon.outstanding <- None;
+             mon.missed <- mon.missed + 1;
+             Rtt.backoff mon.mon_rtt
+           | Some _ | None -> ());
+           if mon.missed >= t.cfg.suspect_after then begin
+             mon.active <- false;
+             Option.iter Engine.cancel mon.mon_timer;
+             mon.mon_timer <- None;
+             Hashtbl.remove t.monitors site;
+             t.on_failure site
+           end
+           else schedule_ping t ~site mon
+         end))
+
+let monitor t ~site =
+  if t.is_alive && not (Hashtbl.mem t.monitors site) && site <> t.my_site then begin
+    let mon =
+      {
+        mon_rtt = Rtt.create ();
+        missed = 0;
+        outstanding = None;
+        mon_timer = None;
+        active = true;
+      }
+    in
+    Hashtbl.replace t.monitors site mon;
+    send_ping t ~site mon
+  end
+
+let unmonitor t ~site =
+  match Hashtbl.find_opt t.monitors site with
+  | None -> ()
+  | Some mon ->
+    mon.active <- false;
+    Option.iter Engine.cancel mon.mon_timer;
+    mon.mon_timer <- None;
+    Hashtbl.remove t.monitors site
+
+let rtt_us t ~site =
+  match Hashtbl.find_opt t.monitors site with
+  | Some mon when Rtt.samples mon.mon_rtt > 0 -> Some (Rtt.srtt_us mon.mon_rtt)
+  | Some _ | None -> None
+
+let crash t =
+  t.is_alive <- false;
+  Hashtbl.iter (fun _ ch -> Option.iter Engine.cancel ch.rto_timer) t.outs;
+  Hashtbl.iter (fun _ mon -> Option.iter Engine.cancel mon.mon_timer) t.monitors;
+  Hashtbl.reset t.outs;
+  Hashtbl.reset t.ins;
+  Hashtbl.reset t.monitors
+
+let restart t =
+  if t.is_alive then invalid_arg "Endpoint.restart: endpoint is alive";
+  t.is_alive <- true;
+  t.my_epoch <- t.my_epoch + 1;
+  Hashtbl.reset t.outs;
+  Hashtbl.reset t.ins;
+  Hashtbl.reset t.peer_epochs;
+  Hashtbl.reset t.monitors

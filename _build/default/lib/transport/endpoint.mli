@@ -1,0 +1,105 @@
+(** Reliable FIFO inter-site transport.
+
+    One endpoint per site.  {!send} delivers an abstract payload to the
+    destination site exactly once and in sender order, over the lossy
+    packet network: messages larger than a packet are fragmented
+    (4 KB packets, as in the paper), sequenced per destination,
+    acknowledged cumulatively, and retransmitted (go-back-N) on an
+    adaptive timeout.  Intra-site sends bypass sequencing and cost one
+    10 µs hop.
+
+    The payload stays an OCaml value — only its {e declared size}
+    travels through the byte-accounted network — so protocol layers
+    avoid a gratuitous serialization step while the simulation still
+    charges honest byte counts (application payloads are
+    [Vsync_msg.Message.t] values whose size is their real encoded
+    length).
+
+    {2 Incarnations}
+
+    Every endpoint has an {e epoch}, bumped by {!restart}.  Frames carry
+    the sender's epoch; a receiver that sees a newer epoch from a peer
+    discards all channel state for the old incarnation (the dead
+    incarnation's undelivered traffic is gone for good — the membership
+    layer turns that into a clean failure/rejoin event).  Frames from an
+    older epoch are dropped.
+
+    {2 Failure detection}
+
+    The endpoint pings {!monitor}ed sites periodically.  Ping timeouts
+    use the adaptive {!Rtt} estimator; after [suspect_after] consecutive
+    losses the site is declared failed and the failure handler runs.
+    Detection is {e local suspicion} — turning suspicions into a
+    system-wide consistent failure event is the membership layer's job. *)
+
+type site = int
+
+type config = {
+  ping_interval_us : int;   (** gap between liveness probes. *)
+  suspect_after : int;      (** consecutive lost pings before declaring failure. *)
+  frame_header_bytes : int; (** per-frame header charged to the wire. *)
+  max_retransmits : int;    (** give up resending after this many attempts. *)
+}
+
+val default_config : config
+
+type 'p t
+
+(** A fabric owns the per-site endpoint registry for one payload type;
+    all endpoints that talk to each other share a fabric. *)
+type 'p fabric
+
+val fabric : Vsync_sim.Net.t -> 'p fabric
+
+(** [create fabric ~site ~size ()] attaches an endpoint to [site].
+    [size] gives the wire size of a payload in bytes.
+    @raise Invalid_argument if the site already has an endpoint. *)
+val create : ?config:config -> 'p fabric -> site:site -> size:('p -> int) -> unit -> 'p t
+
+val site : _ t -> site
+val epoch : _ t -> int
+val alive : _ t -> bool
+val net : 'p t -> Vsync_sim.Net.t
+
+(** [set_receiver t f] installs the delivery upcall [f ~src payload].
+    Must be set before any traffic arrives. *)
+val set_receiver : 'p t -> (src:site -> 'p -> unit) -> unit
+
+(** [send t ~dst p] queues [p] for reliable FIFO delivery at [dst].
+    Sends from a crashed endpoint are silently dropped (a dead process
+    sends nothing). *)
+val send : 'p t -> dst:site -> 'p -> unit
+
+(** {1 Failure detection} *)
+
+(** [monitor t ~site] starts probing [site]. Idempotent. *)
+val monitor : _ t -> site:site -> unit
+
+(** [unmonitor t ~site] stops probing and clears suspicion state. *)
+val unmonitor : _ t -> site:site -> unit
+
+(** [set_failure_handler t f] runs [f site] once per detected failure
+    of a monitored site. *)
+val set_failure_handler : _ t -> (site -> unit) -> unit
+
+(** [rtt_us t ~site] is the current smoothed RTT estimate to [site], if
+    any probe has completed. *)
+val rtt_us : _ t -> site:site -> int option
+
+(** {1 Lifecycle} *)
+
+(** [crash t] silences the endpoint: no more sends, receives, probes or
+    retransmissions.  In-flight state is dropped. *)
+val crash : _ t -> unit
+
+(** [restart t] revives a crashed endpoint under a new epoch with empty
+    channel state. *)
+val restart : _ t -> unit
+
+(** {1 Accounting} *)
+
+(** [frames_sent t] counts data frames put on the wire (including
+    retransmissions); [retransmits t] counts only the latter. *)
+val frames_sent : _ t -> int
+
+val retransmits : _ t -> int

@@ -1,0 +1,1 @@
+lib/twentyq/client.ml: Database List Option Service String Vsync_core Vsync_msg

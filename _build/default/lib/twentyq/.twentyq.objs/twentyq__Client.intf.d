@@ -1,0 +1,1 @@
+lib/twentyq/client.mli: Database Vsync_core Vsync_msg

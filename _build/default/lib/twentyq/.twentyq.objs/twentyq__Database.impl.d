@@ -1,0 +1,1 @@
+lib/twentyq/database.ml: Array Bytes Format List String

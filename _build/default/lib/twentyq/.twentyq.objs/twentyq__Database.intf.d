@@ -1,0 +1,1 @@
+lib/twentyq/database.mli: Format

@@ -1,0 +1,1 @@
+lib/twentyq/service.ml: Database List String Vsync_core Vsync_msg Vsync_toolkit

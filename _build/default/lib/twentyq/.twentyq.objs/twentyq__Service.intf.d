@@ -1,0 +1,1 @@
+lib/twentyq/service.mli: Database Vsync_core Vsync_msg Vsync_toolkit

@@ -1,0 +1,103 @@
+module Addr = Vsync_msg.Addr
+module Message = Vsync_msg.Message
+module Runtime = Vsync_core.Runtime
+module Types = Vsync_core.Types
+
+type t = { proc : Runtime.proc; gid : Addr.group_id }
+
+let connect proc =
+  match Runtime.pg_lookup proc Service.group_name with
+  | Some gid -> Ok { proc; gid }
+  | None -> Error "twenty-questions service not found"
+
+let group t = t.gid
+
+let query_msg q =
+  let m = Message.create () in
+  Message.set_str m "$tq.op" "query";
+  Message.set_str m "$tq.q" q;
+  m
+
+let answer_of m =
+  Option.bind (Message.get_str m "$tq.ans") Database.answer_of_string
+
+let rec vertical ?(retries = 5) t q =
+  match
+    Runtime.bcast t.proc Types.Cbcast ~dest:(Addr.Group t.gid) ~entry:Service.entry
+      (query_msg q) ~want:(Types.Wait_n 1)
+  with
+  | Runtime.Replies ((_, m) :: _) -> (
+    match answer_of m with Some a -> Ok a | None -> Error "malformed reply")
+  | Runtime.Replies [] | Runtime.All_failed ->
+    (* The responsible member failed before answering: reissue (the
+       paper's Step 2 fix). *)
+    if retries <= 0 then Error "service unreachable"
+    else begin
+      Runtime.sleep t.proc 200_000;
+      vertical ~retries:(retries - 1) t q
+    end
+
+let rec horizontal ?(retries = 5) t q =
+  match
+    Runtime.bcast t.proc Types.Cbcast ~dest:(Addr.Group t.gid) ~entry:Service.entry
+      (query_msg ("*" ^ q)) ~want:Types.Wait_all
+  with
+  | Runtime.All_failed -> Error "service unreachable"
+  | Runtime.Replies replies -> (
+    let numbered =
+      List.filter_map
+        (fun (_, m) ->
+          match Message.get_int m "$tq.member", answer_of m, Message.get_int m "$tq.nm" with
+          | Some n, Some a, Some nm -> Some (n, a, nm)
+          | _ -> None)
+        replies
+    in
+    match numbered with
+    | [] ->
+      if retries <= 0 then Error "no answers"
+      else begin
+        Runtime.sleep t.proc 200_000;
+        horizontal ~retries:(retries - 1) t q
+      end
+    | (_, _, nm) :: _ ->
+      if List.length numbered < nm then
+        (* Fewer members than NMEMBERS answered: some rows are
+           unaccounted for; the paper's caller "iterates until it
+           receives the expected number of responses". *)
+        if retries <= 0 then Error "partial answer"
+        else begin
+          Runtime.sleep t.proc 200_000;
+          horizontal ~retries:(retries - 1) t q
+        end
+      else
+        Ok
+          (List.sort (fun (a, _, _) (b, _, _) -> compare a b) numbered
+          |> List.map (fun (_, a, _) -> a)))
+
+let row_msg values =
+  let m = Message.create () in
+  Message.set_str m "$tq.op" "add_row";
+  Message.set_str m "$tq.values" (String.concat "\x1f" values);
+  m
+
+let add_row t values =
+  ignore
+    (Runtime.bcast t.proc Types.Gbcast ~dest:(Addr.Group t.gid) ~entry:Service.entry
+       (row_msg values) ~want:Types.No_reply)
+
+let add_row_sync t values =
+  match
+    Runtime.bcast t.proc Types.Gbcast ~dest:(Addr.Group t.gid) ~entry:Service.entry
+      (row_msg values) ~want:Types.Wait_all
+  with
+  | Runtime.Replies _ -> Ok ()
+  | Runtime.All_failed -> Error "service unreachable"
+
+let remove_rows t ~column ~value =
+  let m = Message.create () in
+  Message.set_str m "$tq.op" "remove_rows";
+  Message.set_str m "$tq.col" column;
+  Message.set_str m "$tq.val" value;
+  ignore
+    (Runtime.bcast t.proc Types.Gbcast ~dest:(Addr.Group t.gid) ~entry:Service.entry m
+       ~want:Types.No_reply)

@@ -1,0 +1,140 @@
+type t = {
+  cols : string list;
+  mutable data : string array list; (* newest last *)
+}
+
+type query = { column : string; op : [ `Eq | `Lt | `Gt ]; value : string }
+
+type answer = Yes | No | Sometimes
+
+let answer_to_string = function Yes -> "yes" | No -> "no" | Sometimes -> "sometimes"
+
+let answer_of_string = function
+  | "yes" -> Some Yes
+  | "no" -> Some No
+  | "sometimes" -> Some Sometimes
+  | _ -> None
+
+let create ~columns =
+  if columns = [] then invalid_arg "Database.create: no columns";
+  { cols = columns; data = [] }
+
+let columns t = t.cols
+let n_rows t = List.length t.data
+let n_columns t = List.length t.cols
+
+let add_row t values =
+  if List.length values <> List.length t.cols then
+    invalid_arg "Database.add_row: arity mismatch";
+  t.data <- t.data @ [ Array.of_list values ]
+
+let column_index t name =
+  let rec loop i = function
+    | [] -> raise Not_found
+    | c :: _ when String.equal c name -> i
+    | _ :: rest -> loop (i + 1) rest
+  in
+  loop 0 t.cols
+
+let remove_rows t ~column ~value =
+  let ci = column_index t column in
+  let keep, gone = List.partition (fun row -> not (String.equal row.(ci) value)) t.data in
+  t.data <- keep;
+  List.length gone
+
+let row t i = Array.to_list (List.nth t.data i)
+let rows t = List.map Array.to_list t.data
+
+let parse_query s =
+  let find_op () =
+    let rec loop i =
+      if i >= String.length s then None
+      else
+        match s.[i] with
+        | '=' -> Some (i, `Eq)
+        | '<' -> Some (i, `Lt)
+        | '>' -> Some (i, `Gt)
+        | _ -> loop (i + 1)
+    in
+    loop 0
+  in
+  match find_op () with
+  | None -> None
+  | Some (i, op) ->
+    let column = String.trim (String.sub s 0 i) in
+    let value = String.trim (String.sub s (i + 1) (String.length s - i - 1)) in
+    if String.equal column "" || String.equal value "" then None else Some { column; op; value }
+
+(* Numeric comparison when both sides parse as integers; string
+   comparison otherwise. *)
+let matches op cell value =
+  match int_of_string_opt cell, int_of_string_opt value with
+  | Some a, Some b -> (
+    match op with `Eq -> a = b | `Lt -> a < b | `Gt -> a > b)
+  | _ -> (
+    let c = String.compare cell value in
+    match op with `Eq -> c = 0 | `Lt -> c < 0 | `Gt -> c > 0)
+
+let eval t ?restrict_object q ~row_filter =
+  let ci = try column_index t q.column with Not_found -> -1 in
+  if ci < 0 then No
+  else begin
+    let oi = try Some (column_index t "object") with Not_found -> None in
+    let selected =
+      List.filteri
+        (fun i row ->
+          row_filter i
+          &&
+          match restrict_object, oi with
+          | Some obj, Some oc -> String.equal row.(oc) obj
+          | Some _, None | None, _ -> true)
+        t.data
+    in
+    match selected with
+    | [] -> No
+    | _ ->
+      let hits = List.length (List.filter (fun row -> matches q.op row.(ci) q.value) selected) in
+      if hits = 0 then No else if hits = List.length selected then Yes else Sometimes
+  end
+
+let encode t =
+  let join = String.concat "\x1f" in
+  Bytes.of_string (join t.cols)
+  :: List.map (fun row -> Bytes.of_string (join (Array.to_list row))) t.data
+
+let decode chunks =
+  let split b = String.split_on_char '\x1f' (Bytes.to_string b) in
+  match chunks with
+  | [] -> invalid_arg "Database.decode: empty"
+  | schema :: rows ->
+    let t = create ~columns:(split schema) in
+    List.iter (fun r -> add_row t (split r)) rows;
+    t
+
+(* The relation printed in the paper, Sec 5 Step 1, plus a second
+   object category. *)
+let demo_cars () =
+  let t = create ~columns:[ "object"; "color"; "size"; "price"; "make"; "model" ] in
+  List.iter (add_row t)
+    [
+      [ "car"; "red"; "small"; "5"; "Weeks"; "Toy" ];
+      [ "car"; "yellow"; "tiny"; "6"; "Mattel"; "Toy" ];
+      [ "car"; "black"; "compact"; "4995"; "Hyundai"; "Excel" ];
+      [ "car"; "tan"; "wagon"; "6190"; "Nissan"; "Sentra" ];
+      [ "car"; "green"; "sedan"; "10999"; "Ford"; "Taurus" ];
+      [ "car"; "blue"; "compact"; "5799"; "Honda"; "Civic" ];
+      [ "car"; "white"; "wagon"; "15248"; "Ford"; "Taurus" ];
+      [ "car"; "blue"; "sport"; "18409"; "Nissan"; "300ZX" ];
+      [ "car"; "blue"; "sport"; "26776"; "Porsche"; "944" ];
+      [ "car"; "white"; "sport"; "35000"; "Mercedes"; "300D" ];
+      [ "plane"; "white"; "small"; "45000"; "Cessna"; "152" ];
+      [ "plane"; "blue"; "large"; "9000000"; "Boeing"; "737" ];
+      [ "plane"; "silver"; "large"; "12000000"; "Airbus"; "A300" ];
+    ];
+  t
+
+let pp ppf t =
+  Format.fprintf ppf "%s@." (String.concat " | " t.cols);
+  List.iter
+    (fun row -> Format.fprintf ppf "%s@." (String.concat " | " (Array.to_list row)))
+    t.data

@@ -1,0 +1,64 @@
+(** The twenty-questions relation (paper Sec 5, Step 1).
+
+    "The database is organized as a relation"; queries name an item
+    (column), a relational operator, and a value — e.g. [price>9000] or
+    [color=red] — and the answer over a set of rows is {e yes} (every
+    row matches), {e no} (none does), or {e sometimes}. *)
+
+type t
+
+(** A parsed query. *)
+type query = { column : string; op : [ `Eq | `Lt | `Gt ]; value : string }
+
+type answer = Yes | No | Sometimes
+
+val answer_to_string : answer -> string
+val answer_of_string : string -> answer option
+
+(** [create ~columns] makes an empty relation. *)
+val create : columns:string list -> t
+
+val columns : t -> string list
+val n_rows : t -> int
+val n_columns : t -> int
+
+(** [add_row t values] appends a row.
+    @raise Invalid_argument on arity mismatch. *)
+val add_row : t -> string list -> unit
+
+(** [remove_rows t ~column ~value] deletes rows whose [column] equals
+    [value]; returns how many went. *)
+val remove_rows : t -> column:string -> value:string -> int
+
+(** [row t i] / [rows t] access rows (each a value list in column
+    order). *)
+val row : t -> int -> string list
+
+val rows : t -> string list list
+
+(** [parse_query s] parses ["price>9000"], ["color=red"], ["size<10"].
+    A leading ['*'] (horizontal mode) must be stripped by the caller. *)
+val parse_query : string -> query option
+
+(** [eval t ?restrict_object q ~row_filter] answers [q] over the rows
+    selected by [row_filter] (by row index), optionally restricted to
+    rows whose "object" column equals [restrict_object] (the secret
+    category of the game).  Empty selection answers {!No}. *)
+val eval : t -> ?restrict_object:string -> query -> row_filter:(int -> bool) -> answer
+
+(** [column_index t name] is the column's position.
+    @raise Not_found for unknown columns. *)
+val column_index : t -> string -> int
+
+(** [encode t] / [decode chunks] — state-transfer/checkpoint format
+    (one chunk per row plus a schema chunk). *)
+val encode : t -> bytes list
+
+val decode : bytes list -> t
+
+(** [demo_cars ()] is the paper's demonstration database: the 10 car
+    rows printed in Sec 5, plus a second category so the guessing game
+    is non-trivial. *)
+val demo_cars : unit -> t
+
+val pp : Format.formatter -> t -> unit

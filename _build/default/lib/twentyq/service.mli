@@ -1,0 +1,102 @@
+(** The twenty-questions service (paper Sec 5, Steps 2–7).
+
+    A replicated database partitioned {e by work}, not by data: every
+    member holds the full relation, and the ranked group view assigns
+    each member a number used to split queries deterministically —
+    member [C mod NMEMBERS] answers a vertical query on column [C];
+    member [M] answers a horizontal query over the rows [R] with
+    [R mod NMEMBERS = M].  Because all members see the same view and
+    the same request ordering, "each incoming request can be handled in
+    a consistent manner by all the members" with no coordination
+    messages at all.
+
+    The paper's stepwise extensions, all supported here:
+    - {b Step 2} (distribution): vertical/horizontal modes, null
+      replies from non-respondents so callers never hang;
+    - {b Step 4} (hot standbys): members ranked [>= NMEMBERS] answer
+      everything with null replies and take over instantly when a
+      failure promotes their rank;
+    - {b Step 5} (dynamic updates): queries ride CBCAST and updates
+      ride GBCAST — the configuration the paper chose for a
+      query-dominated load;
+    - {b Step 6} (total-failure restart): with a stable store attached,
+      updates are logged and the database checkpointed, and a restarted
+      member reloads before serving;
+    - {b Step 7} (dynamic load balancing): [NMEMBERS] lives in the
+      configuration tool and can be changed at run time, consistently
+      at all members.
+
+    Joins use the state transfer tool, so a newcomer receives the
+    database exactly as of its join view and misses no update. *)
+
+module Addr = Vsync_msg.Addr
+module Message = Vsync_msg.Message
+module Runtime = Vsync_core.Runtime
+module Toolkit = Vsync_toolkit
+
+type t
+
+(** The service's group name. *)
+val group_name : string
+
+(** Entry point the service answers on (for raw clients; the {!Client}
+    module hides it). *)
+val entry : Vsync_msg.Entry.t
+
+(** [create p ~db ~nmembers ()] makes [p] the founding member.
+    [store] turns on logging mode (Step 6). *)
+val create :
+  Runtime.proc ->
+  db:Database.t ->
+  nmembers:int ->
+  ?store:Toolkit.Stable_store.t ->
+  unit ->
+  t
+
+(** [join p ()] adds [p] as a member (or hot standby if the group
+    already has [nmembers] active members); the database and
+    configuration arrive by state transfer. *)
+val join : Runtime.proc -> ?store:Toolkit.Stable_store.t -> unit -> (t, string) result
+
+(** {2 Step 3: automatic member restart} *)
+
+(** The program name under which {!register_member_program} registers
+    the joinable member body with the remote execution service. *)
+val member_program : string
+
+(** [register_member_program ()] — call once per simulation before
+    enabling auto-restart. *)
+val register_member_program : unit -> unit
+
+(** [enable_auto_restart t] — the oldest member starts replacement
+    members (via the remote execution service) whenever the membership
+    falls below [nmembers].  The race the paper notes — a takeover
+    during restart producing extra members — resolves itself: extras
+    become hot standbys (Step 4). *)
+val enable_auto_restart : t -> unit
+
+(** [restart_from_log p ~store ()] rebuilds a member from its
+    checkpoint and log after a {e total} failure (Step 6) and recreates
+    the group. *)
+val restart_from_log :
+  Runtime.proc -> store:Toolkit.Stable_store.t -> (t, string) result
+
+(** [gid t] is the service group. *)
+val gid : t -> Addr.group_id
+
+(** [my_number t] is this member's current number (view rank). *)
+val my_number : t -> int option
+
+(** [nmembers t] is the configured active-member count. *)
+val nmembers : t -> int
+
+(** [set_nmembers t n] re-balances the decomposition at run time
+    (Step 7; one GBCAST via the configuration tool). *)
+val set_nmembers : t -> int -> unit
+
+(** [set_secret t category] starts a game round: subsequent query
+    answers are implicitly restricted to rows of this category. *)
+val set_secret : t -> string -> unit
+
+(** [db t] exposes the local replica (tests). *)
+val db : t -> Database.t

@@ -1,0 +1,1 @@
+lib/util/vclock.ml: Array Format List Printf String

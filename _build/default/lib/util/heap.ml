@@ -1,0 +1,93 @@
+type 'a entry = { value : 'a; seq : int }
+
+type 'a t = {
+  compare : 'a -> 'a -> int;
+  mutable data : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create ~compare = { compare; data = [||]; size = 0; next_seq = 0 }
+
+let length h = h.size
+let is_empty h = h.size = 0
+
+(* Stable ordering: fall back to insertion sequence on ties. *)
+let entry_lt h a b =
+  let c = h.compare a.value b.value in
+  c < 0 || (c = 0 && a.seq < b.seq)
+
+let grow h =
+  let cap = Array.length h.data in
+  let new_cap = if cap = 0 then 16 else cap * 2 in
+  (* The dummy slot is never read: size bounds all accesses. *)
+  let dummy = h.data.(0) in
+  let data = Array.make new_cap dummy in
+  Array.blit h.data 0 data 0 h.size;
+  h.data <- data
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if entry_lt h h.data.(i) h.data.(parent) then begin
+      let tmp = h.data.(i) in
+      h.data.(i) <- h.data.(parent);
+      h.data.(parent) <- tmp;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < h.size && entry_lt h h.data.(l) h.data.(!smallest) then smallest := l;
+  if r < h.size && entry_lt h h.data.(r) h.data.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    let tmp = h.data.(i) in
+    h.data.(i) <- h.data.(!smallest);
+    h.data.(!smallest) <- tmp;
+    sift_down h !smallest
+  end
+
+let push h x =
+  let e = { value = x; seq = h.next_seq } in
+  h.next_seq <- h.next_seq + 1;
+  if h.size = 0 && Array.length h.data = 0 then h.data <- Array.make 16 e;
+  if h.size = Array.length h.data then grow h;
+  h.data.(h.size) <- e;
+  h.size <- h.size + 1;
+  sift_up h (h.size - 1)
+
+let peek h = if h.size = 0 then None else Some h.data.(0).value
+
+let pop h =
+  if h.size = 0 then None
+  else begin
+    let top = h.data.(0).value in
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      h.data.(0) <- h.data.(h.size);
+      sift_down h 0
+    end;
+    Some top
+  end
+
+let pop_exn h =
+  match pop h with
+  | Some v -> v
+  | None -> invalid_arg "Heap.pop_exn: empty heap"
+
+let clear h = h.size <- 0
+
+let to_list h =
+  let rec loop i acc = if i < 0 then acc else loop (i - 1) (h.data.(i).value :: acc) in
+  loop (h.size - 1) []
+
+let remove_if h pred =
+  let kept = List.filter (fun v -> not (pred v)) (to_list h) in
+  let removed = h.size - List.length kept in
+  if removed > 0 then begin
+    h.size <- 0;
+    List.iter (push h) kept
+  end;
+  removed

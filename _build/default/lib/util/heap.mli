@@ -1,0 +1,39 @@
+(** Imperative binary min-heap.
+
+    Used for the simulator event queue and for priority-ordered delivery
+    queues in the ABCAST protocol.  Ties are broken by insertion order
+    (the heap is stable), which the event queue relies on for
+    determinism. *)
+
+type 'a t
+
+(** [create ~compare] returns an empty heap ordered by [compare]
+    (smallest element first). *)
+val create : compare:('a -> 'a -> int) -> 'a t
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+(** [push h x] inserts [x]. *)
+val push : 'a t -> 'a -> unit
+
+(** [peek h] returns the minimum element without removing it. *)
+val peek : 'a t -> 'a option
+
+(** [pop h] removes and returns the minimum element. *)
+val pop : 'a t -> 'a option
+
+(** [pop_exn h] is [pop] raising [Invalid_argument] when empty. *)
+val pop_exn : 'a t -> 'a
+
+(** [clear h] removes all elements. *)
+val clear : 'a t -> unit
+
+(** [to_list h] returns all elements in unspecified order (heap order,
+    not sorted).  For diagnostics. *)
+val to_list : 'a t -> 'a list
+
+(** [remove_if h pred] removes every element satisfying [pred] and
+    returns how many were removed.  O(n log n); used only on small heaps
+    (cancelling timers). *)
+val remove_if : 'a t -> ('a -> bool) -> int

@@ -1,0 +1,44 @@
+type 'a t = {
+  data : 'a option array;
+  mutable start : int; (* index of the oldest element *)
+  mutable len : int;
+  mutable lost : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Ring.create: capacity must be positive";
+  { data = Array.make capacity None; start = 0; len = 0; lost = 0 }
+
+let capacity t = Array.length t.data
+let length t = t.len
+let evicted t = t.lost
+
+let push t x =
+  let cap = capacity t in
+  if t.len = cap then begin
+    (* overwrite the oldest *)
+    t.data.(t.start) <- Some x;
+    t.start <- (t.start + 1) mod cap;
+    t.lost <- t.lost + 1
+  end
+  else begin
+    t.data.((t.start + t.len) mod cap) <- Some x;
+    t.len <- t.len + 1
+  end
+
+let iter t f =
+  for i = 0 to t.len - 1 do
+    match t.data.((t.start + i) mod capacity t) with
+    | Some x -> f x
+    | None -> ()
+  done
+
+let to_list t =
+  let acc = ref [] in
+  iter t (fun x -> acc := x :: !acc);
+  List.rev !acc
+
+let clear t =
+  Array.fill t.data 0 (Array.length t.data) None;
+  t.start <- 0;
+  t.len <- 0

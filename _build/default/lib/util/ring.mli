@@ -1,0 +1,31 @@
+(** Bounded ring buffer.
+
+    Keeps the most recent [capacity] elements; older ones are silently
+    evicted.  The trace facility uses one so that long simulations with
+    tracing enabled hold a bounded tail of records rather than the
+    whole history. *)
+
+type 'a t
+
+(** [create ~capacity] makes an empty ring.
+    @raise Invalid_argument if [capacity <= 0]. *)
+val create : capacity:int -> 'a t
+
+val capacity : 'a t -> int
+
+(** [length t] is the number of retained elements ([<= capacity]). *)
+val length : 'a t -> int
+
+(** [push t x] appends [x], evicting the oldest element when full. *)
+val push : 'a t -> 'a -> unit
+
+(** [evicted t] counts elements lost to eviction since creation. *)
+val evicted : 'a t -> int
+
+(** [to_list t] returns the retained elements, oldest first. *)
+val to_list : 'a t -> 'a list
+
+(** [iter t f] applies [f] oldest first. *)
+val iter : 'a t -> ('a -> unit) -> unit
+
+val clear : 'a t -> unit

@@ -1,0 +1,53 @@
+(** Deterministic pseudo-random number generation.
+
+    Every source of randomness in the simulator flows through a [Rng.t] so
+    that a run is exactly reproducible from its seed.  The generator is
+    splitmix64, which is fast, has a 64-bit state, and supports cheap
+    stream splitting ({!split}) so independent subsystems can draw from
+    statistically independent streams without sharing state. *)
+
+type t
+
+(** [create seed] returns a fresh generator.  Equal seeds yield equal
+    streams. *)
+val create : int64 -> t
+
+(** [split t] derives a new, independent generator from [t], advancing
+    [t].  Use one stream per subsystem (network loss, scheduling jitter,
+    workloads) so adding draws in one place does not perturb another. *)
+val split : t -> t
+
+(** [copy t] duplicates the current state (same future stream). *)
+val copy : t -> t
+
+(** [bits64 t] returns 64 uniformly distributed bits. *)
+val bits64 : t -> int64
+
+(** [int t bound] returns a uniform integer in [\[0, bound)].
+    @raise Invalid_argument if [bound <= 0]. *)
+val int : t -> int -> int
+
+(** [int_in t lo hi] returns a uniform integer in [\[lo, hi\]] inclusive.
+    @raise Invalid_argument if [hi < lo]. *)
+val int_in : t -> int -> int -> int
+
+(** [float t bound] returns a uniform float in [\[0, bound)]. *)
+val float : t -> float -> float
+
+(** [bool t] returns a uniform boolean. *)
+val bool : t -> bool
+
+(** [bernoulli t p] returns [true] with probability [p] (clamped to
+    [\[0,1\]]). *)
+val bernoulli : t -> float -> bool
+
+(** [exponential t ~mean] samples an exponential distribution with the
+    given mean (used for Poisson arrival processes in workloads). *)
+val exponential : t -> mean:float -> float
+
+(** [shuffle t arr] permutes [arr] in place, uniformly. *)
+val shuffle : t -> 'a array -> unit
+
+(** [choose t lst] picks a uniform element of [lst].
+    @raise Invalid_argument on an empty list. *)
+val choose : t -> 'a list -> 'a

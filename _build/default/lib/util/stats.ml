@@ -1,0 +1,95 @@
+module Summary = struct
+  type t = {
+    mutable samples : float list;
+    mutable n : int;
+    mutable sum : float;
+    mutable sumsq : float;
+    mutable mn : float;
+    mutable mx : float;
+    mutable sorted : float array option; (* cache invalidated by add *)
+  }
+
+  let create () =
+    { samples = []; n = 0; sum = 0.0; sumsq = 0.0; mn = infinity; mx = neg_infinity; sorted = None }
+
+  let add t x =
+    t.samples <- x :: t.samples;
+    t.n <- t.n + 1;
+    t.sum <- t.sum +. x;
+    t.sumsq <- t.sumsq +. (x *. x);
+    if x < t.mn then t.mn <- x;
+    if x > t.mx then t.mx <- x;
+    t.sorted <- None
+
+  let count t = t.n
+  let mean t = if t.n = 0 then nan else t.sum /. float_of_int t.n
+  let min t = if t.n = 0 then nan else t.mn
+  let max t = if t.n = 0 then nan else t.mx
+
+  let stddev t =
+    if t.n < 2 then 0.0
+    else
+      let m = mean t in
+      sqrt (Float.max 0.0 ((t.sumsq /. float_of_int t.n) -. (m *. m)))
+
+  let sorted t =
+    match t.sorted with
+    | Some a -> a
+    | None ->
+      let a = Array.of_list t.samples in
+      Array.sort Float.compare a;
+      t.sorted <- Some a;
+      a
+
+  let percentile t p =
+    if t.n = 0 then nan
+    else begin
+      let a = sorted t in
+      let p = Float.max 0.0 (Float.min 100.0 p) in
+      let rank = int_of_float (ceil (p /. 100.0 *. float_of_int t.n)) in
+      let idx = Stdlib.max 0 (Stdlib.min (t.n - 1) (rank - 1)) in
+      a.(idx)
+    end
+
+  let clear t =
+    t.samples <- [];
+    t.n <- 0;
+    t.sum <- 0.0;
+    t.sumsq <- 0.0;
+    t.mn <- infinity;
+    t.mx <- neg_infinity;
+    t.sorted <- None
+
+  let pp ppf t =
+    if t.n = 0 then Format.fprintf ppf "(no samples)"
+    else
+      Format.fprintf ppf "n=%d mean=%.2f min=%.2f p50=%.2f p99=%.2f max=%.2f" t.n (mean t)
+        (min t) (percentile t 50.0) (percentile t 99.0) (max t)
+end
+
+module Counter = struct
+  type t = (string, int) Hashtbl.t
+
+  let create () : t = Hashtbl.create 32
+
+  let add t name n =
+    let cur = Option.value ~default:0 (Hashtbl.find_opt t name) in
+    Hashtbl.replace t name (cur + n)
+
+  let incr t name = add t name 1
+  let get t name = Option.value ~default:0 (Hashtbl.find_opt t name)
+
+  let to_list t =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) t []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+  let clear = Hashtbl.reset
+
+  let snapshot t = Hashtbl.copy t
+
+  let diff later earlier =
+    to_list later
+    |> List.filter_map (fun (k, v) ->
+           let d = v - get earlier k in
+           if d = 0 then None else Some (k, d))
+end

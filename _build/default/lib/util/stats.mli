@@ -1,0 +1,51 @@
+(** Online statistics used by the benchmark harness.
+
+    {!Summary} accumulates scalar samples (latencies, sizes) and reports
+    count / mean / min / max / percentiles.  {!Counter} is a named
+    monotone counter set; the Table-I experiment uses counters to tally
+    multicasts per toolkit routine. *)
+
+module Summary : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  val min : t -> float
+  val max : t -> float
+  val stddev : t -> float
+
+  (** [percentile t p] with [p] in [\[0,100\]]; nearest-rank on the
+      sorted samples.  Returns [nan] when empty. *)
+  val percentile : t -> float -> float
+
+  val clear : t -> unit
+  val pp : Format.formatter -> t -> unit
+end
+
+module Counter : sig
+  type t
+
+  val create : unit -> t
+
+  (** [incr t name] adds 1 to counter [name] (creating it at 0). *)
+  val incr : t -> string -> unit
+
+  (** [add t name n] adds [n]. *)
+  val add : t -> string -> int -> unit
+
+  val get : t -> string -> int
+
+  (** [to_list t] returns all (name, value) pairs sorted by name. *)
+  val to_list : t -> (string * int) list
+
+  val clear : t -> unit
+
+  (** [diff later earlier] is the per-name difference (names present in
+      [later] only are kept with their full value). *)
+  val diff : t -> t -> (string * int) list
+
+  (** [snapshot t] copies the current values. *)
+  val snapshot : t -> t
+end

@@ -1,0 +1,59 @@
+type t = int array
+
+let create n =
+  if n < 0 then invalid_arg "Vclock.create: negative dimension";
+  Array.make n 0
+
+let dim t = Array.length t
+
+let get t i =
+  if i < 0 || i >= Array.length t then invalid_arg "Vclock.get: index out of range";
+  t.(i)
+
+let incr t i =
+  if i < 0 || i >= Array.length t then invalid_arg "Vclock.incr: index out of range";
+  t.(i) <- t.(i) + 1
+
+let copy = Array.copy
+
+let check_dims name a b =
+  if Array.length a <> Array.length b then
+    invalid_arg (Printf.sprintf "Vclock.%s: dimension mismatch (%d vs %d)" name (Array.length a) (Array.length b))
+
+let merge a b =
+  check_dims "merge" a b;
+  for i = 0 to Array.length a - 1 do
+    if b.(i) > a.(i) then a.(i) <- b.(i)
+  done
+
+let leq a b =
+  check_dims "leq" a b;
+  let rec loop i = i >= Array.length a || (a.(i) <= b.(i) && loop (i + 1)) in
+  loop 0
+
+let equal a b = Array.length a = Array.length b && leq a b && leq b a
+
+let compare_causal a b =
+  let ab = leq a b and ba = leq b a in
+  match ab, ba with
+  | true, true -> `Equal
+  | true, false -> `Before
+  | false, true -> `After
+  | false, false -> `Concurrent
+
+let deliverable ~msg ~local ~sender =
+  check_dims "deliverable" msg local;
+  if sender < 0 || sender >= Array.length msg then
+    invalid_arg "Vclock.deliverable: sender rank out of range";
+  let rec loop i =
+    if i >= Array.length msg then true
+    else if i = sender then msg.(i) = local.(i) + 1 && loop (i + 1)
+    else msg.(i) <= local.(i) && loop (i + 1)
+  in
+  loop 0
+
+let to_list = Array.to_list
+let of_list = Array.of_list
+
+let pp ppf t =
+  Format.fprintf ppf "[%s]" (String.concat ";" (List.map string_of_int (to_list t)))

@@ -1,0 +1,53 @@
+(** Vector clocks.
+
+    CBCAST's causal-delivery test uses one vector-timestamp component per
+    group member, indexed by that member's rank in the current view
+    (ranks are dense and stable within a view, and view changes flush the
+    group, so clocks never need to survive a view change). *)
+
+type t
+
+(** [create n] returns the zero vector of dimension [n]. *)
+val create : int -> t
+
+val dim : t -> int
+
+(** [get t i] is component [i].  @raise Invalid_argument when out of
+    range. *)
+val get : t -> int -> int
+
+(** [incr t i] bumps component [i] in place. *)
+val incr : t -> int -> unit
+
+(** [copy t] is an independent duplicate. *)
+val copy : t -> t
+
+(** [merge a b] sets [a] to the component-wise maximum of [a] and [b].
+    @raise Invalid_argument on dimension mismatch. *)
+val merge : t -> t -> unit
+
+(** [leq a b] is true when every component of [a] is [<=] the matching
+    component of [b] (the "happened-before-or-equal" partial order). *)
+val leq : t -> t -> bool
+
+(** [equal a b] is component-wise equality. *)
+val equal : t -> t -> bool
+
+(** [compare_causal a b] classifies the causal relation between events
+    stamped [a] and [b]. *)
+val compare_causal : t -> t -> [ `Before | `After | `Equal | `Concurrent ]
+
+(** [deliverable ~msg ~local ~sender] is the CBCAST delivery test: a
+    message stamped [msg] from the member with rank [sender] is
+    deliverable at a process whose clock is [local] iff
+    [msg.(sender) = local.(sender) + 1] and [msg.(k) <= local.(k)] for
+    every other [k]. *)
+val deliverable : msg:t -> local:t -> sender:int -> bool
+
+(** [to_list t] lists the components, lowest rank first. *)
+val to_list : t -> int list
+
+(** [of_list l] builds a clock from components. *)
+val of_list : int list -> t
+
+val pp : Format.formatter -> t -> unit

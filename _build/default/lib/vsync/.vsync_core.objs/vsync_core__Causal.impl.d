@@ -1,0 +1,1 @@
+lib/vsync/causal.ml: List Types Uid_set Vsync_util

@@ -1,0 +1,1 @@
+lib/vsync/causal.mli: Types Vsync_util

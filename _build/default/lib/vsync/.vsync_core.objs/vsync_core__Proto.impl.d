@@ -1,0 +1,1 @@
+lib/vsync/proto.ml: Format List String Types View Vsync_msg

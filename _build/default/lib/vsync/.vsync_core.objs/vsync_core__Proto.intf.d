@@ -1,0 +1,1 @@
+lib/vsync/proto.mli: Format Types View Vsync_msg

@@ -1,0 +1,1 @@
+lib/vsync/runtime.ml: Causal Hashtbl List Option Printf Proto String Total Types Uid_map Uid_set View Vsync_msg Vsync_sim Vsync_tasks Vsync_transport Vsync_util

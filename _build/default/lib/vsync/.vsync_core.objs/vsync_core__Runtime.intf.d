@@ -1,0 +1,1 @@
+lib/vsync/runtime.mli: Types View Vsync_msg Vsync_sim Vsync_transport Vsync_util

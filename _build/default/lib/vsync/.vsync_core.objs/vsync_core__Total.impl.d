@@ -1,0 +1,1 @@
+lib/vsync/total.ml: List Types Uid_map Uid_set

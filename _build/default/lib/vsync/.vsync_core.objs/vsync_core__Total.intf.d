@@ -1,0 +1,1 @@
+lib/vsync/total.mli: Types

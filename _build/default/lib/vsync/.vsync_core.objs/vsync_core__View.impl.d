@@ -1,0 +1,1 @@
+lib/vsync/view.ml: Format List Vsync_msg

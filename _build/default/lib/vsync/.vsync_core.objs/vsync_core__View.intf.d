@@ -1,0 +1,1 @@
+lib/vsync/view.mli: Format Vsync_msg

@@ -1,0 +1,1 @@
+lib/vsync/world.ml: Array List Option Runtime Vsync_sim Vsync_util

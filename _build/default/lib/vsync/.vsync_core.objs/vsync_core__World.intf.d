@@ -1,0 +1,1 @@
+lib/vsync/world.mli: Runtime Vsync_sim

@@ -1,0 +1,86 @@
+open Types
+module Vclock = Vsync_util.Vclock
+
+type 'a waiting = { uid : uid; rank : int; vt : Vclock.t; payload : 'a }
+
+type 'a t = {
+  local : Vclock.t;
+  mutable delayed : 'a waiting list; (* arrival order *)
+  mutable ready : (uid * 'a) list; (* reversed: newest first *)
+  mutable known : Uid_set.t; (* every uid ever received *)
+}
+
+let create ~n_ranks () =
+  { local = Vclock.create n_ranks; delayed = []; ready = []; known = Uid_set.empty }
+
+let stamp t ~rank =
+  Vclock.incr t.local rank;
+  Vclock.copy t.local
+
+let seen t uid = Uid_set.mem uid t.known
+
+let note_sent t uid = t.known <- Uid_set.add uid t.known
+
+(* After the local clock advances, some delayed messages may have become
+   deliverable; iterate to a fixed point. *)
+let rec promote t =
+  let deliverable, still =
+    List.partition (fun w -> Vclock.deliverable ~msg:w.vt ~local:t.local ~sender:w.rank) t.delayed
+  in
+  match deliverable with
+  | [] -> ()
+  | _ ->
+    List.iter
+      (fun w ->
+        Vclock.merge t.local w.vt;
+        t.ready <- (w.uid, w.payload) :: t.ready)
+      deliverable;
+    t.delayed <- still;
+    promote t
+
+let receive t ~uid ~rank ~vt payload =
+  if not (seen t uid) then begin
+    t.known <- Uid_set.add uid t.known;
+    if Vclock.deliverable ~msg:vt ~local:t.local ~sender:rank then begin
+      Vclock.merge t.local vt;
+      t.ready <- (uid, payload) :: t.ready;
+      promote t
+    end
+    else t.delayed <- t.delayed @ [ { uid; rank; vt; payload } ]
+  end
+
+let receive_fifo t ~uid payload =
+  if not (seen t uid) then begin
+    t.known <- Uid_set.add uid t.known;
+    t.ready <- (uid, payload) :: t.ready
+  end
+
+let drain t =
+  let out = List.rev t.ready in
+  t.ready <- [];
+  out
+
+let pending t = List.map (fun w -> (w.uid, w.payload)) t.delayed
+
+let clock t = t.local
+
+let force_drain t =
+  promote t;
+  (* Whatever remains has causal gaps that stabilization could not fill
+     (predecessors from dead senders that reached no one).  Deliver in a
+     deterministic order so every site agrees. *)
+  let stragglers =
+    List.sort
+      (fun a b ->
+        match compare (Vclock.to_list a.vt) (Vclock.to_list b.vt) with
+        | 0 -> uid_compare a.uid b.uid
+        | c -> c)
+      t.delayed
+  in
+  List.iter
+    (fun w ->
+      Vclock.merge t.local w.vt;
+      t.ready <- (w.uid, w.payload) :: t.ready)
+    stragglers;
+  t.delayed <- [];
+  drain t

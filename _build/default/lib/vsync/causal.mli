@@ -1,0 +1,69 @@
+(** CBCAST delivery engine (one instance per group, per site, per view).
+
+    Implements the causal delivery rule with vector timestamps: one
+    component per group member, indexed by view rank.  A message from
+    the member with rank [r] carrying timestamp [vt] is delayed until
+    [vt.(r) = local.(r) + 1] and [vt.(k) <= local.(k)] for [k <> r] —
+    i.e. until every multicast that causally precedes it has been
+    delivered here.
+
+    Multicasts from {e non-members} (clients) carry no timestamp: they
+    are delivered on arrival, relying on the transport's per-channel
+    FIFO order.  This preserves the guarantee the paper's examples
+    need — requests originating from the same client are processed in
+    the same order at all copies — while cross-client causality through
+    hidden channels is not tracked (full ISIS piggybacking is out of
+    scope; see DESIGN.md).
+
+    View changes flush the group, so an engine never survives a view:
+    the runtime discards it and creates a fresh one sized to the new
+    membership. *)
+
+open Types
+
+type 'a t
+
+(** [create ~n_ranks ()] returns an engine for a view with [n_ranks]
+    members, clock at zero. *)
+val create : n_ranks:int -> unit -> 'a t
+
+(** [stamp t ~rank] — sender side.  Advances the sender's own component
+    and returns a copy of the clock to attach to the outgoing message.
+    The sender should deliver its own message locally at stamp time. *)
+val stamp : _ t -> rank:int -> Vsync_util.Vclock.t
+
+(** [note_sent t uid] records a locally-originated (and locally
+    delivered) multicast so that a copy re-injected during a
+    view-change flush is recognized as a duplicate. *)
+val note_sent : _ t -> uid -> unit
+
+(** [receive t ~uid ~rank ~vt payload] — receiver side, member-sent
+    message.  Buffers or readies the message; duplicates (same [uid])
+    are ignored. *)
+val receive : 'a t -> uid:uid -> rank:int -> vt:Vsync_util.Vclock.t -> 'a -> unit
+
+(** [receive_fifo t ~uid payload] — receiver side, client-sent message
+    (no causal gating). *)
+val receive_fifo : 'a t -> uid:uid -> 'a -> unit
+
+(** [drain t] returns every message now deliverable, in delivery order,
+    advancing the clock.  Call after each [receive]. *)
+val drain : 'a t -> (uid * 'a) list
+
+(** [force_drain t] — used at the end of a view-change flush, after
+    stabilization has filled all gaps: delivers everything still
+    pending, respecting causal order among deliverable messages and
+    falling back to (timestamp, uid) order if gating cannot be
+    satisfied (possible only for messages from failed senders whose
+    predecessors died with them). *)
+val force_drain : 'a t -> (uid * 'a) list
+
+(** [pending t] lists messages still delayed (diagnostics). *)
+val pending : 'a t -> (uid * 'a) list
+
+(** [seen t uid] is true when [uid] was received (delivered or
+    pending). *)
+val seen : _ t -> uid -> bool
+
+(** [clock t] is the current local clock (not a copy; do not mutate). *)
+val clock : _ t -> Vsync_util.Vclock.t

@@ -1,0 +1,182 @@
+open Types
+module Addr = Vsync_msg.Addr
+module Message = Vsync_msg.Message
+
+type stored =
+  | Scb of { uid : uid; rank : int; vt : int list option; body : Message.t }
+  | Sab of { uid : uid; prio : prio; body : Message.t }
+
+let stored_uid = function Scb { uid; _ } -> uid | Sab { uid; _ } -> uid
+
+type ab_report = {
+  ab_uid : uid;
+  ab_prio : prio;
+  ab_committed : bool;
+  ab_origin : int;
+}
+
+type frame =
+  | Cb_data of {
+      group : Addr.group_id;
+      view_id : int;
+      uid : uid;
+      rank : int;
+      vt : int list option;
+      body : Message.t;
+    }
+  | Ab_data of { group : Addr.group_id; view_id : int; uid : uid; body : Message.t }
+  | Ab_prio of { group : Addr.group_id; view_id : int; uid : uid; prio : prio }
+  | Ab_commit of { group : Addr.group_id; view_id : int; uid : uid; prio : prio }
+  | Deliver_ack of { group : Addr.group_id; uid : uid }
+  | Stable of { group : Addr.group_id; uid : uid }
+  | Ptp of { dest : Addr.proc; body : Message.t }
+  | Obligation_failed of { session : int; responder : Addr.proc }
+  | Join_req of { group : Addr.group_id; joiner : Addr.proc; credentials : Message.t }
+  | Join_refused of { group : Addr.group_id; joiner : Addr.proc; reason : string }
+  | Leave_req of { group : Addr.group_id; who : Addr.proc }
+  | Proc_failed of { group : Addr.group_id; who : Addr.proc }
+  | Gb_req of { group : Addr.group_id; uid : uid; body : Message.t }
+  | Wedge of { group : Addr.group_id; view_id : int; attempt : int; coord_site : int }
+  | Wedge_ack of {
+      group : Addr.group_id;
+      view_id : int;
+      attempt : int;
+      from_site : int;
+      cb_known : uid list;
+      ab_report : ab_report list;
+      ab_counter : int;
+          (* priority floor for coordinator-assigned finals *)
+      already_committed : frame option;
+          (* the Commit this site already applied for this view change,
+             when a prior coordinator died after partially committing *)
+    }
+  | Fetch of { group : Addr.group_id; view_id : int; attempt : int; uids : uid list }
+  | Fetch_reply of {
+      group : Addr.group_id;
+      view_id : int;
+      attempt : int;
+      from_site : int;
+      bodies : stored list;
+    }
+  | Commit of {
+      group : Addr.group_id;
+      view_id : int;
+      attempt : int;
+      stabilize : stored list;
+      ab_finalize : (uid * prio) list;
+      ab_drop : uid list;
+      events : View.change list;
+      new_view : View.t;
+      gname : string;
+      gb_bodies : (uid * Message.t) list;
+    }
+  | Dir_update of { name : string; group : Addr.group_id; sites : int list }
+  | Dir_query of { name : string; qid : int }
+  | Dir_reply of { qid : int; info : (string * Addr.group_id * int list) option }
+  | Relay of {
+      group : Addr.group_id;
+      mode : mode;
+      body : Message.t;
+      session : int option;
+      caller : Addr.proc;
+    }
+  | Relay_info of { session : int; responders : Addr.proc list }
+  | Site_hello of { site : int; epoch : int }
+
+(* Size model: a fixed frame header plus the natural encoded widths of
+   each component.  Application payloads use their true encoded size. *)
+
+let header = 16
+let sz_uid = 12
+let sz_prio = 8
+let sz_addr = 8
+let sz_int = 4
+
+let sz_vt = function None -> 1 | Some l -> 1 + (sz_int * List.length l)
+
+let sz_stored = function
+  | Scb { vt; body; _ } -> sz_uid + sz_int + sz_vt vt + Message.size body
+  | Sab { body; _ } -> sz_uid + sz_prio + Message.size body
+
+let sz_list f l = List.fold_left (fun acc x -> acc + f x) sz_int l
+
+let size = function
+  | Cb_data { vt; body; _ } -> header + sz_int + sz_uid + sz_int + sz_vt vt + Message.size body
+  | Ab_data { body; _ } -> header + sz_int + sz_uid + Message.size body
+  | Ab_prio _ | Ab_commit _ -> header + sz_int + sz_uid + sz_prio
+  | Deliver_ack _ | Stable _ -> header + sz_uid
+  | Ptp { body; _ } -> header + sz_addr + Message.size body
+  | Obligation_failed _ -> header + sz_int + sz_addr
+  | Join_req { credentials; _ } -> header + sz_addr + Message.size credentials
+  | Join_refused { reason; _ } -> header + sz_addr + String.length reason
+  | Leave_req _ | Proc_failed _ -> header + sz_addr
+  | Gb_req { body; _ } -> header + sz_uid + Message.size body
+  | Wedge _ -> header + (3 * sz_int)
+  | Wedge_ack { cb_known; ab_report; _ } ->
+    header + (3 * sz_int)
+    + sz_list (fun _ -> sz_uid) cb_known
+    + sz_list (fun _ -> sz_uid + sz_prio + 2) ab_report
+  | Fetch { uids; _ } -> header + (2 * sz_int) + sz_list (fun _ -> sz_uid) uids
+  | Fetch_reply { bodies; _ } -> header + (3 * sz_int) + sz_list sz_stored bodies
+  | Commit { stabilize; ab_finalize; ab_drop; events; new_view; gname; gb_bodies; _ } ->
+    header + (2 * sz_int) + String.length gname + sz_list sz_stored stabilize
+    + sz_list (fun _ -> sz_uid + sz_prio) ab_finalize
+    + sz_list (fun _ -> sz_uid) ab_drop
+    + sz_list (fun _ -> 1 + sz_addr) events
+    + (sz_int * 2)
+    + (sz_addr * View.n_members new_view)
+    + sz_list (fun (_, m) -> sz_uid + Message.size m) gb_bodies
+  | Dir_update { name; sites; _ } ->
+    header + String.length name + sz_int + sz_list (fun _ -> sz_int) sites
+  | Dir_query { name; _ } -> header + String.length name + sz_int
+  | Dir_reply { info; _ } -> (
+    header + sz_int
+    + match info with
+      | None -> 1
+      | Some (name, _, sites) -> String.length name + sz_int + sz_list (fun _ -> sz_int) sites)
+  | Relay { body; _ } -> header + sz_int + 1 + Message.size body + sz_addr + sz_int
+  | Relay_info { responders; _ } -> header + sz_int + sz_list (fun _ -> sz_addr) responders
+  | Site_hello _ -> header + (2 * sz_int)
+
+let pp ppf frame =
+  let g gid = Addr.group_to_int gid in
+  match frame with
+  | Cb_data { group; uid; rank; _ } ->
+    Format.fprintf ppf "Cb_data(g%d,%a,r%d)" (g group) pp_uid uid rank
+  | Ab_data { group; uid; _ } -> Format.fprintf ppf "Ab_data(g%d,%a)" (g group) pp_uid uid
+  | Ab_prio { group; uid; prio; _ } ->
+    Format.fprintf ppf "Ab_prio(g%d,%a,%a)" (g group) pp_uid uid pp_prio prio
+  | Ab_commit { group; uid; prio; _ } ->
+    Format.fprintf ppf "Ab_commit(g%d,%a,%a)" (g group) pp_uid uid pp_prio prio
+  | Deliver_ack { group; uid } -> Format.fprintf ppf "Deliver_ack(g%d,%a)" (g group) pp_uid uid
+  | Stable { group; uid } -> Format.fprintf ppf "Stable(g%d,%a)" (g group) pp_uid uid
+  | Ptp { dest; _ } -> Format.fprintf ppf "Ptp(->%a)" Addr.pp_proc dest
+  | Obligation_failed { session; responder } ->
+    Format.fprintf ppf "Obligation_failed(s%d,%a)" session Addr.pp_proc responder
+  | Join_req { group; joiner; _ } ->
+    Format.fprintf ppf "Join_req(g%d,%a)" (g group) Addr.pp_proc joiner
+  | Join_refused { group; joiner; _ } ->
+    Format.fprintf ppf "Join_refused(g%d,%a)" (g group) Addr.pp_proc joiner
+  | Leave_req { group; who } -> Format.fprintf ppf "Leave_req(g%d,%a)" (g group) Addr.pp_proc who
+  | Proc_failed { group; who } ->
+    Format.fprintf ppf "Proc_failed(g%d,%a)" (g group) Addr.pp_proc who
+  | Gb_req { group; uid; _ } -> Format.fprintf ppf "Gb_req(g%d,%a)" (g group) pp_uid uid
+  | Wedge { group; view_id; attempt; coord_site } ->
+    Format.fprintf ppf "Wedge(g%d,v%d,a%d,c%d)" (g group) view_id attempt coord_site
+  | Wedge_ack { group; view_id; attempt; from_site; _ } ->
+    Format.fprintf ppf "Wedge_ack(g%d,v%d,a%d,s%d)" (g group) view_id attempt from_site
+  | Fetch { group; uids; _ } ->
+    Format.fprintf ppf "Fetch(g%d,%d uids)" (g group) (List.length uids)
+  | Fetch_reply { group; bodies; _ } ->
+    Format.fprintf ppf "Fetch_reply(g%d,%d bodies)" (g group) (List.length bodies)
+  | Commit { group; view_id; new_view; events; gb_bodies; _ } ->
+    Format.fprintf ppf "Commit(g%d,v%d->v%d,%d events,%d gb)" (g group) view_id
+      new_view.View.view_id (List.length events) (List.length gb_bodies)
+  | Dir_update { name; group; _ } -> Format.fprintf ppf "Dir_update(%s=g%d)" name (g group)
+  | Dir_query { name; qid } -> Format.fprintf ppf "Dir_query(%s,q%d)" name qid
+  | Dir_reply { qid; info } ->
+    Format.fprintf ppf "Dir_reply(q%d,%s)" qid (match info with Some _ -> "hit" | None -> "miss")
+  | Relay { group; mode; _ } -> Format.fprintf ppf "Relay(g%d,%a)" (g group) pp_mode mode
+  | Relay_info { session; responders } ->
+    Format.fprintf ppf "Relay_info(s%d,%d resp)" session (List.length responders)
+  | Site_hello { site; epoch } -> Format.fprintf ppf "Site_hello(s%d,e%d)" site epoch

@@ -1,0 +1,2020 @@
+open Types
+module Addr = Vsync_msg.Addr
+module Entry = Vsync_msg.Entry
+module Message = Vsync_msg.Message
+module Engine = Vsync_sim.Engine
+module Net = Vsync_sim.Net
+module Trace = Vsync_sim.Trace
+module Sched = Vsync_tasks.Sched
+module Ivar = Vsync_tasks.Ivar
+module Condition = Vsync_tasks.Condition
+module Endpoint = Vsync_transport.Endpoint
+module Stats = Vsync_util.Stats
+
+type config = {
+  cpu_send_us : int;
+  cpu_recv_us : int;
+  cpu_us_per_kb : int;
+  cpu_us_per_extra_packet : int;
+  clock_offset_us : int;
+  endpoint : Endpoint.config;
+}
+
+let default_config =
+  {
+    cpu_send_us = 6_000;
+    cpu_recv_us = 5_000;
+    cpu_us_per_kb = 700;
+    cpu_us_per_extra_packet = 8_000;
+    clock_offset_us = 0;
+    endpoint = Endpoint.default_config;
+  }
+
+(* System fields riding on application messages (in addition to the
+   $sender/$session/$entry fields managed by Vsync_msg.Message). *)
+let f_want = "$want"
+let f_mode = "$mode"
+let f_is_reply = "$is_reply"
+let f_null = "$null"
+let f_pg_kill = "$pg_kill"
+
+let mode_to_int = function Cbcast -> 0 | Abcast -> 1 | Gbcast -> 2
+
+let mode_of_int = function 0 -> Some Cbcast | 1 -> Some Abcast | 2 -> Some Gbcast | _ -> None
+
+let want_to_int = function No_reply -> 0 | Wait_all -> -1 | Wait_n n -> n
+let want_of_int = function 0 -> No_reply | -1 -> Wait_all | n -> Wait_n n
+
+type outcome =
+  | Replies of (Addr.proc * Message.t) list
+  | All_failed
+
+type proc = {
+  puid : int; (* globally unique across all runtimes and simulations *)
+  addr : Addr.proc;
+  pname : string;
+  rt : t;
+  sched : Sched.t;
+  entries : (Entry.t, Message.t -> unit) Hashtbl.t;
+  mutable filters : (Message.t -> bool) list;
+  mutable palive : bool;
+  mutable memberships : int list; (* gids *)
+  mutable outstanding : Uid_set.t;
+  mutable pending_inits : int;
+      (* multicasts accepted by bcast but not yet through the CPU queue:
+         flush must wait for these too *)
+  flushers : Condition.t;
+}
+
+and group = {
+  gid : Addr.group_id;
+  gname : string;
+  mutable view : View.t;
+  mutable causal : Message.t Causal.t;
+  mutable total : Message.t Total.t;
+  mutable store : Proto.stored Uid_map.t;
+  mutable wedge : wedge_state option;
+  mutable blocked_sends : (unit -> unit) list; (* newest first *)
+  mutable g_monitors : (proc * (View.t -> View.change list -> unit)) list;
+  mutable join_validator : (proc * (Addr.proc -> Message.t -> bool)) option;
+  mutable suspects : int list;
+  mutable pending_events : pending_event list; (* oldest first *)
+  mutable change : change_state option;
+  mutable last_attempt : int;
+  mutable last_commit : Proto.frame option;
+}
+
+and wedge_state = { w_attempt : int; w_coord : int }
+
+and pending_event =
+  | Ev_join of Addr.proc * Message.t
+  | Ev_leave of Addr.proc
+  | Ev_fail of Addr.proc
+  | Ev_gb of uid * Message.t
+
+and change_state = {
+  c_attempt : int;
+  c_batch : pending_event list;
+  c_sites : int list; (* wedge set, incl. self *)
+  mutable c_acks : (int * ack_info) list;
+  mutable c_fetch_wait : int list;
+  mutable c_fetched : Proto.stored list;
+  mutable c_committed : bool;
+      (* the commit is on the wire; the change record stays until our
+         own copy is applied, so no new change starts against the
+         retiring view *)
+}
+
+and ack_info = {
+  a_cb_known : uid list;
+  a_ab_report : Proto.ab_report list;
+  a_ab_counter : int;
+  a_already : Proto.frame option;
+}
+
+and session_state = {
+  sess_id : int;
+  swant : want;
+  mutable replies : (Addr.proc * Message.t) list; (* newest first *)
+  mutable nulls : Addr.proc list;
+  mutable sfailed : Addr.proc list;
+  mutable responders : Addr.proc list option;
+  mutable relay_site : int option;
+  done_ivar : outcome Ivar.t;
+  mutable mon_sites : int list;
+}
+
+and unstable = {
+  mutable remaining : int list;
+  u_owner : proc option;
+  u_group : Addr.group_id;
+  u_dests : int list;
+}
+
+and ab_collect = {
+  ac_group : Addr.group_id;
+  mutable ac_expect : int list; (* sites still to propose *)
+  mutable ac_max : prio;
+}
+
+and t = {
+  fab : fabric;
+  my_site : int;
+  cfg : config;
+  eng : Engine.t;
+  tracer : Trace.t;
+  mutable ep : Proto.frame Endpoint.t option; (* set right after create *)
+  ctrs : Stats.Counter.t;
+  mutable running : bool;
+  mutable next_proc_idx : int;
+  mutable next_useq : int;
+  mutable next_session : int;
+  mutable next_qid : int;
+  procs : (int, proc) Hashtbl.t;
+  groups : (int, group) Hashtbl.t;
+  held : (int, Proto.frame list) Hashtbl.t; (* gid -> future-view frames, newest first *)
+  dir : (string, Addr.group_id * int list) Hashtbl.t;
+  contacts : (int, int list) Hashtbl.t;
+  sessions : (int, session_state) Hashtbl.t;
+  obligations : (int, (int * Addr.proc) list) Hashtbl.t; (* responder idx -> obligations *)
+  dir_queries : (int, int ref * (Addr.group_id * int list) option Ivar.t) Hashtbl.t;
+  unstables : (uid, unstable) Hashtbl.t;
+  ab_collects : (uid, ab_collect) Hashtbl.t;
+  join_waiters : (int * int, (unit, string) result Ivar.t) Hashtbl.t; (* gid, proc idx *)
+  leave_waiters : (int * int, unit Ivar.t) Hashtbl.t;
+  mutable site_watchers : ([ `Down of int | `Up of int ] -> unit) list;
+  mon_refs : (int, int) Hashtbl.t;
+  mutable cpu_free : Engine.time;
+  mutable cpu_busy : int;
+}
+
+and fabric = {
+  fnet : Net.t;
+  ep_fabric : Proto.frame Endpoint.fabric;
+}
+
+let make_fabric net = { fnet = net; ep_fabric = Endpoint.fabric net }
+let fabric_net f = f.fnet
+
+let site t = t.my_site
+let engine t = t.eng
+let alive t = t.running
+let counters t = t.ctrs
+let trace t = t.tracer
+let cpu_busy_us t = t.cpu_busy
+
+(* The site's local wall clock: true simulation time plus this site's
+   (unknown to it) offset.  The real-time tool's clock synchronization
+   estimates and cancels the offsets. *)
+let local_time_us t = Engine.now t.eng + t.cfg.clock_offset_us
+
+let uptime_utilization t =
+  let now = Engine.now t.eng in
+  if now = 0 then 0.0 else float_of_int t.cpu_busy /. float_of_int now
+
+let gi = Addr.group_to_int
+
+let endpoint t =
+  match t.ep with Some e -> e | None -> invalid_arg "Runtime: endpoint not wired"
+
+(* --- CPU model: one processor per site, FIFO service --- *)
+
+(* Per-operation CPU cost: a fixed protocol cost, a copy cost
+   proportional to the bytes handled (1987 kernels copied buffers
+   several times), and a per-packet cost for every 4 KB fragment beyond
+   the first — the paper: "the sharp rise in latency between message
+   sizes of 1kbytes and 10kbytes occurs because large inter-site
+   messages are fragmented into 4kbyte packets". *)
+let cpu_cost t base bytes =
+  let max_packet = (Net.config t.fab.fnet).Net.max_packet_bytes in
+  let extra_packets = if bytes <= max_packet then 0 else ((bytes - 1) / max_packet) in
+  base + (bytes * t.cfg.cpu_us_per_kb / 1024) + (extra_packets * t.cfg.cpu_us_per_extra_packet)
+
+let on_cpu t cost k =
+  let now = Engine.now t.eng in
+  let start = if t.cpu_free > now then t.cpu_free else now in
+  let finish = start + cost in
+  t.cpu_free <- finish;
+  t.cpu_busy <- t.cpu_busy + cost;
+  ignore (Engine.schedule_at t.eng finish (fun () -> if t.running then k ()))
+
+let send_frame t ~dst frame =
+  if t.running then begin
+    if Trace.enabled t.tracer then
+      Trace.emitf t.tracer ~category:"frame" "s%d->s%d %a" t.my_site dst Proto.pp frame;
+    Endpoint.send (endpoint t) ~dst frame
+  end
+
+let fresh_uid t =
+  let u = { usite = t.my_site; useq = t.next_useq } in
+  t.next_useq <- t.next_useq + 1;
+  u
+
+let fresh_session t =
+  let s = t.next_session in
+  t.next_session <- s + 1;
+  s
+
+(* --- refcounted failure-detector subscriptions --- *)
+
+let mon_acquire t s =
+  if s <> t.my_site && t.running then begin
+    let n = Option.value ~default:0 (Hashtbl.find_opt t.mon_refs s) in
+    Hashtbl.replace t.mon_refs s (n + 1);
+    if n = 0 then Endpoint.monitor (endpoint t) ~site:s
+  end
+
+let mon_release t s =
+  if s <> t.my_site then
+    match Hashtbl.find_opt t.mon_refs s with
+    | None -> ()
+    | Some n when n <= 1 ->
+      Hashtbl.remove t.mon_refs s;
+      if t.running then Endpoint.unmonitor (endpoint t) ~site:s
+    | Some n -> Hashtbl.replace t.mon_refs s (n - 1)
+
+(* --- processes: basics --- *)
+
+let next_puid = ref 0
+
+let proc_addr p = p.addr
+let proc_uid p = p.puid
+let proc_name p = p.pname
+let proc_alive p = p.palive && p.rt.running
+let runtime_of p = p.rt
+
+let spawn_proc t ?name () =
+  if not t.running then invalid_arg "Runtime.spawn_proc: site is down";
+  let idx = t.next_proc_idx in
+  t.next_proc_idx <- idx + 1;
+  let addr = Addr.proc ~site:t.my_site ~idx ~incarnation:(Endpoint.epoch (endpoint t)) in
+  let pname = match name with Some n -> n | None -> Printf.sprintf "p%d.%d" t.my_site idx in
+  incr next_puid;
+  let p =
+    {
+      puid = !next_puid;
+      addr;
+      pname;
+      rt = t;
+      sched = Sched.create ~name:pname ();
+      entries = Hashtbl.create 8;
+      filters = [];
+      palive = true;
+      memberships = [];
+      outstanding = Uid_set.empty;
+      pending_inits = 0;
+      flushers = Condition.create ();
+    }
+  in
+  Hashtbl.replace t.procs idx p;
+  p
+
+let spawn_task p f = if proc_alive p then Sched.spawn p.sched f
+
+let sleep p us =
+  if us < 0 then invalid_arg "Runtime.sleep: negative duration";
+  Sched.suspend (fun resume -> ignore (Engine.schedule p.rt.eng ~delay:us (fun () -> resume ())))
+
+let bind p entry handler =
+  if entry < 0 || entry > 255 then invalid_arg "Runtime.bind: bad entry";
+  Hashtbl.replace p.entries entry handler
+
+let add_filter p f = p.filters <- p.filters @ [ f ]
+
+let find_proc t (a : Addr.proc) =
+  match Hashtbl.find_opt t.procs a.Addr.idx with
+  | Some p when Addr.equal_proc p.addr a && p.palive -> Some p
+  | Some _ | None -> None
+
+let local_members t g = View.members_at_site g.view t.my_site
+
+let group_of t gid = Hashtbl.find_opt t.groups (gi gid)
+
+let remote_member_sites t g =
+  List.filter (fun s -> s <> t.my_site) (View.sites g.view)
+
+let remember_contacts t gid sites =
+  Hashtbl.replace t.contacts (gi gid) sites
+
+(* Acting coordinator: the site of the oldest member whose site we do
+   not currently suspect. *)
+let acting_coord_site g =
+  let rec loop = function
+    | [] -> None
+    | (m : Addr.proc) :: rest ->
+      if List.mem m.Addr.site g.suspects then loop rest else Some m.Addr.site
+  in
+  loop g.view.View.members
+
+let i_am_coord t g = acting_coord_site g = Some t.my_site
+
+(* ==================================================================
+   The protocol core: one mutually recursive cluster.
+   ================================================================== *)
+
+let rec kill_proc p =
+  let t = p.rt in
+  if p.palive then begin
+    p.palive <- false;
+    Sched.kill p.sched;
+    Hashtbl.remove t.procs p.addr.Addr.idx;
+    if t.running then begin
+      Trace.emitf t.tracer ~category:"proc" "killed %a" Addr.pp_proc p.addr;
+      (* The site monitor detects a local crash immediately (Sec 2.1):
+         fail outstanding reply obligations and report the death to
+         every group the process belonged to. *)
+      fail_obligations_of t p;
+      List.iter
+        (fun gid_int ->
+          match Hashtbl.find_opt t.groups gid_int with
+          | None -> ()
+          | Some g ->
+            if View.is_member g.view p.addr then
+              route_event t g (Ev_fail p.addr))
+        p.memberships
+    end
+  end
+
+and fail_obligations_of t p =
+  match Hashtbl.find_opt t.obligations p.addr.Addr.idx with
+  | None -> ()
+  | Some obs ->
+    Hashtbl.remove t.obligations p.addr.Addr.idx;
+    List.iter
+      (fun (session, (caller : Addr.proc)) ->
+        if caller.Addr.site = t.my_site then note_failed_responder t ~session ~responder:p.addr
+        else send_frame t ~dst:caller.Addr.site (Proto.Obligation_failed { session; responder = p.addr }))
+      obs
+
+(* --- delivery to local processes --- *)
+
+and dispatch_to_proc t p body =
+  if proc_alive p then begin
+    let body = Message.copy body in
+    if List.for_all (fun f -> f body) p.filters then begin
+      if Message.mem body f_pg_kill then kill_proc p
+      else
+        match Message.entry body with
+        | None -> ()
+        | Some e -> (
+          match Hashtbl.find_opt p.entries e with
+          | Some handler -> Sched.spawn p.sched (fun () -> handler body)
+          | None ->
+            Trace.emitf t.tracer ~category:"proc" "no entry %d at %a" e Addr.pp_proc p.addr)
+    end
+  end
+
+(* Deliver one group-multicast body to every local member (after one
+   intra-site hop), registering reply obligations first. *)
+and deliver_to_members t _g body ~members =
+  let want = Option.value ~default:0 (Message.get_int body f_want) in
+  List.iter
+    (fun (m : Addr.proc) ->
+      match find_proc t m with
+      | None ->
+        (* The member died between the send and this delivery: a caller
+           waiting on it must not hang. *)
+        if want <> 0 then begin
+          match Message.session body, Message.sender body with
+          | Some session, Some caller ->
+            if caller.Addr.site = t.my_site then note_failed_responder t ~session ~responder:m
+            else
+              send_frame t ~dst:caller.Addr.site
+                (Proto.Obligation_failed { session; responder = m })
+          | _ -> ()
+        end
+      | Some p ->
+        if want <> 0 then register_obligation t ~responder:p ~body;
+        let intra = (Net.config t.fab.fnet).Net.intra_site_us in
+        ignore
+          (Engine.schedule t.eng ~delay:intra (fun () ->
+               if t.running then dispatch_to_proc t p body)))
+    members
+
+and register_obligation t ~responder ~body =
+  match Message.session body, Message.sender body with
+  | Some session, Some caller ->
+    let idx = responder.addr.Addr.idx in
+    let cur = Option.value ~default:[] (Hashtbl.find_opt t.obligations idx) in
+    Hashtbl.replace t.obligations idx ((session, caller) :: cur)
+  | _ -> ()
+
+and clear_obligation t ~responder ~session =
+  let idx = responder.Addr.idx in
+  match Hashtbl.find_opt t.obligations idx with
+  | None -> ()
+  | Some obs ->
+    Hashtbl.replace t.obligations idx (List.filter (fun (s, _) -> s <> session) obs)
+
+(* Deliver everything the engines can release, acknowledge remote
+   origins, and mark own-origin local deliveries. *)
+and drain_group t g =
+  let deliver uid body =
+    Trace.emitf t.tracer ~category:"deliver" "g%d %a at s%d" (gi g.gid) pp_uid uid t.my_site;
+    deliver_to_members t g body ~members:(local_members t g);
+    if uid.usite = t.my_site then note_local_origin_delivered t uid
+    else send_frame t ~dst:uid.usite (Proto.Deliver_ack { group = g.gid; uid })
+  in
+  List.iter (fun (uid, body) -> deliver uid body) (Causal.drain g.causal);
+  List.iter
+    (fun (uid, body) ->
+      (* Retain the finalized ABCAST for stabilization until stable. *)
+      (match Uid_map.find_opt uid g.store with
+      | Some _ -> ()
+      | None ->
+        (* final priority is not needed for retransmission fidelity
+           here: committed bodies are re-finalized via commit frames.
+           Store with a zero priority placeholder replaced below. *)
+        g.store <- Uid_map.add uid (Proto.Sab { uid; prio = (0, 0); body }) g.store);
+      deliver uid body)
+    (Total.drain g.total)
+
+and note_local_origin_delivered t uid =
+  (* Origin-site local delivery completes; remote acks may still be
+     pending. *)
+  match Hashtbl.find_opt t.unstables uid with
+  | None -> ()
+  | Some u -> check_stable t uid u
+
+and on_deliver_ack t ~src uid =
+  match Hashtbl.find_opt t.unstables uid with
+  | None -> ()
+  | Some u ->
+    u.remaining <- List.filter (fun s -> s <> src) u.remaining;
+    check_stable t uid u
+
+and check_stable t uid u =
+  if u.remaining = [] then begin
+    Hashtbl.remove t.unstables uid;
+    List.iter (fun dst -> send_frame t ~dst (Proto.Stable { group = u.u_group; uid })) u.u_dests;
+    (match group_of t u.u_group with
+    | Some g -> g.store <- Uid_map.remove uid g.store
+    | None -> ());
+    match u.u_owner with
+    | Some p when p.palive ->
+      p.outstanding <- Uid_set.remove uid p.outstanding;
+      maybe_wake_flushers p
+    | Some _ | None -> ()
+  end
+
+and on_stable t gid uid =
+  match group_of t gid with
+  | Some g -> g.store <- Uid_map.remove uid g.store
+  | None -> ()
+
+(* --- sessions (reply collection) --- *)
+
+and open_session t ~want ~responders ~relay_site =
+  let sess =
+    {
+      sess_id = fresh_session t;
+      swant = want;
+      replies = [];
+      nulls = [];
+      sfailed = [];
+      responders;
+      relay_site;
+      done_ivar = Ivar.create ();
+      mon_sites = [];
+    }
+  in
+  Hashtbl.replace t.sessions sess.sess_id sess;
+  (* Watch the sites hosting responders (and the relay): a site crash
+     means those responders will never reply. *)
+  let watch =
+    (match responders with
+    | Some rs -> List.map (fun (r : Addr.proc) -> r.Addr.site) rs
+    | None -> [])
+    @ (match relay_site with Some s -> [ s ] | None -> [])
+  in
+  let watch = List.sort_uniq compare (List.filter (fun s -> s <> t.my_site) watch) in
+  List.iter (fun s -> mon_acquire t s) watch;
+  sess.mon_sites <- watch;
+  sess
+
+and close_session t sess outcome =
+  if Hashtbl.mem t.sessions sess.sess_id then begin
+    Hashtbl.remove t.sessions sess.sess_id;
+    List.iter (fun s -> mon_release t s) sess.mon_sites;
+    Ivar.fill sess.done_ivar outcome
+  end
+
+and note_responders t sess responders =
+  if sess.responders = None then begin
+    sess.responders <- Some responders;
+    let extra =
+      List.sort_uniq compare
+        (List.filter_map
+           (fun (r : Addr.proc) ->
+             if r.Addr.site <> t.my_site && not (List.mem r.Addr.site sess.mon_sites) then
+               Some r.Addr.site
+             else None)
+           responders)
+    in
+    List.iter (fun s -> mon_acquire t s) extra;
+    sess.mon_sites <- sess.mon_sites @ extra;
+    check_session t sess
+  end
+
+and note_reply t sess ~responder ~body ~null =
+  let already p = Addr.equal_proc p responder in
+  if
+    (not (List.exists (fun (p, _) -> already p) sess.replies))
+    && not (List.exists already sess.nulls)
+  then begin
+    if null then sess.nulls <- responder :: sess.nulls
+    else sess.replies <- (responder, body) :: sess.replies;
+    check_session t sess
+  end
+
+and note_failed_responder t ~session ~responder =
+  match Hashtbl.find_opt t.sessions session with
+  | None -> ()
+  | Some sess ->
+    if not (List.exists (Addr.equal_proc responder) sess.sfailed) then begin
+      sess.sfailed <- responder :: sess.sfailed;
+      check_session t sess
+    end
+
+and session_site_down t s =
+  let open_sessions = Hashtbl.fold (fun _ sess acc -> sess :: acc) t.sessions [] in
+  List.iter
+    (fun sess ->
+      (match sess.responders with
+      | Some rs ->
+        List.iter
+          (fun (r : Addr.proc) ->
+            if r.Addr.site = s then note_failed_responder t ~session:sess.sess_id ~responder:r)
+          rs
+      | None -> ());
+      (* Relay died before telling us who the responders are: the send
+         may or may not have happened; report failure so the caller can
+         retry (paper Sec 5 step 2 does exactly this). *)
+      if sess.responders = None && sess.relay_site = Some s then close_session t sess All_failed)
+    open_sessions
+
+and check_session t sess =
+  match sess.responders with
+  | None ->
+    (* Without the authoritative responder list we can still satisfy a
+       fixed-count request. *)
+    (match sess.swant with
+    | Wait_n n when List.length sess.replies >= n ->
+      close_session t sess (Replies (List.rev sess.replies))
+    | Wait_n _ | Wait_all | No_reply -> ())
+  | Some responders ->
+    let accounted (r : Addr.proc) =
+      List.exists (fun (p, _) -> Addr.equal_proc p r) sess.replies
+      || List.exists (Addr.equal_proc r) sess.nulls
+      || List.exists (Addr.equal_proc r) sess.sfailed
+    in
+    let outstanding = List.filter (fun r -> not (accounted r)) responders in
+    let n_replies = List.length sess.replies in
+    let finishable =
+      match sess.swant with
+      | No_reply -> true
+      | Wait_n n -> n_replies >= n || outstanding = []
+      | Wait_all -> outstanding = []
+    in
+    if finishable then
+      if n_replies = 0 && sess.nulls = [] && responders <> [] && List.length sess.sfailed = List.length responders
+      then close_session t sess All_failed
+      else close_session t sess (Replies (List.rev sess.replies))
+
+(* --- multicast origination (this site hosts a member, or is relaying
+       on behalf of a remote client) --- *)
+
+and origin_multicast t g mode ~owner body =
+  if g.wedge <> None then
+    (* Wedged: the group is between views; queue the operation and rerun
+       it once the new view is installed. *)
+    g.blocked_sends <- (fun () -> origin_multicast t g mode ~owner body) :: g.blocked_sends
+  else
+    match mode with
+    | Cbcast ->
+      origin_cbcast t g ~owner body;
+      init_done owner
+    | Abcast ->
+      origin_abcast t g ~owner body;
+      init_done owner
+    | Gbcast ->
+      origin_gbcast t g body;
+      init_done owner
+
+and maybe_wake_flushers p =
+  if p.pending_inits = 0 && Uid_set.is_empty p.outstanding then Condition.broadcast p.flushers
+
+and init_done owner =
+  match owner with
+  | Some p ->
+    if p.pending_inits > 0 then p.pending_inits <- p.pending_inits - 1;
+    maybe_wake_flushers p
+  | None -> ()
+
+and mark_unstable t g uid ~remote ~owner =
+  if remote <> [] then begin
+    Hashtbl.replace t.unstables uid
+      { remaining = remote; u_owner = owner; u_group = g.gid; u_dests = remote };
+    match owner with
+    | Some p when p.palive -> p.outstanding <- Uid_set.add uid p.outstanding
+    | Some _ | None -> ()
+  end
+
+and origin_cbcast t g ~owner body =
+  let uid = fresh_uid t in
+  (* Rank used for the timestamp: the sending member if local, else the
+     oldest local member (relay). *)
+  let rank =
+    match Message.sender body with
+    | Some s when View.is_member g.view s -> View.rank g.view s
+    | _ -> (
+      match local_members t g with
+      | m :: _ -> View.rank g.view m
+      | [] -> -1)
+  in
+  let vt =
+    if rank >= 0 then Some (Vsync_util.Vclock.to_list (Causal.stamp g.causal ~rank)) else None
+  in
+  let remote = remote_member_sites t g in
+  Trace.emitf t.tracer ~category:"cbcast" "send %a g%d" pp_uid uid (gi g.gid);
+  if remote = [] then
+    (* Purely local group: immediately stable. *)
+    deliver_to_members t g body ~members:(local_members t g)
+  else begin
+    g.store <- Uid_map.add uid (Proto.Scb { uid; rank; vt; body }) g.store;
+    Causal.note_sent g.causal uid;
+    mark_unstable t g uid ~remote ~owner;
+    List.iter
+      (fun dst ->
+        send_frame t ~dst
+          (Proto.Cb_data { group = g.gid; view_id = g.view.View.view_id; uid; rank; vt; body }))
+      remote;
+    (* Self-delivery: immediate — the primitive looks instantaneous to
+       the sender, which is the heart of the asynchronous style. *)
+    deliver_to_members t g body ~members:(local_members t g)
+  end
+
+and origin_abcast t g ~owner body =
+  let uid = fresh_uid t in
+  let remote = remote_member_sites t g in
+  Trace.emitf t.tracer ~category:"abcast" "send %a g%d" pp_uid uid (gi g.gid);
+  let my_prio = Total.intake g.total ~uid body in
+  mark_unstable t g uid ~remote ~owner;
+  if remote = [] then begin
+    Total.commit g.total ~uid my_prio;
+    drain_group t g
+  end
+  else begin
+    Hashtbl.replace t.ab_collects uid { ac_group = g.gid; ac_expect = remote; ac_max = my_prio };
+    List.iter
+      (fun dst ->
+        send_frame t ~dst (Proto.Ab_data { group = g.gid; view_id = g.view.View.view_id; uid; body }))
+      remote
+  end
+
+and origin_gbcast t g body =
+  let uid = fresh_uid t in
+  Trace.emitf t.tracer ~category:"gbcast" "request %a g%d" pp_uid uid (gi g.gid);
+  route_event t g (Ev_gb (uid, body))
+
+and on_ab_prio t uid prio =
+  match Hashtbl.find_opt t.ab_collects uid with
+  | None -> () (* collection finished or superseded by a flush *)
+  | Some col -> (
+    match group_of t col.ac_group with
+    | None -> Hashtbl.remove t.ab_collects uid
+    | Some g ->
+      if g.wedge <> None then () (* the flush coordinator will finalize *)
+      else begin
+        col.ac_max <- prio_max col.ac_max prio;
+        (* The proposal's sender is implicit: we just count down. *)
+        (match col.ac_expect with
+        | [] -> ()
+        | _ :: _ ->
+          col.ac_expect <- List.tl col.ac_expect;
+          if col.ac_expect = [] then begin
+            Hashtbl.remove t.ab_collects uid;
+            let final = col.ac_max in
+            Trace.emitf t.tracer ~category:"abcast" "commit %a %a" pp_uid uid pp_prio final;
+            List.iter
+              (fun dst ->
+                send_frame t ~dst
+                  (Proto.Ab_commit { group = g.gid; view_id = g.view.View.view_id; uid; prio = final }))
+              (remote_member_sites t g);
+            Total.commit g.total ~uid final;
+            drain_group t g
+          end)
+      end)
+
+(* Route a membership/GBCAST event to the acting coordinator. *)
+and route_event t g ev =
+  match acting_coord_site g with
+  | Some c when c = t.my_site ->
+    enqueue_event t g ev;
+    maybe_start_change t g
+  | Some c ->
+    let frame =
+      match ev with
+      | Ev_join (p, cred) -> Proto.Join_req { group = g.gid; joiner = p; credentials = cred }
+      | Ev_leave p -> Proto.Leave_req { group = g.gid; who = p }
+      | Ev_fail p -> Proto.Proc_failed { group = g.gid; who = p }
+      | Ev_gb (uid, body) -> Proto.Gb_req { group = g.gid; uid; body }
+    in
+    send_frame t ~dst:c frame
+  | None -> Trace.emitf t.tracer ~category:"view" "no live coordinator for g%d" (gi g.gid)
+
+and enqueue_event t g ev =
+  let dup =
+    match ev with
+    | Ev_fail p | Ev_leave p ->
+      List.exists
+        (function
+          | Ev_fail q | Ev_leave q -> Addr.equal_proc p q
+          | Ev_join _ | Ev_gb _ -> false)
+        (g.pending_events
+        @ match g.change with Some c -> c.c_batch | None -> [])
+    | Ev_join (p, _) ->
+      List.exists
+        (function Ev_join (q, _) -> Addr.equal_proc p q | _ -> false)
+        (g.pending_events
+        @ match g.change with Some c -> c.c_batch | None -> [])
+    | Ev_gb _ -> false
+  in
+  ignore t;
+  if not dup then g.pending_events <- g.pending_events @ [ ev ]
+
+(* --- the view-change / GBCAST flush --- *)
+
+and maybe_start_change t g =
+  if g.change = None && g.pending_events <> [] && i_am_coord t g then start_change t g
+
+and start_change t g =
+  let attempt = g.last_attempt + 1 in
+  g.last_attempt <- attempt;
+  let batch = g.pending_events in
+  g.pending_events <- [];
+  let live_sites = List.filter (fun s -> not (List.mem s g.suspects)) (View.sites g.view) in
+  let sites = List.sort_uniq compare (t.my_site :: live_sites) in
+  g.change <-
+    Some
+      { c_attempt = attempt; c_batch = batch; c_sites = sites; c_acks = []; c_fetch_wait = [];
+        c_fetched = []; c_committed = false };
+  Trace.emitf t.tracer ~category:"view" "start change g%d v%d a%d (%d events)" (gi g.gid)
+    g.view.View.view_id attempt (List.length batch);
+  List.iter
+    (fun dst ->
+      send_frame t ~dst
+        (Proto.Wedge { group = g.gid; view_id = g.view.View.view_id; attempt; coord_site = t.my_site }))
+    sites
+
+and restart_change t g =
+  (* A failure interrupted the flush: requeue the unprocessed batch and
+     run again with fresh suspicions folded in. *)
+  (match g.change with
+  | Some c when not c.c_committed -> g.pending_events <- c.c_batch @ g.pending_events
+  | Some _ | None -> ());
+  g.change <- None;
+  maybe_start_change t g
+
+and on_wedge t ~src g ~view_id ~attempt ~coord_site =
+  if view_id < g.view.View.view_id then
+    (* We already committed past this view: tell the (new) coordinator. *)
+    send_frame t ~dst:src
+      (Proto.Wedge_ack
+         {
+           group = g.gid;
+           view_id;
+           attempt;
+           from_site = t.my_site;
+           cb_known = [];
+           ab_report = [];
+           ab_counter = 0;
+           already_committed =
+             (match g.last_commit with
+             | Some (Proto.Commit c as frame) when c.view_id = view_id -> Some frame
+             | Some _ | None -> None);
+         })
+  else if view_id = g.view.View.view_id then begin
+    let dominated =
+      match g.wedge with
+      | None -> true
+      | Some w -> attempt > w.w_attempt || (attempt = w.w_attempt && coord_site <= w.w_coord)
+    in
+    if dominated then begin
+      g.wedge <- Some { w_attempt = attempt; w_coord = coord_site };
+      g.last_attempt <- max g.last_attempt attempt;
+      (* If we were coordinating a lower-precedence change, abandon it. *)
+      (match g.change with
+      | Some c when coord_site <> t.my_site || c.c_attempt <> attempt ->
+        if coord_site <> t.my_site then begin
+          if not c.c_committed then g.pending_events <- c.c_batch @ g.pending_events;
+          g.change <- None
+        end
+      | Some _ | None -> ());
+      let cb_known = Uid_map.fold (fun uid s acc -> match s with Proto.Scb _ -> uid :: acc | Proto.Sab _ -> acc) g.store [] in
+      let ab_store =
+        Uid_map.fold
+          (fun uid s acc ->
+            match s with
+            | Proto.Sab { prio; _ } ->
+              { Proto.ab_uid = uid; ab_prio = prio; ab_committed = true; ab_origin = uid.usite } :: acc
+            | Proto.Scb _ -> acc)
+          g.store []
+      in
+      let ab_pending =
+        List.map
+          (fun (uid, prio, committed, _has_payload) ->
+            { Proto.ab_uid = uid; ab_prio = prio; ab_committed = committed; ab_origin = uid.usite })
+          (Total.pending g.total)
+      in
+      send_frame t ~dst:src
+        (Proto.Wedge_ack
+           {
+             group = g.gid;
+             view_id;
+             attempt;
+             from_site = t.my_site;
+             cb_known;
+             ab_report = ab_store @ ab_pending;
+             ab_counter = Total.counter g.total;
+             already_committed = None;
+           })
+    end
+  end
+  (* view_id > current: impossible — views only advance through commits
+     we process ourselves. *)
+
+and on_wedge_ack t g ~from_site ~attempt ack =
+  match g.change with
+  | Some c when c.c_attempt = attempt ->
+    if not (List.mem_assoc from_site c.c_acks) then begin
+      c.c_acks <- (from_site, ack) :: c.c_acks;
+      if List.length c.c_acks = List.length c.c_sites then proceed_with_acks t g c
+    end
+  | Some _ | None -> ()
+
+and proceed_with_acks t g c =
+  (* Someone already holds a commit from a dead coordinator for this
+     view: re-broadcast it verbatim, requeue our batch, and let the
+     commit drive everyone forward. *)
+  match List.find_map (fun (_, a) -> a.a_already) c.c_acks with
+  | Some commit_frame ->
+    g.pending_events <- c.c_batch @ g.pending_events;
+    g.change <- None;
+    List.iter (fun dst -> send_frame t ~dst commit_frame) c.c_sites
+  | None ->
+    (* Which CBCAST bodies are missing somewhere? *)
+    let cb_known_of s = (List.assoc s c.c_acks).a_cb_known in
+    let union =
+      List.fold_left
+        (fun acc (_, a) -> List.fold_left (fun acc u -> Uid_set.add u acc) acc a.a_cb_known)
+        Uid_set.empty c.c_acks
+    in
+    let missing_anywhere =
+      Uid_set.filter
+        (fun u ->
+          List.exists (fun s -> not (List.mem u (cb_known_of s))) c.c_sites)
+        union
+    in
+    (* ABCAST resolution. *)
+    let ab_all : (uid, Proto.ab_report list) Hashtbl.t = Hashtbl.create 16 in
+    List.iter
+      (fun (_, a) ->
+        List.iter
+          (fun (r : Proto.ab_report) ->
+            let cur = Option.value ~default:[] (Hashtbl.find_opt ab_all r.Proto.ab_uid) in
+            Hashtbl.replace ab_all r.Proto.ab_uid (r :: cur))
+          a.a_ab_report)
+      c.c_acks;
+    let floor =
+      List.fold_left (fun acc (_, a) -> max acc a.a_ab_counter) 0 c.c_acks
+    in
+    let ab_uids = Hashtbl.fold (fun u _ acc -> u :: acc) ab_all [] |> List.sort uid_compare in
+    let next_final = ref floor in
+    let ab_finalize, _ab_drop =
+      List.fold_left
+        (fun (fins, drops) u ->
+          let reports = Hashtbl.find ab_all u in
+          match List.find_opt (fun r -> r.Proto.ab_committed) reports with
+          | Some r -> ((u, r.Proto.ab_prio) :: fins, drops)
+          | None ->
+            if List.mem u.usite c.c_sites then begin
+              (* Originator is live: finalize above every site's counter. *)
+              incr next_final;
+              ((u, (!next_final, u.usite)) :: fins, drops)
+            end
+            else (fins, u :: drops))
+        ([], []) ab_uids
+    in
+    let ab_finalize = List.rev ab_finalize in
+    (* ABCAST bodies missing at some site: sites whose report lacks the
+       uid need the body (unless dropped). *)
+    let ab_missing =
+      List.filter
+        (fun (u, _) ->
+          List.exists
+            (fun s ->
+              let a = List.assoc s c.c_acks in
+              not (List.exists (fun r -> uid_equal r.Proto.ab_uid u) a.a_ab_report))
+            c.c_sites)
+        ab_finalize
+      |> List.map fst
+    in
+    let needed = Uid_set.elements missing_anywhere @ ab_missing in
+    (* Who holds each needed body?  Prefer ourselves. *)
+    let holder_of u =
+      let has s =
+        let a = List.assoc s c.c_acks in
+        List.mem u a.a_cb_known || List.exists (fun r -> uid_equal r.Proto.ab_uid u) a.a_ab_report
+      in
+      if has t.my_site then t.my_site
+      else (
+        match List.find_opt has c.c_sites with
+        | Some s -> s
+        | None -> t.my_site (* unreachable: needed means someone has it *))
+    in
+    let by_holder = Hashtbl.create 4 in
+    List.iter
+      (fun u ->
+        let h = holder_of u in
+        let cur = Option.value ~default:[] (Hashtbl.find_opt by_holder h) in
+        Hashtbl.replace by_holder h (u :: cur))
+      needed;
+    let local_bodies =
+      match Hashtbl.find_opt by_holder t.my_site with
+      | Some uids -> List.filter_map (fun u -> body_for t g u) uids
+      | None -> []
+    in
+    Hashtbl.remove by_holder t.my_site;
+    c.c_fetched <- local_bodies;
+    let remote_holders = Hashtbl.fold (fun s uids acc -> (s, uids) :: acc) by_holder [] in
+    if remote_holders = [] then finish_change t g c
+    else begin
+      c.c_fetch_wait <- List.map fst remote_holders;
+      List.iter
+        (fun (s, uids) ->
+          send_frame t ~dst:s
+            (Proto.Fetch { group = g.gid; view_id = g.view.View.view_id; attempt = c.c_attempt; uids }))
+        remote_holders
+    end
+
+and body_for t g u =
+  match Uid_map.find_opt u g.store with
+  | Some s -> Some s
+  | None -> (
+    match Total.payload_of g.total u with
+    | Some body -> Some (Proto.Sab { uid = u; prio = (0, 0); body })
+    | None ->
+      Trace.emitf t.tracer ~category:"view" "body_for: missing %a" pp_uid u;
+      None)
+
+and on_fetch t ~src g ~view_id ~attempt uids =
+  let bodies = List.filter_map (fun u -> body_for t g u) uids in
+  send_frame t ~dst:src
+    (Proto.Fetch_reply { group = g.gid; view_id; attempt; from_site = t.my_site; bodies })
+
+and on_fetch_reply t g ~from_site ~attempt bodies =
+  match g.change with
+  | Some c when c.c_attempt = attempt && List.mem from_site c.c_fetch_wait ->
+    c.c_fetch_wait <- List.filter (fun s -> s <> from_site) c.c_fetch_wait;
+    c.c_fetched <- c.c_fetched @ bodies;
+    if c.c_fetch_wait = [] then finish_change t g c
+  | Some _ | None -> ()
+
+and finish_change t g c =
+  (* Validate joins, prune stale events, build the new view. *)
+  let validate joiner cred =
+    match g.join_validator with
+    | Some (vp, f) when proc_alive vp -> f joiner cred
+    | Some _ | None -> true
+  in
+  let events, gb_bodies, refused =
+    List.fold_left
+      (fun (evs, gbs, refs) ev ->
+        match ev with
+        | Ev_join (p, cred) ->
+          if View.is_member g.view p then (evs, gbs, refs)
+          else if validate p cred then (evs @ [ View.Member_joined p ], gbs, refs)
+          else (evs, gbs, refs @ [ p ])
+        | Ev_leave p ->
+          if View.is_member g.view p then (evs @ [ View.Member_left p ], gbs, refs) else (evs, gbs, refs)
+        | Ev_fail p ->
+          if View.is_member g.view p then (evs @ [ View.Member_failed p ], gbs, refs)
+          else (evs, gbs, refs)
+        | Ev_gb (uid, body) -> (evs, gbs @ [ (uid, body) ], refs))
+      ([], [], []) c.c_batch
+  in
+  List.iter
+    (fun (p : Addr.proc) ->
+      send_frame t ~dst:p.Addr.site
+        (Proto.Join_refused { group = g.gid; joiner = p; reason = "join refused by validator" }))
+    refused;
+  (* Recompute finalization data (kept from proceed_with_acks via
+     re-derivation: we stored only fetched bodies; recompute the rest). *)
+  let commit = build_commit t g c events gb_bodies in
+  let dests =
+    List.sort_uniq compare
+      (c.c_sites
+      @ List.filter_map
+          (function View.Member_joined (p : Addr.proc) -> Some p.Addr.site | _ -> None)
+          events)
+  in
+  c.c_committed <- true;
+  Trace.emitf t.tracer ~category:"view" "commit g%d v%d: %d events %d gb" (gi g.gid)
+    g.view.View.view_id (List.length events) (List.length gb_bodies);
+  Stats.Counter.incr t.ctrs "prim.gbcast";
+  List.iter (fun dst -> send_frame t ~dst commit) dests
+
+and build_commit t g c events gb_bodies =
+  (* Reconstruct stabilization decisions from the acks (cheap; sets are
+     small) plus the fetched bodies. *)
+  let cb_known_of s = (List.assoc s c.c_acks).a_cb_known in
+  let union =
+    List.fold_left
+      (fun acc (_, a) -> List.fold_left (fun acc u -> Uid_set.add u acc) acc a.a_cb_known)
+      Uid_set.empty c.c_acks
+  in
+  let missing_anywhere =
+    Uid_set.filter
+      (fun u -> List.exists (fun s -> not (List.mem u (cb_known_of s))) c.c_sites)
+      union
+  in
+  let ab_all : (uid, Proto.ab_report list) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (_, a) ->
+      List.iter
+        (fun (r : Proto.ab_report) ->
+          let cur = Option.value ~default:[] (Hashtbl.find_opt ab_all r.Proto.ab_uid) in
+          Hashtbl.replace ab_all r.Proto.ab_uid (r :: cur))
+        a.a_ab_report)
+    c.c_acks;
+  let floor = List.fold_left (fun acc (_, a) -> max acc a.a_ab_counter) 0 c.c_acks in
+  let ab_uids = Hashtbl.fold (fun u _ acc -> u :: acc) ab_all [] |> List.sort uid_compare in
+  let next_final = ref floor in
+  let ab_finalize, ab_drop =
+    List.fold_left
+      (fun (fins, drops) u ->
+        let reports = Hashtbl.find ab_all u in
+        match List.find_opt (fun r -> r.Proto.ab_committed) reports with
+        | Some r -> ((u, r.Proto.ab_prio) :: fins, drops)
+        | None ->
+          if List.mem u.usite c.c_sites then begin
+            incr next_final;
+            ((u, (!next_final, u.usite)) :: fins, drops)
+          end
+          else (fins, u :: drops))
+      ([], []) ab_uids
+  in
+  let ab_finalize = List.rev ab_finalize and ab_drop = List.rev ab_drop in
+  let final_of u = List.assoc u ab_finalize in
+  (* Collect stabilize bodies: local store/engine plus fetched; fix the
+     Sab priorities to the final values. *)
+  let needed_cb = Uid_set.elements missing_anywhere in
+  let fetched = c.c_fetched in
+  let lookup u =
+    match List.find_opt (fun s -> uid_equal (Proto.stored_uid s) u) fetched with
+    | Some s -> Some s
+    | None -> body_for t g u
+  in
+  let stab_cb = List.filter_map lookup needed_cb in
+  let ab_missing =
+    List.filter
+      (fun (u, _) ->
+        List.exists
+          (fun s ->
+            let a = List.assoc s c.c_acks in
+            not (List.exists (fun r -> uid_equal r.Proto.ab_uid u) a.a_ab_report))
+          c.c_sites)
+      ab_finalize
+    |> List.map fst
+  in
+  let stab_ab =
+    List.filter_map
+      (fun u ->
+        match lookup u with
+        | Some (Proto.Sab { uid; body; _ }) -> Some (Proto.Sab { uid; prio = final_of uid; body })
+        | Some (Proto.Scb _) | None -> None)
+      ab_missing
+  in
+  let new_view = View.apply g.view events in
+  Proto.Commit
+    {
+      group = g.gid;
+      view_id = g.view.View.view_id;
+      attempt = c.c_attempt;
+      stabilize = stab_cb @ stab_ab;
+      ab_finalize;
+      ab_drop;
+      events;
+      new_view;
+      gname = g.gname;
+      gb_bodies;
+    }
+
+and on_commit t g_opt frame =
+  match frame with
+  | Proto.Commit { group; view_id; stabilize; ab_finalize; ab_drop; events; new_view; gname; gb_bodies; _ } -> (
+    let install g_old =
+      (* 1. Fill gaps. *)
+      (match g_old with
+      | Some g ->
+        List.iter
+          (fun s ->
+            match s with
+            | Proto.Scb { uid; rank; vt; body } ->
+              if not (Causal.seen g.causal uid) then begin
+                match vt with
+                | Some l when rank >= 0 ->
+                  Causal.receive g.causal ~uid ~rank ~vt:(Vsync_util.Vclock.of_list l) body
+                | Some _ | None -> Causal.receive_fifo g.causal ~uid body
+              end
+            | Proto.Sab { uid; prio; body } ->
+              Total.commit g.total ~uid prio;
+              Total.add_payload g.total ~uid body)
+          stabilize;
+        List.iter (fun (uid, prio) -> Total.commit g.total ~uid prio) ab_finalize;
+        List.iter (fun uid -> try Total.drop g.total ~uid with Invalid_argument _ -> ()) ab_drop;
+        (* 2. Deliver everything of the retiring view. *)
+        let old_members = local_members t g in
+        let deliver uid body =
+          Trace.emitf t.tracer ~category:"deliver" "flush g%d %a" (gi g.gid) pp_uid uid;
+          deliver_to_members t g body ~members:old_members
+        in
+        List.iter (fun (u, b) -> deliver u b) (Causal.force_drain g.causal);
+        List.iter (fun (u, b) -> deliver u b) (Total.drain g.total);
+        (* Anything still pending is uncommitted garbage; discard. *)
+        List.iter
+          (fun (u, _, _, _) -> try Total.drop g.total ~uid:u with Invalid_argument _ -> ())
+          (Total.pending g.total)
+      | None -> ());
+      (* 3. Install the view. *)
+      let old_sites = match g_old with Some g -> View.sites g.view | None -> [] in
+      let g =
+        match g_old with
+        | Some g -> g
+        | None ->
+          let g = make_group t ~gid:group ~gname ~view:new_view in
+          Hashtbl.replace t.groups (gi group) g;
+          g
+      in
+      (* Resolve this site's own change record: if it was the one just
+         committed, its batch is consumed; if it was a different
+         (superseded) change, requeue its batch for another round. *)
+      (match g.change with
+      | Some c when c.c_committed -> g.change <- None
+      | Some c ->
+        g.pending_events <- c.c_batch @ g.pending_events;
+        g.change <- None
+      | None -> ());
+      (* Every member site can answer directory queries for its groups,
+         so the name outlives the creator site. *)
+      if not (String.equal gname "") then
+        Hashtbl.replace t.dir gname (group, View.sites new_view);
+      g.view <- new_view;
+      g.causal <- Causal.create ~n_ranks:(View.n_members new_view) ();
+      g.total <- Total.create ~site:t.my_site ();
+      g.store <- Uid_map.empty;
+      g.wedge <- None;
+      g.last_commit <- Some frame;
+      g.suspects <- List.filter (fun s -> List.mem s (View.sites new_view)) g.suspects;
+      (* Old-view unstable records of this group are settled by the
+         flush. *)
+      let settled =
+        Hashtbl.fold
+          (fun uid u acc -> if gi u.u_group = gi group then (uid, u) :: acc else acc)
+          t.unstables []
+      in
+      List.iter
+        (fun (uid, (u : unstable)) ->
+          Hashtbl.remove t.unstables uid;
+          match u.u_owner with
+          | Some p when p.palive ->
+            p.outstanding <- Uid_set.remove uid p.outstanding;
+            maybe_wake_flushers p
+          | Some _ | None -> ())
+        settled;
+      Hashtbl.iter (fun _ col -> ignore col) t.ab_collects;
+      let stale_collects =
+        Hashtbl.fold
+          (fun uid col acc -> if gi col.ac_group = gi group then uid :: acc else acc)
+          t.ab_collects []
+      in
+      List.iter (fun u -> Hashtbl.remove t.ab_collects u) stale_collects;
+      remember_contacts t group (View.sites new_view);
+      (* Track membership on local procs. *)
+      List.iter
+        (fun ev ->
+          match ev with
+          | View.Member_joined p when p.Addr.site = t.my_site -> (
+            match find_proc t p with
+            | Some pr ->
+              if not (List.mem (gi group) pr.memberships) then
+                pr.memberships <- gi group :: pr.memberships
+            | None -> ())
+          | View.Member_left p | View.Member_failed p -> (
+            if p.Addr.site = t.my_site then
+              match Hashtbl.find_opt t.procs p.Addr.idx with
+              | Some pr -> pr.memberships <- List.filter (fun g' -> g' <> gi group) pr.memberships
+              | None -> ())
+          | View.Member_joined _ -> ())
+        events;
+      (* 4. Deliver user GBCASTs at the synchronization point. *)
+      List.iter
+        (fun (uid, body) ->
+          Trace.emitf t.tracer ~category:"deliver" "gbcast g%d %a" (gi group) pp_uid uid;
+          deliver_to_members t g body ~members:(local_members t g))
+        gb_bodies;
+      (* 4b. Open reply collections waiting on a removed member will
+         never hear from it: discount it now. *)
+      List.iter
+        (fun ev ->
+          match ev with
+          | View.Member_failed p | View.Member_left p ->
+            let open_sessions = Hashtbl.fold (fun _ sess acc -> sess :: acc) t.sessions [] in
+            List.iter
+              (fun sess -> note_failed_responder t ~session:sess.sess_id ~responder:p)
+              open_sessions
+          | View.Member_joined _ -> ())
+        events;
+      (* 5. Monitors and waiters.  The view event is scheduled through
+         the same intra-site hop as message deliveries so that every
+         local process observes the retiring view's deliveries BEFORE
+         the membership change — same order at every member. *)
+      let intra = (Net.config t.fab.fnet).Net.intra_site_us in
+      if events <> [] then
+        List.iter
+          (fun (p, f) ->
+            if proc_alive p && View.is_member new_view p.addr then
+              ignore
+                (Engine.schedule t.eng ~delay:intra (fun () ->
+                     if proc_alive p then Sched.spawn p.sched (fun () -> f new_view events))))
+          g.g_monitors;
+      List.iter
+        (fun ev ->
+          match ev with
+          | View.Member_joined p when p.Addr.site = t.my_site -> (
+            match Hashtbl.find_opt t.join_waiters (gi group, p.Addr.idx) with
+            | Some iv ->
+              Hashtbl.remove t.join_waiters (gi group, p.Addr.idx);
+              Ivar.fill iv (Ok ())
+            | None -> ())
+          | View.Member_left p when p.Addr.site = t.my_site -> (
+            match Hashtbl.find_opt t.leave_waiters (gi group, p.Addr.idx) with
+            | Some iv ->
+              Hashtbl.remove t.leave_waiters (gi group, p.Addr.idx);
+              Ivar.fill iv ()
+            | None -> ())
+          | View.Member_joined _ | View.Member_left _ | View.Member_failed _ -> ())
+        events;
+      (* 6. Failure detector subscriptions follow the membership. *)
+      let new_sites = View.sites new_view in
+      if local_members t g <> [] then begin
+        List.iter (fun s -> if not (List.mem s old_sites) then mon_acquire t s) new_sites;
+        List.iter (fun s -> if not (List.mem s new_sites) then mon_release t s) old_sites
+      end;
+      (* 7. Unwedge: rerun blocked operations in order, then replay any
+         frames that arrived for the new view early. *)
+      let blocked = List.rev g.blocked_sends in
+      g.blocked_sends <- [];
+      List.iter (fun thunk -> thunk ()) blocked;
+      replay_held t (gi group);
+      (* 8. A group whose membership is empty dissolves. *)
+      if View.n_members new_view = 0 then begin
+        List.iter (fun s -> mon_release t s) new_sites;
+        Hashtbl.remove t.groups (gi group);
+        Hashtbl.remove t.contacts (gi group)
+      end
+      else begin
+        if i_am_coord t g then maybe_start_change t g
+        else if g.pending_events <> [] then begin
+          (* Leadership moved with the new view: hand queued events to
+             the coordinator that can actually run them. *)
+          let evs = g.pending_events in
+          g.pending_events <- [];
+          List.iter (fun ev -> route_event t g ev) evs
+        end;
+        (* A site left without any local member is out of the group:
+           drop its copy of the state (it will no longer receive
+           commits). *)
+        if local_members t g = [] then begin
+          List.iter (fun s -> mon_release t s) new_sites;
+          Hashtbl.remove t.groups (gi group)
+        end
+      end
+    in
+    match g_opt with
+    | Some g when view_id = g.view.View.view_id -> install (Some g)
+    | Some _ -> () (* stale or repeated commit *)
+    | None ->
+      (* Joiner site (or rebroadcast): only meaningful if we host one of
+         the new members. *)
+      if List.exists (fun (m : Addr.proc) -> m.Addr.site = t.my_site) new_view.View.members
+      then install None)
+  | _ -> invalid_arg "on_commit: not a commit frame"
+
+and make_group t ~gid ~gname ~view =
+  ignore t;
+  {
+    gid;
+    gname;
+    view;
+    causal = Causal.create ~n_ranks:(View.n_members view) ();
+    total = Total.create ~site:t.my_site ();
+    store = Uid_map.empty;
+    wedge = None;
+    blocked_sends = [];
+    g_monitors = [];
+    join_validator = None;
+    suspects = [];
+    pending_events = [];
+    change = None;
+    last_attempt = 0;
+    last_commit = None;
+  }
+
+and replay_held t gid_int =
+  match Hashtbl.find_opt t.held gid_int with
+  | None -> ()
+  | Some frames ->
+    Hashtbl.remove t.held gid_int;
+    List.iter (fun f -> handle_group_frame t ~src:(-1) f) (List.rev frames)
+
+and hold_frame t gid_int frame =
+  let cur = Option.value ~default:[] (Hashtbl.find_opt t.held gid_int) in
+  Hashtbl.replace t.held gid_int (frame :: cur)
+
+(* --- failure handling --- *)
+
+and on_site_down t s =
+  Trace.emitf t.tracer ~category:"fail" "site %d suspected down (observed at s%d)" s t.my_site;
+  List.iter (fun w -> w (`Down s)) t.site_watchers;
+  (* Purge the dead site from name-resolution hints FIRST: failing the
+     open sessions resumes their callers, whose retries must see fresh
+     hints. *)
+  Hashtbl.iter
+    (fun gid_int sites ->
+      if List.mem s sites then Hashtbl.replace t.contacts gid_int (List.filter (( <> ) s) sites))
+    (Hashtbl.copy t.contacts);
+  Hashtbl.iter
+    (fun name (gid, sites) ->
+      if List.mem s sites then begin
+        let remaining = List.filter (( <> ) s) sites in
+        if remaining = [] then Hashtbl.remove t.dir name
+        else Hashtbl.replace t.dir name (gid, remaining)
+      end)
+    (Hashtbl.copy t.dir);
+  session_site_down t s;
+  let groups = Hashtbl.fold (fun _ g acc -> g :: acc) t.groups [] in
+  List.iter
+    (fun g ->
+      if List.mem s (View.sites g.view) && not (List.mem s g.suspects) then begin
+        g.suspects <- s :: g.suspects;
+        let victims = View.members_at_site g.view s in
+        if i_am_coord t g then begin
+          List.iter (fun v -> enqueue_event t g (Ev_fail v)) victims;
+          (* A change in flight that involved the dead site must restart. *)
+          match g.change with
+          | Some c when List.mem s c.c_sites -> restart_change t g
+          | Some _ -> ()
+          | None -> maybe_start_change t g
+        end
+        else begin
+          (* Tell the acting coordinator (it may not share our failure
+             detector's view yet). *)
+          List.iter (fun v -> route_event t g (Ev_fail v)) victims;
+          (* If the dead site was the coordinator, we may have just
+             become it. *)
+          if i_am_coord t g then begin
+            List.iter (fun v -> enqueue_event t g (Ev_fail v)) victims;
+            maybe_start_change t g
+          end
+        end
+      end)
+    groups
+
+and on_site_up t s =
+  Trace.emitf t.tracer ~category:"fail" "site %d announced recovery" s;
+  List.iter (fun w -> w (`Up s)) t.site_watchers
+
+(* --- frame handling --- *)
+
+and handle_frame t ~src frame =
+  if t.running then begin
+    if Trace.enabled t.tracer then
+      Trace.emitf t.tracer ~category:"recv" "s%d<-s%d %a" t.my_site src Proto.pp frame;
+    match frame with
+    | Proto.Ptp { dest; body } -> (
+      if Message.get_bool body f_is_reply = Some true then on_reply_body t body
+      else
+        match find_proc t dest with
+        | Some p ->
+          let want = Option.value ~default:0 (Message.get_int body f_want) in
+          if want <> 0 then register_obligation t ~responder:p ~body;
+          dispatch_to_proc t p body
+        | None -> (
+          (* Destination is gone; a caller waiting on it must not hang. *)
+          match Message.session body, Message.sender body, Message.get_int body f_want with
+          | Some session, Some caller, Some w when w <> 0 ->
+            if caller.Addr.site = t.my_site then
+              note_failed_responder t ~session ~responder:dest
+            else
+              send_frame t ~dst:caller.Addr.site
+                (Proto.Obligation_failed { session; responder = dest })
+          | _ -> ()))
+    | Proto.Obligation_failed { session; responder } ->
+      note_failed_responder t ~session ~responder
+    | Proto.Dir_query { name; qid } ->
+      let info =
+        match Hashtbl.find_opt t.dir name with
+        | Some (gid, sites) -> Some (name, gid, sites)
+        | None -> None
+      in
+      send_frame t ~dst:src (Proto.Dir_reply { qid; info })
+    | Proto.Dir_reply { qid; info } -> (
+      match Hashtbl.find_opt t.dir_queries qid with
+      | None -> ()
+      | Some (awaiting, iv) -> (
+        match info with
+        | Some (name, gid, sites) ->
+          Hashtbl.remove t.dir_queries qid;
+          Hashtbl.replace t.dir name (gid, sites);
+          remember_contacts t gid sites;
+          Ivar.fill_if_empty iv (Some (gid, sites)) |> ignore
+        | None ->
+          decr awaiting;
+          if !awaiting <= 0 then begin
+            Hashtbl.remove t.dir_queries qid;
+            Ivar.fill_if_empty iv None |> ignore
+          end))
+    | Proto.Dir_update { name; group; sites } ->
+      Hashtbl.replace t.dir name (group, sites);
+      remember_contacts t group sites
+    | Proto.Site_hello { site = s; _ } -> on_site_up t s
+    | Proto.Relay { group; mode; body; session; caller } -> (
+      match group_of t group with
+      | Some g ->
+        (match session with
+        | Some sid ->
+          send_frame t ~dst:caller.Addr.site
+            (Proto.Relay_info { session = sid; responders = g.view.View.members })
+        | None -> ());
+        origin_multicast t g mode ~owner:None body
+      | None -> (
+        (* Stale contact: report an empty responder set so the caller
+           fails fast and can retry after a fresh lookup. *)
+        match session with
+        | Some sid ->
+          send_frame t ~dst:caller.Addr.site (Proto.Relay_info { session = sid; responders = [] })
+        | None -> ()))
+    | Proto.Relay_info { session; responders } -> (
+      match Hashtbl.find_opt t.sessions session with
+      | Some sess ->
+        if responders = [] then close_session t sess All_failed
+        else note_responders t sess responders
+      | None -> ())
+    | Proto.Deliver_ack { uid; _ } -> on_deliver_ack t ~src uid
+    | Proto.Stable { group; uid } -> on_stable t group uid
+    | Proto.Cb_data _ | Proto.Ab_data _ | Proto.Ab_prio _ | Proto.Ab_commit _
+    | Proto.Join_req _ | Proto.Join_refused _ | Proto.Leave_req _ | Proto.Proc_failed _
+    | Proto.Gb_req _ | Proto.Wedge _ | Proto.Wedge_ack _ | Proto.Fetch _
+    | Proto.Fetch_reply _ | Proto.Commit _ ->
+      handle_group_frame t ~src frame
+  end
+
+and handle_group_frame t ~src frame =
+  let with_group gid view_id k =
+    match group_of t gid with
+    | Some g ->
+      if view_id = g.view.View.view_id then
+        if g.wedge <> None then () (* wedged: post-ack data is dropped; the flush stabilizes *)
+        else k g
+      else if view_id > g.view.View.view_id then hold_frame t (gi gid) frame
+      (* else: stale view, drop *)
+    | None -> hold_frame t (gi gid) frame
+  in
+  match frame with
+  | Proto.Cb_data { group; view_id; uid; rank; vt; body } ->
+    with_group group view_id (fun g ->
+        g.store <- Uid_map.add uid (Proto.Scb { uid; rank; vt; body }) g.store;
+        (match vt with
+        | Some l when rank >= 0 ->
+          Causal.receive g.causal ~uid ~rank ~vt:(Vsync_util.Vclock.of_list l) body
+        | Some _ | None -> Causal.receive_fifo g.causal ~uid body);
+        drain_group t g)
+  | Proto.Ab_data { group; view_id; uid; body } ->
+    with_group group view_id (fun g ->
+        let prio = Total.intake g.total ~uid body in
+        send_frame t ~dst:src (Proto.Ab_prio { group; view_id; uid; prio }))
+  | Proto.Ab_prio { group; view_id; uid; prio } ->
+    with_group group view_id (fun _g -> on_ab_prio t uid prio)
+  | Proto.Ab_commit { group; view_id; uid; prio } ->
+    with_group group view_id (fun g ->
+        Total.commit g.total ~uid prio;
+        drain_group t g)
+  | Proto.Join_req { group; joiner; credentials } -> (
+    match group_of t group with
+    | Some g -> route_event t g (Ev_join (joiner, credentials))
+    | None ->
+      send_frame t ~dst:joiner.Addr.site
+        (Proto.Join_refused { group; joiner; reason = "no such group at contact site" }))
+  | Proto.Join_refused { group; joiner; reason } -> (
+    if joiner.Addr.site = t.my_site then
+      match Hashtbl.find_opt t.join_waiters (gi group, joiner.Addr.idx) with
+      | Some iv ->
+        Hashtbl.remove t.join_waiters (gi group, joiner.Addr.idx);
+        Ivar.fill iv (Error reason)
+      | None -> ())
+  | Proto.Leave_req { group; who } -> (
+    match group_of t group with
+    | Some g -> route_event t g (Ev_leave who)
+    | None -> ())
+  | Proto.Proc_failed { group; who } -> (
+    match group_of t group with
+    | Some g -> route_event t g (Ev_fail who)
+    | None -> ())
+  | Proto.Gb_req { group; uid; body } -> (
+    match group_of t group with
+    | Some g -> route_event t g (Ev_gb (uid, body))
+    | None -> ())
+  | Proto.Wedge { group; view_id; attempt; coord_site } -> (
+    match group_of t group with
+    | Some g -> on_wedge t ~src g ~view_id ~attempt ~coord_site
+    | None -> ())
+  | Proto.Wedge_ack { group; attempt; from_site; cb_known; ab_report; ab_counter; already_committed; _ } -> (
+    match group_of t group with
+    | Some g ->
+      on_wedge_ack t g ~from_site ~attempt
+        { a_cb_known = cb_known; a_ab_report = ab_report; a_ab_counter = ab_counter; a_already = already_committed }
+    | None -> ())
+  | Proto.Fetch { group; view_id; attempt; uids } -> (
+    match group_of t group with
+    | Some g -> on_fetch t ~src g ~view_id ~attempt uids
+    | None -> ())
+  | Proto.Fetch_reply { group; attempt; from_site; bodies; _ } -> (
+    match group_of t group with
+    | Some g -> on_fetch_reply t g ~from_site ~attempt bodies
+    | None -> ())
+  | Proto.Commit { group; _ } -> on_commit t (group_of t group) frame
+  | _ -> invalid_arg "handle_group_frame: not a group frame"
+
+and on_reply_body t body =
+  match Message.session body, Message.sender body with
+  | Some session, Some responder -> (
+    match Hashtbl.find_opt t.sessions session with
+    | None -> () (* superfluous/duplicate replies are discarded silently *)
+    | Some sess ->
+      clear_obligation t ~responder ~session;
+      let null = Message.get_bool body f_null = Some true in
+      note_reply t sess ~responder ~body ~null)
+  | _ -> ()
+
+(* ==================================================================
+   Construction and lifecycle
+   ================================================================== *)
+
+let wire_endpoint t =
+  let ep =
+    Endpoint.create ~config:t.cfg.endpoint t.fab.ep_fabric ~site:t.my_site ~size:Proto.size ()
+  in
+  t.ep <- Some ep;
+  Endpoint.set_receiver ep (fun ~src frame ->
+      (* Stability bookkeeping is interrupt-level work, not a protocol
+         step: charge a token cost so ack storms do not dominate the
+         CPU accounting. *)
+      let cost =
+        match frame with
+        | Proto.Deliver_ack _ | Proto.Stable _ -> 500
+        | _ -> cpu_cost t t.cfg.cpu_recv_us (Proto.size frame)
+      in
+      on_cpu t cost (fun () -> handle_frame t ~src frame));
+  Endpoint.set_failure_handler ep (fun s -> if t.running then on_site_down t s)
+
+let create ?(config = default_config) fab ~site ~trace () =
+  let t =
+    {
+      fab;
+      my_site = site;
+      cfg = config;
+      eng = Net.engine fab.fnet;
+      tracer = trace;
+      ep = None;
+      ctrs = Stats.Counter.create ();
+      running = true;
+      next_proc_idx = 0;
+      next_useq = 0;
+      next_session = 0;
+      next_qid = 0;
+      procs = Hashtbl.create 16;
+      groups = Hashtbl.create 16;
+      held = Hashtbl.create 8;
+      dir = Hashtbl.create 16;
+      contacts = Hashtbl.create 16;
+      sessions = Hashtbl.create 16;
+      obligations = Hashtbl.create 16;
+      dir_queries = Hashtbl.create 8;
+      unstables = Hashtbl.create 32;
+      ab_collects = Hashtbl.create 16;
+      join_waiters = Hashtbl.create 8;
+      leave_waiters = Hashtbl.create 8;
+      site_watchers = [];
+      mon_refs = Hashtbl.create 8;
+      cpu_free = 0;
+      cpu_busy = 0;
+    }
+  in
+  wire_endpoint t;
+  t
+
+let crash t =
+  if t.running then begin
+    Trace.emitf t.tracer ~category:"fail" "site %d crashes" t.my_site;
+    t.running <- false;
+    Hashtbl.iter
+      (fun _ p ->
+        p.palive <- false;
+        Sched.kill p.sched)
+      t.procs;
+    Hashtbl.reset t.procs;
+    Hashtbl.reset t.groups;
+    Hashtbl.reset t.held;
+    Hashtbl.reset t.dir;
+    Hashtbl.reset t.contacts;
+    Hashtbl.reset t.sessions;
+    Hashtbl.reset t.obligations;
+    Hashtbl.reset t.dir_queries;
+    Hashtbl.reset t.unstables;
+    Hashtbl.reset t.ab_collects;
+    Hashtbl.reset t.join_waiters;
+    Hashtbl.reset t.leave_waiters;
+    Hashtbl.reset t.mon_refs;
+    t.site_watchers <- [];
+    Endpoint.crash (endpoint t)
+  end
+
+let restart t =
+  if t.running then invalid_arg "Runtime.restart: site is up";
+  Endpoint.restart (endpoint t);
+  t.running <- true;
+  t.cpu_free <- Engine.now t.eng;
+  Trace.emitf t.tracer ~category:"fail" "site %d restarts (epoch %d)" t.my_site
+    (Endpoint.epoch (endpoint t));
+  (* Announce recovery so recovery managers can react. *)
+  for s = 0 to Net.n_sites t.fab.fnet - 1 do
+    if s <> t.my_site then
+      send_frame t ~dst:s (Proto.Site_hello { site = t.my_site; epoch = Endpoint.epoch (endpoint t) })
+  done
+
+let watch_sites t f = t.site_watchers <- f :: t.site_watchers
+
+(* ==================================================================
+   Public client API
+   ================================================================== *)
+
+let pg_create p name =
+  let t = p.rt in
+  Stats.Counter.incr t.ctrs "prim.local_rpc";
+  if Hashtbl.mem t.dir name then invalid_arg ("Runtime.pg_create: name exists: " ^ name);
+  let gid = Addr.group_of_int ((t.my_site lsl 20) lor t.next_useq) in
+  t.next_useq <- t.next_useq + 1;
+  let view = View.initial gid p.addr in
+  let g = make_group t ~gid ~gname:name ~view in
+  Hashtbl.replace t.groups (gi gid) g;
+  Hashtbl.replace t.dir name (gid, [ t.my_site ]);
+  remember_contacts t gid [ t.my_site ];
+  p.memberships <- gi gid :: p.memberships;
+  Trace.emitf t.tracer ~category:"group" "create %s = g%d" name (gi gid);
+  gid
+
+let pg_lookup p name =
+  let t = p.rt in
+  Stats.Counter.incr t.ctrs "prim.local_rpc";
+  match Hashtbl.find_opt t.dir name with
+  | Some (gid, sites) ->
+    remember_contacts t gid sites;
+    Some gid
+  | None ->
+    let n = Net.n_sites t.fab.fnet in
+    if n <= 1 then None
+    else begin
+      Stats.Counter.incr t.ctrs "prim.cbcast";
+      let qid = t.next_qid in
+      t.next_qid <- qid + 1;
+      let iv = Ivar.create () in
+      Hashtbl.replace t.dir_queries qid (ref (n - 1), iv);
+      for s = 0 to n - 1 do
+        if s <> t.my_site then send_frame t ~dst:s (Proto.Dir_query { name; qid })
+      done;
+      match Ivar.read iv with
+      | Some (gid, _) -> Some gid
+      | None -> None
+    end
+
+let contact_site_for t gid =
+  match Hashtbl.find_opt t.contacts (gi gid) with
+  | Some (s :: _) -> Some s
+  | Some [] | None -> None
+
+let pg_join p gid ~credentials =
+  let t = p.rt in
+  Stats.Counter.incr t.ctrs "prim.cbcast";
+  let credentials = Message.copy credentials in
+  Message.set_sender credentials p.addr;
+  let iv = Ivar.create () in
+  Hashtbl.replace t.join_waiters (gi gid, p.addr.Addr.idx) iv;
+  (match group_of t gid with
+  | Some g -> route_event t g (Ev_join (p.addr, credentials))
+  | None -> (
+    match contact_site_for t gid with
+    | Some c -> send_frame t ~dst:c (Proto.Join_req { group = gid; joiner = p.addr; credentials })
+    | None ->
+      Hashtbl.remove t.join_waiters (gi gid, p.addr.Addr.idx);
+      Ivar.fill iv (Error "no known contact site for group")));
+  let r = Ivar.read iv in
+  (match r with
+  | Ok () -> Stats.Counter.incr t.ctrs "prim.reply"
+  | Error _ -> ());
+  r
+
+let pg_leave p gid =
+  let t = p.rt in
+  match group_of t gid with
+  | None -> ()
+  | Some g ->
+    if View.is_member g.view p.addr then begin
+      let iv = Ivar.create () in
+      Hashtbl.replace t.leave_waiters (gi gid, p.addr.Addr.idx) iv;
+      route_event t g (Ev_leave p.addr);
+      Ivar.read iv
+    end
+
+let pg_add_member p gid who =
+  let t = p.rt in
+  match group_of t gid with
+  | None -> invalid_arg "Runtime.pg_add_member: no local view of group"
+  | Some g -> route_event t g (Ev_join (who, Message.create ()))
+
+let pg_monitor p gid f =
+  let t = p.rt in
+  Stats.Counter.incr t.ctrs "prim.local_rpc";
+  match group_of t gid with
+  | None -> invalid_arg "Runtime.pg_monitor: no local view of group"
+  | Some g -> g.g_monitors <- (p, f) :: g.g_monitors
+
+let pg_view p gid = match group_of p.rt gid with Some g -> Some g.view | None -> None
+
+let pg_rank p gid =
+  match group_of p.rt gid with
+  | Some g -> ( try Some (View.rank g.view p.addr) with Not_found -> None)
+  | None -> None
+
+let pg_join_verify p gid f =
+  match group_of p.rt gid with
+  | None -> invalid_arg "Runtime.pg_join_verify: no local view of group"
+  | Some g -> g.join_validator <- Some (p, f)
+
+let pg_kill p gid =
+  let t = p.rt in
+  Stats.Counter.incr t.ctrs "prim.abcast";
+  match group_of t gid with
+  | None -> invalid_arg "Runtime.pg_kill: no local view of group"
+  | Some g ->
+    let body = Message.create () in
+    Message.set_sender body p.addr;
+    Message.set_bool body f_pg_kill true;
+    origin_multicast t g Abcast ~owner:None body
+
+let register_obligation_direct t ~responder ~session ~caller =
+  let idx = responder.addr.Addr.idx in
+  let cur = Option.value ~default:[] (Hashtbl.find_opt t.obligations idx) in
+  Hashtbl.replace t.obligations idx ((session, caller) :: cur)
+
+let bcast p mode ~dest ~entry msg ~(want : want) =
+  let t = p.rt in
+  if not (proc_alive p) then All_failed
+  else begin
+    Stats.Counter.incr t.ctrs
+      (match mode with
+      | Cbcast -> "prim.cbcast"
+      | Abcast -> "prim.abcast"
+      | Gbcast -> "prim.gbcast_req");
+    let body = Message.copy msg in
+    Message.set_sender body p.addr;
+    Message.set_entry body entry;
+    Message.set_int body f_want (want_to_int want);
+    Message.set_int body f_mode (mode_to_int mode);
+    match dest with
+    | Addr.Proc q ->
+      let sess =
+        match want with
+        | No_reply -> None
+        | Wait_n _ | Wait_all ->
+          Some (open_session t ~want ~responders:(Some [ q ]) ~relay_site:None)
+      in
+      (match sess with Some s -> Message.set_session body s.sess_id | None -> ());
+      on_cpu t (cpu_cost t t.cfg.cpu_send_us (Message.size body)) (fun () ->
+          if q.Addr.site = t.my_site then begin
+            match find_proc t q with
+            | Some target ->
+              (match sess with
+              | Some s ->
+                register_obligation_direct t ~responder:target ~session:s.sess_id ~caller:p.addr
+              | None -> ());
+              dispatch_to_proc t target body
+            | None -> (
+              match sess with
+              | Some s -> note_failed_responder t ~session:s.sess_id ~responder:q
+              | None -> ())
+          end
+          else send_frame t ~dst:q.Addr.site (Proto.Ptp { dest = q; body }));
+      (match sess with
+      | None -> Replies []
+      | Some s -> Ivar.read s.done_ivar)
+    | Addr.Group gid -> (
+      match group_of t gid with
+      | Some g ->
+        let sess =
+          match want with
+          | No_reply -> None
+          | Wait_n _ | Wait_all ->
+            Some (open_session t ~want ~responders:(Some g.view.View.members) ~relay_site:None)
+        in
+        (match sess with Some s -> Message.set_session body s.sess_id | None -> ());
+        p.pending_inits <- p.pending_inits + 1;
+        on_cpu t (cpu_cost t t.cfg.cpu_send_us (Message.size body)) (fun () -> origin_multicast t g mode ~owner:(Some p) body);
+        (match sess with
+        | None -> Replies []
+        | Some s -> Ivar.read s.done_ivar)
+      | None -> (
+        match contact_site_for t gid with
+        | None -> All_failed
+        | Some relay ->
+          let sess =
+            match want with
+            | No_reply -> None
+            | Wait_n _ | Wait_all -> Some (open_session t ~want ~responders:None ~relay_site:(Some relay))
+          in
+          (match sess with Some s -> Message.set_session body s.sess_id | None -> ());
+          let session_id = Option.map (fun s -> s.sess_id) sess in
+          on_cpu t (cpu_cost t t.cfg.cpu_send_us (Message.size body)) (fun () ->
+              send_frame t ~dst:relay
+                (Proto.Relay { group = gid; mode; body; session = session_id; caller = p.addr }));
+          (match sess with
+          | None -> Replies []
+          | Some s -> Ivar.read s.done_ivar)))
+  end
+
+(* The paper's mcast signature takes a destination LIST; replies from
+   every group and process funnel into one session. *)
+let bcast_multi p mode ~dests ~entry msg ~(want : want) =
+  let t = p.rt in
+  if not (proc_alive p) then All_failed
+  else begin
+    Stats.Counter.incr t.ctrs
+      (match mode with
+      | Cbcast -> "prim.cbcast"
+      | Abcast -> "prim.abcast"
+      | Gbcast -> "prim.gbcast_req");
+    let body = Message.copy msg in
+    Message.set_sender body p.addr;
+    Message.set_entry body entry;
+    Message.set_int body f_want (want_to_int want);
+    Message.set_int body f_mode (mode_to_int mode);
+    (* Responders across all destinations, when every group is locally
+       visible; otherwise leave them to the relays. *)
+    let local_responders =
+      List.fold_left
+        (fun acc dest ->
+          match acc, dest with
+          | None, _ -> None
+          | Some rs, Addr.Proc q -> Some (q :: rs)
+          | Some rs, Addr.Group gid -> (
+            match group_of t gid with
+            | Some g -> Some (g.view.View.members @ rs)
+            | None -> None))
+        (Some []) dests
+    in
+    let sess =
+      match want with
+      | No_reply -> None
+      | Wait_n _ | Wait_all ->
+        Some (open_session t ~want ~responders:local_responders ~relay_site:None)
+    in
+    (match sess with Some s -> Message.set_session body s.sess_id | None -> ());
+    on_cpu t (cpu_cost t t.cfg.cpu_send_us (Message.size body)) (fun () ->
+        List.iter
+          (fun dest ->
+            match dest with
+            | Addr.Proc q ->
+              if q.Addr.site = t.my_site then begin
+                match find_proc t q with
+                | Some target ->
+                  (match sess with
+                  | Some sx ->
+                    register_obligation_direct t ~responder:target ~session:sx.sess_id
+                      ~caller:p.addr
+                  | None -> ());
+                  dispatch_to_proc t target body
+                | None -> (
+                  match sess with
+                  | Some sx -> note_failed_responder t ~session:sx.sess_id ~responder:q
+                  | None -> ())
+              end
+              else send_frame t ~dst:q.Addr.site (Proto.Ptp { dest = q; body })
+            | Addr.Group gid -> (
+              match group_of t gid with
+              | Some g -> origin_multicast t g mode ~owner:(Some p) body
+              | None -> (
+                match contact_site_for t gid with
+                | Some relay ->
+                  send_frame t ~dst:relay
+                    (Proto.Relay
+                       {
+                         group = gid;
+                         mode;
+                         body;
+                         session = None (* responders resolved locally or not at all *);
+                         caller = p.addr;
+                       })
+                | None -> ())))
+          dests);
+    match sess with
+    | None -> Replies []
+    | Some s -> Ivar.read s.done_ivar
+  end
+
+let do_reply p ~request answer ~null ~copy_to =
+  let t = p.rt in
+  (* A reply costs one asynchronous CBCAST on the wire (Table I); it is
+     counted under its own name so the harness can distinguish them. *)
+  Stats.Counter.incr t.ctrs (if null then "prim.null_reply" else "prim.reply");
+  match Message.session request, Message.sender request with
+  | Some session, Some caller ->
+    let body = Message.copy answer in
+    Message.set_sender body p.addr;
+    Message.set_session body session;
+    Message.set_bool body f_is_reply true;
+    if null then Message.set_bool body f_null true;
+    clear_obligation t ~responder:p.addr ~session;
+    on_cpu t t.cfg.cpu_send_us (fun () ->
+        if caller.Addr.site = t.my_site then on_reply_body t body
+        else send_frame t ~dst:caller.Addr.site (Proto.Ptp { dest = caller; body }));
+    (* Copies to cohorts (coordinator-cohort tool). *)
+    List.iter
+      (fun (q : Addr.proc) ->
+        let copy = Message.copy body in
+        Message.remove copy f_is_reply;
+        Message.set_entry copy Entry.generic_cc_reply;
+        if q.Addr.site = t.my_site then begin
+          match find_proc t q with
+          | Some target -> dispatch_to_proc t target copy
+          | None -> ()
+        end
+        else send_frame t ~dst:q.Addr.site (Proto.Ptp { dest = q; body = copy }))
+      copy_to
+  | _ -> invalid_arg "Runtime.reply: request carries no session"
+
+let reply p ~request answer = do_reply p ~request answer ~null:false ~copy_to:[]
+
+let reply_cc p ~request answer ~copy_to = do_reply p ~request answer ~null:false ~copy_to
+
+let null_reply p ~request = do_reply p ~request (Message.create ()) ~null:true ~copy_to:[]
+
+let flush p =
+  while p.pending_inits > 0 || not (Uid_set.is_empty p.outstanding) do
+    Condition.wait p.flushers
+  done
+
+let redeliver p m = dispatch_to_proc p.rt p m
+
+(* The primitive that carried a delivered message — stamped by the
+   sending runtime, unforgeable by clients working through the
+   toolkit. *)
+let delivery_mode m = Option.bind (Message.get_int m f_mode) mode_of_int
+
+(* Gauges for leak tests: all three drain to zero once traffic
+   quiesces. *)
+let pending_unstable t = Hashtbl.length t.unstables
+
+let pending_held_frames t = Hashtbl.fold (fun _ fs acc -> acc + List.length fs) t.held 0
+
+let pending_sessions t = Hashtbl.length t.sessions

@@ -1,0 +1,94 @@
+open Types
+
+type 'a entry = {
+  mutable prio : prio;
+  mutable committed : bool;
+  mutable payload : 'a option;
+}
+
+type 'a t = {
+  site : int;
+  mutable ctr : int;
+  mutable entries : 'a entry Uid_map.t;
+  mutable delivered : Uid_set.t;
+}
+
+let create ~site () = { site; ctr = 0; entries = Uid_map.empty; delivered = Uid_set.empty }
+
+let seen t uid = Uid_map.mem uid t.entries || Uid_set.mem uid t.delivered
+
+let counter t = t.ctr
+
+let intake t ~uid payload =
+  match Uid_map.find_opt uid t.entries with
+  | Some e ->
+    if e.payload = None then e.payload <- Some payload;
+    e.prio
+  | None ->
+    if Uid_set.mem uid t.delivered then
+      (* Duplicate of something already delivered; return a harmless
+         priority (the originator will not use it: it committed
+         already). *)
+      (t.ctr, t.site)
+    else begin
+      t.ctr <- t.ctr + 1;
+      let prio = (t.ctr, t.site) in
+      t.entries <- Uid_map.add uid { prio; committed = false; payload = Some payload } t.entries;
+      prio
+    end
+
+let commit t ~uid prio =
+  if not (Uid_set.mem uid t.delivered) then begin
+    (match Uid_map.find_opt uid t.entries with
+    | Some e ->
+      e.prio <- prio;
+      e.committed <- true
+    | None ->
+      t.entries <- Uid_map.add uid { prio; committed = true; payload = None } t.entries);
+    t.ctr <- max t.ctr (fst prio)
+  end
+
+let add_payload t ~uid payload =
+  match Uid_map.find_opt uid t.entries with
+  | Some e -> if e.payload = None then e.payload <- Some payload
+  | None -> ()
+
+let drop t ~uid =
+  match Uid_map.find_opt uid t.entries with
+  | None -> ()
+  | Some e ->
+    if e.committed then invalid_arg "Total.drop: message is committed";
+    t.entries <- Uid_map.remove uid t.entries
+
+let head t =
+  (* Smallest (prio, uid) among buffered entries.  Linear scan: pending
+     sets are small (outstanding, uncommitted multicasts only). *)
+  Uid_map.fold
+    (fun uid e acc ->
+      match acc with
+      | None -> Some (uid, e)
+      | Some (auid, ae) ->
+        let c = prio_compare e.prio ae.prio in
+        if c < 0 || (c = 0 && uid_compare uid auid < 0) then Some (uid, e) else acc)
+    t.entries None
+
+let drain t =
+  let rec loop acc =
+    match head t with
+    | Some (uid, e) when e.committed -> (
+      match e.payload with
+      | Some p ->
+        t.entries <- Uid_map.remove uid t.entries;
+        t.delivered <- Uid_set.add uid t.delivered;
+        loop ((uid, p) :: acc)
+      | None -> List.rev acc)
+    | Some _ | None -> List.rev acc
+  in
+  loop []
+
+let payload_of t uid =
+  match Uid_map.find_opt uid t.entries with Some e -> e.payload | None -> None
+
+let pending t =
+  Uid_map.bindings t.entries
+  |> List.map (fun (uid, e) -> (uid, e.prio, e.committed, e.payload <> None))

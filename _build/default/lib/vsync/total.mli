@@ -1,0 +1,68 @@
+(** ABCAST delivery engine (one instance per group, per site, per view).
+
+    The ISIS two-phase priority protocol ([Birman-a], faithful to the
+    paper's cost model: three inter-site one-way latencies before a
+    remote delivery — Figure 3):
+
+    + the originator multicasts the message;
+    + every destination assigns it a {e proposed priority} — one more
+      than the largest priority it has seen, tie-broken by site id —
+      buffers the message {e undeliverable} in a priority queue, and
+      returns the proposal to the originator;
+    + the originator takes the maximum proposal as the {e final
+      priority} and multicasts it; destinations reorder the message on
+      its final priority, mark it deliverable, and deliver every
+      deliverable message at the head of the queue.
+
+    Because every destination moves the message to the same final
+    priority, all destinations deliver identical prefixes.  Messages
+    whose originator fails before committing are either finalized for
+    everyone or dropped by everyone during the view-change flush
+    (the coordinator decides from the wedge acknowledgements). *)
+
+open Types
+
+type 'a t
+
+(** [create ~site ()] returns an empty engine; [site] breaks priority
+    ties. *)
+val create : site:int -> unit -> 'a t
+
+(** [intake t ~uid ~payload] assigns and returns the proposed priority,
+    buffering the message undeliverable.  Duplicate uids return the
+    already-proposed priority. *)
+val intake : 'a t -> uid:uid -> 'a -> prio
+
+(** [commit t ~uid prio] fixes the final priority and marks the message
+    deliverable.  A commit may arrive for a uid never seen here (during
+    stabilization): the engine records it and waits for
+    {!add_payload}. *)
+val commit : 'a t -> uid:uid -> prio -> unit
+
+(** [add_payload t ~uid payload] supplies the body for a
+    committed-but-unseen uid. *)
+val add_payload : 'a t -> uid:uid -> 'a -> unit
+
+(** [drop t ~uid] discards an uncommitted message (originator died and
+    no destination holds a commit).  Dropping a committed message
+    raises. *)
+val drop : 'a t -> uid:uid -> unit
+
+(** [drain t] delivers the maximal deliverable prefix: pops messages in
+    priority order while they are committed with payload present. *)
+val drain : 'a t -> (uid * 'a) list
+
+(** [pending t] lists buffered messages as
+    [(uid, proposed_or_final, committed, has_payload)] — the raw
+    material of a wedge acknowledgement. *)
+val pending : 'a t -> (uid * prio * bool * bool) list
+
+val seen : _ t -> uid -> bool
+
+(** [payload_of t uid] returns the buffered body, if present (used when
+    answering a stabilization fetch). *)
+val payload_of : 'a t -> uid -> 'a option
+
+(** [counter t] is the engine's current priority counter
+    (diagnostics). *)
+val counter : _ t -> int

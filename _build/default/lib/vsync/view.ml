@@ -1,0 +1,66 @@
+module Addr = Vsync_msg.Addr
+
+type t = {
+  group : Addr.group_id;
+  view_id : int;
+  members : Addr.proc list;
+}
+
+type change =
+  | Member_joined of Addr.proc
+  | Member_left of Addr.proc
+  | Member_failed of Addr.proc
+
+let initial group creator = { group; view_id = 1; members = [ creator ] }
+
+let n_members t = List.length t.members
+
+let is_member t p = List.exists (Addr.equal_proc p) t.members
+
+let rank t p =
+  let rec loop i = function
+    | [] -> raise Not_found
+    | m :: _ when Addr.equal_proc m p -> i
+    | _ :: rest -> loop (i + 1) rest
+  in
+  loop 0 t.members
+
+let member_at t r = List.nth t.members r
+
+let oldest t =
+  match t.members with
+  | [] -> invalid_arg "View.oldest: empty view"
+  | m :: _ -> m
+
+let sites t =
+  List.map (fun (p : Addr.proc) -> p.Addr.site) t.members
+  |> List.sort_uniq compare
+
+let members_at_site t s = List.filter (fun (p : Addr.proc) -> p.Addr.site = s) t.members
+
+let apply t changes =
+  let removed =
+    List.filter_map
+      (function Member_left p | Member_failed p -> Some p | Member_joined _ -> None)
+      changes
+  in
+  let joined = List.filter_map (function Member_joined p -> Some p | _ -> None) changes in
+  let survivors =
+    List.filter (fun m -> not (List.exists (Addr.equal_proc m) removed)) t.members
+  in
+  List.iter
+    (fun j ->
+      if List.exists (Addr.equal_proc j) survivors then
+        invalid_arg "View.apply: joining member already present")
+    joined;
+  { t with view_id = t.view_id + 1; members = survivors @ joined }
+
+let pp_change ppf = function
+  | Member_joined p -> Format.fprintf ppf "+%a" Addr.pp_proc p
+  | Member_left p -> Format.fprintf ppf "-%a" Addr.pp_proc p
+  | Member_failed p -> Format.fprintf ppf "!%a" Addr.pp_proc p
+
+let pp ppf t =
+  Format.fprintf ppf "view(g%d,#%d,[%a])" (Addr.group_to_int t.group) t.view_id
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",") Addr.pp_proc)
+    t.members

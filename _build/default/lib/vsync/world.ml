@@ -1,0 +1,82 @@
+module Engine = Vsync_sim.Engine
+module Net = Vsync_sim.Net
+module Trace = Vsync_sim.Trace
+module Stats = Vsync_util.Stats
+
+type t = {
+  eng : Engine.t;
+  network : Net.t;
+  tracer : Trace.t;
+  runtimes : Runtime.t array;
+}
+
+let create ?(seed = 0x15155EEDL) ?(net_config = Net.default_config) ?runtime_config
+    ?(clock_skew_us = 0) ~sites () =
+  let eng = Engine.create ~seed () in
+  let network = Net.create eng net_config ~sites in
+  let tracer = Trace.create eng in
+  let fabric = Runtime.make_fabric network in
+  let skew_rng = Vsync_util.Rng.split (Engine.rng eng) in
+  let runtimes =
+    Array.init sites (fun site ->
+        let base = Option.value ~default:Runtime.default_config runtime_config in
+        let config =
+          if clock_skew_us = 0 then base
+          else
+            {
+              base with
+              Runtime.clock_offset_us =
+                Vsync_util.Rng.int_in skew_rng (-clock_skew_us) clock_skew_us;
+            }
+        in
+        Runtime.create ~config fabric ~site ~trace:tracer ())
+  in
+  { eng; network; tracer; runtimes }
+
+let engine t = t.eng
+let net t = t.network
+let trace t = t.tracer
+let n_sites t = Array.length t.runtimes
+
+let runtime t s =
+  if s < 0 || s >= Array.length t.runtimes then invalid_arg "World.runtime: bad site";
+  t.runtimes.(s)
+
+let proc t ~site ~name = Runtime.spawn_proc (runtime t site) ~name ()
+
+let run_task _t p f = Runtime.spawn_task p f
+
+(* Failure-detector probes recur forever once a group spans sites, so
+   "run until the queue drains" would never return.  Default to a
+   horizon comfortably beyond every protocol timeout. *)
+let default_horizon_us = 60_000_000
+
+let run ?until t =
+  let until =
+    match until with Some u -> u | None -> Engine.now t.eng + default_horizon_us
+  in
+  Engine.run ~until t.eng
+
+let run_for t us = Engine.run ~until:(Engine.now t.eng + us) t.eng
+
+let now t = Engine.now t.eng
+
+let crash_site t s =
+  Runtime.crash (runtime t s);
+  Net.crash_site t.network s
+
+let restart_site t s =
+  Net.restart_site t.network s;
+  Runtime.restart (runtime t s)
+
+let partition t left right = Net.partition t.network left right
+let heal t = Net.heal t.network
+
+let total_counters t =
+  let acc = Stats.Counter.create () in
+  Array.iter
+    (fun rt ->
+      List.iter (fun (k, v) -> Stats.Counter.add acc k v) (Stats.Counter.to_list (Runtime.counters rt)))
+    t.runtimes;
+  List.iter (fun (k, v) -> Stats.Counter.add acc k v) (Stats.Counter.to_list (Net.counters t.network));
+  Stats.Counter.to_list acc

@@ -1,0 +1,71 @@
+(** Simulation harness: a complete multi-site ISIS deployment.
+
+    Bundles the event engine, the network, the transport fabric, one
+    {!Runtime} per site, and a trace — everything a test, example or
+    benchmark needs to stand up "a cluster" in a few lines:
+
+    {[
+      let w = World.create ~sites:4 () in
+      let p0 = World.proc w ~site:0 ~name:"creator" in
+      World.run_task w p0 (fun () -> ...);   (* body may block *)
+      World.run w                            (* drive to quiescence *)
+    ]} *)
+
+type t
+
+(** [create ~sites ~seed ~net_config ~runtime_config ()] builds a
+    deployment with all sites up. *)
+val create :
+  ?seed:int64 ->
+  ?net_config:Vsync_sim.Net.config ->
+  ?runtime_config:Runtime.config ->
+  ?clock_skew_us:int ->
+  sites:int ->
+  unit ->
+  t
+
+val engine : t -> Vsync_sim.Engine.t
+val net : t -> Vsync_sim.Net.t
+val trace : t -> Vsync_sim.Trace.t
+val n_sites : t -> int
+
+(** [runtime w s] is site [s]'s protocols process. *)
+val runtime : t -> int -> Runtime.t
+
+(** [proc w ~site ~name] spawns a process at [site]. *)
+val proc : t -> site:int -> name:string -> Runtime.proc
+
+(** [run_task w p f] starts [f] as a task of [p] (it may block on group
+    RPCs etc.). *)
+val run_task : t -> Runtime.proc -> (unit -> unit) -> unit
+
+(** [run w] drives the simulation for 60 virtual seconds (failure
+    detector probes recur forever, so there is no natural quiescence);
+    [run ~until w] stops at the given virtual time instead. *)
+val run : ?until:Vsync_sim.Engine.time -> t -> unit
+
+(** [run_for w us] advances virtual time by [us]. *)
+val run_for : t -> int -> unit
+
+(** [now w] is the current virtual time. *)
+val now : t -> Vsync_sim.Engine.time
+
+(** {1 Failure injection} *)
+
+(** [crash_site w s] crashes site [s] (network + runtime + processes). *)
+val crash_site : t -> int -> unit
+
+(** [restart_site w s] restores a crashed site under a new
+    incarnation. *)
+val restart_site : t -> int -> unit
+
+(** [partition w left right] splits the network; [heal w] repairs it. *)
+val partition : t -> int list -> int list -> unit
+
+val heal : t -> unit
+
+(** {1 Accounting} *)
+
+(** [total_counters w] merges the per-runtime counters with the network
+    counters (prefix ["net."]). *)
+val total_counters : t -> (string * int) list

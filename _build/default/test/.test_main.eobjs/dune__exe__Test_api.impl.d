@@ -1,0 +1,1 @@
+test/test_api.ml: Alcotest Array List Option Printf Remote_exec Runtime Types View Vsync_core Vsync_msg Vsync_toolkit World

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Bboard List Option Printf Quorum Runtime Stable_store Test_toolkit Transactions Vsync_core Vsync_msg Vsync_toolkit World

@@ -1,0 +1,1 @@
+test/test_failures.ml: Alcotest Array List Option Printf Runtime Types View Vsync_core Vsync_msg World

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Array Fun Int64 List Option Printf Runtime Types View Vsync_core Vsync_msg Vsync_sim Vsync_util World

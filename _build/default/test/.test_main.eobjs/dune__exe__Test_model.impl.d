@@ -1,0 +1,1 @@
+test/test_model.ml: Array Causal Gen Hashtbl List Option QCheck QCheck_alcotest Total Types Vsync_core Vsync_msg Vsync_util

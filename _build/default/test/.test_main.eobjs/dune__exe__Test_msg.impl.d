@@ -1,0 +1,1 @@
+test/test_msg.ml: Alcotest Bytes Format List QCheck QCheck_alcotest Vsync_msg

@@ -1,0 +1,1 @@
+test/test_ordering.ml: Alcotest Array List Option Printf Runtime Types View Vsync_core Vsync_msg Vsync_toolkit World

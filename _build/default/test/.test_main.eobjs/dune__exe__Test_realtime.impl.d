@@ -1,0 +1,1 @@
+test/test_realtime.ml: Alcotest Array List Option Printf Realtime Runtime Vsync_core Vsync_msg Vsync_toolkit World

@@ -1,0 +1,1 @@
+test/test_tasks.ml: Alcotest List Option Printexc String Vsync_tasks

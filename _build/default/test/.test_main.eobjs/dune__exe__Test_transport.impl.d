@@ -1,0 +1,1 @@
+test/test_transport.ml: Alcotest Array List Vsync_sim Vsync_transport

@@ -1,0 +1,1 @@
+test/test_twentyq.ml: Alcotest Array Client Database Fmt List Option Printf Runtime Service Twentyq View Vsync_core Vsync_msg Vsync_toolkit World

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Fun Gen Int Int64 List QCheck QCheck_alcotest Vsync_util

@@ -1,0 +1,1 @@
+test/test_vsync_props.ml: Alcotest Array Causal List Option Printf Runtime Total Types View Vsync_core Vsync_msg Vsync_sim Vsync_transport Vsync_util World

@@ -1,0 +1,261 @@
+(* End-to-end smoke tests of the virtual synchrony core: groups form,
+   the primitives deliver with their ordering guarantees, failures
+   produce clean view changes. *)
+
+open Vsync_core
+module Addr = Vsync_msg.Addr
+module Entry = Vsync_msg.Entry
+module Message = Vsync_msg.Message
+
+let e_app = Entry.user 0
+
+let msg_with_tag tag =
+  let m = Message.create () in
+  Message.set_int m "tag" tag;
+  m
+
+let tag_of m = Option.get (Message.get_int m "tag")
+
+(* Build a 3-site world with one member per site; returns world, procs,
+   gid.  Runs the simulation until the group is fully formed. *)
+let make_group_3 ?(seed = 1L) () =
+  let w = World.create ~seed ~sites:3 () in
+  let p0 = World.proc w ~site:0 ~name:"m0" in
+  let p1 = World.proc w ~site:1 ~name:"m1" in
+  let p2 = World.proc w ~site:2 ~name:"m2" in
+  let gid = ref None in
+  World.run_task w p0 (fun () -> gid := Some (Runtime.pg_create p0 "smoke"));
+  World.run w;
+  let gid = Option.get !gid in
+  let joined = ref 0 in
+  let join p =
+    World.run_task w p (fun () ->
+        match Runtime.pg_lookup p "smoke" with
+        | Some g -> (
+          match Runtime.pg_join p g ~credentials:(Message.create ()) with
+          | Ok () -> incr joined
+          | Error e -> Alcotest.failf "join failed: %s" e)
+        | None -> Alcotest.fail "lookup failed")
+  in
+  join p1;
+  join p2;
+  World.run w;
+  Alcotest.(check int) "both joined" 2 !joined;
+  (w, [| p0; p1; p2 |], gid)
+
+let view_members p gid =
+  match Runtime.pg_view p gid with
+  | Some v -> List.map Addr.proc_to_string v.View.members
+  | None -> []
+
+let test_group_formation () =
+  let _w, procs, gid = make_group_3 () in
+  let v0 = view_members procs.(0) gid in
+  Alcotest.(check int) "three members" 3 (List.length v0);
+  Array.iter
+    (fun p -> Alcotest.(check (list string)) "same view everywhere" v0 (view_members p gid))
+    procs;
+  (* Age ranking: creator first. *)
+  Alcotest.(check string) "creator is oldest" (Addr.proc_to_string (Runtime.proc_addr procs.(0))) (List.nth v0 0)
+
+let test_cbcast_fifo () =
+  let w, procs, gid = make_group_3 () in
+  let logs = Array.make 3 [] in
+  Array.iteri
+    (fun i p -> Runtime.bind p e_app (fun m -> logs.(i) <- tag_of m :: logs.(i)))
+    procs;
+  World.run_task w procs.(0) (fun () ->
+      for k = 1 to 20 do
+        ignore
+          (Runtime.bcast procs.(0) Types.Cbcast ~dest:(Addr.Group gid) ~entry:e_app
+             (msg_with_tag k) ~want:Types.No_reply)
+      done);
+  World.run w;
+  Array.iteri
+    (fun i log ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "member %d got all messages in send order" i)
+        (List.init 20 (fun k -> k + 1))
+        (List.rev log))
+    logs
+
+let test_abcast_total_order () =
+  let w, procs, gid = make_group_3 () in
+  let logs = Array.make 3 [] in
+  Array.iteri
+    (fun i p -> Runtime.bind p e_app (fun m -> logs.(i) <- tag_of m :: logs.(i)))
+    procs;
+  (* Three concurrent senders, interleaved in time. *)
+  Array.iteri
+    (fun i p ->
+      World.run_task w p (fun () ->
+          for k = 0 to 9 do
+            Runtime.sleep p (1000 * ((k * 3) + i));
+            ignore
+              (Runtime.bcast p Types.Abcast ~dest:(Addr.Group gid) ~entry:e_app
+                 (msg_with_tag ((i * 100) + k))
+                 ~want:Types.No_reply)
+          done))
+    procs;
+  World.run w;
+  let l0 = List.rev logs.(0) in
+  Alcotest.(check int) "all 30 delivered" 30 (List.length l0);
+  Array.iteri
+    (fun i log ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "member %d sees the identical total order" i)
+        l0 (List.rev log))
+    logs
+
+let test_group_rpc_all () =
+  let w, procs, gid = make_group_3 () in
+  Array.iteri
+    (fun i p ->
+      Runtime.bind p e_app (fun m ->
+          let reply = Message.create () in
+          Message.set_int reply "from" i;
+          Runtime.reply p ~request:m reply))
+    procs;
+  let got = ref None in
+  World.run_task w procs.(0) (fun () ->
+      got :=
+        Some
+          (Runtime.bcast procs.(0) Types.Cbcast ~dest:(Addr.Group gid) ~entry:e_app
+             (msg_with_tag 0) ~want:Types.Wait_all));
+  World.run w;
+  match !got with
+  | Some (Runtime.Replies rs) ->
+    let senders = List.map (fun (_, m) -> Option.get (Message.get_int m "from")) rs in
+    Alcotest.(check (list int)) "all three replied" [ 0; 1; 2 ] (List.sort compare senders)
+  | Some Runtime.All_failed -> Alcotest.fail "unexpected All_failed"
+  | None -> Alcotest.fail "rpc never completed"
+
+let test_null_replies () =
+  let w, procs, gid = make_group_3 () in
+  (* Member 0 answers; members 1 and 2 act as standbys. *)
+  Runtime.bind procs.(0) e_app (fun m ->
+      let reply = Message.create () in
+      Message.set_int reply "from" 0;
+      Runtime.reply procs.(0) ~request:m reply);
+  Runtime.bind procs.(1) e_app (fun m -> Runtime.null_reply procs.(1) ~request:m);
+  Runtime.bind procs.(2) e_app (fun m -> Runtime.null_reply procs.(2) ~request:m);
+  let got = ref None in
+  World.run_task w procs.(1) (fun () ->
+      got :=
+        Some
+          (Runtime.bcast procs.(1) Types.Cbcast ~dest:(Addr.Group gid) ~entry:e_app
+             (msg_with_tag 0) ~want:Types.Wait_all));
+  World.run w;
+  match !got with
+  | Some (Runtime.Replies [ (_, m) ]) ->
+    Alcotest.(check int) "the single real reply came from member 0" 0
+      (Option.get (Message.get_int m "from"))
+  | Some _ -> Alcotest.fail "expected exactly one real reply"
+  | None -> Alcotest.fail "rpc never completed"
+
+let test_failure_view_change () =
+  let w, procs, gid = make_group_3 () in
+  let seen = ref [] in
+  Runtime.pg_monitor procs.(0) gid (fun v changes ->
+      seen := (v.View.view_id, changes) :: !seen);
+  (* Site 2 crashes; the failure detector must notice and the survivors
+     install a view without m2. *)
+  World.crash_site w 2;
+  World.run_for w 20_000_000;
+  (match Runtime.pg_view procs.(0) gid with
+  | Some v ->
+    Alcotest.(check int) "two members remain" 2 (List.length v.View.members);
+    Alcotest.(check bool) "m2 is gone" false (View.is_member v (Runtime.proc_addr procs.(2)))
+  | None -> Alcotest.fail "group vanished");
+  match !seen with
+  | (_, [ View.Member_failed p ]) :: _ ->
+    Alcotest.(check string) "monitor reported the failed member"
+      (Addr.proc_to_string (Runtime.proc_addr procs.(2)))
+      (Addr.proc_to_string p)
+  | _ -> Alcotest.fail "monitor did not report the failure"
+
+let test_proc_crash_view_change () =
+  let w, procs, gid = make_group_3 () in
+  (* Kill the process only: its site detects the crash immediately, so
+     the view change is much faster than a site-failure timeout. *)
+  Runtime.kill_proc procs.(1);
+  World.run_for w 2_000_000;
+  match Runtime.pg_view procs.(0) gid with
+  | Some v ->
+    Alcotest.(check int) "two members remain" 2 (List.length v.View.members);
+    Alcotest.(check bool) "m1 is gone" false (View.is_member v (Runtime.proc_addr procs.(1)))
+  | None -> Alcotest.fail "group vanished"
+
+let test_leave () =
+  let w, procs, gid = make_group_3 () in
+  let left = ref false in
+  World.run_task w procs.(2) (fun () ->
+      Runtime.pg_leave procs.(2) gid;
+      left := true);
+  World.run w;
+  Alcotest.(check bool) "leave completed" true !left;
+  match Runtime.pg_view procs.(0) gid with
+  | Some v -> Alcotest.(check int) "two members remain" 2 (List.length v.View.members)
+  | None -> Alcotest.fail "group vanished"
+
+let test_gbcast_delivery () =
+  let w, procs, gid = make_group_3 () in
+  let logs = Array.make 3 [] in
+  Array.iteri (fun i p -> Runtime.bind p e_app (fun m -> logs.(i) <- tag_of m :: logs.(i))) procs;
+  World.run_task w procs.(0) (fun () ->
+      ignore
+        (Runtime.bcast procs.(0) Types.Gbcast ~dest:(Addr.Group gid) ~entry:e_app
+           (msg_with_tag 42) ~want:Types.No_reply));
+  World.run w;
+  Array.iteri
+    (fun i log ->
+      Alcotest.(check (list int)) (Printf.sprintf "member %d delivered the GBCAST" i) [ 42 ] log)
+    logs
+
+let test_client_multicast_via_relay () =
+  let w, procs, gid = make_group_3 () in
+  ignore gid;
+  let logs = Array.make 3 [] in
+  Array.iteri (fun i p -> Runtime.bind p e_app (fun m -> logs.(i) <- tag_of m :: logs.(i))) procs;
+  (* A client on a fourth process (site 0 but not a member) multicasts
+     through the relay path after a lookup. *)
+  let w4 = World.proc w ~site:1 ~name:"client" in
+  let got = ref None in
+  Array.iteri
+    (fun i p ->
+      Runtime.bind p e_app (fun m ->
+          logs.(i) <- tag_of m :: logs.(i);
+          let r = Message.create () in
+          Message.set_int r "from" i;
+          Runtime.reply p ~request:m r))
+    procs;
+  World.run_task w w4 (fun () ->
+      match Runtime.pg_lookup w4 "smoke" with
+      | Some g ->
+        got :=
+          Some
+            (Runtime.bcast w4 Types.Cbcast ~dest:(Addr.Group g) ~entry:e_app (msg_with_tag 7)
+               ~want:(Types.Wait_n 1))
+      | None -> Alcotest.fail "client lookup failed");
+  World.run w;
+  (match !got with
+  | Some (Runtime.Replies (_ :: _)) -> ()
+  | Some _ | None -> Alcotest.fail "client rpc failed");
+  Array.iteri
+    (fun i log ->
+      Alcotest.(check (list int)) (Printf.sprintf "member %d got the client message" i) [ 7 ] log)
+    logs
+
+let suite =
+  [
+    Alcotest.test_case "group formation" `Quick test_group_formation;
+    Alcotest.test_case "cbcast fifo delivery" `Quick test_cbcast_fifo;
+    Alcotest.test_case "abcast total order" `Quick test_abcast_total_order;
+    Alcotest.test_case "group rpc ALL" `Quick test_group_rpc_all;
+    Alcotest.test_case "null replies" `Quick test_null_replies;
+    Alcotest.test_case "site failure view change" `Quick test_failure_view_change;
+    Alcotest.test_case "process crash view change" `Quick test_proc_crash_view_change;
+    Alcotest.test_case "leave" `Quick test_leave;
+    Alcotest.test_case "gbcast delivery" `Quick test_gbcast_delivery;
+    Alcotest.test_case "client multicast via relay" `Quick test_client_multicast_via_relay;
+  ]

@@ -1,0 +1,326 @@
+(* Tests for the Sec 3.11 extension tools: bulletin boards and the
+   transactional facility. *)
+
+open Vsync_core
+open Vsync_toolkit
+module Addr = Vsync_msg.Addr
+module Message = Vsync_msg.Message
+
+let make_service = Test_toolkit.make_service_for_extensions
+
+let body_with n =
+  let m = Message.create () in
+  Message.set_int m "n" n;
+  m
+
+let n_of p = Option.get (Message.get_int p.Bboard.body "n")
+
+(* --- bulletin boards --- *)
+
+let test_bboard_ordered_posts () =
+  let w, members, _client, gid = make_service ~seed:71L () in
+  let boards = Array.map (fun m -> Bboard.attach m ~gid ~board:"tasks" ~ordered:true) members in
+  Array.iteri
+    (fun i m ->
+      World.run_task w m (fun () ->
+          for k = 1 to 3 do
+            Bboard.post boards.(i) ~subject:"work" (body_with ((i * 10) + k))
+          done))
+    members;
+  World.run w;
+  let seq b = List.map n_of (Bboard.read b ~subject:"work") in
+  let s0 = seq boards.(0) in
+  Alcotest.(check int) "all posts present" 9 (List.length s0);
+  Array.iteri
+    (fun i b ->
+      Alcotest.(check (list int)) (Printf.sprintf "replica %d has identical order" i) s0 (seq b))
+    boards
+
+let test_bboard_take_agreement () =
+  let w, members, _client, gid = make_service ~seed:72L () in
+  let boards = Array.map (fun m -> Bboard.attach m ~gid ~board:"q" ~ordered:true) members in
+  World.run_task w members.(0) (fun () ->
+      for k = 1 to 4 do
+        Bboard.post boards.(0) ~subject:"job" (body_with k)
+      done);
+  World.run w;
+  let taken = ref [] in
+  World.run_task w members.(1) (fun () ->
+      (match Bboard.take boards.(1) ~subject:"job" with
+      | Some p -> taken := n_of p :: !taken
+      | None -> Alcotest.fail "expected a posting");
+      match Bboard.take boards.(1) ~subject:"job" with
+      | Some p -> taken := n_of p :: !taken
+      | None -> Alcotest.fail "expected a second posting");
+  World.run w;
+  Alcotest.(check (list int)) "took the two oldest in order" [ 1; 2 ] (List.rev !taken);
+  Array.iteri
+    (fun i b ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "replica %d agrees on what remains" i)
+        [ 3; 4 ]
+        (List.map n_of (Bboard.read b ~subject:"job")))
+    boards
+
+let test_bboard_monitor_and_subjects () =
+  let w, members, _client, gid = make_service ~seed:73L () in
+  let boards = Array.map (fun m -> Bboard.attach m ~gid ~board:"b" ~ordered:false) members in
+  let seen = ref [] in
+  Bboard.monitor boards.(2) ~subject:"alpha" (fun p -> seen := n_of p :: !seen);
+  World.run_task w members.(0) (fun () ->
+      Bboard.post boards.(0) ~subject:"alpha" (body_with 1);
+      Bboard.post boards.(0) ~subject:"beta" (body_with 2);
+      Bboard.post boards.(0) ~subject:"alpha" (body_with 3));
+  World.run w;
+  Alcotest.(check (list int)) "monitor saw only its subject, in order" [ 1; 3 ] (List.rev !seen);
+  Alcotest.(check int) "subjects separated" 1 (List.length (Bboard.read boards.(1) ~subject:"beta"))
+
+(* --- transactions --- *)
+
+let test_txn_commit_visible_everywhere () =
+  let w, members, client, gid = make_service ~seed:81L () in
+  let mgrs = Array.map (fun m -> Transactions.attach_manager m ~gid ()) members in
+  World.run_task w client (fun () ->
+      let tx = Transactions.begin_tx client ~gid in
+      (match Transactions.write tx "x" (Message.Int 10) with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "write: %s" e);
+      (match Transactions.write tx "y" (Message.Str "hello") with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "write: %s" e);
+      match Transactions.commit tx with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "commit: %s" e);
+  World.run w;
+  Array.iteri
+    (fun i m ->
+      Alcotest.(check bool) (Printf.sprintf "x at manager %d" i) true
+        (Transactions.value_at m "x" = Some (Message.Int 10));
+      Alcotest.(check bool) (Printf.sprintf "y at manager %d" i) true
+        (Transactions.value_at m "y" = Some (Message.Str "hello"));
+      Alcotest.(check int) (Printf.sprintf "locks released at %d" i) 0 (Transactions.locks_held m))
+    mgrs
+
+let test_txn_isolation_and_own_writes () =
+  let w, members, client, gid = make_service ~seed:82L () in
+  let mgrs = Array.map (fun m -> Transactions.attach_manager m ~gid ()) members in
+  World.run_task w client (fun () ->
+      let tx = Transactions.begin_tx client ~gid in
+      (match Transactions.read tx "k" with
+      | Ok None -> ()
+      | Ok (Some _) -> Alcotest.fail "unexpected initial value"
+      | Error e -> Alcotest.failf "read: %s" e);
+      ignore (Transactions.write tx "k" (Message.Int 5));
+      (match Transactions.read tx "k" with
+      | Ok (Some (Message.Int 5)) -> ()
+      | _ -> Alcotest.fail "transaction must see its own write");
+      (* Not yet visible at the managers. *)
+      Alcotest.(check bool) "uncommitted write invisible" true
+        (Transactions.value_at mgrs.(0) "k" = None);
+      match Transactions.commit tx with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "commit: %s" e);
+  World.run w;
+  Alcotest.(check bool) "visible after commit" true
+    (Transactions.value_at mgrs.(0) "k" = Some (Message.Int 5))
+
+let test_txn_write_lock_blocks () =
+  let w, members, _client, gid = make_service ~seed:83L () in
+  Array.iter (fun m -> ignore (Transactions.attach_manager m ~gid ())) members;
+  let order = ref [] in
+  World.run_task w members.(0) (fun () ->
+      let tx1 = Transactions.begin_tx members.(0) ~gid in
+      ignore (Transactions.write tx1 "acct" (Message.Int 1));
+      order := "tx1 locked" :: !order;
+      Runtime.sleep members.(0) 2_000_000;
+      order := "tx1 committing" :: !order;
+      ignore (Transactions.commit tx1));
+  World.run_task w members.(1) (fun () ->
+      Runtime.sleep members.(1) 500_000;
+      let tx2 = Transactions.begin_tx members.(1) ~gid in
+      (* Blocks until tx1 commits. *)
+      match Transactions.read tx2 "acct" with
+      | Ok (Some (Message.Int 1)) ->
+        order := "tx2 read after tx1" :: !order;
+        ignore (Transactions.commit tx2)
+      | Ok v ->
+        Alcotest.failf "tx2 saw %s"
+          (match v with None -> "nothing" | Some _ -> "a different value")
+      | Error e -> Alcotest.failf "tx2 read: %s" e);
+  World.run w;
+  Alcotest.(check (list string)) "strict 2PL ordering"
+    [ "tx1 locked"; "tx1 committing"; "tx2 read after tx1" ]
+    (List.rev !order)
+
+let test_txn_deadlock_detected () =
+  let w, members, _client, gid = make_service ~seed:84L () in
+  Array.iter (fun m -> ignore (Transactions.attach_manager m ~gid ())) members;
+  let outcome = ref None in
+  World.run_task w members.(0) (fun () ->
+      let tx1 = Transactions.begin_tx members.(0) ~gid in
+      ignore (Transactions.write tx1 "A" (Message.Int 1));
+      Runtime.sleep members.(0) 1_000_000;
+      (* tx2 holds B and waits on A; asking for B closes the cycle. *)
+      outcome := Some (Transactions.write tx1 "B" (Message.Int 1));
+      Transactions.abort tx1);
+  World.run_task w members.(1) (fun () ->
+      Runtime.sleep members.(1) 200_000;
+      let tx2 = Transactions.begin_tx members.(1) ~gid in
+      ignore (Transactions.write tx2 "B" (Message.Int 2));
+      ignore (Transactions.write tx2 "A" (Message.Int 2));
+      ignore (Transactions.commit tx2));
+  World.run w;
+  match !outcome with
+  | Some (Error "deadlock") -> ()
+  | Some (Ok ()) -> Alcotest.fail "deadlock not detected"
+  | Some (Error e) -> Alcotest.failf "unexpected error: %s" e
+  | None -> Alcotest.fail "deadlocked transaction never returned"
+
+let test_txn_nested () =
+  let w, members, client, gid = make_service ~seed:85L () in
+  let mgrs = Array.map (fun m -> Transactions.attach_manager m ~gid ()) members in
+  World.run_task w client (fun () ->
+      let tx = Transactions.begin_tx client ~gid in
+      ignore (Transactions.write tx "base" (Message.Int 1));
+      (* A sub-transaction that aborts leaves no trace. *)
+      let sub1 = Transactions.begin_sub tx in
+      ignore (Transactions.write sub1 "base" (Message.Int 99));
+      ignore (Transactions.write sub1 "junk" (Message.Int 99));
+      Transactions.abort sub1;
+      (match Transactions.read tx "base" with
+      | Ok (Some (Message.Int 1)) -> ()
+      | _ -> Alcotest.fail "aborted sub-transaction leaked");
+      (* A committing sub-transaction folds into the parent. *)
+      let sub2 = Transactions.begin_sub tx in
+      ignore (Transactions.write sub2 "extra" (Message.Int 7));
+      ignore (Transactions.commit sub2);
+      ignore (Transactions.commit tx));
+  World.run w;
+  Alcotest.(check bool) "parent write committed" true
+    (Transactions.value_at mgrs.(0) "base" = Some (Message.Int 1));
+  Alcotest.(check bool) "sub-commit merged" true
+    (Transactions.value_at mgrs.(0) "extra" = Some (Message.Int 7));
+  Alcotest.(check bool) "sub-abort discarded" true (Transactions.value_at mgrs.(0) "junk" = None)
+
+let test_txn_member_failure_releases_locks () =
+  let w, members, _client, gid = make_service ~seed:86L () in
+  let mgrs = Array.map (fun m -> Transactions.attach_manager m ~gid ()) members in
+  let second_done = ref false in
+  World.run_task w members.(1) (fun () ->
+      let tx = Transactions.begin_tx members.(1) ~gid in
+      ignore (Transactions.write tx "L" (Message.Int 1))
+      (* dies holding the lock *));
+  World.run_for w 2_000_000;
+  Runtime.kill_proc members.(1);
+  World.run_task w members.(2) (fun () ->
+      let tx = Transactions.begin_tx members.(2) ~gid in
+      match Transactions.write tx "L" (Message.Int 2) with
+      | Ok () ->
+        ignore (Transactions.commit tx);
+        second_done := true
+      | Error e -> Alcotest.failf "second write: %s" e);
+  World.run w;
+  Alcotest.(check bool) "lock released at failure view change" true !second_done;
+  Alcotest.(check bool) "second transaction's value stands" true
+    (Transactions.value_at mgrs.(0) "L" = Some (Message.Int 2))
+
+let test_txn_recovery_from_log () =
+  let w, members, client, gid = make_service ~seed:87L () in
+  let store = Stable_store.create ~sites:3 () in
+  let mgrs = Array.map (fun m -> Transactions.attach_manager m ~gid ~store ()) members in
+  World.run_task w client (fun () ->
+      let tx = Transactions.begin_tx client ~gid in
+      ignore (Transactions.write tx "persist" (Message.Int 123));
+      ignore (Transactions.commit tx));
+  World.run w;
+  (* Simulated manager restart: blank state, replay the log. *)
+  let fresh = Transactions.attach_manager members.(0) ~gid ~store () in
+  ignore mgrs;
+  Alcotest.(check bool) "blank before recovery" true (Transactions.value_at fresh "persist" = None);
+  Transactions.recover fresh;
+  Alcotest.(check bool) "recovered from log" true
+    (Transactions.value_at fresh "persist" = Some (Message.Int 123))
+
+(* --- quorum replication --- *)
+
+let test_quorum_read_write () =
+  let w, members, client, gid = make_service ~seed:93L () in
+  let replicas =
+    Array.map (fun m -> Quorum.attach m ~gid ~item:"cfg" ~read_quorum:2 ~write_quorum:2) members
+  in
+  World.run_task w client (fun () ->
+      (match Quorum.read client ~gid ~item:"cfg" with
+      | Ok None -> ()
+      | Ok (Some _) -> Alcotest.fail "value before any write"
+      | Error e -> Alcotest.failf "initial read: %s" e);
+      (match Quorum.write client ~gid ~item:"cfg" (Message.Int 41) with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "write 1: %s" e);
+      (match Quorum.write client ~gid ~item:"cfg" (Message.Int 42) with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "write 2: %s" e);
+      match Quorum.read client ~gid ~item:"cfg" with
+      | Ok (Some (Message.Int 42)) -> ()
+      | Ok _ -> Alcotest.fail "read returned a stale or missing value"
+      | Error e -> Alcotest.failf "final read: %s" e);
+  World.run w;
+  (* Only the write quorum (the 2 oldest) holds copies; versions rose to
+     2. *)
+  (match Quorum.local replicas.(0) with
+  | Some (2, Message.Int 42) -> ()
+  | _ -> Alcotest.fail "oldest replica wrong");
+  (match Quorum.local replicas.(1) with
+  | Some (2, Message.Int 42) -> ()
+  | _ -> Alcotest.fail "second replica wrong");
+  match Quorum.local replicas.(2) with
+  | None -> ()
+  | Some _ -> Alcotest.fail "youngest replica should hold nothing (outside the write quorum)"
+
+let test_quorum_survives_replica_failure () =
+  let w, members, client, gid = make_service ~seed:94L () in
+  Array.iter
+    (fun m -> ignore (Quorum.attach m ~gid ~item:"x" ~read_quorum:2 ~write_quorum:2))
+    members;
+  World.run_task w client (fun () ->
+      ignore (Quorum.write client ~gid ~item:"x" (Message.Str "v1")));
+  World.run w;
+  (* Kill the youngest member (outside the quorum prefixes): reads and
+     writes keep working; then kill a quorum member: the prefix rule
+     re-forms the quorum from the survivors' ranks. *)
+  Runtime.kill_proc members.(2);
+  World.run w;
+  let ok = ref false in
+  World.run_task w client (fun () ->
+      match Quorum.read client ~gid ~item:"x" with
+      | Ok (Some (Message.Str "v1")) -> ok := true
+      | Ok _ -> Alcotest.fail "wrong value after failure"
+      | Error e -> Alcotest.failf "read after failure: %s" e);
+  World.run w;
+  Alcotest.(check bool) "read ok after non-quorum failure" true !ok;
+  Runtime.kill_proc members.(1);
+  World.run w;
+  let ok2 = ref false in
+  World.run_task w client (fun () ->
+      (* With 2 members needed and only 1 left the quorum cannot be
+         met. *)
+      match Quorum.read client ~gid ~item:"x" with
+      | Ok _ -> Alcotest.fail "quorum should not be met with one member"
+      | Error _ -> ok2 := true);
+  World.run w;
+  Alcotest.(check bool) "quorum refusal with too few members" true !ok2
+
+let suite =
+  [
+    Alcotest.test_case "bboard: ordered posts" `Quick test_bboard_ordered_posts;
+    Alcotest.test_case "bboard: take agreement" `Quick test_bboard_take_agreement;
+    Alcotest.test_case "bboard: monitors and subjects" `Quick test_bboard_monitor_and_subjects;
+    Alcotest.test_case "txn: commit visible everywhere" `Quick test_txn_commit_visible_everywhere;
+    Alcotest.test_case "txn: isolation + own writes" `Quick test_txn_isolation_and_own_writes;
+    Alcotest.test_case "txn: write lock blocks" `Quick test_txn_write_lock_blocks;
+    Alcotest.test_case "txn: deadlock detected" `Quick test_txn_deadlock_detected;
+    Alcotest.test_case "txn: nested sub-transactions" `Quick test_txn_nested;
+    Alcotest.test_case "txn: member failure releases locks" `Quick test_txn_member_failure_releases_locks;
+    Alcotest.test_case "txn: recovery from log" `Quick test_txn_recovery_from_log;
+    Alcotest.test_case "quorum: read/write" `Quick test_quorum_read_write;
+    Alcotest.test_case "quorum: replica failure" `Quick test_quorum_survives_replica_failure;
+  ]

@@ -1,0 +1,22 @@
+let () =
+  Alcotest.run "vsync"
+    [
+      ("util", Test_util.suite);
+      ("msg", Test_msg.suite);
+      ("sim", Test_sim.suite);
+      ("tasks", Test_tasks.suite);
+      ("transport", Test_transport.suite);
+      ("core_smoke", Test_core_smoke.suite);
+      ("vsync_props", Test_vsync_props.suite);
+      ("ordering", Test_ordering.suite);
+      ("failures", Test_failures.suite);
+      ("model", Test_model.suite);
+      ("api", Test_api.suite);
+      ("regressions", Test_regressions.suite);
+      ("fuzz", Test_fuzz.suite);
+      ("toolkit", Test_toolkit.suite);
+      ("twentyq", Test_twentyq.suite);
+      ("extensions", Test_extensions.suite);
+      ("realtime", Test_realtime.suite);
+      ("tools2", Test_tools2.suite);
+    ]

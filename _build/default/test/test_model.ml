@@ -1,0 +1,158 @@
+(* Model-based property tests: the ordering engines against reference
+   models, under randomized interleavings. *)
+
+open Vsync_core
+open Types
+module Vclock = Vsync_util.Vclock
+module Message = Vsync_msg.Message
+
+let uid ~site ~seq = { usite = site; useq = seq }
+
+(* --- ABCAST agreement: arbitrary arrival interleavings at K engines
+   must produce the identical delivery order once every message is
+   committed with the max-of-proposals rule. --- *)
+
+let prop_total_agreement =
+  QCheck.Test.make ~name:"abcast engines agree under any interleaving" ~count:150
+    QCheck.(pair (2 -- 4) (list_of_size (Gen.int_range 1 12) (0 -- 1000)))
+    (fun (n_engines, tags) ->
+      let msgs = List.mapi (fun i tag -> (uid ~site:100 ~seq:i, tag)) tags in
+      let engines = Array.init n_engines (fun site -> Total.create ~site ()) in
+      (* Each engine intakes the messages in a site-specific pseudo-random
+         order. *)
+      let permute k l =
+        (* Deterministic permutation keyed by k: sort by a hash. *)
+        List.sort
+          (fun (u1, _) (u2, _) ->
+            compare (Hashtbl.hash (k, u1.useq)) (Hashtbl.hash (k, u2.useq)))
+          l
+      in
+      let proposals = Hashtbl.create 16 in
+      Array.iteri
+        (fun k e ->
+          List.iter
+            (fun (u, tag) ->
+              let p = Total.intake e ~uid:u tag in
+              let cur = Option.value ~default:[] (Hashtbl.find_opt proposals u.useq) in
+              Hashtbl.replace proposals u.useq (p :: cur))
+            (permute k msgs))
+        engines;
+      (* Commit with the max rule, in another arbitrary order per engine. *)
+      Array.iteri
+        (fun k e ->
+          List.iter
+            (fun (u, _) ->
+              let final =
+                List.fold_left prio_max (0, 0) (Hashtbl.find proposals u.useq)
+              in
+              Total.commit e ~uid:u final)
+            (permute (k + 17) msgs))
+        engines;
+      let orders = Array.to_list (Array.map (fun e -> List.map snd (Total.drain e)) engines) in
+      match orders with
+      | first :: rest ->
+        List.length first = List.length tags && List.for_all (( = ) first) rest
+      | [] -> true)
+
+(* --- CBCAST safety: deliveries never violate causal order, and once
+   everything has arrived, everything is delivered. --- *)
+
+(* Generate a random causal history: [senders] processes, each sending
+   a chain of messages; before each send, the sender may "observe" the
+   latest state of another sender (merging clocks), creating cross-
+   sender causality. *)
+let gen_history =
+  QCheck.Gen.(
+    pair (int_range 2 4) (list_size (int_range 1 20) (pair (int_range 0 3) (int_range 0 3))))
+
+let build_history (n_senders, script) =
+  let clocks = Array.init n_senders (fun _ -> Vclock.create n_senders) in
+  let msgs = ref [] in
+  let seq = ref 0 in
+  List.iter
+    (fun (sender, observe) ->
+      let sender = sender mod n_senders and observe = observe mod n_senders in
+      (* Observation = causal dependency on everything [observe] sent. *)
+      if observe <> sender then Vclock.merge clocks.(sender) clocks.(observe);
+      Vclock.incr clocks.(sender) sender;
+      incr seq;
+      msgs := (uid ~site:sender ~seq:!seq, sender, Vclock.copy clocks.(sender)) :: !msgs)
+    script;
+  (n_senders, List.rev !msgs)
+
+let prop_causal_safety =
+  QCheck.Test.make ~name:"cbcast engine: causal order safe + complete" ~count:200
+    (QCheck.make gen_history)
+    (fun input ->
+      let n_senders, msgs = build_history input in
+      let arrival =
+        List.sort
+          (fun (u1, _, _) (u2, _, _) -> compare (Hashtbl.hash u1.useq) (Hashtbl.hash u2.useq))
+          msgs
+      in
+      let engine = Causal.create ~n_ranks:n_senders () in
+      let delivered = ref [] in
+      List.iter
+        (fun (u, rank, vt) ->
+          Causal.receive engine ~uid:u ~rank ~vt (u, vt);
+          delivered := List.rev_map snd (Causal.drain engine) @ !delivered)
+        arrival;
+      let delivered = List.rev !delivered in
+      (* Complete: everything arrives, everything is delivered. *)
+      List.length delivered = List.length msgs
+      &&
+      (* Safe: if a's timestamp happened-before b's, a is delivered
+         first. *)
+      let rec pairs_ok = function
+        | [] -> true
+        | (_, vt_b) :: earlier ->
+          List.for_all
+            (fun (_, vt_a) ->
+              (* vt_a delivered before vt_b: must not be that b -> a. *)
+              Vclock.compare_causal vt_b vt_a <> `Before)
+            earlier
+          && pairs_ok earlier
+      in
+      pairs_ok (List.rev delivered))
+
+(* --- Message symbol table vs a Map reference. --- *)
+
+type op = Set of string * int | Remove of string | Check of string
+
+let gen_ops =
+  QCheck.Gen.(
+    list_size (int_range 0 40)
+      (oneof
+         [
+           map2 (fun k v -> Set ("k" ^ string_of_int k, v)) (int_range 0 7) int;
+           map (fun k -> Remove ("k" ^ string_of_int k)) (int_range 0 7);
+           map (fun k -> Check ("k" ^ string_of_int k)) (int_range 0 7);
+         ]))
+
+let prop_message_model =
+  QCheck.Test.make ~name:"message table behaves like a map" ~count:300 (QCheck.make gen_ops)
+    (fun ops ->
+      let m = Message.create () in
+      let reference = Hashtbl.create 8 in
+      List.for_all
+        (fun op ->
+          match op with
+          | Set (k, v) ->
+            Message.set_int m k v;
+            Hashtbl.replace reference k v;
+            true
+          | Remove k ->
+            Message.remove m k;
+            Hashtbl.remove reference k;
+            true
+          | Check k -> Message.get_int m k = Hashtbl.find_opt reference k)
+        ops
+      (* And the codec preserves the final state. *)
+      && Message.equal m (Message.decode (Message.encode m)))
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_total_agreement;
+    QCheck_alcotest.to_alcotest prop_causal_safety;
+    QCheck_alcotest.to_alcotest prop_message_model;
+  ]

@@ -1,0 +1,176 @@
+(* Unit and property tests for the message subsystem: addresses, entry
+   points, the symbol-table message and its binary codec. *)
+
+module Addr = Vsync_msg.Addr
+module Entry = Vsync_msg.Entry
+module Message = Vsync_msg.Message
+
+(* --- addresses --- *)
+
+let test_addr_roundtrip () =
+  let cases =
+    [
+      Addr.Proc (Addr.proc ~site:0 ~idx:0 ~incarnation:0);
+      Addr.Proc (Addr.proc ~site:65535 ~idx:65535 ~incarnation:0xFFFFFF);
+      Addr.Proc (Addr.proc ~site:3 ~idx:17 ~incarnation:2);
+      Addr.Group (Addr.group_of_int 0);
+      Addr.Group (Addr.group_of_int ((7 lsl 20) lor 123));
+    ]
+  in
+  List.iter
+    (fun a ->
+      Alcotest.(check bool)
+        (Format.asprintf "roundtrip %a" Addr.pp a)
+        true
+        (Addr.equal a (Addr.of_int64 (Addr.to_int64 a))))
+    cases
+
+let test_addr_bad_tag () =
+  Alcotest.check_raises "bad tag" (Invalid_argument "Addr.of_int64: bad tag") (fun () ->
+      ignore (Addr.of_int64 0L))
+
+let test_addr_ranges () =
+  Alcotest.check_raises "site too large" (Invalid_argument "Addr.proc: site out of range")
+    (fun () -> ignore (Addr.proc ~site:65536 ~idx:0 ~incarnation:0))
+
+let test_addr_same_slot () =
+  let a = Addr.proc ~site:1 ~idx:2 ~incarnation:1 in
+  let b = Addr.proc ~site:1 ~idx:2 ~incarnation:9 in
+  Alcotest.(check bool) "same slot, different incarnation" true (Addr.same_slot a b);
+  Alcotest.(check bool) "not equal across incarnations" false (Addr.equal_proc a b)
+
+let prop_addr_roundtrip =
+  QCheck.Test.make ~name:"address int64 roundtrip" ~count:500
+    QCheck.(triple (0 -- 65535) (0 -- 65535) (0 -- 0xFFFFFF))
+    (fun (site, idx, incarnation) ->
+      let a = Addr.Proc (Addr.proc ~site ~idx ~incarnation) in
+      Addr.equal a (Addr.of_int64 (Addr.to_int64 a)))
+
+(* --- entries --- *)
+
+let test_entries () =
+  Alcotest.(check int) "user base" 16 Entry.user_base;
+  Alcotest.(check int) "user 0" 16 (Entry.user 0);
+  Alcotest.check_raises "entry overflow"
+    (Invalid_argument "Entry.user: entry identifiers are one byte") (fun () ->
+      ignore (Entry.user 240));
+  Alcotest.(check bool) "generics below user base" true (Entry.generic_recovery < Entry.user_base)
+
+(* --- messages --- *)
+
+let sample () =
+  let m = Message.create () in
+  Message.set_int m "count" 42;
+  Message.set_str m "name" "twenty";
+  Message.set_bool m "flag" true;
+  Message.set_float m "ratio" 0.125;
+  Message.set_bytes m "blob" (Bytes.of_string "\x00\x01\xfe\xff");
+  Message.set_addr m "who" (Addr.Proc (Addr.proc ~site:2 ~idx:5 ~incarnation:1));
+  Message.set_addrs m "them"
+    [ Addr.Group (Addr.group_of_int 9); Addr.Proc (Addr.proc ~site:0 ~idx:0 ~incarnation:0) ];
+  let inner = Message.create () in
+  Message.set_str inner "k" "v";
+  Message.set_msg m "nested" inner;
+  m
+
+let test_message_fields () =
+  let m = sample () in
+  Alcotest.(check (option int)) "int" (Some 42) (Message.get_int m "count");
+  Alcotest.(check (option string)) "str" (Some "twenty") (Message.get_str m "name");
+  Alcotest.(check (option bool)) "bool" (Some true) (Message.get_bool m "flag");
+  Alcotest.(check bool) "nested" true (Message.get_msg m "nested" <> None);
+  Alcotest.(check (option int)) "absent" None (Message.get_int m "nope");
+  Message.remove m "count";
+  Alcotest.(check (option int)) "removed" None (Message.get_int m "count");
+  Alcotest.check_raises "type error" (Invalid_argument "Message: field \"name\" has unexpected type")
+    (fun () -> ignore (Message.get_int m "name"))
+
+let test_message_replace_keeps_order () =
+  let m = Message.create () in
+  Message.set_int m "a" 1;
+  Message.set_int m "b" 2;
+  Message.set_int m "a" 3;
+  Alcotest.(check (list string)) "insertion order preserved on replace" [ "a"; "b" ]
+    (List.map fst (Message.fields m));
+  Alcotest.(check (option int)) "value replaced" (Some 3) (Message.get_int m "a")
+
+let test_message_codec_roundtrip () =
+  let m = sample () in
+  let m' = Message.decode (Message.encode m) in
+  Alcotest.(check bool) "roundtrip equal" true (Message.equal m m')
+
+let test_message_size_positive () =
+  let m = sample () in
+  Alcotest.(check bool) "size = encoded length" true (Message.size m = Bytes.length (Message.encode m))
+
+let test_message_copy_isolation () =
+  let m = sample () in
+  let c = Message.copy m in
+  Message.set_int c "count" 99;
+  (match Message.get_msg c "nested" with
+  | Some inner -> Message.set_str inner "k" "mutated"
+  | None -> Alcotest.fail "nested lost");
+  Alcotest.(check (option int)) "original int unchanged" (Some 42) (Message.get_int m "count");
+  match Message.get_msg m "nested" with
+  | Some inner -> Alcotest.(check (option string)) "original nested unchanged" (Some "v") (Message.get_str inner "k")
+  | None -> Alcotest.fail "nested lost in original"
+
+let test_message_system_fields () =
+  let m = Message.create () in
+  let p = Addr.proc ~site:1 ~idx:1 ~incarnation:1 in
+  Message.set_sender m p;
+  Message.set_session m 77;
+  Message.set_entry m (Entry.user 3);
+  Alcotest.(check bool) "sender" true (Message.sender m = Some p);
+  Alcotest.(check (option int)) "session" (Some 77) (Message.session m);
+  Alcotest.(check (option int)) "entry" (Some (Entry.user 3)) (Message.entry m)
+
+let test_message_decode_garbage () =
+  Alcotest.(check bool) "garbage rejected" true
+    (match Message.decode (Bytes.of_string "\xff\xff\xff\xff\x00") with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* Generator for random messages (flat fields). *)
+let gen_message =
+  let open QCheck.Gen in
+  let value =
+    oneof
+      [
+        map (fun i -> Message.Int i) int;
+        map (fun s -> Message.Str s) (string_size (0 -- 64));
+        map (fun b -> Message.Bool b) bool;
+        map (fun f -> Message.Float f) (float_bound_inclusive 1e9);
+        map (fun s -> Message.Bytes (Bytes.of_string s)) (string_size (0 -- 128));
+      ]
+  in
+  let field = pair (map (fun s -> "f" ^ s) (string_size ~gen:(char_range 'a' 'z') (1 -- 8))) value in
+  map
+    (fun fields ->
+      let m = Message.create () in
+      List.iter (fun (k, v) -> Message.set m k v) fields;
+      m)
+    (list_size (0 -- 12) field)
+
+let prop_message_roundtrip =
+  QCheck.Test.make ~name:"message codec roundtrip" ~count:300
+    (QCheck.make ~print:(Format.asprintf "%a" Message.pp) gen_message)
+    (fun m -> Message.equal m (Message.decode (Message.encode m)))
+
+let suite =
+  [
+    Alcotest.test_case "address roundtrip" `Quick test_addr_roundtrip;
+    Alcotest.test_case "address bad tag" `Quick test_addr_bad_tag;
+    Alcotest.test_case "address ranges" `Quick test_addr_ranges;
+    Alcotest.test_case "address same slot" `Quick test_addr_same_slot;
+    QCheck_alcotest.to_alcotest prop_addr_roundtrip;
+    Alcotest.test_case "entries" `Quick test_entries;
+    Alcotest.test_case "message fields" `Quick test_message_fields;
+    Alcotest.test_case "message replace keeps order" `Quick test_message_replace_keeps_order;
+    Alcotest.test_case "message codec roundtrip" `Quick test_message_codec_roundtrip;
+    Alcotest.test_case "message size" `Quick test_message_size_positive;
+    Alcotest.test_case "message copy isolation" `Quick test_message_copy_isolation;
+    Alcotest.test_case "message system fields" `Quick test_message_system_fields;
+    Alcotest.test_case "message decode garbage" `Quick test_message_decode_garbage;
+    QCheck_alcotest.to_alcotest prop_message_roundtrip;
+  ]

@@ -1,0 +1,194 @@
+(* The defining property of each primitive, tested head-on:
+
+   - GBCAST is ordered with respect to EVERYTHING: every member sees a
+     GBCAST at the same position relative to ABCASTs, to any single
+     sender's CBCAST stream, and to membership changes.
+   - ABCAST agreement persists across interleaved view changes.
+   - The paper's Sec 3.1 example: mutual exclusion via ABCAST, then
+     cheap CBCAST inside the critical section, stays consistent. *)
+
+open Vsync_core
+module Addr = Vsync_msg.Addr
+module Entry = Vsync_msg.Entry
+module Message = Vsync_msg.Message
+
+let e_app = Entry.user 0
+
+let form ?(seed = 19L) ~sites () =
+  let w = World.create ~seed ~sites () in
+  let members = Array.init sites (fun s -> World.proc w ~site:s ~name:(Printf.sprintf "o%d" s)) in
+  let gid = ref None in
+  World.run_task w members.(0) (fun () -> gid := Some (Runtime.pg_create members.(0) "ord"));
+  World.run w;
+  let gid = Option.get !gid in
+  for i = 1 to sites - 1 do
+    World.run_task w members.(i) (fun () ->
+        ignore (Runtime.pg_lookup members.(i) "ord");
+        ignore (Runtime.pg_join members.(i) gid ~credentials:(Message.create ())))
+  done;
+  World.run w;
+  (w, members, gid)
+
+let send p gid mode tag =
+  let m = Message.create () in
+  Message.set_int m "tag" tag;
+  ignore (Runtime.bcast p mode ~dest:(Addr.Group gid) ~entry:e_app m ~want:Types.No_reply)
+
+(* A GBCAST racing an ABCAST stream: all members must slot it at the
+   same index. *)
+let test_gbcast_position_vs_abcast () =
+  List.iter
+    (fun seed ->
+      let w, members, gid = form ~seed ~sites:3 () in
+      let logs = Array.make 3 [] in
+      Array.iteri
+        (fun i m ->
+          Runtime.bind m e_app (fun msg ->
+              logs.(i) <- Option.get (Message.get_int msg "tag") :: logs.(i)))
+        members;
+      World.run_task w members.(0) (fun () ->
+          for k = 1 to 10 do
+            Runtime.sleep members.(0) 15_000;
+            send members.(0) gid Types.Abcast k
+          done);
+      World.run_task w members.(1) (fun () ->
+          Runtime.sleep members.(1) 60_000;
+          send members.(1) gid Types.Gbcast 999);
+      World.run w;
+      let l0 = List.rev logs.(0) in
+      Alcotest.(check int) "all delivered" 11 (List.length l0);
+      Array.iteri
+        (fun i log ->
+          Alcotest.(check (list int))
+            (Printf.sprintf "seed %Ld: member %d has the identical sequence (GBCAST included)"
+               seed i)
+            l0 (List.rev log))
+        logs)
+    [ 1L; 2L; 3L ]
+
+(* A GBCAST racing a single sender's CBCAST stream: because a GBCAST is
+   ordered against every event, every member must see the same prefix
+   of the stream before it. *)
+let test_gbcast_position_vs_cbcast_stream () =
+  List.iter
+    (fun seed ->
+      let w, members, gid = form ~seed ~sites:3 () in
+      let logs = Array.make 3 [] in
+      Array.iteri
+        (fun i m ->
+          Runtime.bind m e_app (fun msg ->
+              logs.(i) <- Option.get (Message.get_int msg "tag") :: logs.(i)))
+        members;
+      World.run_task w members.(0) (fun () ->
+          for k = 1 to 10 do
+            Runtime.sleep members.(0) 10_000;
+            send members.(0) gid Types.Cbcast k
+          done);
+      World.run_task w members.(2) (fun () ->
+          Runtime.sleep members.(2) 45_000;
+          send members.(2) gid Types.Gbcast 999);
+      World.run w;
+      let prefix_before_gb log =
+        let rec loop acc = function
+          | [] -> None
+          | 999 :: _ -> Some (List.rev acc)
+          | t :: rest -> loop (t :: acc) rest
+        in
+        loop [] (List.rev log)
+      in
+      match prefix_before_gb logs.(0) with
+      | None -> Alcotest.fail "gbcast not delivered at member 0"
+      | Some p0 ->
+        Array.iteri
+          (fun i log ->
+            match prefix_before_gb log with
+            | Some p ->
+              Alcotest.(check (list int))
+                (Printf.sprintf "seed %Ld: member %d agrees on the pre-GBCAST prefix" seed i)
+                p0 p
+            | None -> Alcotest.failf "gbcast not delivered at member %d" i)
+          logs)
+    [ 11L; 12L; 13L ]
+
+(* GBCAST vs a membership change: the join must land at the same point
+   relative to the GBCAST at every surviving member. *)
+let test_gbcast_vs_view_change () =
+  let w, members, gid = form ~seed:23L ~sites:3 () in
+  let logs = Array.make 3 [] in
+  Array.iteri
+    (fun i m ->
+      Runtime.bind m e_app (fun msg ->
+          logs.(i) <- `Msg (Option.get (Message.get_int msg "tag")) :: logs.(i));
+      Runtime.pg_monitor m gid (fun v _ -> logs.(i) <- `View v.View.view_id :: logs.(i)))
+    members;
+  (* Race a join against a burst of GBCASTs. *)
+  let joiner = World.proc w ~site:1 ~name:"ord-joiner" in
+  World.run_task w joiner (fun () ->
+      ignore (Runtime.pg_lookup joiner "ord");
+      ignore (Runtime.pg_join joiner gid ~credentials:(Message.create ())));
+  World.run_task w members.(0) (fun () ->
+      for k = 1 to 5 do
+        send members.(0) gid Types.Gbcast k;
+        Runtime.sleep members.(0) 5_000
+      done);
+  World.run w;
+  let render log =
+    List.rev_map (function `Msg t -> Printf.sprintf "m%d" t | `View v -> Printf.sprintf "v%d" v) log
+  in
+  let l0 = render logs.(0) in
+  Array.iteri
+    (fun i log ->
+      Alcotest.(check (list string))
+        (Printf.sprintf "member %d interleaves the join and GBCASTs identically" i)
+        l0 (render log))
+    logs
+
+(* The Sec 3.1 usage pattern: "one could use ABCAST to obtain a
+   replicated lock on a distributed resource, and once mutual exclusion
+   has been obtained, switch to CBCAST when accessing that resource."
+   Two writers alternate under a semaphore; replicas must agree despite
+   the updates travelling by CBCAST. *)
+let test_lock_then_cbcast_pattern () =
+  let w, members, gid = form ~seed:29L ~sites:3 () in
+  Array.iter (fun m -> ignore (Vsync_toolkit.Semaphore.attach m ~gid)) members;
+  let replicas = Array.make 3 [] in
+  Array.iteri
+    (fun i m ->
+      Runtime.bind m e_app (fun msg ->
+          replicas.(i) <- Option.get (Message.get_int msg "tag") :: replicas.(i)))
+    members;
+  let writer i p =
+    World.run_task w p (fun () ->
+        for k = 0 to 4 do
+          match Vsync_toolkit.Semaphore.p p ~gid ~name:"resource" with
+          | Ok () ->
+            send p gid Types.Cbcast ((i * 100) + k);
+            (* The paper's footnote: flush before releasing so the next
+               holder's updates are ordered after ours everywhere. *)
+            Runtime.flush p;
+            Vsync_toolkit.Semaphore.v p ~gid ~name:"resource"
+          | Error e -> Alcotest.failf "lock: %s" e
+        done)
+  in
+  writer 1 members.(1);
+  writer 2 members.(2);
+  World.run ~until:(World.now w + 300_000_000) w;
+  let r0 = List.rev replicas.(0) in
+  Alcotest.(check int) "all updates applied" 10 (List.length r0);
+  Array.iteri
+    (fun i r ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "replica %d identical under lock+flush+CBCAST" i)
+        r0 (List.rev r))
+    replicas
+
+let suite =
+  [
+    Alcotest.test_case "gbcast position vs abcast stream (3 seeds)" `Quick
+      test_gbcast_position_vs_abcast;
+    Alcotest.test_case "gbcast position vs cbcast stream (3 seeds)" `Quick
+      test_gbcast_position_vs_cbcast_stream;
+    Alcotest.test_case "gbcast vs view change" `Quick test_gbcast_vs_view_change;
+    Alcotest.test_case "lock + flush + cbcast pattern (Sec 3.1)" `Quick
+      test_lock_then_cbcast_pattern;
+  ]

@@ -1,0 +1,131 @@
+(* The real-time facility: clock synchronization under skew, global
+   scheduling, sensor reconciliation. *)
+
+open Vsync_core
+open Vsync_toolkit
+module Message = Vsync_msg.Message
+
+let make ?(skew = 80_000) ?(seed = 17L) () =
+  let w = World.create ~seed ~clock_skew_us:skew ~sites:3 () in
+  let members = Array.init 3 (fun s -> World.proc w ~site:s ~name:(Printf.sprintf "rt%d" s)) in
+  let gid = ref None in
+  World.run_task w members.(0) (fun () -> gid := Some (Runtime.pg_create members.(0) "time"));
+  World.run w;
+  let gid = Option.get !gid in
+  for i = 1 to 2 do
+    World.run_task w members.(i) (fun () ->
+        ignore (Runtime.pg_lookup members.(i) "time");
+        ignore (Runtime.pg_join members.(i) gid ~credentials:(Message.create ())))
+  done;
+  World.run w;
+  let tools = Array.map (fun m -> Realtime.attach m ~gid) members in
+  (w, members, tools)
+
+(* Synchronization error bound: half the round trip plus CPU-queue
+   asymmetry — comfortably under 40ms for our constants, while raw
+   skews run up to 80ms. *)
+let tolerance_us = 40_000
+
+let sync_all w members tools =
+  Array.iteri
+    (fun i m -> World.run_task w m (fun () -> ignore (Realtime.sync tools.(i))))
+    members;
+  World.run w
+
+let test_clocks_diverge_without_sync () =
+  let _w, members, _tools = make () in
+  let local i = Runtime.local_time_us (Runtime.runtime_of members.(i)) in
+  Alcotest.(check bool) "skew configured" true
+    (abs (local 0 - local 1) > 0 || abs (local 0 - local 2) > 0)
+
+let test_sync_converges () =
+  let w, members, tools = make () in
+  (* Before sync, global-time estimates disagree by up to the skew. *)
+  sync_all w members tools;
+  let g = Array.map Realtime.global_time tools in
+  Alcotest.(check bool) "members 0/1 within tolerance" true (abs (g.(0) - g.(1)) < tolerance_us);
+  Alcotest.(check bool) "members 0/2 within tolerance" true (abs (g.(0) - g.(2)) < tolerance_us);
+  (* The master needs no correction. *)
+  Alcotest.(check int) "master offset zero" 0 (Realtime.offset_us tools.(0))
+
+let test_scheduled_actions_align () =
+  let w, members, tools = make () in
+  sync_all w members tools;
+  (* Everyone schedules an action at the same global instant; the
+     firing times (in true simulation time) must agree within the sync
+     error. *)
+  let fire_at = Realtime.global_time tools.(0) + 2_000_000 in
+  let fired = Array.make 3 0 in
+  Array.iteri
+    (fun i tool ->
+      Realtime.schedule_at tool ~global:fire_at (fun () -> fired.(i) <- World.now w))
+    tools;
+  World.run w;
+  Array.iter (fun at -> Alcotest.(check bool) "fired" true (at > 0)) fired;
+  Alcotest.(check bool) "0/1 aligned" true (abs (fired.(0) - fired.(1)) < tolerance_us);
+  Alcotest.(check bool) "0/2 aligned" true (abs (fired.(0) - fired.(2)) < tolerance_us)
+
+let test_sensor_database () =
+  let w, members, tools = make () in
+  sync_all w members tools;
+  (* Readings are stamped with each reporter's own global-time
+     estimate, which may trail the master's by the sync error: widen
+     the window accordingly. *)
+  let start = Realtime.global_time tools.(0) - tolerance_us in
+  (* Two sensors report interleaved values from different members. *)
+  World.run_task w members.(1) (fun () ->
+      Realtime.report tools.(1) ~sensor:"temp" 20.0;
+      Runtime.sleep members.(1) 500_000;
+      Realtime.report tools.(1) ~sensor:"temp" 21.5);
+  World.run_task w members.(2) (fun () ->
+      Runtime.sleep members.(2) 200_000;
+      Realtime.report tools.(2) ~sensor:"pressure" 1.01;
+      Runtime.sleep members.(2) 600_000;
+      Realtime.report tools.(2) ~sensor:"temp" 22.0);
+  World.run w;
+  let stop = start + 10_000_000 in
+  (* Every member reports the same interval contents. *)
+  let temps i = List.map snd (Realtime.readings tools.(i) ~sensor:"temp" ~from_:start ~until:stop) in
+  Alcotest.(check int) "three temperature readings" 3 (List.length (temps 0));
+  Alcotest.(check (list (float 0.001))) "members agree 0/1" (temps 0) (temps 1);
+  Alcotest.(check (list (float 0.001))) "members agree 0/2" (temps 0) (temps 2);
+  let pressures =
+    Realtime.readings tools.(0) ~sensor:"pressure" ~from_:start ~until:stop
+  in
+  Alcotest.(check int) "one pressure reading" 1 (List.length pressures);
+  (* Interval filtering works: a window before the reports is empty. *)
+  Alcotest.(check int) "empty early window" 0
+    (List.length (Realtime.readings tools.(0) ~sensor:"temp" ~from_:0 ~until:(start - 1)))
+
+let test_master_failover () =
+  let w, members, tools = make () in
+  sync_all w members tools;
+  (* Kill the master: the next-oldest member becomes the reference and
+     re-synchronization still works. *)
+  Runtime.kill_proc members.(0);
+  World.run w;
+  let ok = ref None in
+  World.run_task w members.(1) (fun () -> ok := Some (Realtime.sync tools.(1)));
+  World.run w;
+  (match !ok with
+  | Some (Ok offset) -> Alcotest.(check int) "new master self-syncs to zero" 0 offset
+  | Some (Error e) -> Alcotest.failf "resync failed: %s" e
+  | None -> Alcotest.fail "resync never ran");
+  let ok2 = ref None in
+  World.run_task w members.(2) (fun () -> ok2 := Some (Realtime.sync tools.(2)));
+  World.run w;
+  match !ok2 with
+  | Some (Ok _) ->
+    Alcotest.(check bool) "members 1/2 close after failover" true
+      (abs (Realtime.global_time tools.(1) - Realtime.global_time tools.(2)) < tolerance_us)
+  | Some (Error e) -> Alcotest.failf "member 2 resync failed: %s" e
+  | None -> Alcotest.fail "member 2 resync never ran"
+
+let suite =
+  [
+    Alcotest.test_case "clocks diverge without sync" `Quick test_clocks_diverge_without_sync;
+    Alcotest.test_case "sync converges" `Quick test_sync_converges;
+    Alcotest.test_case "scheduled actions align" `Quick test_scheduled_actions_align;
+    Alcotest.test_case "sensor database" `Quick test_sensor_database;
+    Alcotest.test_case "master failover" `Quick test_master_failover;
+  ]

@@ -1,0 +1,165 @@
+(* Regression tests for specific bugs found and fixed during
+   development.  Each test reproduces the original trigger; keep them
+   even when they look redundant with broader scenarios. *)
+
+open Vsync_core
+module Addr = Vsync_msg.Addr
+module Entry = Vsync_msg.Entry
+module Message = Vsync_msg.Message
+
+let e_app = Entry.user 0
+
+(* Bug 1: the coordinator could start the next view change after
+   sending — but before applying — its own commit, building the new
+   change against the retiring view and a stale wedge set.  Trigger:
+   several joins arriving back-to-back (each join's request lands while
+   the previous commit is still in flight to the coordinator itself). *)
+let test_concurrent_joins () =
+  let w = World.create ~seed:0x7E57L ~sites:4 () in
+  let founder = World.proc w ~site:0 ~name:"m0" in
+  let gid = ref None in
+  World.run_task w founder (fun () -> gid := Some (Runtime.pg_create founder "cj"));
+  World.run w;
+  let gid = Option.get !gid in
+  let ok = Array.make 3 false in
+  let joiners = Array.init 3 (fun i -> World.proc w ~site:(i + 1) ~name:(Printf.sprintf "j%d" i)) in
+  Array.iteri
+    (fun i p ->
+      World.run_task w p (fun () ->
+          ignore (Runtime.pg_lookup p "cj");
+          match Runtime.pg_join p gid ~credentials:(Message.create ()) with
+          | Ok () -> ok.(i) <- true
+          | Error _ -> ()))
+    joiners;
+  World.run w;
+  World.run w;
+  Array.iteri
+    (fun i b -> Alcotest.(check bool) (Printf.sprintf "concurrent join %d completed" i) true b)
+    ok;
+  match Runtime.pg_view founder gid with
+  | Some v -> Alcotest.(check int) "all four in one consistent view" 4 (View.n_members v)
+  | None -> Alcotest.fail "no view"
+
+(* Bug 2: the origin never recorded its own CBCAST uids in the causal
+   engine, so a flush could re-inject and re-deliver its own message.
+   Trigger: a sender's multicast lands in a view-change stabilization
+   (another site had not received it when the wedge hit). *)
+let test_no_self_redelivery_through_flush () =
+  let w = World.create ~seed:7L ~sites:3 () in
+  let members = Array.init 3 (fun s -> World.proc w ~site:s ~name:(Printf.sprintf "m%d" s)) in
+  let gid = ref None in
+  World.run_task w members.(0) (fun () -> gid := Some (Runtime.pg_create members.(0) "sr"));
+  World.run w;
+  let gid = Option.get !gid in
+  for i = 1 to 2 do
+    World.run_task w members.(i) (fun () ->
+        ignore (Runtime.pg_lookup members.(i) "sr");
+        ignore (Runtime.pg_join members.(i) gid ~credentials:(Message.create ())))
+  done;
+  World.run w;
+  let got0 = ref [] in
+  Runtime.bind members.(0) e_app (fun m -> got0 := Option.get (Message.get_int m "tag") :: !got0);
+  Array.iter (fun m -> if m != members.(0) then Runtime.bind m e_app (fun _ -> ())) members;
+  (* Send a burst while a join wedges the group mid-stream. *)
+  World.run_task w members.(0) (fun () ->
+      for k = 1 to 8 do
+        Runtime.sleep members.(0) 10_000;
+        let msg = Message.create () in
+        Message.set_int msg "tag" k;
+        ignore (Runtime.bcast members.(0) Types.Cbcast ~dest:(Addr.Group gid) ~entry:e_app msg ~want:Types.No_reply)
+      done);
+  let joiner = World.proc w ~site:1 ~name:"mid-joiner" in
+  World.run_task w joiner (fun () ->
+      ignore (Runtime.pg_lookup joiner "sr");
+      ignore (Runtime.pg_join joiner gid ~credentials:(Message.create ())));
+  World.run w;
+  Alcotest.(check (list int)) "sender delivered its own burst exactly once"
+    [ 1; 2; 3; 4; 5; 6; 7; 8 ] (List.rev !got0)
+
+(* Bug 3: the transport reset a peer's channel state on FIRST contact
+   (treating the initial epoch as a restart), so the second message on
+   a channel could be mistaken for a duplicate.  Trigger: any two
+   messages with an intervening reply on a fresh channel — the original
+   manifestation was a join request vanishing after a directory
+   query. *)
+let test_fresh_channel_second_message () =
+  let w = World.create ~seed:2L ~sites:2 () in
+  let a = World.proc w ~site:0 ~name:"a" and b = World.proc w ~site:1 ~name:"b" in
+  let got = ref [] in
+  Runtime.bind a e_app (fun m -> got := Option.get (Message.get_int m "tag") :: !got);
+  ignore b;
+  World.run_task w b (fun () ->
+      for k = 1 to 3 do
+        let msg = Message.create () in
+        Message.set_int msg "tag" k;
+        ignore
+          (Runtime.bcast b Types.Cbcast ~dest:(Addr.Proc (Runtime.proc_addr a)) ~entry:e_app msg
+             ~want:Types.No_reply);
+        (* Give each send its own acknowledgement round. *)
+        Runtime.sleep b 100_000
+      done);
+  World.run w;
+  Alcotest.(check (list int)) "every message on a fresh channel arrives" [ 1; 2; 3 ]
+    (List.rev !got)
+
+(* Bug 4: events queued at a site that stops being the coordinator
+   after a view change were never re-routed, so cascades of failures
+   could wedge the group (pg_kill of the whole membership never
+   dissolved it).  Covered directly in Test_api.test_pg_kill; here the
+   more general cascade: three members die one after another, fast. *)
+let test_failure_cascade_dissolves () =
+  let w = World.create ~seed:3L ~sites:3 () in
+  let members = Array.init 3 (fun s -> World.proc w ~site:s ~name:(Printf.sprintf "m%d" s)) in
+  let gid = ref None in
+  World.run_task w members.(0) (fun () -> gid := Some (Runtime.pg_create members.(0) "cas"));
+  World.run w;
+  let gid = Option.get !gid in
+  for i = 1 to 2 do
+    World.run_task w members.(i) (fun () ->
+        ignore (Runtime.pg_lookup members.(i) "cas");
+        ignore (Runtime.pg_join members.(i) gid ~credentials:(Message.create ())))
+  done;
+  World.run w;
+  Runtime.kill_proc members.(0);
+  Runtime.kill_proc members.(1);
+  Runtime.kill_proc members.(2);
+  World.run w;
+  World.run w;
+  (* Every site's state for the group must be gone (the empty view
+     dissolves it; memberless sites GC their copies). *)
+  Array.iter
+    (fun m ->
+      Alcotest.(check bool) "state dropped everywhere" true (Runtime.pg_view m gid = None))
+    members
+
+(* Bug 5: a caller could hang when its responder died between the send
+   and the delivery (the dead member was still listed in the view when
+   the message arrived at its site).  Trigger: want-reply message to a
+   freshly killed member. *)
+let test_no_hang_on_dead_responder () =
+  let w = World.create ~seed:4L ~sites:2 () in
+  let a = World.proc w ~site:0 ~name:"a" and b = World.proc w ~site:1 ~name:"b" in
+  Runtime.bind b e_app (fun req -> Runtime.reply b ~request:req (Message.create ()));
+  let outcome = ref None in
+  World.run_task w a (fun () ->
+      (* b dies while the request is in flight. *)
+      Runtime.spawn_task a (fun () -> ());
+      outcome :=
+        Some
+          (Runtime.bcast a Types.Cbcast ~dest:(Addr.Proc (Runtime.proc_addr b)) ~entry:e_app
+             (Message.create ()) ~want:(Types.Wait_n 1)));
+  Runtime.kill_proc b;
+  World.run w;
+  match !outcome with
+  | Some Runtime.All_failed | Some (Runtime.Replies []) -> ()
+  | Some (Runtime.Replies _) -> Alcotest.fail "reply from a dead process?"
+  | None -> Alcotest.fail "caller hung on a dead responder"
+
+let suite =
+  [
+    Alcotest.test_case "concurrent joins (commit-window race)" `Quick test_concurrent_joins;
+    Alcotest.test_case "no self-redelivery through flush" `Quick test_no_self_redelivery_through_flush;
+    Alcotest.test_case "fresh channel second message" `Quick test_fresh_channel_second_message;
+    Alcotest.test_case "failure cascade dissolves group" `Quick test_failure_cascade_dissolves;
+    Alcotest.test_case "no hang on dead responder" `Quick test_no_hang_on_dead_responder;
+  ]

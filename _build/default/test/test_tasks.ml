@@ -1,0 +1,137 @@
+(* Unit tests for the lightweight task package: scheduler, suspension,
+   ivars, mailboxes, conditions, and crash semantics. *)
+
+module Sched = Vsync_tasks.Sched
+module Ivar = Vsync_tasks.Ivar
+module Mailbox = Vsync_tasks.Mailbox
+module Condition = Vsync_tasks.Condition
+
+let test_spawn_runs_to_completion () =
+  let s = Sched.create () in
+  let log = ref [] in
+  Sched.spawn s (fun () -> log := 1 :: !log);
+  Sched.spawn s (fun () -> log := 2 :: !log);
+  Alcotest.(check (list int)) "tasks ran in order" [ 1; 2 ] (List.rev !log);
+  Alcotest.(check int) "spawn count" 2 (Sched.tasks_spawned s)
+
+let test_suspend_resume () =
+  let s = Sched.create () in
+  let resume_cell = ref None in
+  let got = ref None in
+  Sched.spawn s (fun () ->
+      let v = Sched.suspend (fun resume -> resume_cell := Some resume) in
+      got := Some v);
+  Alcotest.(check (option int)) "blocked" None !got;
+  (Option.get !resume_cell) 42;
+  Alcotest.(check (option int)) "resumed with value" (Some 42) !got
+
+let test_resume_is_one_shot () =
+  let s = Sched.create () in
+  let resume_cell = ref None in
+  let count = ref 0 in
+  Sched.spawn s (fun () ->
+      ignore (Sched.suspend (fun resume -> resume_cell := Some resume) : int);
+      incr count);
+  let resume = Option.get !resume_cell in
+  resume 1;
+  resume 2;
+  resume 3;
+  Alcotest.(check int) "continuation ran once" 1 !count
+
+let test_yield_interleaves () =
+  let s = Sched.create () in
+  let log = ref [] in
+  Sched.spawn s (fun () ->
+      log := "a1" :: !log;
+      Sched.yield ();
+      log := "a2" :: !log);
+  (* The second task is spawned while the first is suspended in yield:
+     spawn appends behind the yielded continuation. *)
+  Alcotest.(check (list string)) "yield lets the queue drain" [ "a1"; "a2" ] (List.rev !log)
+
+let test_kill_drops_tasks () =
+  let s = Sched.create () in
+  let resume_cell = ref None in
+  let after = ref false in
+  Sched.spawn s (fun () ->
+      ignore (Sched.suspend (fun resume -> resume_cell := Some resume) : int);
+      after := true);
+  Sched.kill s;
+  (Option.get !resume_cell) 9;
+  Alcotest.(check bool) "killed task never resumes" false !after;
+  Sched.spawn s (fun () -> after := true);
+  Alcotest.(check bool) "spawn after kill ignored" false !after
+
+let test_exn_handler () =
+  let s = Sched.create () in
+  let caught = ref None in
+  Sched.set_exn_handler s (fun e -> caught := Some (Printexc.to_string e));
+  Sched.spawn s (fun () -> failwith "boom");
+  Alcotest.(check bool) "exception routed" true
+    (match !caught with Some msg -> String.length msg > 0 | None -> false)
+
+let test_ivar () =
+  let s = Sched.create () in
+  let iv = Ivar.create () in
+  let got = ref [] in
+  (* Bind the read first: [::] evaluates right to left, so inlining it
+     would snapshot [!got] before blocking. *)
+  let reader () =
+    let v = Ivar.read iv in
+    got := v :: !got
+  in
+  Sched.spawn s reader;
+  Sched.spawn s reader;
+  Alcotest.(check bool) "not filled yet" false (Ivar.is_filled iv);
+  Ivar.fill iv 7;
+  Alcotest.(check (list int)) "both waiters woke" [ 7; 7 ] !got;
+  Alcotest.(check bool) "second fill refused" false (Ivar.fill_if_empty iv 8);
+  Alcotest.check_raises "fill raises when full" (Invalid_argument "Ivar.fill: already filled")
+    (fun () -> Ivar.fill iv 9);
+  (* Reading a filled ivar returns immediately, outside any suspension. *)
+  Sched.spawn s reader;
+  Alcotest.(check int) "late reader" 3 (List.length !got)
+
+let test_mailbox () =
+  let s = Sched.create () in
+  let mb = Mailbox.create () in
+  Mailbox.send mb 1;
+  Mailbox.send mb 2;
+  let got = ref [] in
+  Sched.spawn s (fun () ->
+      got := Mailbox.recv mb :: !got;
+      got := Mailbox.recv mb :: !got;
+      (* now empty: blocks *)
+      got := Mailbox.recv mb :: !got);
+  Alcotest.(check (list int)) "fifo so far" [ 2; 1 ] !got;
+  Mailbox.send mb 3;
+  Alcotest.(check (list int)) "woken by send" [ 3; 2; 1 ] !got;
+  Alcotest.(check bool) "empty again" true (Mailbox.is_empty mb)
+
+let test_condition () =
+  let s = Sched.create () in
+  let c = Condition.create () in
+  let woke = ref [] in
+  for i = 1 to 3 do
+    Sched.spawn s (fun () ->
+        Condition.wait c;
+        woke := i :: !woke)
+  done;
+  Alcotest.(check int) "three waiting" 3 (Condition.waiters c);
+  Condition.signal c;
+  Alcotest.(check (list int)) "signal wakes the oldest" [ 1 ] !woke;
+  Condition.broadcast c;
+  Alcotest.(check (list int)) "broadcast wakes the rest in order" [ 3; 2; 1 ] !woke
+
+let suite =
+  [
+    Alcotest.test_case "spawn runs to completion" `Quick test_spawn_runs_to_completion;
+    Alcotest.test_case "suspend/resume" `Quick test_suspend_resume;
+    Alcotest.test_case "resume is one-shot" `Quick test_resume_is_one_shot;
+    Alcotest.test_case "yield" `Quick test_yield_interleaves;
+    Alcotest.test_case "kill drops tasks" `Quick test_kill_drops_tasks;
+    Alcotest.test_case "exception handler" `Quick test_exn_handler;
+    Alcotest.test_case "ivar" `Quick test_ivar;
+    Alcotest.test_case "mailbox" `Quick test_mailbox;
+    Alcotest.test_case "condition" `Quick test_condition;
+  ]

@@ -1,0 +1,448 @@
+(* Toolkit-level tests: coordinator-cohort, configuration, replicated
+   data, semaphores, state transfer, news, recovery, protection. *)
+
+open Vsync_core
+open Vsync_toolkit
+module Addr = Vsync_msg.Addr
+module Entry = Vsync_msg.Entry
+module Message = Vsync_msg.Message
+
+let e_app = Entry.user 0
+
+(* Three member processes on three sites plus a client on site 0. *)
+let make_service ?(seed = 7L) () =
+  let w = World.create ~seed ~sites:3 () in
+  let members = Array.init 3 (fun i -> World.proc w ~site:i ~name:(Printf.sprintf "m%d" i)) in
+  let client = World.proc w ~site:0 ~name:"client" in
+  let gid = ref None in
+  World.run_task w members.(0) (fun () -> gid := Some (Runtime.pg_create members.(0) "svc"));
+  World.run w;
+  let gid = Option.get !gid in
+  for i = 1 to 2 do
+    World.run_task w members.(i) (fun () ->
+        match Runtime.pg_lookup members.(i) "svc" with
+        | Some g -> (
+          match Runtime.pg_join members.(i) g ~credentials:(Message.create ()) with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "join: %s" e)
+        | None -> Alcotest.fail "lookup")
+  done;
+  World.run w;
+  (w, members, client, gid)
+
+(* --- coordinator-cohort --- *)
+
+let cc_setup w members gid ~work_us =
+  let executed = Array.make 3 0 in
+  Array.iteri
+    (fun i m ->
+      let cc = Coordinator.attach m ~gid in
+      Runtime.bind m e_app (fun request ->
+          let plist =
+            match Runtime.pg_view m gid with Some v -> v.View.members | None -> []
+          in
+          Coordinator.handle cc ~request ~plist
+            ~action:(fun _req ->
+              Runtime.sleep m work_us;
+              executed.(i) <- executed.(i) + 1;
+              let r = Message.create () in
+              Message.set_int r "worker" i;
+              r)
+            ()))
+    members;
+  ignore w;
+  executed
+
+let test_cc_local_coordinator () =
+  let w, members, client, gid = make_service () in
+  let executed = cc_setup w members gid ~work_us:1000 in
+  let got = ref None in
+  World.run_task w client (fun () ->
+      got :=
+        Some
+          (Runtime.bcast client Types.Cbcast ~dest:(Addr.Group gid) ~entry:e_app
+             (Message.create ()) ~want:(Types.Wait_n 1)));
+  World.run w;
+  (match !got with
+  | Some (Runtime.Replies [ (_, r) ]) ->
+    (* The tool prefers a coordinator at the caller's site. *)
+    Alcotest.(check int) "local member acted" 0 (Option.get (Message.get_int r "worker"))
+  | _ -> Alcotest.fail "rpc failed");
+  Alcotest.(check (list int)) "exactly one member executed the action" [ 1; 0; 0 ]
+    (Array.to_list executed)
+
+let test_cc_failover () =
+  let w, members, client, gid = make_service () in
+  (* Long action so we can kill the coordinator mid-flight. *)
+  let executed = cc_setup w members gid ~work_us:3_000_000 in
+  let got = ref None in
+  World.run_task w client (fun () ->
+      got :=
+        Some
+          (Runtime.bcast client Types.Cbcast ~dest:(Addr.Group gid) ~entry:e_app
+             (Message.create ()) ~want:(Types.Wait_n 1)));
+  (* Let the request reach everyone, then kill the (local) coordinator
+     while it is still computing. *)
+  World.run_for w 500_000;
+  Runtime.kill_proc members.(0);
+  World.run ~until:(World.now w + 120_000_000) w;
+  (match !got with
+  | Some (Runtime.Replies ((_, r) :: _)) ->
+    let worker = Option.get (Message.get_int r "worker") in
+    Alcotest.(check bool) "a cohort took over" true (worker = 1 || worker = 2)
+  | Some (Runtime.Replies []) -> Alcotest.fail "no replies"
+  | Some Runtime.All_failed -> Alcotest.fail "all failed"
+  | None -> Alcotest.fail "rpc never completed");
+  Alcotest.(check int) "the dead coordinator never finished" 0 executed.(0)
+
+(* --- configuration tool --- *)
+
+let test_config_tool () =
+  let w, members, _client, gid = make_service () in
+  let tools = Array.map (fun m -> Config_tool.attach m ~gid) members in
+  World.run_task w members.(1) (fun () ->
+      Config_tool.update tools.(1) ~key:"workers" (Message.Int 7));
+  World.run w;
+  Array.iteri
+    (fun i tool ->
+      match Config_tool.read tool ~key:"workers" with
+      | Some (Message.Int 7) -> ()
+      | _ -> Alcotest.failf "member %d missing config" i)
+    tools
+
+(* --- replicated data --- *)
+
+let test_repdata_causal_counter () =
+  let w, members, _client, gid = make_service () in
+  let counters = Array.make 3 0 in
+  let tools =
+    Array.mapi
+      (fun i m ->
+        Repdata.attach m ~gid ~item:"counter" ~order:Repdata.Causal
+          ~apply:(fun msg ->
+            counters.(i) <- counters.(i) + Option.value ~default:0 (Message.get_int msg "delta"))
+          ~read:(fun _ ->
+            let r = Message.create () in
+            Message.set_int r "value" counters.(i);
+            r)
+          ())
+      members
+  in
+  World.run_task w members.(0) (fun () ->
+      for _ = 1 to 10 do
+        let u = Message.create () in
+        Message.set_int u "delta" 3;
+        Repdata.update tools.(0) u
+      done;
+      Runtime.flush members.(0));
+  World.run w;
+  Array.iteri
+    (fun i c -> Alcotest.(check int) (Printf.sprintf "member %d counter" i) 30 c)
+    counters
+
+let test_repdata_client_read () =
+  let w, members, client, gid = make_service () in
+  let value = ref 0 in
+  Array.iter
+    (fun m ->
+      ignore
+        (Repdata.attach m ~gid ~item:"x" ~order:Repdata.Causal
+           ~apply:(fun msg -> value := Option.value ~default:0 (Message.get_int msg "v"))
+           ~read:(fun _ ->
+             let r = Message.create () in
+             Message.set_int r "value" !value;
+             r)
+           ()))
+    members;
+  World.run_task w client (fun () ->
+      let u = Message.create () in
+      Message.set_int u "v" 99;
+      Repdata.client_update client ~gid ~item:"x" u;
+      Runtime.sleep client 1_000_000;
+      match Repdata.client_read client ~gid ~item:"x" (Message.create ()) with
+      | Some answer -> Alcotest.(check int) "read back" 99 (Option.get (Message.get_int answer "value"))
+      | None -> Alcotest.fail "client read failed");
+  World.run w
+
+let test_repdata_logging_recovery () =
+  let w, members, _client, gid = make_service () in
+  let store = Stable_store.create ~sites:3 () in
+  let state = ref [] in
+  let tool =
+    Repdata.attach members.(0) ~gid ~item:"log" ~order:Repdata.Causal
+      ~apply:(fun msg -> state := Option.value ~default:0 (Message.get_int msg "v") :: !state)
+      ~log:store
+      ~checkpoint:
+        ( (fun () -> [ Bytes.of_string (String.concat "," (List.map string_of_int !state)) ]),
+          fun chunks ->
+            state :=
+              List.concat_map
+                (fun c ->
+                  let s = Bytes.to_string c in
+                  if String.equal s "" then [] else List.map int_of_string (String.split_on_char ',' s))
+                chunks )
+      ~checkpoint_every:5 ()
+  in
+  World.run_task w members.(0) (fun () ->
+      for v = 1 to 12 do
+        let u = Message.create () in
+        Message.set_int u "v" v;
+        Repdata.update tool u
+      done);
+  World.run w;
+  let before = !state in
+  (* Simulated crash: lose volatile state, replay checkpoint + log. *)
+  state := [];
+  Repdata.recover tool;
+  Alcotest.(check (list int)) "state recovered from checkpoint and log" before !state
+
+(* --- semaphores --- *)
+
+let test_semaphore_mutex_fifo () =
+  let w, members, _client, gid = make_service () in
+  Array.iter (fun m -> ignore (Semaphore.attach m ~gid)) members;
+  let order = ref [] in
+  let in_cs = ref false in
+  let enter i p =
+    World.run_task w p (fun () ->
+        Runtime.sleep p (i * 100_000);
+        match Semaphore.p p ~gid ~name:"mutex" with
+        | Ok () ->
+          Alcotest.(check bool) "mutual exclusion" false !in_cs;
+          in_cs := true;
+          order := i :: !order;
+          Runtime.sleep p 500_000;
+          in_cs := false;
+          Semaphore.v p ~gid ~name:"mutex"
+        | Error e -> Alcotest.failf "P failed: %s" e)
+  in
+  enter 0 members.(0);
+  enter 1 members.(1);
+  enter 2 members.(2);
+  World.run w;
+  Alcotest.(check int) "all three entered" 3 (List.length !order)
+
+let test_semaphore_release_on_failure () =
+  let w, members, _client, gid = make_service () in
+  Array.iter (fun m -> ignore (Semaphore.attach m ~gid)) members;
+  let second_granted = ref false in
+  World.run_task w members.(1) (fun () ->
+      match Semaphore.p members.(1) ~gid ~name:"lock" with
+      | Ok () -> () (* hold forever; we die holding it *)
+      | Error e -> Alcotest.failf "first P failed: %s" e);
+  World.run_for w 2_000_000;
+  World.run_task w members.(2) (fun () ->
+      match Semaphore.p members.(2) ~gid ~name:"lock" with
+      | Ok () -> second_granted := true
+      | Error e -> Alcotest.failf "second P failed: %s" e);
+  World.run_for w 2_000_000;
+  Alcotest.(check bool) "still held" false !second_granted;
+  Runtime.kill_proc members.(1);
+  World.run w;
+  Alcotest.(check bool) "auto-released on holder failure" true !second_granted
+
+let test_semaphore_deadlock_detection () =
+  let w, members, _client, gid = make_service () in
+  Array.iter (fun m -> ignore (Semaphore.attach m ~gid)) members;
+  let outcome = ref None in
+  World.run_task w members.(0) (fun () ->
+      ignore (Semaphore.p members.(0) ~gid ~name:"A");
+      Runtime.sleep members.(0) 1_000_000;
+      (* members.(1) now holds B and is queued on A; taking B closes
+         the cycle. *)
+      outcome := Some (Semaphore.p members.(0) ~gid ~name:"B"));
+  World.run_task w members.(1) (fun () ->
+      Runtime.sleep members.(1) 200_000;
+      ignore (Semaphore.p members.(1) ~gid ~name:"B");
+      ignore (Semaphore.p members.(1) ~gid ~name:"A"));
+  World.run w;
+  match !outcome with
+  | Some (Error "deadlock") -> ()
+  | Some (Ok ()) -> Alcotest.fail "deadlock not detected"
+  | Some (Error e) -> Alcotest.failf "unexpected error: %s" e
+  | None -> Alcotest.fail "second P never returned (deadlock!)"
+
+(* --- state transfer --- *)
+
+let test_state_transfer () =
+  let w, members, _client, gid = make_service () in
+  let counters = Array.make 4 0 in
+  let make_segments i =
+    [
+      ( "counter",
+        (fun () -> [ Bytes.of_string (string_of_int counters.(i)) ]),
+        fun chunks ->
+          counters.(i) <-
+            List.fold_left (fun _ c -> int_of_string (Bytes.to_string c)) 0 chunks );
+    ]
+  in
+  let attach_counter i m =
+    ignore
+      (Repdata.attach m ~gid ~item:"c" ~order:Repdata.Causal
+         ~apply:(fun msg ->
+           counters.(i) <- counters.(i) + Option.value ~default:0 (Message.get_int msg "d"))
+         ());
+    State_transfer.attach m ~gid ~segments:(make_segments i)
+  in
+  Array.iteri attach_counter members;
+  (* Build up state, then join a fourth member with transfer while
+     updates keep flowing. *)
+  let tool0 =
+    Repdata.attach members.(0) ~gid ~item:"c" ~order:Repdata.Causal
+      ~apply:(fun msg ->
+        counters.(0) <- counters.(0) + Option.value ~default:0 (Message.get_int msg "d"))
+      ()
+  in
+  let update n =
+    let u = Message.create () in
+    Message.set_int u "d" n;
+    Repdata.update tool0 u
+  in
+  World.run_task w members.(0) (fun () ->
+      for _ = 1 to 5 do
+        update 1
+      done);
+  World.run w;
+  let joiner = World.proc w ~site:1 ~name:"joiner" in
+  attach_counter 3 joiner;
+  let join_result = ref None in
+  World.run_task w joiner (fun () ->
+      join_result :=
+        Some
+          (State_transfer.join_and_xfer joiner ~gid ~credentials:(Message.create ())
+             ~segments:(make_segments 3)));
+  (* Interleave more updates with the join. *)
+  World.run_task w members.(0) (fun () ->
+      for _ = 1 to 5 do
+        Runtime.sleep members.(0) 10_000;
+        update 1
+      done);
+  World.run w;
+  (match !join_result with
+  | Some (Ok ()) -> ()
+  | Some (Error e) -> Alcotest.failf "transfer failed: %s" e
+  | None -> Alcotest.fail "transfer never completed");
+  Alcotest.(check int) "old member state" 10 counters.(0);
+  Alcotest.(check int) "joiner state = transferred + subsequent updates" 10 counters.(3)
+
+(* --- news --- *)
+
+let test_news () =
+  let w = World.create ~seed:21L ~sites:3 () in
+  let agents = Array.init 3 (fun s -> News.start_agent (World.runtime w s)) in
+  World.run w;
+  Array.iter (fun a -> Alcotest.(check bool) "agent ready" true (News.agent_ready a)) agents;
+  let sub1 = World.proc w ~site:1 ~name:"sub1" in
+  let sub2 = World.proc w ~site:2 ~name:"sub2" in
+  let log1 = ref [] and log2 = ref [] and spam = ref [] in
+  News.subscribe agents.(1) sub1 ~subject:"alerts" (fun m ->
+      log1 := Option.get (Message.get_int m "n") :: !log1);
+  News.subscribe agents.(2) sub2 ~subject:"alerts" (fun m ->
+      log2 := Option.get (Message.get_int m "n") :: !log2);
+  News.subscribe agents.(2) sub2 ~subject:"other" (fun m ->
+      spam := Option.get (Message.get_int m "n") :: !spam);
+  let poster = World.proc w ~site:0 ~name:"poster" in
+  World.run_task w poster (fun () ->
+      for n = 1 to 5 do
+        let m = Message.create () in
+        Message.set_int m "n" n;
+        News.post poster ~subject:"alerts" m
+      done);
+  World.run w;
+  Alcotest.(check (list int)) "sub1 got postings in order" [ 1; 2; 3; 4; 5 ] (List.rev !log1);
+  Alcotest.(check (list int)) "sub2 got postings in order" [ 1; 2; 3; 4; 5 ] (List.rev !log2);
+  Alcotest.(check (list int)) "subjects are isolated" [] !spam
+
+(* --- recovery manager --- *)
+
+let test_recovery_total_failure () =
+  let w = World.create ~seed:33L ~sites:2 () in
+  let store = Stable_store.create ~sites:2 () in
+  let rms = Array.init 2 (fun s -> Recovery.create (World.runtime w s) ~store) in
+  World.run w;
+  (* A service group across both sites; view changes recorded. *)
+  let m0 = World.proc w ~site:0 ~name:"s0" and m1 = World.proc w ~site:1 ~name:"s1" in
+  let gid = ref None in
+  World.run_task w m0 (fun () ->
+      let g = Runtime.pg_create m0 "db" in
+      gid := Some g;
+      Recovery.note_view rms.(0) ~service:"db" (Option.get (Runtime.pg_view m0 g));
+      Recovery.note_running rms.(0) ~service:"db");
+  World.run w;
+  World.run_task w m1 (fun () ->
+      match Runtime.pg_lookup m1 "db" with
+      | Some g -> (
+        match Runtime.pg_join m1 g ~credentials:(Message.create ()) with
+        | Ok () ->
+          Recovery.note_view rms.(1) ~service:"db" (Option.get (Runtime.pg_view m1 g));
+          Recovery.note_running rms.(1) ~service:"db";
+          (* Site 0's copy also records the two-member view. *)
+          Recovery.note_view rms.(0) ~service:"db" (Option.get (Runtime.pg_view m1 g))
+        | Error e -> Alcotest.failf "join: %s" e)
+      | None -> Alcotest.fail "lookup");
+  World.run w;
+  (* Total failure. *)
+  World.crash_site w 0;
+  World.crash_site w 1;
+  World.run_for w 5_000_000;
+  World.restart_site w 0;
+  World.restart_site w 1;
+  let rms' = Array.init 2 (fun s -> Recovery.create (World.runtime w s) ~store) in
+  World.run_for w 3_000_000;
+  let decision = Array.make 2 None in
+  Array.iteri
+    (fun s rm -> Recovery.recover rm ~service:"db" ~decide:(fun d -> decision.(s) <- Some d))
+    rms';
+  World.run w;
+  (* Both stored the same final view: the lowest site restarts, the
+     other waits and eventually joins or takes over.  At least one
+     Create, and not two different Creates racing. *)
+  (match decision.(0) with
+  | Some `Create -> ()
+  | Some `Join -> Alcotest.fail "site 0 should have been entitled to restart"
+  | None -> Alcotest.fail "site 0 made no decision");
+  match decision.(1) with
+  | Some _ -> () (* Join if site 0 announced in time, Create after the takeover timeout *)
+  | None -> Alcotest.fail "site 1 made no decision"
+
+(* --- protection --- *)
+
+let test_protection () =
+  let w, members, client, gid = make_service () in
+  ignore gid;
+  let rejected = ref 0 and delivered = ref 0 in
+  let trusted = Protection.trusted_procs [ Runtime.proc_addr members.(1) ] in
+  Protection.install members.(0) ~trusted ~on_reject:(fun _ -> incr rejected) ();
+  Runtime.bind members.(0) e_app (fun _ -> incr delivered);
+  World.run_task w client (fun () ->
+      ignore
+        (Runtime.bcast client Types.Cbcast ~dest:(Addr.Proc (Runtime.proc_addr members.(0)))
+           ~entry:e_app (Message.create ()) ~want:Types.No_reply));
+  World.run_task w members.(1) (fun () ->
+      ignore
+        (Runtime.bcast members.(1) Types.Cbcast ~dest:(Addr.Proc (Runtime.proc_addr members.(0)))
+           ~entry:e_app (Message.create ()) ~want:Types.No_reply));
+  World.run w;
+  Alcotest.(check int) "untrusted sender rejected" 1 !rejected;
+  Alcotest.(check int) "trusted sender delivered" 1 !delivered
+
+let suite =
+  [
+    Alcotest.test_case "coordinator-cohort: local coordinator" `Quick test_cc_local_coordinator;
+    Alcotest.test_case "coordinator-cohort: failover" `Quick test_cc_failover;
+    Alcotest.test_case "configuration tool" `Quick test_config_tool;
+    Alcotest.test_case "repdata: causal counter" `Quick test_repdata_causal_counter;
+    Alcotest.test_case "repdata: client read" `Quick test_repdata_client_read;
+    Alcotest.test_case "repdata: logging and recovery" `Quick test_repdata_logging_recovery;
+    Alcotest.test_case "semaphore: mutex + fifo" `Quick test_semaphore_mutex_fifo;
+    Alcotest.test_case "semaphore: release on failure" `Quick test_semaphore_release_on_failure;
+    Alcotest.test_case "semaphore: deadlock detection" `Quick test_semaphore_deadlock_detection;
+    Alcotest.test_case "state transfer" `Quick test_state_transfer;
+    Alcotest.test_case "news service" `Quick test_news;
+    Alcotest.test_case "recovery: total failure" `Quick test_recovery_total_failure;
+    Alcotest.test_case "protection" `Quick test_protection;
+  ]
+
+
+(* Shared with Test_extensions. *)
+let make_service_for_extensions ~seed () = make_service ~seed ()

@@ -1,0 +1,163 @@
+(* Unit tests for the reliable transport: FIFO exactly-once delivery,
+   loss recovery, fragmentation, incarnation handling, and the adaptive
+   failure detector. *)
+
+module Engine = Vsync_sim.Engine
+module Net = Vsync_sim.Net
+module Endpoint = Vsync_transport.Endpoint
+module Rtt = Vsync_transport.Rtt
+
+type payload = { tag : int; size : int }
+
+let setup ?(sites = 2) ?(loss = 0.0) ?(seed = 1L) () =
+  let e = Engine.create ~seed () in
+  let n = Net.create e { Net.default_config with Net.loss_probability = loss } ~sites in
+  let fab = Endpoint.fabric n in
+  let eps =
+    Array.init sites (fun site -> Endpoint.create fab ~site ~size:(fun p -> p.size) ())
+  in
+  (e, n, eps)
+
+let collect ep =
+  let log = ref [] in
+  Endpoint.set_receiver ep (fun ~src p -> log := (src, p.tag) :: !log);
+  log
+
+let test_fifo_delivery () =
+  let e, _n, eps = setup () in
+  let log = collect eps.(1) in
+  Endpoint.set_receiver eps.(0) (fun ~src:_ _ -> ());
+  for tag = 1 to 10 do
+    Endpoint.send eps.(0) ~dst:1 { tag; size = 100 }
+  done;
+  Engine.run ~until:1_000_000 e;
+  Alcotest.(check (list (pair int int)))
+    "in order, exactly once"
+    (List.init 10 (fun i -> (0, i + 1)))
+    (List.rev !log)
+
+let test_loss_recovery () =
+  (* 30% packet loss: retransmission must still deliver everything in
+     order, exactly once. *)
+  let e, _n, eps = setup ~loss:0.3 ~seed:77L () in
+  let log = collect eps.(1) in
+  Endpoint.set_receiver eps.(0) (fun ~src:_ _ -> ());
+  for tag = 1 to 50 do
+    Endpoint.send eps.(0) ~dst:1 { tag; size = 200 }
+  done;
+  Engine.run ~until:120_000_000 e;
+  Alcotest.(check (list (pair int int)))
+    "all delivered despite loss"
+    (List.init 50 (fun i -> (0, i + 1)))
+    (List.rev !log);
+  Alcotest.(check bool) "retransmissions happened" true (Endpoint.retransmits eps.(0) > 0)
+
+let test_fragmentation () =
+  let e, _n, eps = setup () in
+  let log = collect eps.(1) in
+  Endpoint.set_receiver eps.(0) (fun ~src:_ _ -> ());
+  Endpoint.send eps.(0) ~dst:1 { tag = 1; size = 20_000 };
+  Endpoint.send eps.(0) ~dst:1 { tag = 2; size = 10 };
+  Engine.run ~until:5_000_000 e;
+  Alcotest.(check (list (pair int int))) "large then small, in order" [ (0, 1); (0, 2) ]
+    (List.rev !log);
+  Alcotest.(check bool) "large message used several frames" true (Endpoint.frames_sent eps.(0) >= 6)
+
+let test_crash_silences () =
+  let e, n, eps = setup () in
+  let log = collect eps.(1) in
+  Endpoint.set_receiver eps.(0) (fun ~src:_ _ -> ());
+  Endpoint.crash eps.(0);
+  Net.crash_site n 0;
+  Endpoint.send eps.(0) ~dst:1 { tag = 1; size = 10 };
+  Engine.run ~until:1_000_000 e;
+  Alcotest.(check (list (pair int int))) "dead endpoint sends nothing" [] !log
+
+let test_restart_new_incarnation () =
+  let e, n, eps = setup () in
+  let log = collect eps.(1) in
+  Endpoint.set_receiver eps.(0) (fun ~src:_ _ -> ());
+  Endpoint.send eps.(0) ~dst:1 { tag = 1; size = 10 };
+  Engine.run ~until:1_000_000 e;
+  (* Crash and restart the sender: its epoch bumps, and the receiver
+     resets channel state so fresh sequence numbers still deliver. *)
+  Endpoint.crash eps.(0);
+  Net.crash_site n 0;
+  Engine.run ~until:(Engine.now e + 1_000_000) e;
+  Net.restart_site n 0;
+  Endpoint.restart eps.(0);
+  Alcotest.(check int) "epoch bumped" 2 (Endpoint.epoch eps.(0));
+  Endpoint.send eps.(0) ~dst:1 { tag = 2; size = 10 };
+  Engine.run ~until:(Engine.now e + 2_000_000) e;
+  Alcotest.(check (list (pair int int))) "both incarnations' sends arrived" [ (0, 1); (0, 2) ]
+    (List.rev !log)
+
+let test_failure_detector_detects_crash () =
+  let e, n, eps = setup () in
+  ignore (collect eps.(1));
+  Endpoint.set_receiver eps.(0) (fun ~src:_ _ -> ());
+  let failed = ref [] in
+  Endpoint.set_failure_handler eps.(0) (fun s -> failed := s :: !failed);
+  Endpoint.monitor eps.(0) ~site:1;
+  (* Let a few pings succeed, then kill the peer. *)
+  Engine.run ~until:2_000_000 e;
+  Alcotest.(check (list int)) "no false positive while alive" [] !failed;
+  Alcotest.(check bool) "rtt estimated" true (Endpoint.rtt_us eps.(0) ~site:1 <> None);
+  Endpoint.crash eps.(1);
+  Net.crash_site n 1;
+  Engine.run ~until:(Engine.now e + 30_000_000) e;
+  Alcotest.(check (list int)) "crash detected exactly once" [ 1 ] !failed
+
+let test_failure_detector_unmonitor () =
+  let e, n, eps = setup () in
+  ignore (collect eps.(1));
+  Endpoint.set_receiver eps.(0) (fun ~src:_ _ -> ());
+  let failed = ref [] in
+  Endpoint.set_failure_handler eps.(0) (fun s -> failed := s :: !failed);
+  Endpoint.monitor eps.(0) ~site:1;
+  Engine.run ~until:2_000_000 e;
+  Endpoint.unmonitor eps.(0) ~site:1;
+  Endpoint.crash eps.(1);
+  Net.crash_site n 1;
+  Engine.run ~until:(Engine.now e + 30_000_000) e;
+  Alcotest.(check (list int)) "no report after unmonitor" [] !failed
+
+let test_rtt_estimator () =
+  let r = Rtt.create ~initial_us:50_000 () in
+  Alcotest.(check int) "no samples yet" 0 (Rtt.samples r);
+  Rtt.observe r 32_000;
+  Alcotest.(check int) "first sample adopted" 32_000 (Rtt.srtt_us r);
+  for _ = 1 to 50 do
+    Rtt.observe r 32_000
+  done;
+  Alcotest.(check bool) "estimate converges" true (abs (Rtt.srtt_us r - 32_000) < 500);
+  let before = Rtt.timeout_us r in
+  Rtt.backoff r;
+  Rtt.backoff r;
+  Alcotest.(check bool) "backoff raises timeout" true (Rtt.timeout_us r >= 2 * before);
+  Rtt.observe r 32_000;
+  Alcotest.(check bool) "sample resets backoff" true (Rtt.timeout_us r <= before * 2)
+
+let test_rtt_adapts_to_slow_peer () =
+  (* An overloaded (slow) site pushes the timeout up rather than being
+     declared dead: timeout always exceeds the observed RTT level. *)
+  let r = Rtt.create () in
+  List.iter (Rtt.observe r) [ 30_000; 35_000; 32_000; 31_000 ];
+  let t1 = Rtt.timeout_us r in
+  List.iter (Rtt.observe r) [ 150_000; 160_000; 155_000; 150_000; 152_000 ];
+  let t2 = Rtt.timeout_us r in
+  Alcotest.(check bool) "timeout grew with load" true (t2 > t1);
+  Alcotest.(check bool) "timeout above current rtt" true (t2 > 150_000)
+
+let suite =
+  [
+    Alcotest.test_case "fifo delivery" `Quick test_fifo_delivery;
+    Alcotest.test_case "loss recovery" `Quick test_loss_recovery;
+    Alcotest.test_case "fragmentation" `Quick test_fragmentation;
+    Alcotest.test_case "crash silences endpoint" `Quick test_crash_silences;
+    Alcotest.test_case "restart new incarnation" `Quick test_restart_new_incarnation;
+    Alcotest.test_case "failure detector detects crash" `Quick test_failure_detector_detects_crash;
+    Alcotest.test_case "failure detector unmonitor" `Quick test_failure_detector_unmonitor;
+    Alcotest.test_case "rtt estimator" `Quick test_rtt_estimator;
+    Alcotest.test_case "rtt adapts to slow peer" `Quick test_rtt_adapts_to_slow_peer;
+  ]
