@@ -1,0 +1,54 @@
+(* Throughput and latency under faults: the paper's evaluation runs on
+   a healthy network; this experiment re-runs the standard traffic mix
+   while the nemesis drives seeded fault plans of increasing intensity,
+   with the virtual-synchrony oracle judging every run.  The interesting
+   columns are the degradation — how much the fault load costs in
+   delivered throughput and tail latency — and the verdict, which must
+   stay PASS at every intensity. *)
+
+open Vsync_core
+
+let seed = 0xFA17L
+
+let run () =
+  let row intensity =
+    let r =
+      if intensity = 0.0 then Scenario.run ~seed ~plan:[] ()
+      else Scenario.run ~seed ~intensity ()
+    in
+    let secs = float_of_int r.elapsed_us /. 1_000_000. in
+    let thru = float_of_int r.delivered /. secs in
+    let lat =
+      match Harness.latency_stats (Oracle.latencies_us r.oracle) with
+      | Some s -> s
+      | None -> { Harness.median_ms = nan; p99_ms = nan; max_ms = nan }
+    in
+    let faults =
+      List.length
+        (List.filter
+           (fun ev ->
+             match ev.Vsync_sim.Nemesis.op with
+             | Vsync_sim.Nemesis.Heal | Vsync_sim.Nemesis.Clear_faults
+             | Vsync_sim.Nemesis.Clear_link _ ->
+               false
+             | _ -> true)
+           r.plan)
+    in
+    [
+      (if intensity = 0.0 then "clean" else Printf.sprintf "%.2f" intensity);
+      string_of_int faults;
+      string_of_int r.sent;
+      string_of_int r.delivered;
+      Printf.sprintf "%.0f" thru;
+      Printf.sprintf "%.1f" lat.Harness.median_ms;
+      Printf.sprintf "%.1f" lat.Harness.p99_ms;
+      Printf.sprintf "%.1f" lat.Harness.max_ms;
+      (if r.violations = [] then "PASS" else Printf.sprintf "FAIL (%d)" (List.length r.violations));
+    ]
+  in
+  Harness.print_table ~title:"multicast under nemesis fault plans (4 sites, mixed traffic)"
+    ~header:
+      [
+        "intensity"; "faults"; "sent"; "delivered"; "msg/s"; "p50 ms"; "p99 ms"; "max ms"; "oracle";
+      ]
+    (List.map row [ 0.0; 0.25; 0.5; 0.75; 1.0 ])

@@ -114,3 +114,15 @@ let print_table ~title ~header rows =
 
 let pct x = Printf.sprintf "%.0f%%" (100.0 *. x)
 let ms_of_us us = float_of_int us /. 1000.0
+
+(* Latency distribution summary over a list of per-delivery latencies
+   (µs), for the under-fault columns. *)
+type latency_stats = { median_ms : float; p99_ms : float; max_ms : float }
+
+let latency_stats us =
+  match List.sort compare us with
+  | [] -> None
+  | sorted ->
+    let n = List.length sorted in
+    let at i = ms_of_us (List.nth sorted (min (n - 1) i)) in
+    Some { median_ms = at (n / 2); p99_ms = at (n * 99 / 100); max_ms = at (n - 1) }

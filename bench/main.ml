@@ -16,6 +16,7 @@ let experiments =
     ("twentyq", Twentyq_bench.run);
     ("ablate", Ablate.run);
     ("load", Load.run);
+    ("faults", Faults.run);
     ("scale", Scale.run);
     ("micro", Micro.run);
   ]

@@ -27,7 +27,33 @@ let mode_conv =
   in
   Cmdliner.Arg.conv (parse, fun ppf m -> Format.pp_print_string ppf (Types.mode_to_string m))
 
-let run sites seed messages size mode loss crash_site crash_at_ms trace_on =
+(* --nemesis SEED[:INTENSITY]: run the standard nemesis scenario — a
+   fully-formed group under seeded traffic while a random fault plan
+   runs — print the plan and the oracle's verdict, and exit non-zero on
+   any violation. *)
+let run_nemesis sites (seed, intensity) =
+  let r = Scenario.run ~sites ?intensity ~seed () in
+  Printf.printf "nemesis scenario: seed %Ld, intensity %.2f, %d sites\n" seed
+    (Option.value ~default:0.5 intensity)
+    sites;
+  Printf.printf "fault plan:\n%s" (Vsync_sim.Nemesis.plan_to_string r.plan);
+  Printf.printf "sent %d, delivered %d, %.1fms virtual\n" r.sent r.delivered
+    (float_of_int r.elapsed_us /. 1000.);
+  (match Oracle.latencies_us r.oracle with
+  | [] -> ()
+  | lats ->
+    let sorted = List.sort compare lats in
+    let n = List.length sorted in
+    Printf.printf "delivery latency: median %.1fms  p99 %.1fms\n"
+      (float_of_int (List.nth sorted (n / 2)) /. 1000.)
+      (float_of_int (List.nth sorted (min (n - 1) (n * 99 / 100))) /. 1000.));
+  print_string (Oracle.report r.oracle r.violations);
+  if r.violations = [] then 0 else 1
+
+let run sites seed messages size mode loss crash_site crash_at_ms trace_on nemesis =
+  match nemesis with
+  | Some spec -> run_nemesis sites spec
+  | None ->
   let net_config = { Net.default_config with Net.loss_probability = loss } in
   let w = World.create ~seed:(Int64.of_int seed) ~net_config ~sites () in
   if trace_on then Trace.set_enabled (World.trace w) true;
@@ -134,10 +160,44 @@ let crash_site =
 let crash_at = Arg.(value & opt int 100 & info [ "crash-at" ] ~doc:"Crash time (virtual ms).")
 let trace = Arg.(value & flag & info [ "trace" ] ~doc:"Dump the protocol trace.")
 
+let nemesis_conv =
+  let parse s =
+    let mk seed intensity =
+      match (Int64.of_string_opt seed, intensity) with
+      | None, _ -> Error (`Msg (Printf.sprintf "bad nemesis seed %S" seed))
+      | Some sd, None -> Ok (sd, None)
+      | Some sd, Some i -> (
+        match float_of_string_opt i with
+        | Some f when f >= 0.0 && f <= 1.0 -> Ok (sd, Some f)
+        | Some _ | None -> Error (`Msg (Printf.sprintf "bad nemesis intensity %S (want [0,1])" i)))
+    in
+    match String.index_opt s ':' with
+    | None -> mk s None
+    | Some i ->
+      mk (String.sub s 0 i) (Some (String.sub s (i + 1) (String.length s - i - 1)))
+  in
+  let print ppf (sd, it) =
+    match it with
+    | None -> Format.fprintf ppf "%Ld" sd
+    | Some f -> Format.fprintf ppf "%Ld:%g" sd f
+  in
+  Cmdliner.Arg.conv (parse, print)
+
+let nemesis =
+  Arg.(
+    value
+    & opt (some nemesis_conv) None
+    & info [ "nemesis" ] ~docv:"SEED[:INTENSITY]"
+        ~doc:
+          "Run the standard nemesis scenario instead: seeded random fault plan under steady \
+           traffic, judged by the virtual-synchrony oracle.  Exits non-zero on any violation.")
+
 let cmd =
   let doc = "drive a virtually synchronous process group in simulation" in
   Cmd.v
     (Cmd.info "vsim" ~doc)
-    Term.(const run $ sites $ seed $ messages $ size $ mode $ loss $ crash_site $ crash_at $ trace)
+    Term.(
+      const run $ sites $ seed $ messages $ size $ mode $ loss $ crash_site $ crash_at $ trace
+      $ nemesis)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,215 @@
+module Rng = Vsync_util.Rng
+
+type op =
+  | Crash_site of int
+  | Restart_site of int
+  | Partition of int list * int list
+  | Heal
+  | Set_loss of float
+  | Link_loss of { src : int; dst : int; p : float }
+  | Loss_burst of { src : int; dst : int; burst : Net.burst }
+  | Degrade_link of { src : int; dst : int; bw_factor : float; extra_us : int; jitter_us : int }
+  | Dup_window of { src : int; dst : int; p : float }
+  | Reorder_window of { src : int; dst : int; p : float; span_us : int }
+  | Clear_link of { src : int; dst : int }
+  | Clear_faults
+
+type event = { at : Engine.time; op : op }
+type plan = event list
+
+type actions = { crash_site : int -> unit; restart_site : int -> unit }
+
+let net_actions net =
+  { crash_site = Net.crash_site net; restart_site = Net.restart_site net }
+
+let apply_op net actions = function
+  | Crash_site s -> actions.crash_site s
+  | Restart_site s -> actions.restart_site s
+  | Partition (l, r) -> Net.partition net l r
+  | Heal -> Net.heal net
+  | Set_loss p -> Net.set_loss net p
+  | Link_loss { src; dst; p } -> Net.set_link_loss net ~src ~dst p
+  | Loss_burst { src; dst; burst } -> Net.set_link_burst net ~src ~dst burst
+  | Degrade_link { src; dst; bw_factor; extra_us; jitter_us } ->
+    Net.set_link_bandwidth_factor net ~src ~dst bw_factor;
+    Net.set_link_delay net ~src ~dst ~extra_us ~jitter_us
+  | Dup_window { src; dst; p } -> Net.set_link_dup net ~src ~dst p
+  | Reorder_window { src; dst; p; span_us } -> Net.set_link_reorder net ~src ~dst ~span_us p
+  | Clear_link { src; dst } -> Net.clear_link net ~src ~dst
+  | Clear_faults ->
+    Net.clear_links net;
+    Net.set_loss net 0.0
+
+let install ?actions net plan =
+  let actions = match actions with Some a -> a | None -> net_actions net in
+  List.iter
+    (fun ev ->
+      if ev.at < 0 then invalid_arg "Nemesis.install: negative event time";
+      ignore (Engine.schedule (Net.engine net) ~delay:ev.at (fun () -> apply_op net actions ev.op)))
+    plan
+
+(* --- Pretty-printing --- *)
+
+let pp_sites ppf ss =
+  Format.fprintf ppf "{%s}" (String.concat " " (List.map string_of_int ss))
+
+let pp_op ppf = function
+  | Crash_site s -> Format.fprintf ppf "crash site %d" s
+  | Restart_site s -> Format.fprintf ppf "restart site %d" s
+  | Partition (l, r) -> Format.fprintf ppf "partition %a | %a" pp_sites l pp_sites r
+  | Heal -> Format.pp_print_string ppf "heal"
+  | Set_loss p -> Format.fprintf ppf "global loss %.3f" p
+  | Link_loss { src; dst; p } -> Format.fprintf ppf "link %d->%d loss %.3f" src dst p
+  | Loss_burst { src; dst; burst } ->
+    Format.fprintf ppf "link %d->%d burst (enter %.3f exit %.3f bad %.3f)" src dst
+      burst.Net.p_enter burst.Net.p_exit burst.Net.loss_bad
+  | Degrade_link { src; dst; bw_factor; extra_us; jitter_us } ->
+    Format.fprintf ppf "link %d->%d degrade (bw x%.1f +%dus jitter %dus)" src dst bw_factor
+      extra_us jitter_us
+  | Dup_window { src; dst; p } -> Format.fprintf ppf "link %d->%d dup %.3f" src dst p
+  | Reorder_window { src; dst; p; span_us } ->
+    Format.fprintf ppf "link %d->%d reorder %.3f span %dus" src dst p span_us
+  | Clear_link { src; dst } -> Format.fprintf ppf "link %d->%d clear" src dst
+  | Clear_faults -> Format.pp_print_string ppf "clear all faults"
+
+let pp_event ppf ev = Format.fprintf ppf "[+%8.3fs] %a" (Engine.to_sec ev.at) pp_op ev.op
+let pp_plan ppf plan = List.iter (fun ev -> Format.fprintf ppf "%a@." pp_event ev) plan
+let plan_to_string plan = Format.asprintf "%a" pp_plan plan
+
+(* --- Random plan generation --- *)
+
+let frac rng lo hi = lo +. Rng.float rng (hi -. lo)
+
+let random_plan ?(protect = [ 0 ]) ~seed ~sites ~horizon_us ~intensity () =
+  if sites <= 1 then invalid_arg "Nemesis.random_plan: need at least two sites";
+  if horizon_us <= 0 then invalid_arg "Nemesis.random_plan: empty horizon";
+  let intensity = Float.max 0.0 (Float.min 1.0 intensity) in
+  let rng = Rng.create seed in
+  let events = ref [] in
+  let emit at op = events := { at; op } :: !events in
+  (* Faults start after the first 5% and are all reverted by 85% of the
+     horizon, leaving a settle tail for the protocols to converge. *)
+  let active_end = horizon_us * 17 / 20 in
+  let start_min = horizon_us / 20 in
+  let crashable = List.filter (fun s -> not (List.mem s protect)) (List.init sites Fun.id) in
+  let crash_windows = ref [] in
+  let part_busy = ref 0 in
+  let loss_busy = ref 0 in
+  let link_busy = Hashtbl.create 8 in
+  let site_busy = Array.make sites 0 in
+  let pick_window ~min_dur ~max_dur =
+    let max_dur = max min_dur max_dur in
+    let start = Rng.int_in rng start_min (max start_min (active_end - min_dur)) in
+    let dur = Rng.int_in rng min_dur max_dur in
+    let dur = min dur (active_end - start) in
+    (start, max min_dur dur)
+  in
+  let pick_link () =
+    let src = Rng.int rng sites in
+    let dst = (src + 1 + Rng.int rng (sites - 1)) mod sites in
+    (src, dst)
+  in
+  let n_episodes = 2 + int_of_float (intensity *. 10.0) in
+  for _ = 1 to n_episodes do
+    let kind = Rng.int rng 100 in
+    if kind < 20 then begin
+      (* Crash + restart, bounded so at least two sites stay up. *)
+      if crashable <> [] then begin
+        let s = Rng.choose rng crashable in
+        let start, dur =
+          pick_window ~min_dur:1_000_000
+            ~max_dur:(1_000_000 + int_of_float (intensity *. 6.0e6))
+        in
+        let overlapping =
+          List.length
+            (List.filter (fun (b, e) -> b < start + dur && start < e) !crash_windows)
+        in
+        if site_busy.(s) <= start && sites - overlapping - 1 >= 2 then begin
+          site_busy.(s) <- start + dur + 1_000_000;
+          crash_windows := (start, start + dur) :: !crash_windows;
+          emit start (Crash_site s);
+          emit (start + dur) (Restart_site s)
+        end
+      end
+    end
+    else if kind < 32 then begin
+      (* A short full partition: long enough to stall traffic, short
+         enough that the failure detectors do not evict anyone (ISIS
+         stalls through partitions rather than tolerate them). *)
+      let start, dur =
+        pick_window ~min_dur:200_000
+          ~max_dur:(200_000 + int_of_float (intensity *. 1.0e6))
+      in
+      if !part_busy <= start then begin
+        part_busy := start + dur + 200_000;
+        let rec split tries =
+          let left = List.filter (fun _ -> Rng.bool rng) (List.init sites Fun.id) in
+          let right = List.filter (fun s -> not (List.mem s left)) (List.init sites Fun.id) in
+          if (left = [] || right = []) && tries > 0 then split (tries - 1) else (left, right)
+        in
+        let left, right = split 8 in
+        if left <> [] && right <> [] then begin
+          emit start (Partition (left, right));
+          emit (start + dur) Heal
+        end
+      end
+    end
+    else if kind < 44 then begin
+      (* Uniform global loss window. *)
+      let start, dur = pick_window ~min_dur:500_000 ~max_dur:3_000_000 in
+      if !loss_busy <= start then begin
+        loss_busy := start + dur + 200_000;
+        emit start (Set_loss (frac rng 0.02 (0.02 +. (0.13 *. intensity))));
+        emit (start + dur) (Set_loss 0.0)
+      end
+    end
+    else begin
+      let src, dst = pick_link () in
+      let busy = Option.value ~default:0 (Hashtbl.find_opt link_busy (src, dst)) in
+      let start, dur = pick_window ~min_dur:300_000 ~max_dur:2_000_000 in
+      if busy <= start then begin
+        Hashtbl.replace link_busy (src, dst) (start + dur + 200_000);
+        let op =
+          if kind < 58 then Link_loss { src; dst; p = frac rng 0.05 (0.05 +. (0.35 *. intensity)) }
+          else if kind < 70 then
+            Loss_burst
+              {
+                src;
+                dst;
+                burst =
+                  {
+                    Net.p_enter = frac rng 0.02 0.2;
+                    p_exit = frac rng 0.2 0.5;
+                    loss_good = 0.0;
+                    loss_bad = frac rng 0.3 (0.3 +. (0.4 *. intensity));
+                  };
+              }
+          else if kind < 82 then
+            Degrade_link
+              {
+                src;
+                dst;
+                bw_factor = frac rng 2.0 8.0;
+                extra_us = Rng.int_in rng 2_000 (2_000 + int_of_float (intensity *. 38_000.));
+                jitter_us = Rng.int_in rng 0 20_000;
+              }
+          else if kind < 91 then
+            Dup_window { src; dst; p = frac rng 0.05 (0.05 +. (0.25 *. intensity)) }
+          else
+            Reorder_window
+              {
+                src;
+                dst;
+                p = frac rng 0.05 (0.05 +. (0.25 *. intensity));
+                span_us = Rng.int_in rng 5_000 40_000;
+              }
+        in
+        emit start op;
+        emit (start + dur) (Clear_link { src; dst })
+      end
+    end
+  done;
+  (* Safety net: whatever happened above, the tail of the run is clean. *)
+  emit (active_end + horizon_us / 100) Heal;
+  emit (active_end + horizon_us / 100) Clear_faults;
+  List.stable_sort (fun a b -> compare a.at b.at) (List.rev !events)

@@ -1,0 +1,74 @@
+(** Nemesis: declarative, deterministic fault injection.
+
+    A {e plan} is a list of timed fault operations — site crashes and
+    restarts, partitions, loss windows, per-link degradations — that
+    {!install} compiles onto the simulation engine's timers.  Because
+    the plan is data and every random draw (both in plan {e generation}
+    and in the {!Net} faults the plan enables) flows through seeded
+    RNGs, a faulty run replays exactly: print the plan, re-run the seed,
+    get the same trace.
+
+    Plans either come from {!random_plan} (seeded, with a tunable
+    intensity knob) or are written by hand in tests. *)
+
+type op =
+  | Crash_site of int
+  | Restart_site of int
+  | Partition of int list * int list
+  | Heal
+  | Set_loss of float  (** uniform global loss probability. *)
+  | Link_loss of { src : int; dst : int; p : float }
+  | Loss_burst of { src : int; dst : int; burst : Net.burst }
+      (** Gilbert–Elliott bursty loss on one directed link. *)
+  | Degrade_link of { src : int; dst : int; bw_factor : float; extra_us : int; jitter_us : int }
+  | Dup_window of { src : int; dst : int; p : float }
+  | Reorder_window of { src : int; dst : int; p : float; span_us : int }
+  | Clear_link of { src : int; dst : int }
+  | Clear_faults  (** clear every link fault and reset global loss to 0. *)
+
+(** One timed operation; [at] is an offset from the instant the plan is
+    installed. *)
+type event = { at : Engine.time; op : op }
+
+type plan = event list
+
+(** How site-level ops reach the system under test.  The default
+    ({!net_actions}) only flips the network's notion of up/down; a full
+    deployment passes closures that also crash/restart the runtime
+    (e.g. [World.crash_site]). *)
+type actions = { crash_site : int -> unit; restart_site : int -> unit }
+
+val net_actions : Net.t -> actions
+
+(** [apply_op net actions op] performs one operation immediately. *)
+val apply_op : Net.t -> actions -> op -> unit
+
+(** [install ?actions net plan] schedules every event of [plan] on the
+    net's engine, relative to the current virtual time.
+    @raise Invalid_argument on a negative event time. *)
+val install : ?actions:actions -> Net.t -> plan -> unit
+
+(** [random_plan ~seed ~sites ~horizon_us ~intensity ()] generates a
+    reproducible plan of fault episodes over the first 85% of
+    [horizon_us] (the tail is guaranteed clean: each episode is paired
+    with its reversal, and a final {!Heal} + {!Clear_faults} acts as a
+    safety net).  [intensity] in [\[0,1\]] scales both the number of
+    episodes and their severity.  Sites in [protect] (default [[0]])
+    are never crashed, keeping the group rooted.  Partitions are kept
+    short enough that failure detectors do not evict live sites — ISIS
+    stalls through partitions (paper Sec 2.1) rather than tolerating
+    them, and the plan respects that envelope.  Crashes never take the
+    system below two live sites. *)
+val random_plan :
+  ?protect:int list ->
+  seed:int64 ->
+  sites:int ->
+  horizon_us:int ->
+  intensity:float ->
+  unit ->
+  plan
+
+val pp_op : Format.formatter -> op -> unit
+val pp_event : Format.formatter -> event -> unit
+val pp_plan : Format.formatter -> plan -> unit
+val plan_to_string : plan -> string

@@ -22,6 +22,42 @@ let default_config =
     loss_probability = 0.0;
   }
 
+type burst = {
+  p_enter : float;
+  p_exit : float;
+  loss_good : float;
+  loss_bad : float;
+}
+
+(* Per-directed-link fault state.  Absent from the table means the link
+   is clean; a present entry with default fields behaves identically, so
+   installing and clearing faults never perturbs clean-link RNG draws
+   (each field guards its own draw). *)
+type link = {
+  mutable l_loss : float;
+  mutable l_extra_us : int;
+  mutable l_jitter_us : int;
+  mutable l_dup : float;
+  mutable l_reorder : float;
+  mutable l_reorder_span_us : int;
+  mutable l_bw_factor : float;
+  mutable l_burst : burst option;
+  mutable l_bad : bool; (* current Gilbert–Elliott state *)
+}
+
+let fresh_link () =
+  {
+    l_loss = 0.0;
+    l_extra_us = 0;
+    l_jitter_us = 0;
+    l_dup = 0.0;
+    l_reorder = 0.0;
+    l_reorder_span_us = 0;
+    l_bw_factor = 1.0;
+    l_burst = None;
+    l_bad = false;
+  }
+
 type t = {
   engine : Engine.t;
   mutable cfg : config;
@@ -31,6 +67,7 @@ type t = {
      serialization, which is what saturates throughput in Figure 2. *)
   tx_free : Engine.time array;
   mutable partition : (site list * site list) option;
+  links : (site * site, link) Hashtbl.t;
   rng : Rng.t;
   counters : Stats.Counter.t;
 }
@@ -44,6 +81,7 @@ let create engine cfg ~sites =
     up = Array.make sites true;
     tx_free = Array.make sites 0;
     partition = None;
+    links = Hashtbl.create 8;
     rng = Rng.split (Engine.rng engine);
     counters = Stats.Counter.create ();
   }
@@ -79,6 +117,63 @@ let partitioned t a b =
   | Some (left, right) ->
     (List.mem a left && List.mem b right) || (List.mem a right && List.mem b left)
 
+(* --- Per-link faults --- *)
+
+let link t ~src ~dst name =
+  check_site t src name;
+  check_site t dst name;
+  if src = dst then invalid_arg (Printf.sprintf "Net.%s: intra-site links have no faults" name);
+  match Hashtbl.find_opt t.links (src, dst) with
+  | Some l -> l
+  | None ->
+    let l = fresh_link () in
+    Hashtbl.replace t.links (src, dst) l;
+    l
+
+let check_prob p name =
+  if p < 0.0 || p > 1.0 then invalid_arg (Printf.sprintf "Net.%s: probability out of [0,1]" name)
+
+let set_link_loss t ~src ~dst p =
+  check_prob p "set_link_loss";
+  (link t ~src ~dst "set_link_loss").l_loss <- p
+
+let set_link_delay t ~src ~dst ~extra_us ~jitter_us =
+  if extra_us < 0 || jitter_us < 0 then invalid_arg "Net.set_link_delay: negative delay";
+  let l = link t ~src ~dst "set_link_delay" in
+  l.l_extra_us <- extra_us;
+  l.l_jitter_us <- jitter_us
+
+let set_link_dup t ~src ~dst p =
+  check_prob p "set_link_dup";
+  (link t ~src ~dst "set_link_dup").l_dup <- p
+
+let set_link_reorder t ~src ~dst ?(span_us = 30_000) p =
+  check_prob p "set_link_reorder";
+  if span_us < 0 then invalid_arg "Net.set_link_reorder: negative span";
+  let l = link t ~src ~dst "set_link_reorder" in
+  l.l_reorder <- p;
+  l.l_reorder_span_us <- span_us
+
+let set_link_bandwidth_factor t ~src ~dst f =
+  if f <= 0.0 then invalid_arg "Net.set_link_bandwidth_factor: factor must be positive";
+  (link t ~src ~dst "set_link_bandwidth_factor").l_bw_factor <- f
+
+let set_link_burst t ~src ~dst b =
+  check_prob b.p_enter "set_link_burst";
+  check_prob b.p_exit "set_link_burst";
+  check_prob b.loss_good "set_link_burst";
+  check_prob b.loss_bad "set_link_burst";
+  let l = link t ~src ~dst "set_link_burst" in
+  l.l_burst <- Some b;
+  l.l_bad <- false
+
+let clear_link t ~src ~dst =
+  check_site t src "clear_link";
+  check_site t dst "clear_link";
+  Hashtbl.remove t.links (src, dst)
+
+let clear_links t = Hashtbl.reset t.links
+
 let fragments t ~bytes =
   if bytes < 0 then invalid_arg "Net.fragments: negative size";
   let max = t.cfg.max_packet_bytes in
@@ -104,26 +199,73 @@ let send t ~src ~dst ~bytes deliver =
     let wire_bytes = bytes + t.cfg.per_packet_overhead_bytes in
     Stats.Counter.incr t.counters "net.packets";
     Stats.Counter.add t.counters "net.bytes" wire_bytes;
-    if Rng.bernoulli t.rng t.cfg.loss_probability then
+    let lk = Hashtbl.find_opt t.links (src, dst) in
+    (* The Gilbert–Elliott chain steps once per packet offered to the
+       link, whether or not the packet then survives. *)
+    let burst_loss =
+      match lk with
+      | Some ({ l_burst = Some b; _ } as l) ->
+        if l.l_bad then begin
+          if Rng.bernoulli t.rng b.p_exit then l.l_bad <- false
+        end
+        else if Rng.bernoulli t.rng b.p_enter then l.l_bad <- true;
+        if l.l_bad then b.loss_bad else b.loss_good
+      | Some _ | None -> 0.0
+    in
+    let extra_loss = match lk with Some l -> l.l_loss | None -> 0.0 in
+    let p_keep =
+      (1.0 -. t.cfg.loss_probability) *. (1.0 -. extra_loss) *. (1.0 -. burst_loss)
+    in
+    if not (Rng.bernoulli t.rng p_keep) then
       Stats.Counter.incr t.counters "net.lost"
     else begin
       let now = Engine.now t.engine in
-      (* Serialize on the sender's transmitter, then propagate. *)
+      (* Serialize on the sender's transmitter, then propagate.  A
+         degraded link stretches the serialization time. *)
       let tx_start = if t.tx_free.(src) > now then t.tx_free.(src) else now in
       let tx_time = wire_bytes * 1_000_000 / t.cfg.bandwidth_bytes_per_sec in
+      let tx_time =
+        match lk with
+        | Some l when l.l_bw_factor <> 1.0 ->
+          int_of_float (Float.round (float_of_int tx_time *. l.l_bw_factor))
+        | Some _ | None -> tx_time
+      in
       let tx_done = tx_start + tx_time in
       t.tx_free.(src) <- tx_done;
-      let arrival = tx_done + t.cfg.inter_site_us in
-      ignore
-        (Engine.schedule_at t.engine arrival (fun () ->
-             (* Partition/destination checks happen at arrival time:
-                a packet in flight when the link goes bad is lost. *)
-             if t.up.(dst) && not (partitioned t src dst) then deliver ()
-             else Stats.Counter.incr t.counters "net.lost"))
+      let fault_delay =
+        match lk with
+        | None -> 0
+        | Some l ->
+          let jitter = if l.l_jitter_us > 0 then Rng.int_in t.rng 0 l.l_jitter_us else 0 in
+          let detour =
+            if l.l_reorder > 0.0 && Rng.bernoulli t.rng l.l_reorder then begin
+              Stats.Counter.incr t.counters "net.reordered";
+              if l.l_reorder_span_us > 0 then Rng.int_in t.rng 1 l.l_reorder_span_us else 0
+            end
+            else 0
+          in
+          l.l_extra_us + jitter + detour
+      in
+      let arrival = tx_done + t.cfg.inter_site_us + fault_delay in
+      let deliver_checked () =
+        (* Partition/destination checks happen at arrival time:
+           a packet in flight when the link goes bad is lost. *)
+        if t.up.(dst) && not (partitioned t src dst) then deliver ()
+        else Stats.Counter.incr t.counters "net.lost"
+      in
+      ignore (Engine.schedule_at t.engine arrival deliver_checked);
+      match lk with
+      | Some l when l.l_dup > 0.0 && Rng.bernoulli t.rng l.l_dup ->
+        Stats.Counter.incr t.counters "net.dup";
+        let echo_at = arrival + Rng.int_in t.rng 1 2_000 in
+        ignore (Engine.schedule_at t.engine echo_at deliver_checked)
+      | Some _ | None -> ()
     end
   end
 
 let packets_sent t = Stats.Counter.get t.counters "net.packets"
 let bytes_sent t = Stats.Counter.get t.counters "net.bytes"
 let packets_lost t = Stats.Counter.get t.counters "net.lost"
+let packets_duplicated t = Stats.Counter.get t.counters "net.dup"
+let packets_reordered t = Stats.Counter.get t.counters "net.reordered"
 let counters t = t.counters

@@ -11,7 +11,15 @@
     (everything in flight to/from them is dropped); the network can
     partition, in which case cross-partition packets are silently
     dropped until {!heal} — ISIS does not tolerate partitions, it stalls
-    until communication is restored, and so do we. *)
+    until communication is restored, and so do we.
+
+    Beyond the paper's failure model, every {e directed} inter-site link
+    can be independently degraded at runtime (the nemesis subsystem
+    drives these): asymmetric extra loss, added latency and jitter,
+    packet duplication, reordering detours, bursty loss following a
+    two-state Gilbert–Elliott chain, and bandwidth degradation.  All
+    fault randomness flows through the engine-derived seeded RNG, so a
+    faulty run replays exactly from its seed. *)
 
 type site = int
 
@@ -28,6 +36,17 @@ type config = {
 
 (** The paper's constants. *)
 val default_config : config
+
+(** Two-state Gilbert–Elliott bursty-loss model: per packet offered to
+    the link the chain moves good→bad with probability [p_enter] and
+    bad→good with probability [p_exit]; packets then drop with
+    [loss_good] or [loss_bad] according to the current state. *)
+type burst = {
+  p_enter : float;
+  p_exit : float;
+  loss_good : float;
+  loss_bad : float;
+}
 
 type t
 
@@ -78,6 +97,50 @@ val heal : t -> unit
 
 val partitioned : t -> site -> site -> bool
 
+(** {1 Per-link faults}
+
+    Each setter degrades the {e directed} link [src → dst] only (the
+    reverse direction is a separate link), composing with the global
+    loss probability and with any partition.  Intra-site hops cannot be
+    degraded ([src = dst] raises).  Probabilities outside [\[0,1\]]
+    raise. *)
+
+(** [set_link_loss t ~src ~dst p] adds asymmetric per-packet loss on
+    the link (composes with the global probability:
+    [1 - (1-global)(1-p)(1-burst)]). *)
+val set_link_loss : t -> src:site -> dst:site -> float -> unit
+
+(** [set_link_delay t ~src ~dst ~extra_us ~jitter_us] adds [extra_us]
+    plus a uniform draw from [\[0, jitter_us\]] to every packet's
+    propagation time.  Jitter alone can reorder packets. *)
+val set_link_delay : t -> src:site -> dst:site -> extra_us:int -> jitter_us:int -> unit
+
+(** [set_link_dup t ~src ~dst p] duplicates each surviving packet with
+    probability [p]; the echo arrives 1–2000 µs after the original. *)
+val set_link_dup : t -> src:site -> dst:site -> float -> unit
+
+(** [set_link_reorder t ~src ~dst ~span_us p] sends each packet on a
+    detour with probability [p], delaying it by a uniform draw from
+    [\[1, span_us\]] (default 30 ms) so it arrives behind later
+    packets. *)
+val set_link_reorder : t -> src:site -> dst:site -> ?span_us:int -> float -> unit
+
+(** [set_link_bandwidth_factor t ~src ~dst f] multiplies the sender's
+    per-packet serialization time by [f] for packets on this link
+    ([f > 1] degrades; [f] must be positive). *)
+val set_link_bandwidth_factor : t -> src:site -> dst:site -> float -> unit
+
+(** [set_link_burst t ~src ~dst b] installs a Gilbert–Elliott bursty
+    loss chain on the link, starting in the good state. *)
+val set_link_burst : t -> src:site -> dst:site -> burst -> unit
+
+(** [clear_link t ~src ~dst] restores the link to pristine. *)
+val clear_link : t -> src:site -> dst:site -> unit
+
+(** [clear_links t] restores every link (global loss and any partition
+    are untouched). *)
+val clear_links : t -> unit
+
 (** {1 Accounting} *)
 
 (** [packets_sent t] / [bytes_sent t] / [packets_lost t] count totals
@@ -87,6 +150,12 @@ val packets_sent : t -> int
 
 val bytes_sent : t -> int
 val packets_lost : t -> int
+
+(** [packets_duplicated t] / [packets_reordered t] count fault
+    injections performed by the per-link adversary. *)
+val packets_duplicated : t -> int
+
+val packets_reordered : t -> int
 
 (** [counters t] exposes the raw counter set for harness snapshots. *)
 val counters : t -> Vsync_util.Stats.Counter.t

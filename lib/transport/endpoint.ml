@@ -13,9 +13,22 @@ type config = {
 let default_config =
   { ping_interval_us = 500_000; suspect_after = 4; frame_header_bytes = 24; max_retransmits = 16 }
 
+(* [gen] is the channel generation: bumped by the sender when it gives
+   up on a channel (retransmission budget exhausted), so that post-heal
+   traffic starts a recognisably fresh FIFO stream instead of silently
+   leaving the receiver waiting on sequence numbers that will never
+   arrive. *)
 type 'p frame =
-  | Data of { epoch : int; seq : int; frag : int; nfrags : int; chunk : int; payload : 'p option }
-  | Ack of { epoch : int; upto : int }
+  | Data of {
+      epoch : int;
+      gen : int;
+      seq : int;
+      frag : int;
+      nfrags : int;
+      chunk : int;
+      payload : 'p option;
+    }
+  | Ack of { epoch : int; gen : int; upto : int }
   | Ping of { epoch : int; id : int }
   | Pong of { epoch : int; id : int }
 
@@ -27,6 +40,7 @@ type 'p pending_msg = {
 }
 
 type 'p out_chan = {
+  gen : int;
   mutable next_seq : int;
   mutable unacked : 'p pending_msg list; (* oldest first *)
   out_rtt : Rtt.t;
@@ -35,11 +49,12 @@ type 'p out_chan = {
 
 type 'p partial = {
   nfrags : int;
-  mutable have : int;
+  got : bool array; (* per-fragment, so duplicated frames can't fake completeness *)
   mutable payload : 'p option;
 }
 
 type 'p in_chan = {
+  mutable in_gen : int;
   mutable next_deliver : int;
   pending : (int, 'p partial) Hashtbl.t;
 }
@@ -61,13 +76,16 @@ type 'p t = {
   mutable is_alive : bool;
   mutable receiver : (src:site -> 'p -> unit) option;
   mutable on_failure : site -> unit;
+  mutable on_peer_restart : site -> unit;
   outs : (site, 'p out_chan) Hashtbl.t;
   ins : (site, 'p in_chan) Hashtbl.t;
+  out_gens : (site, int) Hashtbl.t; (* next generation for a re-opened channel *)
   peer_epochs : (site, int) Hashtbl.t;
   monitors : (site, monitor_state) Hashtbl.t;
   mutable next_ping_id : int;
   mutable n_frames_sent : int;
   mutable n_retransmits : int;
+  mutable n_channel_failures : int;
 }
 
 and 'p fabric = {
@@ -93,13 +111,16 @@ let create ?(config = default_config) fabric ~site ~size () =
       is_alive = true;
       receiver = None;
       on_failure = (fun _ -> ());
+      on_peer_restart = (fun _ -> ());
       outs = Hashtbl.create 8;
       ins = Hashtbl.create 8;
+      out_gens = Hashtbl.create 8;
       peer_epochs = Hashtbl.create 8;
       monitors = Hashtbl.create 8;
       next_ping_id = 0;
       n_frames_sent = 0;
       n_retransmits = 0;
+      n_channel_failures = 0;
     }
   in
   fabric.endpoints.(site) <- Some t;
@@ -113,8 +134,10 @@ let engine t = Net.engine t.fabric.fnet
 
 let set_receiver t f = t.receiver <- Some f
 let set_failure_handler t f = t.on_failure <- f
+let set_restart_handler t f = t.on_peer_restart <- f
 let frames_sent t = t.n_frames_sent
 let retransmits t = t.n_retransmits
+let channel_failures t = t.n_channel_failures
 
 let frame_bytes t = function
   | Data { chunk; _ } -> chunk + t.cfg.frame_header_bytes
@@ -135,7 +158,8 @@ and out_chan t dst =
   match Hashtbl.find_opt t.outs dst with
   | Some ch -> ch
   | None ->
-    let ch = { next_seq = 0; unacked = []; out_rtt = Rtt.create (); rto_timer = None } in
+    let gen = Option.value ~default:0 (Hashtbl.find_opt t.out_gens dst) in
+    let ch = { gen; next_seq = 0; unacked = []; out_rtt = Rtt.create (); rto_timer = None } in
     Hashtbl.replace t.outs dst ch;
     ch
 
@@ -143,7 +167,7 @@ and in_chan t src =
   match Hashtbl.find_opt t.ins src with
   | Some ch -> ch
   | None ->
-    let ch = { next_deliver = 0; pending = Hashtbl.create 8 } in
+    let ch = { in_gen = 0; next_deliver = 0; pending = Hashtbl.create 8 } in
     Hashtbl.replace t.ins src ch;
     ch
 
@@ -161,21 +185,32 @@ and arm_rto t ~dst ch =
 and retransmit t ~dst ch =
   if ch.unacked <> [] then begin
     Rtt.backoff ch.out_rtt;
-    let keep =
-      List.filter
+    if List.exists (fun m -> m.attempts + 1 > t.cfg.max_retransmits) ch.unacked then
+      (* Go-back-N cannot drop one message and keep sending later ones:
+         the receiver would wait forever on the gap.  Exhausting the
+         budget therefore fails the whole channel, loudly. *)
+      fail_channel t ~dst ch
+    else begin
+      List.iter
         (fun m ->
           m.attempts <- m.attempts + 1;
-          if m.attempts > t.cfg.max_retransmits then false
-          else begin
-            t.n_retransmits <- t.n_retransmits + List.length m.frames;
-            List.iter (fun f -> transmit t ~dst f) m.frames;
-            true
-          end)
-        ch.unacked
-    in
-    ch.unacked <- keep;
-    arm_rto t ~dst ch
+          t.n_retransmits <- t.n_retransmits + List.length m.frames;
+          List.iter (fun f -> transmit t ~dst f) m.frames)
+        ch.unacked;
+      arm_rto t ~dst ch
+    end
   end
+
+and fail_channel t ~dst ch =
+  Option.iter Engine.cancel ch.rto_timer;
+  ch.rto_timer <- None;
+  ch.unacked <- [];
+  Hashtbl.remove t.outs dst;
+  (* The next send to [dst] opens a fresh FIFO stream under gen+1; the
+     receiver discards any leftovers of this generation when it sees it. *)
+  Hashtbl.replace t.out_gens dst (ch.gen + 1);
+  t.n_channel_failures <- t.n_channel_failures + 1;
+  t.on_failure dst
 
 and handle_frame t ~src frame =
   match t.receiver with
@@ -204,18 +239,24 @@ and handle_frame t ~src frame =
         | Some ch ->
           Option.iter Engine.cancel ch.rto_timer;
           Hashtbl.remove t.outs src
-        | None -> ())
+        | None -> ());
+        (* A restart can beat the failure detector (crash + revive inside
+           the suspicion window).  Whoever relied on the old incarnation
+           must hear about it regardless. *)
+        t.on_peer_restart src
       | Some _ -> ());
       match frame with
       | Ping { id; _ } -> transmit t ~dst:src (Pong { epoch = t.my_epoch; id })
       | Pong { id; _ } -> handle_pong t ~src ~id
-      | Ack { upto; _ } -> handle_ack t ~src ~upto
-      | Data { seq; frag; nfrags; payload; _ } -> handle_data t ~src ~seq ~frag ~nfrags ~payload deliver
+      | Ack { gen; upto; _ } -> handle_ack t ~src ~gen ~upto
+      | Data { gen; seq; frag; nfrags; payload; _ } ->
+        handle_data t ~src ~gen ~seq ~frag ~nfrags ~payload deliver
     end
 
-and handle_ack t ~src ~upto =
+and handle_ack t ~src ~gen ~upto =
   match Hashtbl.find_opt t.outs src with
   | None -> ()
+  | Some ch when ch.gen <> gen -> () (* ack for an abandoned channel generation *)
   | Some ch ->
     let now = Engine.now (engine t) in
     List.iter
@@ -230,41 +271,53 @@ and handle_ack t ~src ~upto =
       ch.rto_timer <- None
     end
 
-and handle_data t ~src ~seq ~frag ~nfrags ~payload deliver =
+and handle_data t ~src ~gen ~seq ~frag ~nfrags ~payload deliver =
   let ch = in_chan t src in
-  if seq < ch.next_deliver then
-    (* Duplicate of something already delivered: re-ack so the sender
-       stops resending. *)
-    transmit t ~dst:src (Ack { epoch = t.my_epoch; upto = ch.next_deliver - 1 })
+  if gen < ch.in_gen then () (* leftovers of a generation the sender abandoned *)
   else begin
-    let partial =
-      match Hashtbl.find_opt ch.pending seq with
-      | Some p -> p
-      | None ->
-        let p = { nfrags; have = 0; payload = None } in
-        Hashtbl.replace ch.pending seq p;
-        p
-    in
-    ignore frag;
-    partial.have <- partial.have + 1;
-    (match payload with Some _ -> partial.payload <- payload | None -> ());
-    (* Deliver every complete in-order message. *)
-    let made_progress = ref false in
-    let rec drain () =
-      match Hashtbl.find_opt ch.pending ch.next_deliver with
-      | Some p when p.have >= p.nfrags ->
-        Hashtbl.remove ch.pending ch.next_deliver;
-        ch.next_deliver <- ch.next_deliver + 1;
-        made_progress := true;
-        (match p.payload with
-        | Some v -> deliver ~src v
-        | None -> failwith "Endpoint: complete message with no payload fragment");
-        drain ()
-      | Some _ | None -> ()
-    in
-    drain ();
-    if !made_progress then
-      transmit t ~dst:src (Ack { epoch = t.my_epoch; upto = ch.next_deliver - 1 })
+    if gen > ch.in_gen then begin
+      (* The sender gave up on the previous generation (and reported a
+         failure on its side); whatever was undelivered is gone.  Start
+         the new FIFO stream cleanly. *)
+      ch.in_gen <- gen;
+      ch.next_deliver <- 0;
+      Hashtbl.reset ch.pending
+    end;
+    if seq < ch.next_deliver then
+      (* Duplicate of something already delivered: re-ack so the sender
+         stops resending. *)
+      transmit t ~dst:src (Ack { epoch = t.my_epoch; gen = ch.in_gen; upto = ch.next_deliver - 1 })
+    else begin
+      let partial =
+        match Hashtbl.find_opt ch.pending seq with
+        | Some p -> p
+        | None ->
+          let p = { nfrags; got = Array.make (max nfrags 1) false; payload = None } in
+          Hashtbl.replace ch.pending seq p;
+          p
+      in
+      if frag >= 0 && frag < Array.length partial.got then partial.got.(frag) <- true;
+      (match payload with Some _ -> partial.payload <- payload | None -> ());
+      (* Deliver every complete in-order message. *)
+      let complete p = Array.for_all Fun.id p.got in
+      let made_progress = ref false in
+      let rec drain () =
+        match Hashtbl.find_opt ch.pending ch.next_deliver with
+        | Some p when complete p ->
+          Hashtbl.remove ch.pending ch.next_deliver;
+          ch.next_deliver <- ch.next_deliver + 1;
+          made_progress := true;
+          (match p.payload with
+          | Some v -> deliver ~src v
+          | None -> failwith "Endpoint: complete message with no payload fragment");
+          drain ()
+        | Some _ | None -> ()
+      in
+      drain ();
+      if !made_progress then
+        transmit t ~dst:src
+          (Ack { epoch = t.my_epoch; gen = ch.in_gen; upto = ch.next_deliver - 1 })
+    end
   end
 
 and handle_pong t ~src ~id =
@@ -308,6 +361,7 @@ let send t ~dst p =
             Data
               {
                 epoch = t.my_epoch;
+                gen = ch.gen;
                 seq;
                 frag = i;
                 nfrags;
@@ -404,5 +458,6 @@ let restart t =
   t.my_epoch <- t.my_epoch + 1;
   Hashtbl.reset t.outs;
   Hashtbl.reset t.ins;
+  Hashtbl.reset t.out_gens;
   Hashtbl.reset t.peer_epochs;
   Hashtbl.reset t.monitors

@@ -15,6 +15,22 @@
     [Vsync_msg.Message.t] values whose size is their real encoded
     length).
 
+    {2 Retransmission exhaustion}
+
+    Go-back-N cannot drop one message and keep sending later ones: the
+    receiver would wait forever on the sequence gap, silently breaking
+    FIFO.  When the oldest unacked message exhausts [max_retransmits]
+    the endpoint instead fails the {e whole channel}: outbound state is
+    discarded, the failure handler runs for the destination (so the
+    membership layer can turn the wedge into a clean failure event), and
+    the next send to that site opens a fresh FIFO stream under a new
+    {e channel generation}.  Data and ack frames carry the generation;
+    a receiver that sees a newer generation discards undelivered
+    leftovers of the old stream and resequences from zero, and stale
+    generation frames are ignored.  Exactly-once in-order delivery thus
+    holds {e within} a generation, and generation turnover is always
+    surfaced as a failure event, never silent loss.
+
     {2 Incarnations}
 
     Every endpoint has an {e epoch}, bumped by {!restart}.  Frames carry
@@ -82,6 +98,13 @@ val unmonitor : _ t -> site:site -> unit
     of a monitored site. *)
 val set_failure_handler : _ t -> (site -> unit) -> unit
 
+(** [set_restart_handler t f] runs [f site] when a frame reveals that
+    [site] restarted under a new epoch.  A quick crash-and-revive can
+    beat the ping-based detector, leaving peers holding state about an
+    incarnation that no longer exists; this hook lets the membership
+    layer treat the old incarnation as failed. *)
+val set_restart_handler : _ t -> (site -> unit) -> unit
+
 (** [rtt_us t ~site] is the current smoothed RTT estimate to [site], if
     any probe has completed. *)
 val rtt_us : _ t -> site:site -> int option
@@ -103,3 +126,8 @@ val restart : _ t -> unit
 val frames_sent : _ t -> int
 
 val retransmits : _ t -> int
+
+(** [channel_failures t] counts outbound channels abandoned after
+    retransmission exhaustion (each one also invoked the failure
+    handler). *)
+val channel_failures : _ t -> int

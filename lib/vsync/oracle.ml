@@ -1,0 +1,534 @@
+module Addr = Vsync_msg.Addr
+module Entry = Vsync_msg.Entry
+module Message = Vsync_msg.Message
+
+type violation = { invariant : string; detail : string }
+
+let pp_violation ppf v = Format.fprintf ppf "[%s] %s" v.invariant v.detail
+
+type view_obs = {
+  v_id : int;
+  v_members : string list;
+  v_failed : string list; (* members this change reported as failed *)
+}
+
+type pevent =
+  | Delivered of { tag : int; at : int }
+  | Viewed of view_obs
+
+type tracked = {
+  proc : Runtime.proc;
+  pname : string;
+  base_view : int option; (* membership view current when tracking began *)
+  mutable events : pevent list; (* newest first *)
+  mutable delivered_tags : int list; (* newest first *)
+}
+
+type send_rec = {
+  s_mode : Types.mode;
+  s_sender : string;
+  s_seq : int; (* per-sender send index *)
+  s_view : int option;
+  s_deps : int list; (* tags the sender had delivered before sending *)
+  s_at : int;
+}
+
+type t = {
+  world : World.t;
+  gid : Addr.group_id;
+  tag_field : string;
+  mutable tracked : tracked list; (* newest first *)
+  sends : (int, send_rec) Hashtbl.t;
+  send_seq : (string, int) Hashtbl.t;
+}
+
+let create ?(tag_field = "tag") world ~gid =
+  { world; gid; tag_field; tracked = []; sends = Hashtbl.create 64; send_seq = Hashtbl.create 8 }
+
+let tracked_procs t = List.rev_map (fun tr -> tr.proc) t.tracked
+
+let find_tracked t proc =
+  List.find_opt (fun tr -> Runtime.proc_uid tr.proc = Runtime.proc_uid proc) t.tracked
+
+let track t proc =
+  match find_tracked t proc with
+  | Some _ -> ()
+  | None ->
+    let tr =
+      {
+        proc;
+        pname = Addr.proc_to_string (Runtime.proc_addr proc);
+        base_view = Option.map (fun v -> v.View.view_id) (Runtime.pg_view proc t.gid);
+        events = [];
+        delivered_tags = [];
+      }
+    in
+    t.tracked <- tr :: t.tracked;
+    Runtime.pg_monitor proc t.gid (fun v changes ->
+        tr.events <-
+          Viewed
+            {
+              v_id = v.View.view_id;
+              v_members = List.map Addr.proc_to_string v.View.members;
+              v_failed =
+                List.filter_map
+                  (function
+                    | View.Member_failed p -> Some (Addr.proc_to_string p)
+                    | View.Member_joined _ | View.Member_left _ -> None)
+                  changes;
+            }
+          :: tr.events)
+
+(* The membership view a tracked proc is currently in, {e as the proc
+   itself has observed it}: the runtime's [pg_view] runs ahead of the
+   user-visible event order (the view is installed at commit, while
+   delivery and monitor callbacks follow one intra-site hop later, in
+   the virtually synchronous order).  Positional reconstruction from the
+   proc's own event log is what the VS guarantees actually speak
+   about. *)
+let observed_view tr =
+  let rec last = function
+    | Viewed { v_id; _ } :: _ -> Some v_id
+    | Delivered _ :: rest -> last rest
+    | [] -> tr.base_view
+  in
+  last tr.events
+
+let note_send t proc ~mode ~tag =
+  if Hashtbl.mem t.sends tag then
+    invalid_arg (Printf.sprintf "Oracle.note_send: tag %d sent twice" tag);
+  let sender = Addr.proc_to_string (Runtime.proc_addr proc) in
+  let seq = Option.value ~default:0 (Hashtbl.find_opt t.send_seq sender) in
+  Hashtbl.replace t.send_seq sender (seq + 1);
+  let tr = find_tracked t proc in
+  Hashtbl.replace t.sends tag
+    {
+      s_mode = mode;
+      s_sender = sender;
+      s_seq = seq;
+      s_view = Option.bind tr observed_view;
+      s_deps = (match tr with Some tr -> tr.delivered_tags | None -> []);
+      s_at = World.now t.world;
+    }
+
+let note_delivery t proc msg =
+  match Message.get_int msg t.tag_field with
+  | None -> ()
+  | Some tag -> (
+    match find_tracked t proc with
+    | None -> ()
+    | Some tr ->
+      tr.events <- Delivered { tag; at = World.now t.world } :: tr.events;
+      tr.delivered_tags <- tag :: tr.delivered_tags)
+
+let bind_tap t proc entry k =
+  track t proc;
+  Runtime.bind proc entry (fun msg ->
+      note_delivery t proc msg;
+      k msg)
+
+let pp_history ppf t =
+  List.iter
+    (fun tr ->
+      Format.fprintf ppf "%s:@\n" tr.pname;
+      (match tr.base_view with
+      | Some v -> Format.fprintf ppf "  (tracked in view #%d)@\n" v
+      | None -> ());
+      List.iter
+        (function
+          | Viewed { v_id; v_members; v_failed } ->
+            Format.fprintf ppf "  view #%d {%s}%s@\n" v_id (String.concat " " v_members)
+              (match v_failed with [] -> "" | f -> " failed: " ^ String.concat " " f)
+          | Delivered { tag; at } -> Format.fprintf ppf "  tag %d at %dus@\n" tag at)
+        (List.rev tr.events))
+    (List.rev t.tracked)
+
+let n_sends t = Hashtbl.length t.sends
+
+let n_deliveries t =
+  List.fold_left (fun acc tr -> acc + List.length tr.delivered_tags) 0 t.tracked
+
+let latencies_us t =
+  List.concat_map
+    (fun tr ->
+      List.filter_map
+        (function
+          | Delivered { tag; at; _ } -> (
+            match Hashtbl.find_opt t.sends tag with
+            | Some s -> Some (at - s.s_at)
+            | None -> None)
+          | Viewed _ -> None)
+        (List.rev tr.events))
+    (List.rev t.tracked)
+
+(* --- The checker --- *)
+
+let check ?(hygiene = true) t =
+  let violations = ref [] in
+  let fail invariant fmt =
+    Format.kasprintf (fun detail -> violations := { invariant; detail } :: !violations) fmt
+  in
+  let tracked = List.rev t.tracked in
+  let chrono tr = List.rev tr.events in
+  (* Deliveries paired with the membership view the proc had observed at
+     that point of its own event log (see [observed_view]). *)
+  let deliveries tr =
+    let _, rev =
+      List.fold_left
+        (fun (cur, acc) ev ->
+          match ev with
+          | Delivered { tag; _ } -> (cur, (tag, cur) :: acc)
+          | Viewed { v_id; _ } -> (Some v_id, acc))
+        (tr.base_view, []) (chrono tr)
+    in
+    List.rev rev
+  in
+  let send_of tag = Hashtbl.find_opt t.sends tag in
+
+  (* Current views of the live tracked procs. *)
+  let live_views =
+    List.filter_map
+      (fun tr ->
+        if Runtime.proc_alive tr.proc then
+          Option.map
+            (fun v -> (tr, v.View.view_id, List.map Addr.proc_to_string v.View.members))
+            (Runtime.pg_view tr.proc t.gid)
+        else None)
+      tracked
+  in
+
+  (* 1. Final-view agreement: every live tracked proc that belongs to
+     the newest view must report exactly that view.  A live proc outside
+     the newest membership was evicted (e.g. a false suspicion) and
+     holds a legitimately stale view; it is excluded here but still
+     subject to every delivery-ordering invariant. *)
+  (match live_views with
+  | [] -> ()
+  | (_, id0, m0) :: rest ->
+    let vmax_id, vmax_members =
+      List.fold_left
+        (fun (bi, bm) (_, i, m) -> if i > bi then (i, m) else (bi, bm))
+        (id0, m0) rest
+    in
+    List.iter
+      (fun (tr, id, members) ->
+        if List.mem tr.pname vmax_members then begin
+          if id <> vmax_id then
+            fail "final-view-agreement" "%s has view #%d but the newest view is #%d" tr.pname id
+              vmax_id
+          else if members <> vmax_members then
+            fail "final-view-agreement" "%s disagrees on the membership of view #%d" tr.pname id
+        end)
+      live_views);
+
+  (* 2. View consistency: a given view id names the same membership at
+     every observer. *)
+  let view_members : (int, string list * string) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun tr ->
+      List.iter
+        (function
+          | Viewed { v_id; v_members; _ } -> (
+            match Hashtbl.find_opt view_members v_id with
+            | None -> Hashtbl.replace view_members v_id (v_members, tr.pname)
+            | Some (known, who) ->
+              if known <> v_members then
+                fail "view-consistency" "view #%d differs between %s and %s" v_id who tr.pname)
+          | Delivered _ -> ())
+        (chrono tr))
+    tracked;
+
+  (* 3. No duplicate deliveries. *)
+  List.iter
+    (fun tr ->
+      let tags = List.map fst (deliveries tr) in
+      let sorted = List.sort compare tags in
+      let rec dups = function
+        | a :: (b :: _ as rest) -> if a = b then a :: dups rest else dups rest
+        | _ -> []
+      in
+      List.iter
+        (fun d -> fail "no-duplicate-delivery" "%s delivered tag %d more than once" tr.pname d)
+        (List.sort_uniq compare (dups sorted)))
+    tracked;
+
+  (* Per-receiver tag position index, for the ordering checks. *)
+  let position tr =
+    let h = Hashtbl.create 64 in
+    List.iteri (fun i (tag, _) -> if not (Hashtbl.mem h tag) then Hashtbl.add h tag i) (deliveries tr);
+    h
+  in
+  let positions = List.map (fun tr -> (tr, position tr)) tracked in
+
+  (* 4. FIFO per sender: a receiver sees any one sender's CBCASTs in
+     send order.  (The guarantee is per protocol — ISIS makes no
+     cross-protocol promise, and ABCAST's total order need not respect
+     per-sender send order.)  Also flags deliveries the harness never
+     registered. *)
+  List.iter
+    (fun tr ->
+      let last_seq : (string, int * int) Hashtbl.t = Hashtbl.create 8 in
+      List.iter
+        (fun (tag, _) ->
+          match send_of tag with
+          | None -> fail "unregistered-delivery" "%s delivered tag %d that was never sent" tr.pname tag
+          | Some ({ s_mode = Types.Cbcast; _ } as s) -> (
+            match Hashtbl.find_opt last_seq s.s_sender with
+            | Some (prev_seq, prev_tag) when s.s_seq < prev_seq ->
+              fail "fifo-per-sender" "%s delivered tag %d (seq %d of %s) after tag %d (seq %d)"
+                tr.pname tag s.s_seq s.s_sender prev_tag prev_seq
+            | _ -> Hashtbl.replace last_seq s.s_sender (s.s_seq, tag))
+          | Some _ -> ())
+        (deliveries tr))
+    tracked;
+
+  (* 5. Causal order: every CBCAST the sender had already delivered
+     when it sent CBCAST [b] precedes [b] wherever both are delivered.
+     Restricted to CBCAST-CBCAST pairs: that is the documented causal
+     domain (ABCAST/GBCAST have their own ordering checked above). *)
+  let is_cbcast tag =
+    match send_of tag with Some { s_mode = Types.Cbcast; _ } -> true | Some _ | None -> false
+  in
+  List.iter
+    (fun (tr, pos) ->
+      List.iter
+        (fun (b, _) ->
+          match send_of b with
+          | Some ({ s_mode = Types.Cbcast; _ } as s) ->
+            let b_pos = Hashtbl.find pos b in
+            List.iter
+              (fun a ->
+                if is_cbcast a then
+                  match Hashtbl.find_opt pos a with
+                  | Some a_pos when a_pos > b_pos ->
+                    fail "causal-order" "%s delivered tag %d before its causal predecessor %d"
+                      tr.pname b a
+                  | Some _ | None -> ())
+              s.s_deps
+          | Some _ | None -> ())
+        (deliveries tr))
+    positions;
+
+  (* 6. Total order: ABCAST/GBCAST tags delivered by two receivers
+     appear in the same relative order at both. *)
+  let total_seq tr =
+    List.filter_map
+      (fun (tag, _) ->
+        match send_of tag with
+        | Some { s_mode = Types.Abcast | Types.Gbcast; _ } -> Some tag
+        | Some _ | None -> None)
+      (deliveries tr)
+  in
+  let rec pairs = function [] -> [] | x :: rest -> List.map (fun y -> (x, y)) rest @ pairs rest in
+  List.iter
+    (fun (a, b) ->
+      let sa = total_seq a and sb = total_seq b in
+      let common_a = List.filter (fun x -> List.mem x sb) sa in
+      let common_b = List.filter (fun x -> List.mem x sa) sb in
+      if common_a <> common_b then begin
+        let mode_of tag =
+          match send_of tag with
+          | Some { s_mode = Types.Abcast; _ } -> "abcast"
+          | Some { s_mode = Types.Gbcast; _ } -> "gbcast"
+          | Some { s_mode = Types.Cbcast; _ } -> "cbcast"
+          | None -> "?"
+        in
+        let rec first_diff = function
+          | x :: xs, y :: ys -> if x = y then first_diff (xs, ys) else Some (x, y)
+          | x :: _, [] -> Some (x, -1)
+          | [], y :: _ -> Some (-1, y)
+          | [], [] -> None
+        in
+        match first_diff (common_a, common_b) with
+        | Some (x, y) ->
+          fail "total-order" "%s and %s diverge on ABCAST/GBCAST order: %s has tag %d (%s), %s has tag %d (%s)"
+            a.pname b.pname a.pname x (mode_of x) b.pname y (mode_of y)
+        | None ->
+          fail "total-order" "%s and %s deliver common ABCAST/GBCAST tags in different orders"
+            a.pname b.pname
+      end)
+    (pairs tracked);
+
+  (* 7. Same delivery view: a message is delivered in one view
+     everywhere, and never in a view older than the one it was sent
+     in.
+
+     One principled exception: a GBCAST committed by the very view
+     change that admits a joiner is delivered {e at the synchronization
+     point} — members of the retiring view observe it just before the
+     new view, while the joiner observes it as the first event of its
+     join view.  Same point in the virtually synchronous order, two
+     view labels; the joiner's observation is exempted. *)
+  let is_gbcast tag =
+    match send_of tag with Some { s_mode = Types.Gbcast; _ } -> true | Some _ | None -> false
+  in
+  (* [w] delivered [tag] at the synchronization point that admitted it:
+     it was tracked in view [v] and delivered [tag] before observing any
+     view event of its own. *)
+  let sync_join_delivery w tag v =
+    is_gbcast tag
+    && List.exists
+         (fun tr ->
+           tr.pname = w
+           && tr.base_view = Some v
+           &&
+           let rec leading = function
+             | Delivered { tag = t'; _ } :: rest -> t' = tag || leading rest
+             | Viewed _ :: _ | [] -> false
+           in
+           leading (List.rev tr.events))
+         tracked
+  in
+  let delivery_views : (int, (string * int) list) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun tr ->
+      List.iter
+        (fun (tag, view) ->
+          match view with
+          | None -> ()
+          | Some v ->
+            Hashtbl.replace delivery_views tag
+              ((tr.pname, v) :: Option.value ~default:[] (Hashtbl.find_opt delivery_views tag)))
+        (deliveries tr))
+    tracked;
+  let sorted_tags h = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) h []) in
+  List.iter
+    (fun tag ->
+      match Hashtbl.find_opt delivery_views tag with
+      | None | Some [] -> ()
+      | Some all ->
+        (match List.filter (fun (w, v) -> not (sync_join_delivery w tag v)) all with
+        | [] -> ()
+        | (w0, v0) :: rest ->
+          List.iter
+            (fun (w, v) ->
+              if v <> v0 then
+                fail "same-delivery-view" "tag %d delivered in view #%d at %s but #%d at %s" tag
+                  v0 w0 v w)
+            rest);
+        (match send_of tag with
+        | Some { s_view = Some sv; _ } ->
+          List.iter
+            (fun (w, v) ->
+              if v < sv then
+                fail "delivery-in-sending-view" "tag %d sent in view #%d but delivered in #%d at %s"
+                  tag sv v w)
+            all
+        | Some _ | None -> ()))
+    (sorted_tags delivery_views);
+
+  (* 8. Atomicity: if a message was delivered in view v by a process
+     that survived v, every tracked member of v that also survived v
+     delivered it too.  A message delivered {e only} by processes that
+     then failed inside v carries no obligation: the canonical case is a
+     CBCAST sender's immediate self-delivery where the sender crashes
+     before the message leaves the site — the flush forgets it, exactly
+     as the paper allows. *)
+  (* Newest membership view any live tracked proc has observed.  (Not
+     [pg_view]: commits that carry only user GBCASTs advance the runtime
+     view id without a membership change, so runtime ids and observed
+     membership ids live on different scales.) *)
+  let newest_view_id =
+    List.fold_left
+      (fun acc tr ->
+        if Runtime.proc_alive tr.proc then
+          match observed_view tr with Some v -> max acc v | None -> acc
+        else acc)
+      min_int tracked
+  in
+  (* [survived_view tr v]: tr demonstrably outlived view v — it observed
+     a later view, or v is the newest view and tr is alive in it. *)
+  let survived_view tr v =
+    List.exists (function Viewed { v_id; _ } -> v_id > v | Delivered _ -> false) tr.events
+    || (v = newest_view_id && Runtime.proc_alive tr.proc && observed_view tr = Some v)
+  in
+  List.iter
+    (fun tag ->
+      match Hashtbl.find_opt delivery_views tag with
+      | None | Some [] -> ()
+      | Some ((_, v) :: _ as all) -> (
+        match Hashtbl.find_opt view_members v with
+        | None -> ()
+        | Some (members, _) ->
+          let surviving_deliverer =
+            List.exists
+              (fun (pname, _) ->
+                match List.find_opt (fun tr -> tr.pname = pname) tracked with
+                | Some tr -> survived_view tr v
+                | None -> false)
+              all
+          in
+          if surviving_deliverer then
+            List.iter
+              (fun tr ->
+                if
+                  List.mem tr.pname members
+                  && (not (List.mem tag tr.delivered_tags))
+                  && survived_view tr v
+                then
+                  fail "atomicity" "%s was a member of view #%d and survived it but missed tag %d"
+                    tr.pname v tag)
+              tracked))
+    (sorted_tags delivery_views);
+
+  (* 9. No delivery after an observed failure: once a receiver saw the
+     sender fail through a view change, nothing more from that sender
+     (that incarnation) may arrive. *)
+  List.iter
+    (fun tr ->
+      let failed = Hashtbl.create 8 in
+      List.iter
+        (function
+          | Viewed { v_failed; _ } -> List.iter (fun p -> Hashtbl.replace failed p ()) v_failed
+          | Delivered { tag; _ } -> (
+            match send_of tag with
+            | Some s when Hashtbl.mem failed s.s_sender ->
+              fail "no-delivery-after-failure"
+                "%s delivered tag %d from %s after observing its failure" tr.pname tag s.s_sender
+            | Some _ | None -> ()))
+        (chrono tr))
+    tracked;
+
+  (* 10. Quiescent hygiene: protocol state has drained at every site
+     that is in the final membership.  A live site whose members were
+     evicted (e.g. it sat on the losing side of a partition and was
+     flushed out) never learns of the eviction — it stalls holding its
+     old-view state, which is exactly the paper's "ISIS blocks the
+     minority" semantics, not a leak — so it is exempt. *)
+  if hygiene then begin
+    let final_sites =
+      List.fold_left
+        (fun ((best_id, _) as acc) tr ->
+          if Runtime.proc_alive tr.proc then
+            match Runtime.pg_view tr.proc t.gid with
+            | Some v when v.View.view_id > best_id -> (v.View.view_id, View.sites v)
+            | Some _ | None -> acc
+          else acc)
+        (min_int, []) tracked
+      |> snd
+    in
+    List.iter
+      (fun s ->
+        let rt = World.runtime t.world s in
+        if Runtime.alive rt then begin
+          let gauge name v = if v <> 0 then fail "hygiene-quiescence" "site %d: %s = %d" s name v in
+          gauge "pending_unstable" (Runtime.pending_unstable rt);
+          gauge "pending_held_frames" (Runtime.pending_held_frames rt);
+          gauge "pending_sessions" (Runtime.pending_sessions rt)
+        end)
+      (List.sort_uniq compare final_sites)
+  end;
+
+  List.rev !violations
+
+let report t violations =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "oracle: %d sends, %d deliveries across %d tracked processes\n" (n_sends t)
+       (n_deliveries t) (List.length t.tracked));
+  (match violations with
+  | [] -> Buffer.add_string b "oracle verdict: PASS (all virtual synchrony invariants hold)\n"
+  | vs ->
+    Buffer.add_string b (Printf.sprintf "oracle verdict: FAIL (%d violations)\n" (List.length vs));
+    List.iter (fun v -> Buffer.add_string b (Format.asprintf "  %a\n" pp_violation v)) vs);
+  Buffer.contents b

@@ -1,0 +1,95 @@
+(** The virtual-synchrony oracle: a reusable invariant checker.
+
+    Tests, the fuzzer, [vsim --nemesis] and the benchmarks all need the
+    same judgement — "did this run uphold virtual synchrony?".  The
+    oracle centralizes it.  A harness creates one oracle per group,
+    {!track}s the member processes, reports traffic through
+    {!note_send} / {!note_delivery} (or lets {!bind_tap} do the
+    delivery half), and finally calls {!check}.
+
+    Messages are identified by a small integer carried in an agreed
+    message field ([tag] by default); the harness must give every
+    multicast a fresh tag.
+
+    {!check} evaluates, over the recorded history:
+
+    - {b final-view-agreement}: live tracked members of the newest view
+      report identical current views.
+    - {b view-consistency}: a view id names one membership everywhere.
+    - {b no-duplicate-delivery}: exactly-once per receiver.
+    - {b fifo-per-sender}: any one sender's messages arrive in send
+      order at every receiver.
+    - {b causal-order}: a multicast follows everything its sender had
+      delivered when sending it (CBCAST's guarantee).
+    - {b total-order}: ABCAST/GBCAST deliveries are mutually ordered
+      identically at all receivers.
+    - {b same-delivery-view} / {b delivery-in-sending-view}: a message
+      is delivered in one view everywhere, never in a view older than
+      the view it was sent in.
+    - {b atomicity}: a message delivered in view [v] reaches every
+      member of [v] that survived [v].
+    - {b no-delivery-after-failure}: once a receiver observes a sender
+      fail through a view change, nothing more arrives from it.
+    - {b hygiene-quiescence}: at check time the per-site gauges
+      ([pending_unstable], [pending_held_frames], [pending_sessions])
+      have drained to zero (disable with [~hygiene:false] when checking
+      mid-run).
+
+    The oracle only records; {!check} is pure and can be called
+    repeatedly.  All reporting is deterministic, so two identical
+    seeded runs produce byte-identical reports. *)
+
+module Addr = Vsync_msg.Addr
+module Message = Vsync_msg.Message
+
+type t
+
+type violation = { invariant : string; detail : string }
+
+val pp_violation : Format.formatter -> violation -> unit
+
+(** [create world ~gid] makes an oracle for one process group.
+    [tag_field] is the message field holding the per-multicast tag. *)
+val create : ?tag_field:string -> World.t -> gid:Addr.group_id -> t
+
+(** [track t p] starts recording [p]'s view changes (via
+    {!Runtime.pg_monitor}, so call once [p] is a member).
+    Idempotent. *)
+val track : t -> Runtime.proc -> unit
+
+val tracked_procs : t -> Runtime.proc list
+
+(** [note_send t p ~mode ~tag] records that [p] multicast tag [tag].
+    Call it immediately before the [bcast] so the sender's causal
+    context (its delivered messages and current view) is captured.
+    @raise Invalid_argument if [tag] was already registered. *)
+val note_send : t -> Runtime.proc -> mode:Types.mode -> tag:int -> unit
+
+(** [note_delivery t p msg] records a delivery at [p] (ignored when
+    [msg] has no tag field or [p] is untracked). *)
+val note_delivery : t -> Runtime.proc -> Message.t -> unit
+
+(** [bind_tap t p entry k] tracks [p] and binds [entry] to a handler
+    that records the delivery and then runs [k msg]. *)
+val bind_tap : t -> Runtime.proc -> Vsync_msg.Entry.t -> (Message.t -> unit) -> unit
+
+val n_sends : t -> int
+val n_deliveries : t -> int
+
+(** [latencies_us t] lists the send-to-delivery latency of every
+    recorded delivery (one entry per receiver per message), in
+    deterministic order. *)
+val latencies_us : t -> int list
+
+(** [check t] evaluates every invariant and returns the violations
+    (empty means the run upheld virtual synchrony). *)
+val check : ?hygiene:bool -> t -> violation list
+
+(** [report t violations] renders a deterministic human-readable
+    verdict. *)
+val report : t -> violation list -> string
+
+(** [pp_history ppf t] prints every tracked process's interleaved
+    view/delivery log — the raw material behind a violation, for
+    post-mortems. *)
+val pp_history : Format.formatter -> t -> unit

@@ -152,7 +152,8 @@ and t = {
   mutable next_qid : int;
   procs : (int, proc) Hashtbl.t;
   groups : (int, group) Hashtbl.t;
-  held : (int, Proto.frame list) Hashtbl.t; (* gid -> future-view frames, newest first *)
+  held : (int, (int * Proto.frame) list) Hashtbl.t;
+      (* gid -> future-view (src, frame), newest first *)
   dir : (string, Addr.group_id * int list) Hashtbl.t;
   contacts : (int, int list) Hashtbl.t;
   sessions : (int, session_state) Hashtbl.t;
@@ -437,15 +438,15 @@ and drain_group t g =
   in
   List.iter (fun (uid, body) -> deliver uid body) (Causal.drain g.causal);
   List.iter
-    (fun (uid, body) ->
-      (* Retain the finalized ABCAST for stabilization until stable. *)
+    (fun (uid, prio, body) ->
+      (* Retain the finalized ABCAST for stabilization until stable,
+         under its true final priority: if a view change wedges the
+         group before this message stabilizes, the wedge ack quotes this
+         record, and the flush must re-commit it at the same priority at
+         every member that has not delivered it yet. *)
       (match Uid_map.find_opt uid g.store with
       | Some _ -> ()
-      | None ->
-        (* final priority is not needed for retransmission fidelity
-           here: committed bodies are re-finalized via commit frames.
-           Store with a zero priority placeholder replaced below. *)
-        g.store <- Uid_map.add uid (Proto.Sab { uid; prio = (0, 0); body }) g.store);
+      | None -> g.store <- Uid_map.add uid (Proto.Sab { uid; prio; body }) g.store);
       deliver uid body)
     (Total.drain g.total)
 
@@ -1161,7 +1162,7 @@ and on_commit t g_opt frame =
           deliver_to_members t g body ~members:old_members
         in
         List.iter (fun (u, b) -> deliver u b) (Causal.force_drain g.causal);
-        List.iter (fun (u, b) -> deliver u b) (Total.drain g.total);
+        List.iter (fun (u, _, b) -> deliver u b) (Total.drain g.total);
         (* Anything still pending is uncommitted garbage; discard. *)
         List.iter
           (fun (u, _, _, _) -> try Total.drop g.total ~uid:u with Invalid_argument _ -> ())
@@ -1357,11 +1358,11 @@ and replay_held t gid_int =
   | None -> ()
   | Some frames ->
     Hashtbl.remove t.held gid_int;
-    List.iter (fun f -> handle_group_frame t ~src:(-1) f) (List.rev frames)
+    List.iter (fun (src, f) -> handle_group_frame t ~src f) (List.rev frames)
 
-and hold_frame t gid_int frame =
+and hold_frame t ~src gid_int frame =
   let cur = Option.value ~default:[] (Hashtbl.find_opt t.held gid_int) in
-  Hashtbl.replace t.held gid_int (frame :: cur)
+  Hashtbl.replace t.held gid_int ((src, frame) :: cur)
 
 (* --- failure handling --- *)
 
@@ -1508,9 +1509,9 @@ and handle_group_frame t ~src frame =
       if view_id = g.view.View.view_id then
         if g.wedge <> None then () (* wedged: post-ack data is dropped; the flush stabilizes *)
         else k g
-      else if view_id > g.view.View.view_id then hold_frame t (gi gid) frame
+      else if view_id > g.view.View.view_id then hold_frame t ~src (gi gid) frame
       (* else: stale view, drop *)
-    | None -> hold_frame t (gi gid) frame
+    | None -> hold_frame t ~src (gi gid) frame
   in
   match frame with
   | Proto.Cb_data { group; view_id; uid; rank; vt; body } ->
@@ -1607,7 +1608,13 @@ let wire_endpoint t =
         | _ -> cpu_cost t t.cfg.cpu_recv_us (Proto.size frame)
       in
       on_cpu t cost (fun () -> handle_frame t ~src frame));
-  Endpoint.set_failure_handler ep (fun s -> if t.running then on_site_down t s)
+  Endpoint.set_failure_handler ep (fun s -> if t.running then on_site_down t s);
+  (* A peer that crashed and revived inside the suspicion window never
+     trips the ping detector, but everything we know about its old
+     incarnation (members, channels, unstable acks) is dead state: treat
+     the incarnation change as a site failure.  The revived site rejoins
+     groups explicitly, like any newcomer. *)
+  Endpoint.set_restart_handler ep (fun s -> if t.running then on_site_down t s)
 
 let create ?(config = default_config) fab ~site ~trace () =
   let t =

@@ -1,0 +1,88 @@
+module Nemesis = Vsync_sim.Nemesis
+module Rng = Vsync_util.Rng
+module Addr = Vsync_msg.Addr
+module Entry = Vsync_msg.Entry
+module Message = Vsync_msg.Message
+
+let e_app = Entry.user 0
+
+type result = {
+  plan : Nemesis.plan;
+  violations : Oracle.violation list;
+  oracle : Oracle.t;
+  world : World.t;
+  sent : int;
+  delivered : int;
+  elapsed_us : int;
+}
+
+let run ?(sites = 4) ?(horizon_us = 20_000_000) ?(settle_us = 30_000_000)
+    ?(send_interval_us = 150_000) ?(payload_bytes = 256) ?plan ?(intensity = 0.5) ~seed () =
+  let w = World.create ~seed ~sites () in
+  let members =
+    Array.init sites (fun s -> World.proc w ~site:s ~name:(Printf.sprintf "n%d" s))
+  in
+  let gid = ref None in
+  World.run_task w members.(0) (fun () -> gid := Some (Runtime.pg_create members.(0) "nemesis"));
+  World.run w;
+  let gid = Option.get !gid in
+  for i = 1 to sites - 1 do
+    World.run_task w members.(i) (fun () ->
+        ignore (Runtime.pg_lookup members.(i) "nemesis");
+        match Runtime.pg_join members.(i) gid ~credentials:(Message.create ()) with
+        | Ok () -> ()
+        | Error e -> failwith ("Scenario.run: member join: " ^ e))
+  done;
+  World.run w;
+  let oracle = Oracle.create w ~gid in
+  Array.iter (fun m -> Oracle.bind_tap oracle m e_app (fun _ -> ())) members;
+  let plan =
+    match plan with
+    | Some p -> p
+    | None -> Nemesis.random_plan ~seed ~sites ~horizon_us ~intensity ()
+  in
+  World.apply_nemesis w plan;
+  let t0 = World.now w in
+  let next_tag = ref 0 in
+  (* One traffic stream per member, each on its own RNG stream so one
+     member's draws never perturb another's. *)
+  let traffic_rng = Rng.create (Int64.add seed 0x7A11L) in
+  let member_rngs = Array.init sites (fun _ -> Rng.split traffic_rng) in
+  Array.iteri
+    (fun i m ->
+      let rng = member_rngs.(i) in
+      World.run_task w m (fun () ->
+          let continue = ref true in
+          while !continue do
+            Runtime.sleep m (Rng.int_in rng (send_interval_us / 2) (send_interval_us * 3 / 2));
+            if World.now w >= t0 + horizon_us then continue := false
+            else begin
+              let tag = !next_tag in
+              incr next_tag;
+              let mode =
+                match Rng.int rng 20 with
+                | 0 -> Types.Gbcast
+                | n when n < 8 -> Types.Abcast
+                | _ -> Types.Cbcast
+              in
+              Oracle.note_send oracle m ~mode ~tag;
+              let msg = Message.create () in
+              Message.set_int msg "tag" tag;
+              if payload_bytes > 0 then Message.set_bytes msg "pad" (Bytes.make payload_bytes 'x');
+              ignore
+                (Runtime.bcast m mode ~dest:(Addr.Group gid) ~entry:e_app msg
+                   ~want:Types.No_reply)
+            end
+          done))
+    members;
+  World.run ~until:(t0 + horizon_us + settle_us) w;
+  let violations = Oracle.check oracle in
+  {
+    plan;
+    violations;
+    oracle;
+    world = w;
+    sent = !next_tag;
+    delivered = Oracle.n_deliveries oracle;
+    elapsed_us = World.now w - t0;
+  }

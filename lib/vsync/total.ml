@@ -80,7 +80,7 @@ let drain t =
       | Some p ->
         t.entries <- Uid_map.remove uid t.entries;
         t.delivered <- Uid_set.add uid t.delivered;
-        loop ((uid, p) :: acc)
+        loop ((uid, e.prio, p) :: acc)
       | None -> List.rev acc)
     | Some _ | None -> List.rev acc
   in

@@ -49,8 +49,12 @@ val add_payload : 'a t -> uid:uid -> 'a -> unit
 val drop : 'a t -> uid:uid -> unit
 
 (** [drain t] delivers the maximal deliverable prefix: pops messages in
-    priority order while they are committed with payload present. *)
-val drain : 'a t -> (uid * 'a) list
+    priority order while they are committed with payload present.  Each
+    element carries the final priority it was delivered under, which the
+    caller must retain for stabilization (a wedge acknowledgement that
+    reports a delivered message must quote its true final priority, or
+    the flush would re-finalize it inconsistently). *)
+val drain : 'a t -> (uid * prio * 'a) list
 
 (** [pending t] lists buffered messages as
     [(uid, proposed_or_final, committed, has_payload)] — the raw

@@ -72,6 +72,15 @@ let restart_site t s =
 let partition t left right = Net.partition t.network left right
 let heal t = Net.heal t.network
 
+let nemesis_actions t =
+  {
+    Vsync_sim.Nemesis.crash_site = crash_site t;
+    Vsync_sim.Nemesis.restart_site = restart_site t;
+  }
+
+let apply_nemesis t plan =
+  Vsync_sim.Nemesis.install ~actions:(nemesis_actions t) t.network plan
+
 let total_counters t =
   let acc = Stats.Counter.create () in
   Array.iter

@@ -64,6 +64,15 @@ val partition : t -> int list -> int list -> unit
 
 val heal : t -> unit
 
+(** [nemesis_actions w] routes nemesis site ops through the full
+    deployment ({!crash_site} / {!restart_site}, i.e. network and
+    runtime together). *)
+val nemesis_actions : t -> Vsync_sim.Nemesis.actions
+
+(** [apply_nemesis w plan] schedules a fault plan against this world,
+    relative to the current virtual time. *)
+val apply_nemesis : t -> Vsync_sim.Nemesis.plan -> unit
+
 (** {1 Accounting} *)
 
 (** [total_counters w] merges the per-runtime counters with the network

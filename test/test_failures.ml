@@ -184,6 +184,62 @@ let test_membership_churn () =
   Alcotest.(check (list int)) "same order 0/1" logs.(0) logs.(1);
   Alcotest.(check (list int)) "same order 0/2" logs.(0) logs.(2)
 
+(* ISIS does not tolerate partitions: a multicast that cannot reach
+   every member stalls, and resumes — delivering everywhere, in
+   order — once communication is restored (paper Sec 2.1).  The
+   partition is kept shorter than the failure-detection window so no
+   one is evicted; the oracle judges the run end to end. *)
+let test_partition_stall_heal_resume () =
+  let w, members, gid = form_group ~seed:99L ~sites:3 () in
+  let oracle = Oracle.create w ~gid in
+  let logs = Array.make 3 [] in
+  Array.iteri
+    (fun i m ->
+      Oracle.bind_tap oracle m e_app (fun msg ->
+          logs.(i) <- Option.get (Message.get_int msg "tag") :: logs.(i)))
+    members;
+  let bcast_tag i tag =
+    World.run_task w members.(i) (fun () ->
+        let m = Message.create () in
+        Message.set_int m "tag" tag;
+        Oracle.note_send oracle members.(i) ~mode:Types.Abcast ~tag;
+        ignore
+          (Runtime.bcast members.(i) Types.Abcast ~dest:(Addr.Group gid) ~entry:e_app m
+             ~want:Types.No_reply))
+  in
+  bcast_tag 0 1;
+  World.run_for w 2_000_000;
+  Array.iteri
+    (fun i log -> Alcotest.(check (list int)) (Printf.sprintf "member %d pre-partition" i) [ 1 ] log)
+    logs;
+  (* Cut site 2 off and multicast into the partition: the ABCAST cannot
+     gather site 2's priority proposal, so nobody may deliver it. *)
+  World.partition w [ 0; 1 ] [ 2 ];
+  bcast_tag 0 2;
+  World.run_for w 1_000_000;
+  Array.iteri
+    (fun i log ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "member %d stalls during the partition" i)
+        [ 1 ] log)
+    logs;
+  (* Heal: the stalled multicast completes everywhere, and later traffic
+     flows normally. *)
+  World.heal w;
+  World.run_for w 5_000_000;
+  bcast_tag 1 3;
+  World.run ~until:(World.now w + 30_000_000) w;
+  Array.iteri
+    (fun i log ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "member %d resumed after heal" i)
+        [ 1; 2; 3 ] (List.rev log))
+    logs;
+  let _ = views_agree members gid [ 0; 1; 2 ] in
+  match Oracle.check oracle with
+  | [] -> ()
+  | violations -> Alcotest.failf "oracle:\n%s" (Oracle.report oracle violations)
+
 (* A crashed site restarts and its (new-incarnation) process joins the
    same group again through state-less join. *)
 let test_crash_restart_rejoin () =
@@ -214,5 +270,6 @@ let suite =
       test_abcast_partial_commit_stabilization;
     Alcotest.test_case "double site failure" `Quick test_double_failure;
     Alcotest.test_case "membership churn" `Quick test_membership_churn;
+    Alcotest.test_case "partition stalls, heal resumes" `Quick test_partition_stall_heal_resume;
     Alcotest.test_case "crash, restart, rejoin" `Quick test_crash_restart_rejoin;
   ]

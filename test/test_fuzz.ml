@@ -1,25 +1,23 @@
 (* Randomized integration fuzzing: drive a group through a random
    schedule of joins, leaves, process crashes, site crashes/restarts,
-   and mixed CBCAST/ABCAST/GBCAST traffic, then check the virtual
-   synchrony invariants among the survivors.
+   and mixed CBCAST/ABCAST/GBCAST traffic, with every invariant judged
+   by the shared virtual-synchrony {!Oracle}; plus nemesis-driven
+   scenarios where a declarative fault plan (partitions, loss bursts,
+   link degradation) runs underneath steady traffic.
 
-   Every schedule is generated from a seed, so a failure reproduces
-   exactly. *)
+   Every schedule and every plan is generated from a seed, so a failure
+   reproduces exactly. *)
 
 open Vsync_core
 module Rng = Vsync_util.Rng
 module Addr = Vsync_msg.Addr
 module Entry = Vsync_msg.Entry
 module Message = Vsync_msg.Message
+module Nemesis = Vsync_sim.Nemesis
 
 let e_app = Entry.user 0
 
-type actor = {
-  proc : Runtime.proc;
-  mutable member : bool;
-  mutable log : (int * int) list; (* (view_seen_count, tag), newest first *)
-  mutable views : int list; (* view ids observed, newest first *)
-}
+type actor = { proc : Runtime.proc; mutable member : bool }
 
 let fuzz_one ?(loss = 0.0) seed =
   let sites = 4 in
@@ -36,18 +34,17 @@ let fuzz_one ?(loss = 0.0) seed =
   World.run w;
   let gid = Option.get !gid in
 
+  let oracle = Oracle.create w ~gid in
   let actors = ref [] in
+  (* Delivery recording can bind immediately, but {!Oracle.track}
+     registers a view monitor and therefore needs a local view: track
+     only once membership holds. *)
   let listen actor =
-    Runtime.bind actor.proc e_app (fun msg ->
-        actor.log <- (List.length actor.views, Option.get (Message.get_int msg "tag")) :: actor.log)
+    Runtime.bind actor.proc e_app (fun msg -> Oracle.note_delivery oracle actor.proc msg)
   in
-  (* Monitors need a local view: register only once membership holds. *)
-  let watch_views actor =
-    Runtime.pg_monitor actor.proc gid (fun v _ -> actor.views <- v.View.view_id :: actor.views)
-  in
-  let founder_actor = { proc = founder; member = true; log = []; views = [] } in
+  let founder_actor = { proc = founder; member = true } in
   listen founder_actor;
-  watch_views founder_actor;
+  Oracle.track oracle founder;
   actors := [ founder_actor ];
 
   let alive_members () =
@@ -63,7 +60,7 @@ let fuzz_one ?(loss = 0.0) seed =
        if ups <> [] then begin
          let site = Rng.choose rng ups in
          let p = World.proc w ~site ~name:(Printf.sprintf "j%d" (Rng.int rng 10000)) in
-         let actor = { proc = p; member = false; log = []; views = [] } in
+         let actor = { proc = p; member = false } in
          listen actor;
          actors := actor :: !actors;
          World.run_task w p (fun () ->
@@ -71,7 +68,7 @@ let fuzz_one ?(loss = 0.0) seed =
              match Runtime.pg_join p gid ~credentials:(Message.create ()) with
              | Ok () ->
                actor.member <- true;
-               watch_views actor
+               Oracle.track oracle p
              | Error _ -> ())
        end
      end
@@ -133,6 +130,7 @@ let fuzz_one ?(loss = 0.0) seed =
            World.run_task w a.proc (fun () ->
                let msg = Message.create () in
                Message.set_int msg "tag" tag;
+               Oracle.note_send oracle a.proc ~mode ~tag;
                ignore
                  (Runtime.bcast a.proc mode ~dest:(Addr.Group gid) ~entry:e_app msg
                     ~want:Types.No_reply))
@@ -143,61 +141,12 @@ let fuzz_one ?(loss = 0.0) seed =
   done;
   World.run ~until:(World.now w + 60_000_000) w;
 
-  (* --- invariants among the final members --- *)
-  let finals = List.filter (fun a -> a.member && Runtime.proc_alive a.proc) !actors in
-  (match finals with
-  | [] -> () (* everyone gone: nothing to check *)
-  | first :: rest ->
-    (* 1. Agreement on the final view. *)
-    let view_of a = Runtime.pg_view a.proc gid in
-    (match view_of first with
-    | None -> Alcotest.failf "seed %Ld: a final member has no view" seed
-    | Some v ->
-      List.iter
-        (fun a ->
-          match view_of a with
-          | Some v' ->
-            Alcotest.(check int)
-              (Printf.sprintf "seed %Ld: same view id" seed)
-              v.View.view_id v'.View.view_id
-          | None -> Alcotest.failf "seed %Ld: missing view" seed)
-        rest);
-    (* 2. Members that were present for the same span agree: compare
-       the delivery logs of final members that joined at the very
-       beginning (the founder, if it survived) pairwise on common
-       suffix is complex; instead check the universal safety property:
-       no tag is delivered twice at any member. *)
-    List.iter
-      (fun a ->
-        let tags = List.map snd a.log in
-        let dedup = List.sort_uniq compare tags in
-        Alcotest.(check int)
-          (Printf.sprintf "seed %Ld: no duplicate deliveries" seed)
-          (List.length dedup) (List.length tags))
-      finals);
-  (* 3. Global ABCAST agreement: for any two actors (even non-final),
-     their delivered tag sequences must be consistent in relative order
-     for tags both delivered — guaranteed here for all tags because
-     every multicast went to the whole group.  Check pairwise order
-     consistency of common tags. *)
-  let order_of a = List.rev_map snd a.log in
-  let rec pairs = function [] -> [] | x :: rest -> List.map (fun y -> (x, y)) rest @ pairs rest in
-  List.iter
-    (fun (a, b) ->
-      let oa = order_of a and ob = order_of b in
-      let common = List.filter (fun t -> List.mem t ob) oa in
-      let common_b = List.filter (fun t -> List.mem t oa) ob in
-      (* Same set of common tags in both projections, same order would
-         be too strong for CBCAST traffic; restrict to checking that
-         the common sets agree (atomicity) for actors whose view
-         histories fully overlap is intricate — assert the weaker
-         all-or-nothing per tag across *current* members only, which
-         part 2 of the VS property tests cover deterministically.  Here
-         just sanity-check the projections are permutations. *)
-      Alcotest.(check (list int))
-        (Printf.sprintf "seed %Ld: common tag sets agree" seed)
-        (List.sort compare common) (List.sort compare common_b))
-    (pairs !actors)
+  match Oracle.check oracle with
+  | [] -> ()
+  | violations ->
+    Alcotest.failf "seed %Ld:\n%s\n%s" seed
+      (Oracle.report oracle violations)
+      (Format.asprintf "%a" Oracle.pp_history oracle)
 
 let test_fuzz () =
   List.iter (fun s -> fuzz_one s) [ 1001L; 1002L; 1003L; 1004L; 1005L; 1006L; 1007L; 1008L ]
@@ -207,8 +156,40 @@ let test_fuzz () =
    stays negligible over the run length). *)
 let test_fuzz_lossy () = List.iter (fun s -> fuzz_one ~loss:0.02 s) [ 2001L; 2002L; 2003L; 2004L ]
 
+(* Nemesis scenarios: the standard harness — steady mixed traffic while
+   a seeded random fault plan (crashes, partitions, bursty loss, link
+   degradation) runs underneath — must uphold every oracle invariant
+   and still make progress. *)
+let test_nemesis_scenarios () =
+  List.iter
+    (fun seed ->
+      let r = Scenario.run ~seed () in
+      if r.violations <> [] then
+        Alcotest.failf "nemesis seed %Ld:\n%s" seed (Oracle.report r.oracle r.violations);
+      Alcotest.(check bool)
+        (Printf.sprintf "nemesis seed %Ld made progress" seed)
+        true (r.delivered > 0))
+    [ 42L; 1337L; 424242L ]
+
+(* Acceptance criterion: the same (seed, intensity) twice produces
+   byte-identical plans, traffic counts, latencies and oracle reports. *)
+let test_nemesis_determinism () =
+  let run () = Scenario.run ~seed:90210L ~intensity:0.7 () in
+  let a = run () in
+  let b = run () in
+  Alcotest.(check string) "identical plan"
+    (Nemesis.plan_to_string a.plan) (Nemesis.plan_to_string b.plan);
+  Alcotest.(check int) "identical send count" a.sent b.sent;
+  Alcotest.(check int) "identical delivery count" a.delivered b.delivered;
+  Alcotest.(check (list int)) "identical latencies"
+    (Oracle.latencies_us a.oracle) (Oracle.latencies_us b.oracle);
+  Alcotest.(check string) "identical oracle report"
+    (Oracle.report a.oracle a.violations) (Oracle.report b.oracle b.violations)
+
 let suite =
   [
     Alcotest.test_case "randomized churn fuzz (8 seeds)" `Slow test_fuzz;
     Alcotest.test_case "randomized churn fuzz with loss (4 seeds)" `Slow test_fuzz_lossy;
+    Alcotest.test_case "nemesis scenarios (3 seeds)" `Slow test_nemesis_scenarios;
+    Alcotest.test_case "nemesis determinism" `Slow test_nemesis_determinism;
   ]

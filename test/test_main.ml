@@ -1,4 +1,38 @@
+(* `test_main.exe fuzz-sweep [N]` bypasses alcotest: run N (default 50)
+   seeded nemesis scenarios at the default intensity and demand a clean
+   oracle verdict from every one.  CI runs this as a separate step. *)
+let fuzz_sweep n =
+  let failures = ref 0 in
+  for i = 1 to n do
+    let seed = Int64.of_int (9000 + i) in
+    let r = Vsync_core.Scenario.run ~seed ~intensity:0.5 () in
+    let ok = r.Vsync_core.Scenario.violations = [] in
+    Printf.printf "seed %Ld: %s  sent %d delivered %d\n%!" seed
+      (if ok then "PASS" else "FAIL")
+      r.Vsync_core.Scenario.sent r.Vsync_core.Scenario.delivered;
+    if not ok then begin
+      incr failures;
+      print_string
+        (Vsync_core.Oracle.report r.Vsync_core.Scenario.oracle r.Vsync_core.Scenario.violations);
+      print_string "plan was:\n";
+      print_string (Vsync_sim.Nemesis.plan_to_string r.Vsync_core.Scenario.plan)
+    end
+  done;
+  if !failures > 0 then begin
+    Printf.printf "fuzz-sweep: %d/%d seeds FAILED\n" !failures n;
+    exit 1
+  end
+  else begin
+    Printf.printf "fuzz-sweep: all %d seeds passed\n" n;
+    exit 0
+  end
+
 let () =
+  (match Array.to_list Sys.argv with
+  | _ :: "fuzz-sweep" :: rest ->
+    let n = match rest with count :: _ -> int_of_string count | [] -> 50 in
+    fuzz_sweep n
+  | _ -> ());
   Alcotest.run "vsync"
     [
       ("util", Test_util.suite);
@@ -6,6 +40,7 @@ let () =
       ("sim", Test_sim.suite);
       ("tasks", Test_tasks.suite);
       ("transport", Test_transport.suite);
+      ("nemesis", Test_nemesis.suite);
       ("core_smoke", Test_core_smoke.suite);
       ("vsync_props", Test_vsync_props.suite);
       ("ordering", Test_ordering.suite);

@@ -48,7 +48,7 @@ let prop_total_agreement =
               Total.commit e ~uid:u final)
             (permute (k + 17) msgs))
         engines;
-      let orders = Array.to_list (Array.map (fun e -> List.map snd (Total.drain e)) engines) in
+      let orders = Array.to_list (Array.map (fun e -> List.map (fun (_, _, p) -> p) (Total.drain e)) engines) in
       match orders with
       | first :: rest ->
         List.length first = List.length tags && List.for_all (( = ) first) rest

@@ -1,0 +1,169 @@
+(* Unit tests for the fault-injection layer itself: the per-link
+   network adversary (asymmetric loss, delay/jitter, duplication,
+   reordering, bursty loss, bandwidth degradation) and the nemesis plan
+   language (generation invariants, determinism, installation). *)
+
+module Engine = Vsync_sim.Engine
+module Net = Vsync_sim.Net
+module Nemesis = Vsync_sim.Nemesis
+
+let mknet ?(sites = 3) ?(seed = 7L) () =
+  let e = Engine.create ~seed () in
+  let n = Net.create e Net.default_config ~sites in
+  (e, n)
+
+(* Fire [count] packets down [src]->[dst] and count arrivals. *)
+let volley e n ~src ~dst count =
+  let arrived = ref 0 in
+  for _ = 1 to count do
+    Net.send n ~src ~dst ~bytes:100 (fun () -> incr arrived)
+  done;
+  Engine.run ~until:(Engine.now e + 60_000_000) e;
+  !arrived
+
+let test_link_loss_is_directional () =
+  let e, n = mknet () in
+  Net.set_link_loss n ~src:0 ~dst:1 1.0;
+  Alcotest.(check int) "0->1 fully lossy" 0 (volley e n ~src:0 ~dst:1 50);
+  Alcotest.(check int) "1->0 untouched" 50 (volley e n ~src:1 ~dst:0 50);
+  Alcotest.(check int) "0->2 untouched" 50 (volley e n ~src:0 ~dst:2 50);
+  Net.clear_link n ~src:0 ~dst:1;
+  Alcotest.(check int) "cleared link recovers" 50 (volley e n ~src:0 ~dst:1 50)
+
+let test_link_delay_and_bandwidth () =
+  let e, n = mknet () in
+  let arrival ~src ~dst =
+    let at = ref 0 in
+    let start = Engine.now e in
+    Net.send n ~src ~dst ~bytes:1000 (fun () -> at := Engine.now e - start);
+    Engine.run ~until:(Engine.now e + 60_000_000) e;
+    !at
+  in
+  let clean = arrival ~src:0 ~dst:1 in
+  Net.set_link_delay n ~src:0 ~dst:1 ~extra_us:250_000 ~jitter_us:0;
+  let slowed = arrival ~src:0 ~dst:1 in
+  Alcotest.(check bool) "extra latency applied" true (slowed >= clean + 250_000);
+  Alcotest.(check bool) "reverse direction clean" true (arrival ~src:1 ~dst:0 < clean + 250_000);
+  Net.clear_link n ~src:0 ~dst:1;
+  Net.set_link_bandwidth_factor n ~src:0 ~dst:1 50.0;
+  let degraded = arrival ~src:0 ~dst:1 in
+  Alcotest.(check bool) "bandwidth degradation slows serialization" true (degraded > clean)
+
+let test_link_dup_and_reorder_counters () =
+  let e, n = mknet () in
+  Net.set_link_dup n ~src:0 ~dst:1 1.0;
+  let got = volley e n ~src:0 ~dst:1 20 in
+  Alcotest.(check bool) "duplicates delivered" true (got > 20);
+  Alcotest.(check bool) "duplication counted" true (Net.packets_duplicated n >= 20);
+  Net.clear_link n ~src:0 ~dst:1;
+  Net.set_link_reorder n ~src:0 ~dst:1 1.0;
+  let got = volley e n ~src:0 ~dst:1 20 in
+  Alcotest.(check int) "detours still deliver" 20 got;
+  Alcotest.(check bool) "reordering counted" true (Net.packets_reordered n >= 20)
+
+let test_link_burst_loses_in_bursts () =
+  (* A chain that is perfect in the good state and total in the bad
+     state: arrivals and losses must both occur, and the loss pattern
+     must replay identically from the same seed. *)
+  let burst = { Net.p_enter = 0.2; p_exit = 0.3; loss_good = 0.0; loss_bad = 1.0 } in
+  let run seed =
+    let e, n = mknet ~seed () in
+    Net.set_link_burst n ~src:0 ~dst:1 burst;
+    let pattern = ref [] in
+    for i = 1 to 200 do
+      Net.send n ~src:0 ~dst:1 ~bytes:100 (fun () -> pattern := i :: !pattern)
+    done;
+    Engine.run ~until:(Engine.now e + 60_000_000) e;
+    List.rev !pattern
+  in
+  let a = run 7L in
+  Alcotest.(check bool) "some packets arrive" true (List.length a > 0);
+  Alcotest.(check bool) "some packets drop" true (List.length a < 200);
+  Alcotest.(check (list int)) "loss pattern replays from the seed" a (run 7L)
+
+let test_random_plan_shape () =
+  List.iter
+    (fun seed ->
+      let horizon = 10_000_000 in
+      let plan = Nemesis.random_plan ~seed ~sites:4 ~horizon_us:horizon ~intensity:0.8 () in
+      Alcotest.(check bool) "plan is non-empty at high intensity" true (plan <> []);
+      List.iter
+        (fun { Nemesis.at; _ } ->
+          Alcotest.(check bool) "event inside the horizon" true (at >= 0 && at <= horizon))
+        plan;
+      let rec chrono = function
+        | a :: (b :: _ as rest) -> a.Nemesis.at <= b.Nemesis.at && chrono rest
+        | _ -> true
+      in
+      Alcotest.(check bool) "events are chronological" true (chrono plan);
+      (* The tail is clean: the last events heal and clear every fault. *)
+      let ops = List.map (fun ev -> ev.Nemesis.op) plan in
+      Alcotest.(check bool) "plan ends with a safety net" true
+        (List.mem Nemesis.Heal ops && List.mem Nemesis.Clear_faults ops);
+      (* Site 0 is protected; crashes pair with restarts. *)
+      let crashes = List.filter_map (function Nemesis.Crash_site s -> Some s | _ -> None) ops in
+      let restarts = List.filter_map (function Nemesis.Restart_site s -> Some s | _ -> None) ops in
+      Alcotest.(check bool) "site 0 never crashed" false (List.mem 0 crashes);
+      Alcotest.(check (list int)) "every crash is paired with a restart"
+        (List.sort compare crashes) (List.sort compare restarts);
+      (* Determinism: the same seed reproduces the plan verbatim. *)
+      let again = Nemesis.random_plan ~seed ~sites:4 ~horizon_us:horizon ~intensity:0.8 () in
+      Alcotest.(check string) "plan generation is deterministic" (Nemesis.plan_to_string plan)
+        (Nemesis.plan_to_string again))
+    [ 1L; 2L; 3L; 99L; 31337L ]
+
+let test_intensity_scales_plan () =
+  let count intensity =
+    List.length (Nemesis.random_plan ~seed:5L ~sites:4 ~horizon_us:20_000_000 ~intensity ())
+  in
+  Alcotest.(check bool) "higher intensity means more fault events" true (count 1.0 > count 0.1)
+
+let test_install_drives_the_net () =
+  (* A hand-written plan: partition at 1ms, heal at 100ms; install
+     schedules both relative to now. *)
+  let e, n = mknet () in
+  let plan =
+    [
+      { Nemesis.at = 1_000; op = Nemesis.Partition ([ 0 ], [ 1; 2 ]) };
+      { Nemesis.at = 100_000; op = Nemesis.Heal };
+    ]
+  in
+  Nemesis.install n plan;
+  Alcotest.(check bool) "not partitioned yet" false (Net.partitioned n 0 1);
+  Engine.run ~until:(Engine.now e + 10_000) e;
+  Alcotest.(check bool) "partitioned after the first event" true (Net.partitioned n 0 1);
+  Alcotest.(check bool) "same-side pair unaffected" false (Net.partitioned n 1 2);
+  Engine.run ~until:(Engine.now e + 200_000) e;
+  Alcotest.(check bool) "healed after the second event" false (Net.partitioned n 0 1)
+
+let test_apply_op_site_actions () =
+  (* Site ops route through the pluggable actions. *)
+  let _e, n = mknet () in
+  let crashed = ref [] and restarted = ref [] in
+  let actions =
+    {
+      Nemesis.crash_site = (fun s -> crashed := s :: !crashed);
+      restart_site = (fun s -> restarted := s :: !restarted);
+    }
+  in
+  Nemesis.apply_op n actions (Nemesis.Crash_site 2);
+  Nemesis.apply_op n actions (Nemesis.Restart_site 2);
+  Alcotest.(check (list int)) "crash routed" [ 2 ] !crashed;
+  Alcotest.(check (list int)) "restart routed" [ 2 ] !restarted;
+  (* The default actions flip the net's notion of up/down. *)
+  Nemesis.apply_op n (Nemesis.net_actions n) (Nemesis.Crash_site 1);
+  Alcotest.(check bool) "net actions took the site down" false (Net.site_up n 1);
+  Nemesis.apply_op n (Nemesis.net_actions n) (Nemesis.Restart_site 1);
+  Alcotest.(check bool) "net actions brought the site back" true (Net.site_up n 1)
+
+let suite =
+  [
+    Alcotest.test_case "link loss is directional" `Quick test_link_loss_is_directional;
+    Alcotest.test_case "link delay and bandwidth" `Quick test_link_delay_and_bandwidth;
+    Alcotest.test_case "link dup and reorder counters" `Quick test_link_dup_and_reorder_counters;
+    Alcotest.test_case "bursty loss replays from seed" `Quick test_link_burst_loses_in_bursts;
+    Alcotest.test_case "random plan shape (5 seeds)" `Quick test_random_plan_shape;
+    Alcotest.test_case "intensity scales the plan" `Quick test_intensity_scales_plan;
+    Alcotest.test_case "install drives the net" `Quick test_install_drives_the_net;
+    Alcotest.test_case "apply_op site actions" `Quick test_apply_op_site_actions;
+  ]

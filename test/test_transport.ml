@@ -63,6 +63,76 @@ let test_fragmentation () =
     (List.rev !log);
   Alcotest.(check bool) "large message used several frames" true (Endpoint.frames_sent eps.(0) >= 6)
 
+let test_retransmit_exhaustion_fails_channel () =
+  (* A long black-hole exhausts the retry budget.  The old behaviour was
+     to silently stop retransmitting, leaving the receiver waiting
+     forever on the sequence gap; now the whole channel must fail
+     loudly, and post-heal traffic must restart cleanly under a new
+     channel generation. *)
+  let e = Engine.create ~seed:11L () in
+  let n = Net.create e Net.default_config ~sites:2 in
+  let fab = Endpoint.fabric n in
+  let cfg = { Endpoint.default_config with Endpoint.max_retransmits = 4 } in
+  let eps =
+    Array.init 2 (fun site -> Endpoint.create ~config:cfg fab ~site ~size:(fun p -> p.size) ())
+  in
+  let log = collect eps.(1) in
+  Endpoint.set_receiver eps.(0) (fun ~src:_ _ -> ());
+  let failed = ref [] in
+  Endpoint.set_failure_handler eps.(0) (fun s -> failed := s :: !failed);
+  (* A clean prefix, then a partition swallowing two sends entirely. *)
+  Endpoint.send eps.(0) ~dst:1 { tag = 1; size = 100 };
+  Endpoint.send eps.(0) ~dst:1 { tag = 2; size = 100 };
+  Engine.run ~until:1_000_000 e;
+  Net.partition n [ 0 ] [ 1 ];
+  Endpoint.send eps.(0) ~dst:1 { tag = 3; size = 100 };
+  Endpoint.send eps.(0) ~dst:1 { tag = 4; size = 100 };
+  Engine.run ~until:120_000_000 e;
+  Alcotest.(check (list int)) "channel failure surfaced exactly once" [ 1 ] !failed;
+  Alcotest.(check int) "failure counted" 1 (Endpoint.channel_failures eps.(0));
+  (* Heal: later sends open a fresh generation and flow normally.  The
+     swallowed messages are gone — that loss was reported, not silent. *)
+  Net.heal n;
+  Endpoint.send eps.(0) ~dst:1 { tag = 5; size = 100 };
+  Endpoint.send eps.(0) ~dst:1 { tag = 6; size = 100 };
+  Engine.run ~until:(Engine.now e + 10_000_000) e;
+  Alcotest.(check (list (pair int int)))
+    "in-order exactly-once within each generation"
+    [ (0, 1); (0, 2); (0, 5); (0, 6) ]
+    (List.rev !log)
+
+let test_duplicated_fragments () =
+  (* The per-link adversary echoes every packet.  Reassembly must not
+     double-deliver, and a duplicated fragment of a large message must
+     not corrupt the partially-reassembled payload. *)
+  let e, n, eps = setup ~seed:9L () in
+  let log = collect eps.(1) in
+  Endpoint.set_receiver eps.(0) (fun ~src:_ _ -> ());
+  Net.set_link_dup n ~src:0 ~dst:1 1.0;
+  Endpoint.send eps.(0) ~dst:1 { tag = 1; size = 20_000 };
+  Endpoint.send eps.(0) ~dst:1 { tag = 2; size = 100 };
+  Engine.run ~until:30_000_000 e;
+  Alcotest.(check (list (pair int int)))
+    "exactly once despite duplication" [ (0, 1); (0, 2) ] (List.rev !log);
+  Alcotest.(check bool) "the adversary actually duplicated" true (Net.packets_duplicated n > 0)
+
+let test_reordered_fragments () =
+  (* Reordering detours must be absorbed by sequencing: delivery order
+     is still the send order. *)
+  let e, n, eps = setup ~seed:21L () in
+  let log = collect eps.(1) in
+  Endpoint.set_receiver eps.(0) (fun ~src:_ _ -> ());
+  Net.set_link_reorder n ~src:0 ~dst:1 0.5;
+  for tag = 1 to 20 do
+    Endpoint.send eps.(0) ~dst:1 { tag; size = 300 }
+  done;
+  Engine.run ~until:120_000_000 e;
+  Alcotest.(check (list (pair int int)))
+    "send order preserved through reordering"
+    (List.init 20 (fun i -> (0, i + 1)))
+    (List.rev !log);
+  Alcotest.(check bool) "the adversary actually reordered" true (Net.packets_reordered n > 0)
+
 let test_crash_silences () =
   let e, n, eps = setup () in
   let log = collect eps.(1) in
@@ -154,6 +224,10 @@ let suite =
     Alcotest.test_case "fifo delivery" `Quick test_fifo_delivery;
     Alcotest.test_case "loss recovery" `Quick test_loss_recovery;
     Alcotest.test_case "fragmentation" `Quick test_fragmentation;
+    Alcotest.test_case "retransmit exhaustion fails channel" `Quick
+      test_retransmit_exhaustion_fails_channel;
+    Alcotest.test_case "duplicated fragments" `Quick test_duplicated_fragments;
+    Alcotest.test_case "reordered fragments" `Quick test_reordered_fragments;
     Alcotest.test_case "crash silences endpoint" `Quick test_crash_silences;
     Alcotest.test_case "restart new incarnation" `Quick test_restart_new_incarnation;
     Alcotest.test_case "failure detector detects crash" `Quick test_failure_detector_detects_crash;

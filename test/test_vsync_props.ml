@@ -72,7 +72,7 @@ let test_total_engine_priority_order () =
   Total.commit a ~uid:u2 f2;
   Total.commit b ~uid:u1 f1;
   Total.commit b ~uid:u2 f2;
-  let order_a = List.map snd (Total.drain a) and order_b = List.map snd (Total.drain b) in
+  let order_a = List.map (fun (_, _, p) -> p) (Total.drain a) and order_b = List.map (fun (_, _, p) -> p) (Total.drain b) in
   Alcotest.(check (list string)) "identical total order" order_a order_b
 
 let test_total_engine_blocks_until_commit () =
@@ -84,9 +84,9 @@ let test_total_engine_blocks_until_commit () =
   (* u2 proposed before u1's commit could have a lower final priority
      elsewhere: the engine must not deliver past an uncommitted head if
      it sorts first; here u1 sorts first and is committed. *)
-  Alcotest.(check (list string)) "committed prefix only" [ "m1" ] (List.map snd (Total.drain t));
+  Alcotest.(check (list string)) "committed prefix only" [ "m1" ] (List.map (fun (_, _, p) -> p) (Total.drain t));
   Total.commit t ~uid:u2 (10, 1);
-  Alcotest.(check (list string)) "rest after commit" [ "m2" ] (List.map snd (Total.drain t))
+  Alcotest.(check (list string)) "rest after commit" [ "m2" ] (List.map (fun (_, _, p) -> p) (Total.drain t))
 
 let test_total_engine_commit_before_payload () =
   let t = Total.create ~site:0 () in
@@ -95,7 +95,7 @@ let test_total_engine_commit_before_payload () =
   Alcotest.(check int) "no payload, no delivery" 0 (List.length (Total.drain t));
   Total.add_payload t ~uid:u "late body";
   Alcotest.(check (list string)) "delivered once body arrives" [ "late body" ]
-    (List.map snd (Total.drain t))
+    (List.map (fun (_, _, p) -> p) (Total.drain t))
 
 let test_total_engine_drop () =
   let t = Total.create ~site:0 () in
