@@ -8,6 +8,79 @@ module Stats = Vsync_util.Stats
 
 let e_app = Entry.user 0
 
+(* Cross-experiment flags, set by [main] from the command line:
+   [--json PATH] asks JSON-capable experiments to write their results as
+   a machine-readable artifact; [--smoke] shrinks iteration counts so CI
+   can record a perf data point without burning minutes. *)
+let json_path : string option ref = ref None
+let smoke = ref false
+
+(* A minimal JSON emitter — enough for benchmark artifacts, so the
+   bench needs no external JSON dependency. *)
+module Json = struct
+  type t =
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  let escape s =
+    let buf = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  let rec write buf = function
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f ->
+      if Float.is_finite f then Buffer.add_string buf (Printf.sprintf "%.4f" f)
+      else Buffer.add_string buf "null"
+    | Str s ->
+      Buffer.add_char buf '"';
+      Buffer.add_string buf (escape s);
+      Buffer.add_char buf '"'
+    | List l ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char buf ',';
+          write buf x)
+        l;
+      Buffer.add_char buf ']'
+    | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          write buf (Str k);
+          Buffer.add_char buf ':';
+          write buf v)
+        fields;
+      Buffer.add_char buf '}'
+
+  let to_string j =
+    let buf = Buffer.create 1024 in
+    write buf j;
+    Buffer.add_char buf '\n';
+    Buffer.contents buf
+
+  let to_file path j =
+    let oc = open_out path in
+    output_string oc (to_string j);
+    close_out oc
+end
+
 (* A group with one member per site, fully formed. *)
 type cluster = {
   w : World.t;

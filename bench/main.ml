@@ -6,7 +6,11 @@
      dune exec bench/main.exe table1     # just Table I
      dune exec bench/main.exe fig2 fig3  # a subset
 
-   Experiments: table1 fig2 fig3 twentyq ablate micro. *)
+   Experiments: table1 fig2 fig3 twentyq ablate micro msgpath.
+
+   Flags (consumed before experiment names):
+     --json PATH   JSON-capable experiments (msgpath) write results there
+     --smoke       reduced iteration counts, for CI perf tracking *)
 
 let experiments =
   [
@@ -19,13 +23,28 @@ let experiments =
     ("faults", Faults.run);
     ("scale", Scale.run);
     ("micro", Micro.run);
+    ("msgpath", Msgpath.run);
   ]
 
 let () =
-  let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst experiments
+  let rec parse args =
+    match args with
+    | "--json" :: path :: rest ->
+      Harness.json_path := Some path;
+      parse rest
+    | "--json" :: [] ->
+      Printf.eprintf "--json needs a path\n";
+      exit 2
+    | "--smoke" :: rest ->
+      Harness.smoke := true;
+      parse rest
+    | name :: rest -> name :: parse rest
+    | [] -> []
+  in
+  let names =
+    match parse (List.tl (Array.to_list Sys.argv)) with
+    | [] -> List.map fst experiments
+    | names -> names
   in
   List.iter
     (fun name ->
@@ -37,5 +56,5 @@ let () =
         Printf.eprintf "unknown experiment %S; known: %s\n" name
           (String.concat " " (List.map fst experiments));
         exit 2)
-    requested;
+    names;
   Printf.printf "\nbench: done\n%!"

@@ -1,0 +1,211 @@
+(* Message hot-path benchmark: wall-clock microbenches of the message
+   primitives the runtime leans on (construct, set, get, copy, codec,
+   size) plus a group-broadcast throughput run, with a machine-readable
+   JSON artifact so successive PRs accumulate a perf trajectory.
+
+     dune exec bench/main.exe -- msgpath
+     dune exec bench/main.exe -- msgpath --smoke --json BENCH_msgpath.json
+
+   The micro section measures the implementation itself (real
+   nanoseconds); the throughput section runs CBCAST/ABCAST floods on the
+   simulated testbed and reports both virtual-time message rates and the
+   wall-clock speed of the simulation — the latter is dominated by the
+   very message-path costs the micro section isolates. *)
+
+open Vsync_core
+module Addr = Vsync_msg.Addr
+module Message = Vsync_msg.Message
+
+(* --- timing -------------------------------------------------------- *)
+
+(* Best-of-[reps] batches; reports ns/op.  [iters] is per batch. *)
+let time_ns ~iters f =
+  let reps = 3 in
+  let best = ref infinity in
+  for _ = 1 to reps do
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to iters do
+      f ()
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt
+  done;
+  !best *. 1e9 /. float_of_int iters
+
+(* --- micro: the primitives ---------------------------------------- *)
+
+let sample_msg () =
+  let m = Message.create () in
+  Message.set_int m "count" 42;
+  Message.set_str m "kind" "update";
+  Message.set_bool m "flag" true;
+  Message.set_float m "ratio" 0.125;
+  Message.set_bytes m "pad" (Bytes.make 256 'x');
+  Message.set_addr m "who" (Addr.Proc (Addr.proc ~site:1 ~idx:2 ~incarnation:3));
+  Message.set_addrs m "them" [ Addr.Group (Addr.group_of_int 9) ];
+  Message.set_int m "seq" 7;
+  m
+
+let micro () =
+  let scale n = if !Harness.smoke then max 1 (n / 20) else n in
+  let m = sample_msg () in
+  let encoded = Message.encode m in
+  let cb_frame =
+    Proto.Cb_data
+      {
+        group = Addr.group_of_int 9;
+        view_id = 3;
+        uid = { Types.usite = 1; useq = 42 };
+        rank = 0;
+        vt = Some [ 4; 2; 0 ];
+        body = m;
+      }
+  in
+  let ops =
+    [
+      ("construct_8f", scale 100_000, fun () -> ignore (sample_msg ()));
+      ( "construct_copy",
+        scale 100_000,
+        fun () ->
+          let m = sample_msg () in
+          ignore (Message.copy m) );
+      ("copy", scale 200_000, fun () -> ignore (Message.copy m));
+      ( "copy_mutate",
+        scale 100_000,
+        fun () ->
+          let c = Message.copy m in
+          Message.set_int c "count" 1 );
+      ( "copy_read3",
+        scale 200_000,
+        fun () ->
+          let c = Message.copy m in
+          ignore (Message.get_int c "count");
+          ignore (Message.get_bool c "flag");
+          ignore (Message.get_int c "seq") );
+      ( "set_replace",
+        scale 200_000,
+        fun () -> Message.set_int m "count" 43 );
+      ("get_hot", scale 500_000, fun () -> ignore (Message.get_int m "seq"));
+      ("encode", scale 100_000, fun () -> ignore (Message.encode m));
+      ( "encode_pooled",
+        scale 100_000,
+        fun () ->
+          Vsync_msg.Bufpool.with_buf (fun buf ->
+              Message.encode_into buf m;
+              ignore (Buffer.length buf)) );
+      ("decode", scale 100_000, fun () -> ignore (Message.decode encoded));
+      ("size", scale 500_000, fun () -> ignore (Message.size m));
+      ("proto_size_recv", scale 500_000, fun () -> ignore (Proto.size cb_frame));
+    ]
+  in
+  List.map (fun (name, iters, f) -> (name, time_ns ~iters f)) ops
+
+(* --- throughput: group broadcast ----------------------------------- *)
+
+type tput_row = {
+  t_mode : string;
+  t_sites : int;
+  t_sent : int;
+  t_delivered : int;
+  t_virtual_ms : float;
+  t_virtual_msgs_per_s : float;
+  t_wall_s : float;
+}
+
+let throughput_run mode mode_name ~sites =
+  let msgs = if !Harness.smoke then 40 else 200 in
+  let c = Harness.make_cluster ~seed:0x9A7BL ~sites () in
+  let delivered = ref 0 in
+  let last_delivery = ref 0 in
+  Array.iter
+    (fun m ->
+      Runtime.bind m Harness.e_app (fun _ ->
+          incr delivered;
+          last_delivery := World.now c.w))
+    c.members;
+  let start = World.now c.w in
+  World.run_task c.w c.members.(0) (fun () ->
+      for _ = 1 to msgs do
+        ignore
+          (Runtime.bcast c.members.(0) mode ~dest:(Addr.Group c.gid) ~entry:Harness.e_app
+             (Harness.padded_msg 256) ~want:Types.No_reply)
+      done);
+  let wall0 = Unix.gettimeofday () in
+  World.run ~until:(start + 600_000_000) c.w;
+  let wall = Unix.gettimeofday () -. wall0 in
+  let elapsed_us = max 1 (!last_delivery - start) in
+  {
+    t_mode = mode_name;
+    t_sites = sites;
+    t_sent = msgs;
+    t_delivered = !delivered;
+    t_virtual_ms = float_of_int elapsed_us /. 1e3;
+    t_virtual_msgs_per_s = float_of_int !delivered /. (float_of_int elapsed_us /. 1e6);
+    t_wall_s = wall;
+  }
+
+let throughput () =
+  let site_counts = if !Harness.smoke then [ 3 ] else [ 3; 5; 7; 9 ] in
+  List.concat_map
+    (fun sites ->
+      [
+        throughput_run Types.Cbcast "CBCAST" ~sites;
+        throughput_run Types.Abcast "ABCAST" ~sites;
+      ])
+    site_counts
+
+(* --- driver -------------------------------------------------------- *)
+
+let run () =
+  let micro_rows = micro () in
+  Harness.print_table ~title:"msgpath micro (wall clock, best of 3)"
+    ~header:[ "operation"; "ns/op" ]
+    (List.map (fun (name, ns) -> [ name; Printf.sprintf "%.1f" ns ]) micro_rows);
+  let tput_rows = throughput () in
+  Harness.print_table ~title:"msgpath group-broadcast throughput (256 B payloads)"
+    ~header:[ "mode"; "sites"; "sent"; "delivered"; "virtual ms"; "virtual msg/s"; "wall s" ]
+    (List.map
+       (fun r ->
+         [
+           r.t_mode;
+           string_of_int r.t_sites;
+           string_of_int r.t_sent;
+           string_of_int r.t_delivered;
+           Printf.sprintf "%.1f" r.t_virtual_ms;
+           Printf.sprintf "%.0f" r.t_virtual_msgs_per_s;
+           Printf.sprintf "%.3f" r.t_wall_s;
+         ])
+       tput_rows);
+  match !Harness.json_path with
+  | None -> ()
+  | Some path ->
+    let open Harness.Json in
+    let j =
+      Obj
+        [
+          ("bench", Str "msgpath");
+          ("mode", Str (if !Harness.smoke then "smoke" else "full"));
+          ( "micro",
+            List
+              (List.map
+                 (fun (name, ns) -> Obj [ ("op", Str name); ("ns_per_op", Float ns) ])
+                 micro_rows) );
+          ( "throughput",
+            List
+              (List.map
+                 (fun r ->
+                   Obj
+                     [
+                       ("mode", Str r.t_mode);
+                       ("sites", Int r.t_sites);
+                       ("sent", Int r.t_sent);
+                       ("delivered", Int r.t_delivered);
+                       ("virtual_ms", Float r.t_virtual_ms);
+                       ("virtual_msgs_per_s", Float r.t_virtual_msgs_per_s);
+                       ("wall_s", Float r.t_wall_s);
+                     ])
+                 tput_rows) );
+        ]
+    in
+    to_file path j;
+    Printf.printf "msgpath: wrote %s\n" path

@@ -1,0 +1,29 @@
+(* A tiny free list of Buffers, so encode bursts (state transfer,
+   stable-store snapshots, benchmark loops) reuse their scratch space
+   instead of regrowing a fresh buffer per message. *)
+
+let max_pooled = 8
+let pool : Buffer.t list ref = ref []
+let pooled = ref 0
+
+let acquire () =
+  match !pool with
+  | b :: rest ->
+    pool := rest;
+    decr pooled;
+    Buffer.clear b;
+    b
+  | [] -> Buffer.create 256
+
+let release b =
+  if !pooled < max_pooled then begin
+    (* Don't let one pathological message pin megabytes in the pool. *)
+    if Buffer.length b <= 1 lsl 20 then begin
+      pool := b :: !pool;
+      incr pooled
+    end
+  end
+
+let with_buf f =
+  let b = acquire () in
+  Fun.protect ~finally:(fun () -> release b) (fun () -> f b)

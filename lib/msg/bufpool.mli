@@ -1,0 +1,19 @@
+(** A small pool of reusable [Buffer.t]s for message encoding.
+
+    [Message.encode] and friends need a scratch buffer per call; under
+    encode bursts the allocator churn (and buffer regrowth) shows up in
+    profiles.  The pool keeps a handful of already-grown buffers around.
+    Buffers above 1 MB are dropped rather than pooled.
+
+    Single-threaded, like the rest of the simulator; [with_buf] is
+    reentrant (a nested call simply draws another buffer). *)
+
+(** [acquire ()] returns a cleared buffer (pooled or fresh). *)
+val acquire : unit -> Buffer.t
+
+(** [release b] returns [b] to the pool (or drops it when full). *)
+val release : Buffer.t -> unit
+
+(** [with_buf f] runs [f] with an acquired buffer and releases it
+    afterwards, exceptions included.  The buffer must not escape [f]. *)
+val with_buf : (Buffer.t -> 'a) -> 'a

@@ -1,4 +1,39 @@
-type t = { mutable fields : (string * value) list (* newest last *) }
+(* The message symbol table, reworked for the broadcast hot path:
+
+   - Field names are interned ({!Symtab}); a message stores parallel
+     arrays of symbol ids and values in insertion order, so lookups
+     compare ints and construction never rebuilds a list.
+   - Copies are copy-on-write: [copy] shares the store in O(1) and the
+     first mutation through either handle pays the actual clone.  The
+     runtime copies messages once per local delivery and once per
+     responder, and the overwhelmingly common case — the recipient only
+     reads scalar fields — now costs nothing.
+   - The encoded size is cached on the store and invalidated by
+     mutation, so the per-receive [Proto.size] walk stops re-encoding
+     bodies.  The size is computed analytically from the layout; the
+     codec below is the single source of truth for that layout.
+
+   Isolation contract (checked by test_msg): mutating a copy through
+   the Message API — including nested messages and [Bytes] payloads
+   obtained from accessors after the copy — never alters the original,
+   exactly as with the old deep copy.  A [get] that exposes mutable
+   interior (bytes, nested messages) from a shared store detaches the
+   handle first.  The one observable difference from deep copying:
+   a raw [bytes] value retained from *before* a copy stays physically
+   shared until some handle detaches, so out-of-API in-place writes to
+   it can leak between handles; nothing in this codebase (or any
+   reasonable toolkit client) mutates a payload it no longer owns. *)
+
+type t = { mutable store : store }
+
+and store = {
+  mutable ids : int array; (* interned field names, insertion order *)
+  mutable vals : value array;
+  mutable len : int;
+  mutable shared : bool; (* some other handle may see this store *)
+  mutable nested : int; (* count of Nested fields in [vals] *)
+  mutable enc_size : int; (* cached encoded size; -1 = unknown *)
+}
 
 and value =
   | Bool of bool
@@ -10,36 +45,172 @@ and value =
   | Addresses of Addr.t list
   | Nested of t
 
-let create () = { fields = [] }
+let create () =
+  { store = { ids = [||]; vals = [||]; len = 0; shared = false; nested = 0; enc_size = -1 } }
 
-let rec copy t = { fields = List.map copy_field t.fields }
+(* --- copy-on-write machinery --- *)
 
-and copy_field (name, v) =
-  let v' =
-    match v with
-    | Bytes b -> Bytes (Stdlib.Bytes.copy b)
-    | Nested m -> Nested (copy m)
-    | Bool _ | Int _ | Float _ | Str _ | Address _ | Addresses _ -> v
-  in
-  (name, v')
+(* Copies are copy-on-write, with two regimes picked per message:
+
+   - Flat message (no [Nested] field): share the store and mark it;
+     the first mutation through any handle clones first ([unshare]).
+     O(1), and the regime the runtime hot path lives in — delivery
+     bodies are flat.
+
+   - Message with nested fields: clone the field arrays eagerly,
+     giving [Bytes] payloads private storage and re-entering [copy]
+     for children.  Sharing the store here would let a handle to an
+     inner message retained from before the copy pierce it: mutating
+     that handle reseats its store, and a shared cell embedding the
+     handle would show the new store to every copy.  With a cloned
+     cell the copy keeps its own child handle, so the reseat stays
+     invisible.  O(fields) per level that contains messages — never
+     the hot path.
+
+   Consequently a shared store never holds a [Nested] cell ([set]
+   detaches before writing one), so [unshare] and interior exposure
+   in [get] only have [Bytes] to worry about. *)
+let rec copy t =
+  let s = t.store in
+  if s.nested = 0 then begin
+    s.shared <- true;
+    { store = s }
+  end
+  else begin
+    let ids = Array.sub s.ids 0 s.len in
+    let vals = Array.sub s.vals 0 s.len in
+    for i = 0 to s.len - 1 do
+      match vals.(i) with
+      | Bytes b -> vals.(i) <- Bytes (Stdlib.Bytes.copy b)
+      | Nested inner -> vals.(i) <- Nested (copy inner)
+      | Bool _ | Int _ | Float _ | Str _ | Address _ | Addresses _ -> ()
+    done;
+    { store = { ids; vals; len = s.len; shared = false; nested = s.nested; enc_size = s.enc_size } }
+  end
+
+(* Detach [t] from the sharing group: clone the arrays and give bytes
+   payloads private storage.  The cached size survives — the clone's
+   content is identical. *)
+let unshare t =
+  if t.store.shared then begin
+    let s = t.store in
+    let ids = Array.copy s.ids in
+    let vals = Array.copy s.vals in
+    for i = 0 to s.len - 1 do
+      match vals.(i) with
+      | Bytes b -> vals.(i) <- Bytes (Stdlib.Bytes.copy b)
+      (* Nested cells cannot appear in a shared store; see [copy]. *)
+      | Bool _ | Int _ | Float _ | Str _ | Address _ | Addresses _ | Nested _ -> ()
+    done;
+    t.store <- { ids; vals; len = s.len; shared = false; nested = s.nested; enc_size = s.enc_size }
+  end
+
+(* --- field operations --- *)
+
+let index_of s id =
+  let n = s.len in
+  let ids = s.ids in
+  let rec go i = if i >= n then -1 else if Array.unsafe_get ids i = id then i else go (i + 1) in
+  go 0
+
+let is_nested = function
+  | Nested _ -> true
+  | Bool _ | Int _ | Float _ | Str _ | Bytes _ | Address _ | Addresses _ -> false
+
+let grow s =
+  let cap = Array.length s.ids in
+  (* Runtime-stamped bodies carry ~8 fields; start there so the common
+     construct path grows exactly once. *)
+  let cap' = if cap = 0 then 8 else 2 * cap in
+  let ids = Array.make cap' 0 and vals = Array.make cap' (Bool false) in
+  Array.blit s.ids 0 ids 0 s.len;
+  Array.blit s.vals 0 vals 0 s.len;
+  s.ids <- ids;
+  s.vals <- vals
 
 let set t name v =
-  if List.mem_assoc name t.fields then
-    t.fields <- List.map (fun (n, old) -> if String.equal n name then (n, v) else (n, old)) t.fields
-  else t.fields <- t.fields @ [ (name, v) ]
+  unshare t;
+  let s = t.store in
+  let id = Symtab.intern name in
+  let rec replace i found =
+    if i >= s.len then found
+    else begin
+      (* Replace every occurrence, as the old assoc-list store did:
+         duplicate names can only enter through [decode]. *)
+      if s.ids.(i) = id then begin
+        if is_nested s.vals.(i) then s.nested <- s.nested - 1;
+        if is_nested v then s.nested <- s.nested + 1;
+        s.vals.(i) <- v;
+        replace (i + 1) true
+      end
+      else replace (i + 1) found
+    end
+  in
+  if not (replace 0 false) then begin
+    if s.len = Array.length s.ids then grow s;
+    s.ids.(s.len) <- id;
+    s.vals.(s.len) <- v;
+    s.len <- s.len + 1;
+    if is_nested v then s.nested <- s.nested + 1
+  end;
+  s.enc_size <- -1
 
-let get t name = List.assoc_opt name t.fields
+let remove t name =
+  match Symtab.find name with
+  | None -> () (* a name no message ever carried *)
+  | Some id ->
+    if index_of t.store id >= 0 then begin
+      unshare t;
+      let s = t.store in
+      let j = ref 0 in
+      for i = 0 to s.len - 1 do
+        if s.ids.(i) = id then begin
+          if is_nested s.vals.(i) then s.nested <- s.nested - 1
+        end
+        else begin
+          s.ids.(!j) <- s.ids.(i);
+          s.vals.(!j) <- s.vals.(i);
+          incr j
+        end
+      done;
+      (* Release dropped slots so removed payloads don't linger. *)
+      for i = !j to s.len - 1 do
+        s.vals.(i) <- Bool false
+      done;
+      s.len <- !j;
+      s.enc_size <- -1
+    end
+
+let get t name =
+  match Symtab.find name with
+  | None -> None
+  | Some id ->
+    let s = t.store in
+    let i = index_of s id in
+    if i < 0 then None
+    else begin
+      match s.vals.(i) with
+      | (Bytes _ | Nested _) when s.shared ->
+        (* Handing out mutable interior from a shared store would let a
+           mutation leak across handles: detach first. *)
+        unshare t;
+        let s = t.store in
+        Some s.vals.(index_of s id)
+      | v -> Some v
+    end
 
 let get_exn t name =
   match get t name with
   | Some v -> v
   | None -> raise Not_found
 
-let remove t name = t.fields <- List.filter (fun (n, _) -> not (String.equal n name)) t.fields
+let mem t name =
+  match Symtab.find name with None -> false | Some id -> index_of t.store id >= 0
 
-let mem t name = List.mem_assoc name t.fields
-
-let fields t = t.fields
+let fields t =
+  if t.store.shared then unshare t;
+  let s = t.store in
+  List.init s.len (fun i -> (Symtab.name s.ids.(i), s.vals.(i)))
 
 let type_error name = invalid_arg (Printf.sprintf "Message: field %S has unexpected type" name)
 
@@ -100,7 +271,10 @@ let set_entry t e = set_int t f_entry e
    message  := u16 field-count, fields
    field    := u8 name-len, name bytes, u8 type-tag, payload
    payloads := Bool u8 | Int i64 | Float 8 bytes | Str/Bytes u32+body
-             | Address i64 | Addresses u16 + i64s | Nested u32 + message *)
+             | Address i64 | Addresses u16 + i64s | Nested u32 + message
+
+   Byte-identical to the original assoc-list implementation: fields are
+   emitted in insertion order, names as their interned strings. *)
 
 let tag_bool = 0
 let tag_int = 1
@@ -112,12 +286,14 @@ let tag_addrs = 6
 let tag_nested = 7
 
 let rec encode_to buf t =
-  let n = List.length t.fields in
-  if n > 0xFFFF then invalid_arg "Message.encode: too many fields";
-  Buffer.add_uint16_be buf n;
-  List.iter (encode_field buf) t.fields
+  let s = t.store in
+  if s.len > 0xFFFF then invalid_arg "Message.encode: too many fields";
+  Buffer.add_uint16_be buf s.len;
+  for i = 0 to s.len - 1 do
+    encode_field buf (Symtab.name s.ids.(i)) s.vals.(i)
+  done
 
-and encode_field buf (name, v) =
+and encode_field buf name v =
   let name_len = String.length name in
   if name_len > 255 then invalid_arg "Message.encode: field name too long";
   Buffer.add_uint8 buf name_len;
@@ -138,7 +314,7 @@ and encode_field buf (name, v) =
     Buffer.add_string buf s
   | Bytes b ->
     Buffer.add_uint8 buf tag_bytes;
-    Buffer.add_int32_be buf (Int32.of_int (Bytes.length b));
+    Buffer.add_int32_be buf (Int32.of_int (Stdlib.Bytes.length b));
     Buffer.add_bytes buf b
   | Address a ->
     Buffer.add_uint8 buf tag_addr;
@@ -151,64 +327,103 @@ and encode_field buf (name, v) =
     List.iter (fun a -> Buffer.add_int64_be buf (Addr.to_int64 a)) addrs
   | Nested m ->
     Buffer.add_uint8 buf tag_nested;
-    let inner = Buffer.create 64 in
+    let inner = Bufpool.acquire () in
     encode_to inner m;
     Buffer.add_int32_be buf (Int32.of_int (Buffer.length inner));
-    Buffer.add_buffer buf inner
+    Buffer.add_buffer buf inner;
+    Bufpool.release inner
+
+let encode_into buf t = encode_to buf t
 
 let encode t =
-  let buf = Buffer.create 256 in
-  encode_to buf t;
-  Buffer.to_bytes buf
+  Bufpool.with_buf (fun buf ->
+      encode_to buf t;
+      Buffer.to_bytes buf)
 
-let size t = Bytes.length (encode t)
+(* The encoded size, computed from the layout above without building
+   the bytes, and cached.  A store holding nested messages cannot trust
+   its own cache (the child can be mutated through a retained handle
+   without this store noticing), so only flat messages memoize the
+   total — the children still serve their own cached sizes. *)
+
+let rec size t =
+  let s = t.store in
+  if s.enc_size >= 0 && s.nested = 0 then s.enc_size
+  else begin
+    let total = ref 2 in
+    for i = 0 to s.len - 1 do
+      total := !total + 2 + String.length (Symtab.name s.ids.(i)) + value_size s.vals.(i)
+    done;
+    if s.nested = 0 then s.enc_size <- !total;
+    !total
+  end
+
+and value_size = function
+  | Bool _ -> 1
+  | Int _ | Float _ | Address _ -> 8
+  | Str s -> 4 + String.length s
+  | Bytes b -> 4 + Stdlib.Bytes.length b
+  | Addresses l -> 2 + (8 * List.length l)
+  | Nested m -> 4 + size m
 
 exception Malformed of string
 
 type cursor = { data : bytes; mutable pos : int }
 
 let need cur n =
-  if cur.pos + n > Bytes.length cur.data then raise (Malformed "truncated buffer")
+  if cur.pos + n > Stdlib.Bytes.length cur.data then raise (Malformed "truncated buffer")
 
 let read_u8 cur =
   need cur 1;
-  let v = Bytes.get_uint8 cur.data cur.pos in
+  let v = Stdlib.Bytes.get_uint8 cur.data cur.pos in
   cur.pos <- cur.pos + 1;
   v
 
 let read_u16 cur =
   need cur 2;
-  let v = Bytes.get_uint16_be cur.data cur.pos in
+  let v = Stdlib.Bytes.get_uint16_be cur.data cur.pos in
   cur.pos <- cur.pos + 2;
   v
 
 let read_i32 cur =
   need cur 4;
-  let v = Int32.to_int (Bytes.get_int32_be cur.data cur.pos) in
+  let v = Int32.to_int (Stdlib.Bytes.get_int32_be cur.data cur.pos) in
   cur.pos <- cur.pos + 4;
   if v < 0 then raise (Malformed "negative length");
   v
 
 let read_i64 cur =
   need cur 8;
-  let v = Bytes.get_int64_be cur.data cur.pos in
+  let v = Stdlib.Bytes.get_int64_be cur.data cur.pos in
   cur.pos <- cur.pos + 8;
   v
 
 let read_string cur n =
   need cur n;
-  let s = Bytes.sub_string cur.data cur.pos n in
+  let s = Stdlib.Bytes.sub_string cur.data cur.pos n in
   cur.pos <- cur.pos + n;
   s
 
 let rec decode_from cur =
+  let start = cur.pos in
   let n = read_u16 cur in
-  let rec loop i acc = if i = n then List.rev acc else loop (i + 1) (decode_field cur :: acc) in
-  { fields = loop 0 [] }
+  let ids = Array.make (max n 1) 0 and vals = Array.make (max n 1) (Bool false) in
+  let nested = ref 0 in
+  for i = 0 to n - 1 do
+    let id, v = decode_field cur in
+    ids.(i) <- id;
+    vals.(i) <- v;
+    if is_nested v then incr nested
+  done;
+  (* A decoded message owns its storage outright, and we know its exact
+     encoded length for free. *)
+  { store = { ids; vals; len = n; shared = false; nested = !nested; enc_size = cur.pos - start } }
 
 and decode_field cur =
   let name_len = read_u8 cur in
-  let name = read_string cur name_len in
+  need cur name_len;
+  let name_id = Symtab.intern_sub cur.data ~pos:cur.pos ~len:name_len in
+  cur.pos <- cur.pos + name_len;
   let tag = read_u8 cur in
   let v =
     if tag = tag_bool then Bool (read_u8 cur <> 0)
@@ -219,7 +434,7 @@ and decode_field cur =
       Str (read_string cur len)
     else if tag = tag_bytes then
       let len = read_i32 cur in
-      Bytes (Bytes.of_string (read_string cur len))
+      Bytes (Stdlib.Bytes.of_string (read_string cur len))
     else if tag = tag_addr then Address (Addr.of_int64 (read_i64 cur))
     else if tag = tag_addrs then begin
       let n = read_u16 cur in
@@ -238,23 +453,28 @@ and decode_field cur =
     end
     else raise (Malformed (Printf.sprintf "unknown field tag %d" tag))
   in
-  (name, v)
+  (name_id, v)
 
 let decode b =
   let cur = { data = b; pos = 0 } in
   match decode_from cur with
   | m ->
-    if cur.pos <> Bytes.length b then invalid_arg "Message.decode: trailing bytes";
+    if cur.pos <> Stdlib.Bytes.length b then invalid_arg "Message.decode: trailing bytes";
     m
   | exception Malformed why -> invalid_arg ("Message.decode: " ^ why)
   | exception Invalid_argument why -> invalid_arg ("Message.decode: " ^ why)
 
 let rec equal a b =
-  List.length a.fields = List.length b.fields
-  && List.for_all
-       (fun (name, v) ->
-         match get b name with Some w -> equal_value v w | None -> false)
-       a.fields
+  let sa = a.store and sb = b.store in
+  sa.len = sb.len
+  &&
+  let rec go i =
+    if i >= sa.len then true
+    else
+      let j = index_of sb sa.ids.(i) in
+      j >= 0 && equal_value sa.vals.(i) sb.vals.(j) && go (i + 1)
+  in
+  go 0
 
 and equal_value v w =
   match v, w with
@@ -262,22 +482,25 @@ and equal_value v w =
   | Int a, Int b -> a = b
   | Float a, Float b -> Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
   | Str a, Str b -> String.equal a b
-  | Bytes a, Bytes b -> Bytes.equal a b
+  | Bytes a, Bytes b -> Stdlib.Bytes.equal a b
   | Address a, Address b -> Addr.equal a b
   | Addresses a, Addresses b -> List.length a = List.length b && List.for_all2 Addr.equal a b
   | Nested a, Nested b -> equal a b
   | (Bool _ | Int _ | Float _ | Str _ | Bytes _ | Address _ | Addresses _ | Nested _), _ -> false
 
 let rec pp ppf t =
-  let pp_field ppf (name, v) = Format.fprintf ppf "%s=%a" name pp_value v in
-  Format.fprintf ppf "{%a}" (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ") pp_field) t.fields
+  let s = t.store in
+  let pp_field ppf i = Format.fprintf ppf "%s=%a" (Symtab.name s.ids.(i)) pp_value s.vals.(i) in
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ") pp_field)
+    (List.init s.len Fun.id)
 
 and pp_value ppf = function
   | Bool b -> Format.fprintf ppf "%b" b
   | Int i -> Format.fprintf ppf "%d" i
   | Float f -> Format.fprintf ppf "%g" f
   | Str s -> Format.fprintf ppf "%S" s
-  | Bytes b -> Format.fprintf ppf "<%d bytes>" (Bytes.length b)
+  | Bytes b -> Format.fprintf ppf "<%d bytes>" (Stdlib.Bytes.length b)
   | Address a -> Addr.pp ppf a
   | Addresses addrs ->
     Format.fprintf ppf "[%a]"

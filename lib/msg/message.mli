@@ -9,7 +9,11 @@
 
     Messages have a real binary encoding ({!encode}/{!decode}) so the
     simulated network carries faithful byte counts; {!size} is the
-    encoded length. *)
+    encoded length, cached on the message and invalidated by mutation.
+
+    Internally, field names are interned in a global symbol table
+    ({!Symtab}) and copies are copy-on-write — see {!copy} for the
+    contract the runtime now relies on. *)
 
 type t
 
@@ -27,10 +31,25 @@ type value =
 (** [create ()] returns an empty message. *)
 val create : unit -> t
 
-(** [copy t] is a deep copy: mutating the copy (or nested messages
-    reachable from it) never affects [t].  The runtime copies messages at
-    delivery so recipients cannot share state through them — processes
-    have disjoint address spaces. *)
+(** [copy t] is a copy-on-write copy: for a flat message — no nested
+    fields, the hot-path shape — it is O(1), sharing the store until one
+    of the handles mutates; the first mutation pays the actual clone.  A
+    message containing nested messages clones its field arrays eagerly
+    (children become copy-on-write in turn), still far cheaper than a
+    deep copy.  Observable behaviour matches a deep copy: mutating the
+    copy (or nested messages and [Bytes] payloads reached from it) never
+    affects [t], and vice versa — including through handles retained
+    from before the copy.  The runtime copies messages at delivery so
+    recipients cannot share state through them — processes have disjoint
+    address spaces — and with copy-on-write the common read-only
+    delivery costs nothing.
+
+    Contract for callers: copies are cheap; {e mutation} is what pays.
+    Build a message once and copy it per destination freely.  The only
+    deviation from deep-copy semantics: a raw [bytes] value you retained
+    from before the copy is physically shared until a handle is mutated,
+    so mutating such a buffer in place (outside the Message API) can be
+    seen through other handles. *)
 val copy : t -> t
 
 (** {1 Fields} *)
@@ -99,10 +118,18 @@ val set_entry : t -> Entry.t -> unit
 
 (** {1 Wire format} *)
 
-(** [size t] is the encoded length in bytes (header included). *)
+(** [size t] is the encoded length in bytes (header included).
+    Computed from the layout without encoding, and cached on the
+    message until the next mutation, so per-frame size queries on the
+    receive path are O(1). *)
 val size : t -> int
 
 val encode : t -> bytes
+
+(** [encode_into buf t] appends [t]'s encoding to [buf] — the same
+    bytes {!encode} produces, without allocating a result buffer.
+    Combine with {!Bufpool} when encoding in bursts. *)
+val encode_into : Buffer.t -> t -> unit
 
 (** @raise Invalid_argument on a malformed buffer. *)
 val decode : bytes -> t

@@ -1,0 +1,119 @@
+(* Global field-name interner.  The simulation is single-threaded, so a
+   plain open-addressing table plus a growable id->name array suffice.
+
+   Open addressing (rather than stdlib Hashtbl) so the decoder can
+   intern a name straight out of a wire buffer — hashing and comparing
+   against the bytes range in place — without first allocating the
+   string.  Only the first-ever sighting of a name allocates. *)
+
+let names = ref (Array.make 64 "")
+let count = ref 0
+
+(* Power-of-two slot array; -1 marks an empty slot. *)
+let slots = ref (Array.make 256 (-1))
+
+(* FNV-1a, truncated to OCaml's positive int range.  [hash_string] and
+   [hash_sub] must agree byte for byte. *)
+let fnv_prime = 0x01000193
+let fnv_basis = 0x811c9dc5
+
+let hash_string s =
+  let h = ref fnv_basis in
+  for i = 0 to String.length s - 1 do
+    h := (!h lxor Char.code (String.unsafe_get s i)) * fnv_prime land max_int
+  done;
+  !h
+
+let hash_sub b pos len =
+  let h = ref fnv_basis in
+  for i = pos to pos + len - 1 do
+    h := (!h lxor Char.code (Bytes.unsafe_get b i)) * fnv_prime land max_int
+  done;
+  !h
+
+(* Linear probe for [s]: the interned id when present, [lnot slot] of
+   the first empty slot when absent. *)
+let lookup s h =
+  let tbl = !slots in
+  let m = Array.length tbl - 1 in
+  let rec go i =
+    let j = (h + i) land m in
+    let id = tbl.(j) in
+    if id = -1 then lnot j else if String.equal !names.(id) s then id else go (i + 1)
+  in
+  go 0
+
+let equal_sub s b pos len =
+  String.length s = len
+  &&
+  let rec go i =
+    i >= len || (String.unsafe_get s i = Bytes.unsafe_get b (pos + i) && go (i + 1))
+  in
+  go 0
+
+let lookup_sub b pos len h =
+  let tbl = !slots in
+  let m = Array.length tbl - 1 in
+  let rec go i =
+    let j = (h + i) land m in
+    let id = tbl.(j) in
+    if id = -1 then lnot j else if equal_sub !names.(id) b pos len then id else go (i + 1)
+  in
+  go 0
+
+let ensure_capacity () =
+  if 2 * (!count + 1) >= Array.length !slots then begin
+    let cap' = 2 * Array.length !slots in
+    let tbl = Array.make cap' (-1) in
+    let m = cap' - 1 in
+    for id = 0 to !count - 1 do
+      let h = hash_string !names.(id) in
+      let rec place i =
+        let j = (h + i) land m in
+        if tbl.(j) = -1 then tbl.(j) <- id else place (i + 1)
+      in
+      place 0
+    done;
+    slots := tbl
+  end
+
+let add_name s =
+  let id = !count in
+  if id = Array.length !names then begin
+    let bigger = Array.make (2 * id) "" in
+    Array.blit !names 0 bigger 0 id;
+    names := bigger
+  end;
+  !names.(id) <- s;
+  incr count;
+  id
+
+let intern s =
+  ensure_capacity ();
+  let r = lookup s (hash_string s) in
+  if r >= 0 then r
+  else begin
+    let id = add_name s in
+    !slots.(lnot r) <- id;
+    id
+  end
+
+let intern_sub b ~pos ~len =
+  ensure_capacity ();
+  let r = lookup_sub b pos len (hash_sub b pos len) in
+  if r >= 0 then r
+  else begin
+    let id = add_name (Bytes.sub_string b pos len) in
+    !slots.(lnot r) <- id;
+    id
+  end
+
+let find s =
+  let r = lookup s (hash_string s) in
+  if r >= 0 then Some r else None
+
+let name id =
+  if id < 0 || id >= !count then invalid_arg "Symtab.name: unknown symbol";
+  !names.(id)
+
+let interned () = !count

@@ -3,7 +3,10 @@ module Heap = Vsync_util.Heap
 
 type time = int
 
-type handle = { mutable cancelled : bool }
+(* The handle shares the engine's live counter so [cancel] — which only
+   sees the handle — can keep the count exact without a back-pointer to
+   the whole engine. *)
+type handle = { mutable cancelled : bool; live : int ref }
 
 type event = { at : time; action : unit -> unit; h : handle }
 
@@ -12,7 +15,7 @@ type t = {
   queue : event Heap.t;
   root_rng : Rng.t;
   mutable fired : int;
-  mutable live : int; (* scheduled and not yet fired or cancelled *)
+  live : int ref; (* scheduled and not yet fired or cancelled — exact *)
 }
 
 let create ?(seed = 0x5EEDL) () =
@@ -21,7 +24,7 @@ let create ?(seed = 0x5EEDL) () =
     queue = Heap.create ~compare:(fun a b -> compare a.at b.at);
     root_rng = Rng.create seed;
     fired = 0;
-    live = 0;
+    live = ref 0;
   }
 
 let now t = t.clock
@@ -29,28 +32,46 @@ let rng t = t.root_rng
 
 let schedule_at t at action =
   let at = if at < t.clock then t.clock else at in
-  let h = { cancelled = false } in
+  let h = { cancelled = false; live = t.live } in
   Heap.push t.queue { at; action; h };
-  t.live <- t.live + 1;
+  incr t.live;
   h
 
 let schedule t ~delay action =
   if delay < 0 then invalid_arg "Engine.schedule: negative delay";
   schedule_at t (t.clock + delay) action
 
-let cancel h = h.cancelled <- true
+let cancel h =
+  if not h.cancelled then begin
+    h.cancelled <- true;
+    decr h.live
+  end
+
+(* When set, [pending] cross-checks the counter against an O(n) heap
+   walk.  Off by default: the walk defeats the point of the counter. *)
+let debug_pending = ref false
 
 let pending t =
-  (* [live] over-counts cancelled-but-not-popped events; walk the heap
-     for the exact figure (diagnostics only, so O(n) is fine). *)
-  List.length (List.filter (fun e -> not (e.h.cancelled)) (Heap.to_list t.queue))
+  let n = !(t.live) in
+  if !debug_pending then begin
+    let walked =
+      List.length (List.filter (fun e -> not e.h.cancelled) (Heap.to_list t.queue))
+    in
+    assert (n = walked)
+  end;
+  n
 
 let step t =
   match Heap.pop t.queue with
   | None -> false
   | Some e ->
-    t.live <- t.live - 1;
     if not e.h.cancelled then begin
+      (* Cancelled events already left the live count at [cancel]
+         time; only a real pop of a live event decrements it.  Marking
+         the handle here keeps a late [cancel] of a fired event from
+         decrementing again. *)
+      decr t.live;
+      e.h.cancelled <- true;
       t.clock <- e.at;
       t.fired <- t.fired + 1;
       e.action ()

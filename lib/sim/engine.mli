@@ -35,8 +35,14 @@ val schedule_at : t -> time -> (unit -> unit) -> handle
     cannot be cancelled). *)
 val cancel : handle -> unit
 
-(** [pending t] is the number of undelivered (non-cancelled) events. *)
+(** [pending t] is the number of undelivered (non-cancelled) events.
+    O(1): the engine keeps an exact live count, decremented when an
+    event fires or is first cancelled. *)
 val pending : t -> int
+
+(** When set, {!pending} cross-checks the live counter against an O(n)
+    heap walk and asserts they agree.  For tests; off by default. *)
+val debug_pending : bool ref
 
 (** [step t] fires the next event; [false] when the queue is empty. *)
 val step : t -> bool

@@ -371,6 +371,9 @@ and fail_obligations_of t p =
 
 and dispatch_to_proc t p body =
   if proc_alive p then begin
+    (* Per-recipient copy: processes have disjoint address spaces, so a
+       recipient must never observe another's mutations.  [Message.copy]
+       is copy-on-write — this is O(1) unless the recipient writes. *)
     let body = Message.copy body in
     if List.for_all (fun f -> f body) p.filters then begin
       if Message.mem body f_pg_kill then kill_proc p

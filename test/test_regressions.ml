@@ -155,6 +155,30 @@ let test_no_hang_on_dead_responder () =
   | Some (Runtime.Replies _) -> Alcotest.fail "reply from a dead process?"
   | None -> Alcotest.fail "caller hung on a dead responder"
 
+(* The message-path rework (interned fields, copy-on-write bodies,
+   cached frame sizes) must not perturb protocol behaviour in any way:
+   two fixed-seed scenarios have their complete oracle delivery
+   histories locked by digest.  These digests were recorded before the
+   rework and verified unchanged after it.  If a deliberate protocol
+   change moves them, regenerate and say so in the commit message. *)
+let test_scenario_trace_digests () =
+  let digest (r : Scenario.result) =
+    Digest.to_hex (Digest.string (Format.asprintf "%a" Oracle.pp_history r.oracle))
+  in
+  let r =
+    Scenario.run ~sites:3 ~horizon_us:6_000_000 ~settle_us:20_000_000 ~intensity:0.5
+      ~seed:0xD16E57L ()
+  in
+  Alcotest.(check int) "faulty run: sent" 92 r.sent;
+  Alcotest.(check int) "faulty run: delivered" 223 r.delivered;
+  Alcotest.(check int) "faulty run: no violations" 0 (List.length r.violations);
+  Alcotest.(check string) "faulty run: trace digest" "241d8bc2fcfa6a9a6941905ef0786710" (digest r);
+  let r2 = Scenario.run ~sites:4 ~horizon_us:4_000_000 ~settle_us:10_000_000 ~plan:[] ~seed:42L () in
+  Alcotest.(check int) "clean run: sent" 109 r2.sent;
+  Alcotest.(check int) "clean run: delivered" 436 r2.delivered;
+  Alcotest.(check int) "clean run: no violations" 0 (List.length r2.violations);
+  Alcotest.(check string) "clean run: trace digest" "028b01a5802cedb52845cdff0e13a5a9" (digest r2)
+
 let suite =
   [
     Alcotest.test_case "concurrent joins (commit-window race)" `Quick test_concurrent_joins;
@@ -162,4 +186,5 @@ let suite =
     Alcotest.test_case "fresh channel second message" `Quick test_fresh_channel_second_message;
     Alcotest.test_case "failure cascade dissolves group" `Quick test_failure_cascade_dissolves;
     Alcotest.test_case "no hang on dead responder" `Quick test_no_hang_on_dead_responder;
+    Alcotest.test_case "scenario trace digests" `Quick test_scenario_trace_digests;
   ]

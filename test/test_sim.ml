@@ -157,6 +157,46 @@ let test_trace () =
     Alcotest.(check int) "other category empty" 0 (List.length (Trace.by_category tr "y"))
   | rs -> Alcotest.failf "expected 1 record, got %d" (List.length rs)
 
+let test_engine_pending_exact () =
+  (* With [debug_pending] set, every [pending] call also cross-checks
+     the O(1) counter against the O(n) heap walk. *)
+  Engine.debug_pending := true;
+  Fun.protect ~finally:(fun () -> Engine.debug_pending := false) @@ fun () ->
+  let e = Engine.create () in
+  Alcotest.(check int) "empty" 0 (Engine.pending e);
+  let h1 = Engine.schedule e ~delay:10 (fun () -> ()) in
+  let h2 = Engine.schedule e ~delay:20 (fun () -> ()) in
+  let h3 = Engine.schedule e ~delay:30 (fun () -> ()) in
+  Alcotest.(check int) "three scheduled" 3 (Engine.pending e);
+  Engine.cancel h1;
+  Alcotest.(check int) "cancel decrements" 2 (Engine.pending e);
+  Engine.cancel h1;
+  Alcotest.(check int) "double cancel counts once" 2 (Engine.pending e);
+  ignore (Engine.step e);
+  Alcotest.(check int) "popping a cancelled tombstone changes nothing" 2 (Engine.pending e);
+  ignore (Engine.step e);
+  Alcotest.(check int) "firing decrements" 1 (Engine.pending e);
+  Engine.cancel h2;
+  Alcotest.(check int) "cancelling a fired event is a no-op" 1 (Engine.pending e);
+  Engine.cancel h3;
+  Alcotest.(check int) "all gone" 0 (Engine.pending e);
+  Engine.run e;
+  Alcotest.(check int) "drained" 0 (Engine.pending e)
+
+let test_engine_pending_nested_schedule () =
+  Engine.debug_pending := true;
+  Fun.protect ~finally:(fun () -> Engine.debug_pending := false) @@ fun () ->
+  let e = Engine.create () in
+  let inner_pending = ref (-1) in
+  ignore
+    (Engine.schedule e ~delay:10 (fun () ->
+         ignore (Engine.schedule e ~delay:5 (fun () -> ()));
+         inner_pending := Engine.pending e));
+  Alcotest.(check int) "outer scheduled" 1 (Engine.pending e);
+  Engine.run e;
+  Alcotest.(check int) "count seen inside the handler" 1 !inner_pending;
+  Alcotest.(check int) "drained" 0 (Engine.pending e)
+
 let suite =
   [
     Alcotest.test_case "engine ordering" `Quick test_engine_ordering;
@@ -165,6 +205,8 @@ let suite =
     Alcotest.test_case "engine nested schedule" `Quick test_engine_nested_schedule;
     Alcotest.test_case "engine run until" `Quick test_engine_run_until;
     Alcotest.test_case "engine negative delay" `Quick test_engine_negative_delay;
+    Alcotest.test_case "engine pending exact" `Quick test_engine_pending_exact;
+    Alcotest.test_case "engine pending nested schedule" `Quick test_engine_pending_nested_schedule;
     Alcotest.test_case "net latency" `Quick test_net_latency;
     Alcotest.test_case "net intra-site" `Quick test_net_intra_site;
     Alcotest.test_case "net fragments" `Quick test_net_fragments;
