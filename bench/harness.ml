@@ -15,6 +15,23 @@ let e_app = Entry.user 0
 let json_path : string option ref = ref None
 let smoke = ref false
 
+(* [--no-coalesce] re-runs experiments with the historical wire
+   behaviour — one frame per packet, a dedicated ack per delivery, an
+   no ABCAST origination gate — for A/B comparisons against the coalescing
+   defaults.  [legacy_runtime_config] is that configuration;
+   [make_cluster] substitutes it whenever the flag is set and the
+   caller did not pin a config of its own. *)
+let no_coalesce = ref false
+
+let legacy_runtime_config =
+  let d = Runtime.default_config in
+  {
+    d with
+    Runtime.ab_window = 0 (* no origination gate: rounds launch immediately *);
+    endpoint =
+      { d.Runtime.endpoint with Vsync_transport.Endpoint.coalesce = false; delayed_ack_us = 0 };
+  }
+
 (* A minimal JSON emitter — enough for benchmark artifacts, so the
    bench needs no external JSON dependency. *)
 module Json = struct
@@ -88,8 +105,13 @@ type cluster = {
   gid : Addr.group_id;
 }
 
-let make_cluster ?(seed = 0xBE5CL) ?(name = "bench") ~sites () =
-  let w = World.create ~seed ~sites () in
+let make_cluster ?(seed = 0xBE5CL) ?(name = "bench") ?net_config ?runtime_config ~sites () =
+  let runtime_config =
+    match runtime_config with
+    | Some _ as c -> c
+    | None -> if !no_coalesce then Some legacy_runtime_config else None
+  in
+  let w = World.create ~seed ?net_config ?runtime_config ~sites () in
   let members =
     Array.init sites (fun s -> World.proc w ~site:s ~name:(Printf.sprintf "b%d" s))
   in

@@ -6,11 +6,15 @@
      dune exec bench/main.exe table1     # just Table I
      dune exec bench/main.exe fig2 fig3  # a subset
 
-   Experiments: table1 fig2 fig3 twentyq ablate micro msgpath.
+   Experiments: table1 fig2 fig3 twentyq ablate load faults scale micro
+   msgpath wire.
 
    Flags (consumed before experiment names):
-     --json PATH   JSON-capable experiments (msgpath) write results there
-     --smoke       reduced iteration counts, for CI perf tracking *)
+     --json PATH    JSON-capable experiments (msgpath, wire) write results there
+     --smoke        reduced iteration counts, for CI perf tracking
+     --no-coalesce  run with the historical wire behaviour (no frame
+                    coalescing, ack per delivery, ABCAST window 1) for
+                    A/B comparisons *)
 
 let experiments =
   [
@@ -24,6 +28,7 @@ let experiments =
     ("scale", Scale.run);
     ("micro", Micro.run);
     ("msgpath", Msgpath.run);
+    ("wire", Wire.run);
   ]
 
 let () =
@@ -37,6 +42,9 @@ let () =
       exit 2
     | "--smoke" :: rest ->
       Harness.smoke := true;
+      parse rest
+    | "--no-coalesce" :: rest ->
+      Harness.no_coalesce := true;
       parse rest
     | name :: rest -> name :: parse rest
     | [] -> []

@@ -8,16 +8,36 @@ type config = {
   suspect_after : int;
   frame_header_bytes : int;
   max_retransmits : int;
+  coalesce : bool;
+  delayed_ack_us : int;
 }
 
 let default_config =
-  { ping_interval_us = 500_000; suspect_after = 4; frame_header_bytes = 24; max_retransmits = 16 }
+  {
+    ping_interval_us = 500_000;
+    suspect_after = 4;
+    frame_header_bytes = 24;
+    max_retransmits = 16;
+    coalesce = true;
+    (* Long enough for the next protocol-level send (one cpu_send_us
+       apart, ~6 ms) to carry the ack instead; still under the 10 ms
+       minimum retransmission timeout, and the RTO adapts to include
+       the delay as soon as a delayed ack is ever sampled. *)
+    delayed_ack_us = 8_000;
+  }
 
 (* [gen] is the channel generation: bumped by the sender when it gives
    up on a channel (retransmission budget exhausted), so that post-heal
    traffic starts a recognisably fresh FIFO stream instead of silently
    leaving the receiver waiting on sequence numbers that will never
-   arrive. *)
+   arrive.
+
+   [ack_gen]/[ack_upto] piggyback the sender's cumulative ack for its
+   {e inbound} channel from the destination: reverse traffic carries
+   acks for free, so the dedicated delayed-ack timer rarely fires under
+   bidirectional load.  They are stamped when the frame actually goes on
+   the wire (so retransmissions carry fresh acks); [ack_upto = -1]
+   means "nothing to report". *)
 type 'p frame =
   | Data of {
       epoch : int;
@@ -27,6 +47,8 @@ type 'p frame =
       nfrags : int;
       chunk : int;
       payload : 'p option;
+      mutable ack_gen : int;
+      mutable ack_upto : int;
     }
   | Ack of { epoch : int; gen : int; upto : int }
   | Ping of { epoch : int; id : int }
@@ -42,7 +64,7 @@ type 'p pending_msg = {
 type 'p out_chan = {
   gen : int;
   mutable next_seq : int;
-  mutable unacked : 'p pending_msg list; (* oldest first *)
+  unacked : 'p pending_msg Queue.t; (* oldest first *)
   out_rtt : Rtt.t;
   mutable rto_timer : Engine.handle option;
 }
@@ -57,7 +79,15 @@ type 'p in_chan = {
   mutable in_gen : int;
   mutable next_deliver : int;
   pending : (int, 'p partial) Hashtbl.t;
+  mutable ack_owed : bool;
+  mutable ack_timer : Engine.handle option;
 }
+
+(* Per-destination staging queue for coalescing: frames enqueued during
+   one engine event are packed into shared packets by a zero-delay flush
+   callback (the engine fires same-time events in insertion order, so
+   the flush runs after every producer of that instant). *)
+type 'p sendq = { sq : 'p frame Queue.t; mutable flush_scheduled : bool }
 
 type monitor_state = {
   mon_rtt : Rtt.t;
@@ -74,16 +104,19 @@ type 'p t = {
   cfg : config;
   mutable my_epoch : int;
   mutable is_alive : bool;
-  mutable receiver : (src:site -> 'p -> unit) option;
+  mutable receiver : (src:site -> 'p list -> unit) option;
   mutable on_failure : site -> unit;
   mutable on_peer_restart : site -> unit;
   outs : (site, 'p out_chan) Hashtbl.t;
   ins : (site, 'p in_chan) Hashtbl.t;
+  sendqs : (site, 'p sendq) Hashtbl.t;
   out_gens : (site, int) Hashtbl.t; (* next generation for a re-opened channel *)
   peer_epochs : (site, int) Hashtbl.t;
   monitors : (site, monitor_state) Hashtbl.t;
   mutable next_ping_id : int;
   mutable n_frames_sent : int;
+  mutable n_acks_sent : int;
+  mutable n_packets_sent : int;
   mutable n_retransmits : int;
   mutable n_channel_failures : int;
 }
@@ -114,11 +147,14 @@ let create ?(config = default_config) fabric ~site ~size () =
       on_peer_restart = (fun _ -> ());
       outs = Hashtbl.create 8;
       ins = Hashtbl.create 8;
+      sendqs = Hashtbl.create 8;
       out_gens = Hashtbl.create 8;
       peer_epochs = Hashtbl.create 8;
       monitors = Hashtbl.create 8;
       next_ping_id = 0;
       n_frames_sent = 0;
+      n_acks_sent = 0;
+      n_packets_sent = 0;
       n_retransmits = 0;
       n_channel_failures = 0;
     }
@@ -136,6 +172,8 @@ let set_receiver t f = t.receiver <- Some f
 let set_failure_handler t f = t.on_failure <- f
 let set_restart_handler t f = t.on_peer_restart <- f
 let frames_sent t = t.n_frames_sent
+let acks_sent t = t.n_acks_sent
+let packets_sent t = t.n_packets_sent
 let retransmits t = t.n_retransmits
 let channel_failures t = t.n_channel_failures
 
@@ -143,23 +181,97 @@ let frame_bytes t = function
   | Data { chunk; _ } -> chunk + t.cfg.frame_header_bytes
   | Ack _ | Ping _ | Pong _ -> t.cfg.frame_header_bytes
 
-(* Forward declaration dance: transmit needs handle_frame of the peer. *)
+let cancel_ack_timer ch =
+  Option.iter Engine.cancel ch.ack_timer;
+  ch.ack_timer <- None
+
+(* Stamp the piggybacked cumulative ack for [dst] onto an outgoing data
+   frame, at wire time.  Clearing [ack_owed] suppresses the pending
+   delayed-ack timer shot: the reverse traffic has carried the ack. *)
+let stamp_ack t ~dst frame =
+  match frame with
+  | Data d when t.cfg.delayed_ack_us > 0 -> (
+    match Hashtbl.find_opt t.ins dst with
+    | Some ch ->
+      d.ack_gen <- ch.in_gen;
+      d.ack_upto <- ch.next_deliver - 1;
+      ch.ack_owed <- false
+    | None -> ())
+  | Data _ | Ack _ | Ping _ | Pong _ -> ()
+
+let account_frame t = function
+  | Data _ -> t.n_frames_sent <- t.n_frames_sent + 1
+  | Ack _ -> t.n_acks_sent <- t.n_acks_sent + 1
+  | Ping _ | Pong _ -> ()
+
+(* Forward declaration dance: transmit needs handle_packet of the peer. *)
 let rec transmit t ~dst frame =
-  if t.is_alive then begin
-    (match frame with Data _ -> t.n_frames_sent <- t.n_frames_sent + 1 | _ -> ());
-    let bytes = frame_bytes t frame in
-    Net.send t.fabric.fnet ~src:t.my_site ~dst ~bytes (fun () ->
-        match t.fabric.endpoints.(dst) with
-        | Some peer when peer.is_alive -> handle_frame peer ~src:t.my_site frame
-        | Some _ | None -> ())
-  end
+  if t.is_alive then
+    if not t.cfg.coalesce then begin
+      stamp_ack t ~dst frame;
+      account_frame t frame;
+      send_packet t ~dst [ frame ] ~bytes:(frame_bytes t frame)
+    end
+    else begin
+      let q =
+        match Hashtbl.find_opt t.sendqs dst with
+        | Some q -> q
+        | None ->
+          let q = { sq = Queue.create (); flush_scheduled = false } in
+          Hashtbl.replace t.sendqs dst q;
+          q
+      in
+      Queue.push frame q.sq;
+      if not q.flush_scheduled then begin
+        q.flush_scheduled <- true;
+        let my_epoch = t.my_epoch in
+        ignore
+          (Engine.schedule (engine t) ~delay:0 (fun () ->
+               q.flush_scheduled <- false;
+               if t.is_alive && t.my_epoch = my_epoch then flush_sendq t ~dst q
+               else Queue.clear q.sq))
+      end
+    end
+
+and flush_sendq t ~dst q =
+  let max_bytes = (Net.config t.fabric.fnet).Net.max_packet_bytes in
+  while not (Queue.is_empty q.sq) do
+    (* Greedily pack queued frames into one network packet.  Every frame
+       fits on its own ([send] fragments to the packet size), so the
+       packet never exceeds [max_packet_bytes]. *)
+    let frames = ref [] in
+    let bytes = ref 0 in
+    let full = ref false in
+    while (not !full) && not (Queue.is_empty q.sq) do
+      let f = Queue.peek q.sq in
+      let fb = frame_bytes t f in
+      if !frames = [] || !bytes + fb <= max_bytes then begin
+        ignore (Queue.pop q.sq);
+        stamp_ack t ~dst f;
+        account_frame t f;
+        frames := f :: !frames;
+        bytes := !bytes + fb
+      end
+      else full := true
+    done;
+    send_packet t ~dst (List.rev !frames) ~bytes:!bytes
+  done
+
+and send_packet t ~dst frames ~bytes =
+  t.n_packets_sent <- t.n_packets_sent + 1;
+  Net.send t.fabric.fnet ~src:t.my_site ~dst ~bytes (fun () ->
+      match t.fabric.endpoints.(dst) with
+      | Some peer when peer.is_alive -> handle_packet peer ~src:t.my_site frames
+      | Some _ | None -> ())
 
 and out_chan t dst =
   match Hashtbl.find_opt t.outs dst with
   | Some ch -> ch
   | None ->
     let gen = Option.value ~default:0 (Hashtbl.find_opt t.out_gens dst) in
-    let ch = { gen; next_seq = 0; unacked = []; out_rtt = Rtt.create (); rto_timer = None } in
+    let ch =
+      { gen; next_seq = 0; unacked = Queue.create (); out_rtt = Rtt.create (); rto_timer = None }
+    in
     Hashtbl.replace t.outs dst ch;
     ch
 
@@ -167,12 +279,14 @@ and in_chan t src =
   match Hashtbl.find_opt t.ins src with
   | Some ch -> ch
   | None ->
-    let ch = { in_gen = 0; next_deliver = 0; pending = Hashtbl.create 8 } in
+    let ch =
+      { in_gen = 0; next_deliver = 0; pending = Hashtbl.create 8; ack_owed = false; ack_timer = None }
+    in
     Hashtbl.replace t.ins src ch;
     ch
 
 and arm_rto t ~dst ch =
-  if ch.rto_timer = None && ch.unacked <> [] then begin
+  if ch.rto_timer = None && not (Queue.is_empty ch.unacked) then begin
     let my_epoch = t.my_epoch in
     let delay = Rtt.timeout_us ch.out_rtt in
     ch.rto_timer <-
@@ -183,15 +297,18 @@ and arm_rto t ~dst ch =
   end
 
 and retransmit t ~dst ch =
-  if ch.unacked <> [] then begin
+  if not (Queue.is_empty ch.unacked) then begin
     Rtt.backoff ch.out_rtt;
-    if List.exists (fun m -> m.attempts + 1 > t.cfg.max_retransmits) ch.unacked then
+    let exhausted =
+      Queue.fold (fun acc m -> acc || m.attempts + 1 > t.cfg.max_retransmits) false ch.unacked
+    in
+    if exhausted then
       (* Go-back-N cannot drop one message and keep sending later ones:
          the receiver would wait forever on the gap.  Exhausting the
          budget therefore fails the whole channel, loudly. *)
       fail_channel t ~dst ch
     else begin
-      List.iter
+      Queue.iter
         (fun m ->
           m.attempts <- m.attempts + 1;
           t.n_retransmits <- t.n_retransmits + List.length m.frames;
@@ -204,7 +321,7 @@ and retransmit t ~dst ch =
 and fail_channel t ~dst ch =
   Option.iter Engine.cancel ch.rto_timer;
   ch.rto_timer <- None;
-  ch.unacked <- [];
+  Queue.clear ch.unacked;
   Hashtbl.remove t.outs dst;
   (* The next send to [dst] opens a fresh FIFO stream under gen+1; the
      receiver discards any leftovers of this generation when it sees it. *)
@@ -212,10 +329,21 @@ and fail_channel t ~dst ch =
   t.n_channel_failures <- t.n_channel_failures + 1;
   t.on_failure dst
 
-and handle_frame t ~src frame =
+(* One network packet arrived: process its frames in order, then hand
+   every payload completed by this packet to the receiver in a single
+   batch (the protocol layer charges its per-interrupt CPU cost once per
+   packet, not once per frame — the point of coalescing). *)
+and handle_packet t ~src frames =
+  let sink = ref [] in
+  List.iter (fun frame -> handle_frame t ~src ~sink frame) frames;
+  match (t.receiver, List.rev !sink) with
+  | Some deliver, (_ :: _ as payloads) -> deliver ~src payloads
+  | _ -> ()
+
+and handle_frame t ~src ~sink frame =
   match t.receiver with
   | None -> () (* not wired up yet; drop *)
-  | Some deliver ->
+  | Some _ ->
     let frame_epoch =
       match frame with
       | Data { epoch; _ } | Ack { epoch; _ } | Ping { epoch; id = _ } | Pong { epoch; id = _ } ->
@@ -234,7 +362,11 @@ and handle_frame t ~src frame =
            is garbage.  Outbound unacked traffic was addressed to the
            dead incarnation; the membership layer handles the fallout. *)
         Hashtbl.replace t.peer_epochs src frame_epoch;
-        Hashtbl.remove t.ins src;
+        (match Hashtbl.find_opt t.ins src with
+        | Some ch ->
+          cancel_ack_timer ch;
+          Hashtbl.remove t.ins src
+        | None -> ());
         (match Hashtbl.find_opt t.outs src with
         | Some ch ->
           Option.iter Engine.cancel ch.rto_timer;
@@ -249,8 +381,9 @@ and handle_frame t ~src frame =
       | Ping { id; _ } -> transmit t ~dst:src (Pong { epoch = t.my_epoch; id })
       | Pong { id; _ } -> handle_pong t ~src ~id
       | Ack { gen; upto; _ } -> handle_ack t ~src ~gen ~upto
-      | Data { gen; seq; frag; nfrags; payload; _ } ->
-        handle_data t ~src ~gen ~seq ~frag ~nfrags ~payload deliver
+      | Data { gen; seq; frag; nfrags; payload; ack_gen; ack_upto; _ } ->
+        if ack_upto >= 0 then handle_ack t ~src ~gen:ack_gen ~upto:ack_upto;
+        handle_data t ~src ~gen ~seq ~frag ~nfrags ~payload ~sink
     end
 
 and handle_ack t ~src ~gen ~upto =
@@ -259,19 +392,49 @@ and handle_ack t ~src ~gen ~upto =
   | Some ch when ch.gen <> gen -> () (* ack for an abandoned channel generation *)
   | Some ch ->
     let now = Engine.now (engine t) in
-    List.iter
+    (* Karn's algorithm: only first-transmission samples train the
+       estimator — and only while no retransmitted message sits ahead in
+       the queue.  After a go-back-N round a never-retransmitted message
+       can ride behind retransmitted ones, and a cumulative ack covering
+       it may have been triggered by any copy of those: it cannot date
+       the later message either. *)
+    let clean = ref true in
+    Queue.iter
       (fun m ->
-        (* Karn's algorithm: only first-transmission samples train the
-           estimator. *)
-        if m.seq <= upto && m.attempts = 0 then Rtt.observe ch.out_rtt (now - m.first_sent_at))
+        if m.attempts > 0 then clean := false
+        else if !clean && m.seq <= upto then Rtt.observe ch.out_rtt (now - m.first_sent_at))
       ch.unacked;
-    ch.unacked <- List.filter (fun m -> m.seq > upto) ch.unacked;
-    if ch.unacked = [] then begin
+    while (not (Queue.is_empty ch.unacked)) && (Queue.peek ch.unacked).seq <= upto do
+      ignore (Queue.pop ch.unacked)
+    done;
+    if Queue.is_empty ch.unacked then begin
       Option.iter Engine.cancel ch.rto_timer;
       ch.rto_timer <- None
     end
 
-and handle_data t ~src ~gen ~seq ~frag ~nfrags ~payload deliver =
+(* Record that [src] is owed a cumulative ack.  With delayed acks the
+   dedicated frame goes out only if no reverse data frame has carried
+   the ack when the (short, well under the minimum RTO) timer fires. *)
+and note_ack_owed t ~src ch =
+  if t.cfg.delayed_ack_us <= 0 then
+    transmit t ~dst:src (Ack { epoch = t.my_epoch; gen = ch.in_gen; upto = ch.next_deliver - 1 })
+  else begin
+    ch.ack_owed <- true;
+    if ch.ack_timer = None then begin
+      let my_epoch = t.my_epoch in
+      ch.ack_timer <-
+        Some
+          (Engine.schedule (engine t) ~delay:t.cfg.delayed_ack_us (fun () ->
+               ch.ack_timer <- None;
+               if t.is_alive && t.my_epoch = my_epoch && ch.ack_owed then begin
+                 ch.ack_owed <- false;
+                 transmit t ~dst:src
+                   (Ack { epoch = t.my_epoch; gen = ch.in_gen; upto = ch.next_deliver - 1 })
+               end))
+    end
+  end
+
+and handle_data t ~src ~gen ~seq ~frag ~nfrags ~payload ~sink =
   let ch = in_chan t src in
   if gen < ch.in_gen then () (* leftovers of a generation the sender abandoned *)
   else begin
@@ -286,7 +449,7 @@ and handle_data t ~src ~gen ~seq ~frag ~nfrags ~payload deliver =
     if seq < ch.next_deliver then
       (* Duplicate of something already delivered: re-ack so the sender
          stops resending. *)
-      transmit t ~dst:src (Ack { epoch = t.my_epoch; gen = ch.in_gen; upto = ch.next_deliver - 1 })
+      note_ack_owed t ~src ch
     else begin
       let partial =
         match Hashtbl.find_opt ch.pending seq with
@@ -298,7 +461,7 @@ and handle_data t ~src ~gen ~seq ~frag ~nfrags ~payload deliver =
       in
       if frag >= 0 && frag < Array.length partial.got then partial.got.(frag) <- true;
       (match payload with Some _ -> partial.payload <- payload | None -> ());
-      (* Deliver every complete in-order message. *)
+      (* Release every complete in-order message into the batch. *)
       let complete p = Array.for_all Fun.id p.got in
       let made_progress = ref false in
       let rec drain () =
@@ -308,15 +471,13 @@ and handle_data t ~src ~gen ~seq ~frag ~nfrags ~payload deliver =
           ch.next_deliver <- ch.next_deliver + 1;
           made_progress := true;
           (match p.payload with
-          | Some v -> deliver ~src v
+          | Some v -> sink := v :: !sink
           | None -> failwith "Endpoint: complete message with no payload fragment");
           drain ()
         | Some _ | None -> ()
       in
       drain ();
-      if !made_progress then
-        transmit t ~dst:src
-          (Ack { epoch = t.my_epoch; gen = ch.in_gen; upto = ch.next_deliver - 1 })
+      if !made_progress then note_ack_owed t ~src ch
     end
   end
 
@@ -341,7 +502,7 @@ let send t ~dst p =
            ~delay:(Net.config t.fabric.fnet).Net.intra_site_us
            (fun () ->
              if t.is_alive && t.my_epoch = my_epoch then
-               match t.receiver with Some deliver -> deliver ~src:t.my_site p | None -> ()))
+               match t.receiver with Some deliver -> deliver ~src:t.my_site [ p ] | None -> ()))
     end
     else begin
       let ch = out_chan t dst in
@@ -367,11 +528,13 @@ let send t ~dst p =
                 nfrags;
                 chunk;
                 payload = (if i = 0 then Some p else None);
+                ack_gen = 0;
+                ack_upto = -1;
               })
           sizes
       in
       let msg = { seq; frames; first_sent_at = Engine.now (engine t); attempts = 0 } in
-      ch.unacked <- ch.unacked @ [ msg ];
+      Queue.push msg ch.unacked;
       List.iter (fun f -> transmit t ~dst f) frames;
       arm_rto t ~dst ch
     end
@@ -444,12 +607,19 @@ let rtt_us t ~site =
   | Some mon when Rtt.samples mon.mon_rtt > 0 -> Some (Rtt.srtt_us mon.mon_rtt)
   | Some _ | None -> None
 
+let out_rtt_stats t ~dst =
+  match Hashtbl.find_opt t.outs dst with
+  | Some ch -> Some (Rtt.samples ch.out_rtt, Rtt.srtt_us ch.out_rtt)
+  | None -> None
+
 let crash t =
   t.is_alive <- false;
   Hashtbl.iter (fun _ ch -> Option.iter Engine.cancel ch.rto_timer) t.outs;
+  Hashtbl.iter (fun _ ch -> cancel_ack_timer ch) t.ins;
   Hashtbl.iter (fun _ mon -> Option.iter Engine.cancel mon.mon_timer) t.monitors;
   Hashtbl.reset t.outs;
   Hashtbl.reset t.ins;
+  Hashtbl.reset t.sendqs;
   Hashtbl.reset t.monitors
 
 let restart t =
@@ -458,6 +628,7 @@ let restart t =
   t.my_epoch <- t.my_epoch + 1;
   Hashtbl.reset t.outs;
   Hashtbl.reset t.ins;
+  Hashtbl.reset t.sendqs;
   Hashtbl.reset t.out_gens;
   Hashtbl.reset t.peer_epochs;
   Hashtbl.reset t.monitors

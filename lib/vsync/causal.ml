@@ -5,13 +5,13 @@ type 'a waiting = { uid : uid; rank : int; vt : Vclock.t; payload : 'a }
 
 type 'a t = {
   local : Vclock.t;
-  mutable delayed : 'a waiting list; (* arrival order *)
+  delayed : 'a waiting Queue.t; (* arrival order *)
   mutable ready : (uid * 'a) list; (* reversed: newest first *)
   mutable known : Uid_set.t; (* every uid ever received *)
 }
 
 let create ~n_ranks () =
-  { local = Vclock.create n_ranks; delayed = []; ready = []; known = Uid_set.empty }
+  { local = Vclock.create n_ranks; delayed = Queue.create (); ready = []; known = Uid_set.empty }
 
 let stamp t ~rank =
   Vclock.incr t.local rank;
@@ -22,21 +22,22 @@ let seen t uid = Uid_set.mem uid t.known
 let note_sent t uid = t.known <- Uid_set.add uid t.known
 
 (* After the local clock advances, some delayed messages may have become
-   deliverable; iterate to a fixed point. *)
+   deliverable; rotate the queue (arrival order preserved) to a fixed
+   point.  Merging as we go only helps later entries of the same pass,
+   so the delivery order matches the old partition-per-pass scan. *)
 let rec promote t =
-  let deliverable, still =
-    List.partition (fun w -> Vclock.deliverable ~msg:w.vt ~local:t.local ~sender:w.rank) t.delayed
-  in
-  match deliverable with
-  | [] -> ()
-  | _ ->
-    List.iter
-      (fun w ->
-        Vclock.merge t.local w.vt;
-        t.ready <- (w.uid, w.payload) :: t.ready)
-      deliverable;
-    t.delayed <- still;
-    promote t
+  let n = Queue.length t.delayed in
+  let progressed = ref false in
+  for _ = 1 to n do
+    let w = Queue.pop t.delayed in
+    if Vclock.deliverable ~msg:w.vt ~local:t.local ~sender:w.rank then begin
+      Vclock.merge t.local w.vt;
+      t.ready <- (w.uid, w.payload) :: t.ready;
+      progressed := true
+    end
+    else Queue.push w t.delayed
+  done;
+  if !progressed && not (Queue.is_empty t.delayed) then promote t
 
 let receive t ~uid ~rank ~vt payload =
   if not (seen t uid) then begin
@@ -46,7 +47,7 @@ let receive t ~uid ~rank ~vt payload =
       t.ready <- (uid, payload) :: t.ready;
       promote t
     end
-    else t.delayed <- t.delayed @ [ { uid; rank; vt; payload } ]
+    else Queue.push { uid; rank; vt; payload } t.delayed
   end
 
 let receive_fifo t ~uid payload =
@@ -60,7 +61,8 @@ let drain t =
   t.ready <- [];
   out
 
-let pending t = List.map (fun w -> (w.uid, w.payload)) t.delayed
+let pending t =
+  Queue.fold (fun acc w -> (w.uid, w.payload) :: acc) [] t.delayed |> List.rev
 
 let clock t = t.local
 
@@ -75,12 +77,12 @@ let force_drain t =
         match compare (Vclock.to_list a.vt) (Vclock.to_list b.vt) with
         | 0 -> uid_compare a.uid b.uid
         | c -> c)
-      t.delayed
+      (List.of_seq (Queue.to_seq t.delayed))
   in
+  Queue.clear t.delayed;
   List.iter
     (fun w ->
       Vclock.merge t.local w.vt;
       t.ready <- (w.uid, w.payload) :: t.ready)
     stragglers;
-  t.delayed <- [];
   drain t

@@ -16,6 +16,7 @@ type config = {
   cpu_recv_us : int;
   cpu_us_per_kb : int;
   cpu_us_per_extra_packet : int;
+  ab_window : int;
   clock_offset_us : int;
   endpoint : Endpoint.config;
 }
@@ -26,6 +27,7 @@ let default_config =
     cpu_recv_us = 5_000;
     cpu_us_per_kb = 700;
     cpu_us_per_extra_packet = 8_000;
+    ab_window = 16;
     clock_offset_us = 0;
     endpoint = Endpoint.default_config;
   }
@@ -74,10 +76,21 @@ and group = {
   mutable total : Message.t Total.t;
   mutable store : Proto.stored Uid_map.t;
   mutable wedge : wedge_state option;
-  mutable blocked_sends : (unit -> unit) list; (* newest first *)
+  mutable blocked_sends : (proc option * mode * Message.t) list; (* newest first *)
+  ab_queue : (proc option * Message.t) Queue.t;
+      (* ABCASTs accepted for origination but waiting for a pipeline
+         slot: at most [ab_window] phase-1 rounds originated here may be
+         outstanding at once *)
+  mutable ab_inflight : int;
   mutable g_monitors : (proc * (View.t -> View.change list -> unit)) list;
   mutable join_validator : (proc * (Addr.proc -> Message.t -> bool)) option;
   mutable suspects : int list;
+  mutable failed_procs : Addr.proc list;
+      (* processes a past view change removed as FAILED.  Failures are
+         clean: nothing further from them may be delivered — a falsely
+         suspected process is still alive and will keep multicasting
+         (directly or through the client relay), so origination rejects
+         its messages until a rejoin clears it *)
   mutable pending_events : pending_event list; (* oldest first *)
   mutable change : change_state option;
   mutable last_attempt : int;
@@ -197,6 +210,17 @@ let gi = Addr.group_to_int
 
 let endpoint t =
   match t.ep with Some e -> e | None -> invalid_arg "Runtime: endpoint not wired"
+
+(* Transport-level wire accounting, for the wire-efficiency bench. *)
+let transport_stats t =
+  let ep = endpoint t in
+  [
+    ("data_frames", Endpoint.frames_sent ep);
+    ("ack_frames", Endpoint.acks_sent ep);
+    ("packets", Endpoint.packets_sent ep);
+    ("retransmits", Endpoint.retransmits ep);
+    ("channel_failures", Endpoint.channel_failures ep);
+  ]
 
 (* --- CPU model: one processor per site, FIFO service --- *)
 
@@ -609,18 +633,22 @@ and check_session t sess =
        on behalf of a remote client) --- *)
 
 and origin_multicast t g mode ~owner body =
-  if g.wedge <> None then
+  let sender_failed =
+    match Message.sender body with
+    | Some s -> List.exists (Addr.equal_proc s) g.failed_procs
+    | None -> false
+  in
+  if sender_failed then init_done owner
+  else if g.wedge <> None then
     (* Wedged: the group is between views; queue the operation and rerun
        it once the new view is installed. *)
-    g.blocked_sends <- (fun () -> origin_multicast t g mode ~owner body) :: g.blocked_sends
+    g.blocked_sends <- (owner, mode, body) :: g.blocked_sends
   else
     match mode with
     | Cbcast ->
       origin_cbcast t g ~owner body;
       init_done owner
-    | Abcast ->
-      origin_abcast t g ~owner body;
-      init_done owner
+    | Abcast -> enqueue_abcast t g ~owner body
     | Gbcast ->
       origin_gbcast t g body;
       init_done owner
@@ -678,6 +706,47 @@ and origin_cbcast t g ~owner body =
     deliver_to_members t g body ~members:(local_members t g)
   end
 
+(* ABCAST origination is pipelined: a bounded window of phase-1 rounds
+   may be outstanding per group, the rest queue.  When commits complete
+   they free slots, and because a coalesced packet can complete several
+   commits in one engine event, the freed slots dispatch as a burst
+   whose Ab_data frames coalesce — under load the pipeline feeds its own
+   batching.  [init_done] (which lets [flush] proceed) runs only when
+   the multicast is actually originated, so flush semantics still cover
+   queued sends. *)
+and enqueue_abcast t g ~owner body =
+  Queue.push (owner, body) g.ab_queue;
+  dispatch_abcasts t g
+
+and dispatch_abcasts t g =
+  (* Burst dispatch.  Rounds launched in the same engine event share
+     packets all the way around the protocol: their Ab_data frames
+     coalesce per destination, so each member answers the whole burst
+     with its prios in one packet (one receive interrupt here instead
+     of one per round), and the commit fan-out coalesces onto the next
+     burst's phase-1 frames.  Releasing one round per freed slot would
+     keep the pipeline perfectly smooth and nothing would ever share a
+     packet — so while the pipeline is busy, rounds launch in bursts
+     of at least half the window: a burst goes out when that many
+     slots are free and the backlog can fill them (two half-window
+     bursts then overlap, so the originator never idles waiting for a
+     round trip), or when the pipeline drains entirely.  [ab_window <=
+     0] disables the origination gate (the pre-window behaviour: every
+     round launches immediately). *)
+  let window = if t.cfg.ab_window <= 0 then max_int else t.cfg.ab_window in
+  let free = window - g.ab_inflight in
+  let quantum = if window = max_int then 1 else (window + 1) / 2 in
+  if
+    g.wedge = None
+    && (not (Queue.is_empty g.ab_queue))
+    && (g.ab_inflight = 0 || (free >= quantum && Queue.length g.ab_queue >= quantum))
+  then
+    while (not (Queue.is_empty g.ab_queue)) && g.ab_inflight < window do
+      let owner, body = Queue.pop g.ab_queue in
+      origin_abcast t g ~owner body;
+      init_done owner
+    done
+
 and origin_abcast t g ~owner body =
   let uid = fresh_uid t in
   let remote = remote_member_sites t g in
@@ -689,6 +758,7 @@ and origin_abcast t g ~owner body =
     drain_group t g
   end
   else begin
+    g.ab_inflight <- g.ab_inflight + 1;
     Hashtbl.replace t.ab_collects uid { ac_group = g.gid; ac_expect = remote; ac_max = my_prio };
     List.iter
       (fun dst ->
@@ -718,6 +788,7 @@ and on_ab_prio t uid prio =
           col.ac_expect <- List.tl col.ac_expect;
           if col.ac_expect = [] then begin
             Hashtbl.remove t.ab_collects uid;
+            g.ab_inflight <- max 0 (g.ab_inflight - 1);
             let final = col.ac_max in
             Trace.emitf t.tracer ~category:"abcast" "commit %a %a" pp_uid uid pp_prio final;
             List.iter
@@ -726,7 +797,10 @@ and on_ab_prio t uid prio =
                   (Proto.Ab_commit { group = g.gid; view_id = g.view.View.view_id; uid; prio = final }))
               (remote_member_sites t g);
             Total.commit g.total ~uid final;
-            drain_group t g
+            drain_group t g;
+            (* The freed slot (and any others freed by this same packet)
+               dispatches the next queued round(s). *)
+            dispatch_abcasts t g
           end)
       end)
 
@@ -1201,6 +1275,16 @@ and on_commit t g_opt frame =
       g.wedge <- None;
       g.last_commit <- Some frame;
       g.suspects <- List.filter (fun s -> List.mem s (View.sites new_view)) g.suspects;
+      (* Failure is sticky until a rejoin: record processes this change
+         removed as failed, and clear any that just (re)joined. *)
+      g.failed_procs <-
+        List.fold_left
+          (fun acc ev ->
+            match ev with
+            | View.Member_failed p -> p :: acc
+            | View.Member_joined p -> List.filter (fun q -> not (Addr.equal_proc q p)) acc
+            | View.Member_left _ -> acc)
+          g.failed_procs events;
       (* Old-view unstable records of this group are settled by the
          flush. *)
       let settled =
@@ -1217,13 +1301,18 @@ and on_commit t g_opt frame =
             maybe_wake_flushers p
           | Some _ | None -> ())
         settled;
-      Hashtbl.iter (fun _ col -> ignore col) t.ab_collects;
       let stale_collects =
         Hashtbl.fold
           (fun uid col acc -> if gi col.ac_group = gi group then uid :: acc else acc)
           t.ab_collects []
       in
       List.iter (fun u -> Hashtbl.remove t.ab_collects u) stale_collects;
+      (* The flush settled every outstanding ABCAST round of the old
+         view; the origination pipeline restarts empty in the new one
+         (queued sends dispatch below, before the blocked replay, which
+         preserves acceptance order). *)
+      g.ab_inflight <- 0;
+      dispatch_abcasts t g;
       remember_contacts t group (View.sites new_view);
       (* Track membership on local procs. *)
       List.iter
@@ -1297,13 +1386,24 @@ and on_commit t g_opt frame =
         List.iter (fun s -> if not (List.mem s new_sites) then mon_release t s) old_sites
       end;
       (* 7. Unwedge: rerun blocked operations in order, then replay any
-         frames that arrived for the new view early. *)
+         frames that arrived for the new view early.  Re-origination
+         goes back through [origin_multicast], whose failed-sender check
+         discards sends queued by a member this very commit removed as
+         failed — replaying those would re-inject them as client relays
+         of the new view. *)
       let blocked = List.rev g.blocked_sends in
       g.blocked_sends <- [];
-      List.iter (fun thunk -> thunk ()) blocked;
+      List.iter (fun (owner, mode, body) -> origin_multicast t g mode ~owner body) blocked;
       replay_held t (gi group);
       (* 8. A group whose membership is empty dissolves. *)
+      let drop_ab_queue () =
+        (* Queued ABCASTs die with the group copy; release any flusher
+           waiting on their origination. *)
+        Queue.iter (fun (owner, _) -> init_done owner) g.ab_queue;
+        Queue.clear g.ab_queue
+      in
       if View.n_members new_view = 0 then begin
+        drop_ab_queue ();
         List.iter (fun s -> mon_release t s) new_sites;
         Hashtbl.remove t.groups (gi group);
         Hashtbl.remove t.contacts (gi group)
@@ -1321,6 +1421,7 @@ and on_commit t g_opt frame =
            drop its copy of the state (it will no longer receive
            commits). *)
         if local_members t g = [] then begin
+          drop_ab_queue ();
           List.iter (fun s -> mon_release t s) new_sites;
           Hashtbl.remove t.groups (gi group)
         end
@@ -1347,9 +1448,12 @@ and make_group t ~gid ~gname ~view =
     store = Uid_map.empty;
     wedge = None;
     blocked_sends = [];
+    ab_queue = Queue.create ();
+    ab_inflight = 0;
     g_monitors = [];
     join_validator = None;
     suspects = [];
+    failed_procs = [];
     pending_events = [];
     change = None;
     last_attempt = 0;
@@ -1601,16 +1705,26 @@ let wire_endpoint t =
     Endpoint.create ~config:t.cfg.endpoint t.fab.ep_fabric ~site:t.my_site ~size:Proto.size ()
   in
   t.ep <- Some ep;
-  Endpoint.set_receiver ep (fun ~src frame ->
-      (* Stability bookkeeping is interrupt-level work, not a protocol
-         step: charge a token cost so ack storms do not dominate the
-         CPU accounting. *)
+  Endpoint.set_receiver ep (fun ~src frames ->
+      (* One arriving packet can carry several frames (coalescing).  The
+         fixed per-interrupt dispatch cost is charged once per packet;
+         every frame still pays its byte-proportional handling cost.
+         Stability bookkeeping is interrupt-level work, not a protocol
+         step: a token cost so ack storms do not dominate the CPU
+         accounting. *)
+      let base_charged = ref false in
       let cost =
-        match frame with
-        | Proto.Deliver_ack _ | Proto.Stable _ -> 500
-        | _ -> cpu_cost t t.cfg.cpu_recv_us (Proto.size frame)
+        List.fold_left
+          (fun acc frame ->
+            match frame with
+            | Proto.Deliver_ack _ | Proto.Stable _ -> acc + 500
+            | f ->
+              let base = if !base_charged then 0 else t.cfg.cpu_recv_us in
+              base_charged := true;
+              acc + cpu_cost t base (Proto.size f))
+          0 frames
       in
-      on_cpu t cost (fun () -> handle_frame t ~src frame));
+      on_cpu t cost (fun () -> List.iter (fun frame -> handle_frame t ~src frame) frames));
   Endpoint.set_failure_handler ep (fun s -> if t.running then on_site_down t s);
   (* A peer that crashed and revived inside the suspicion window never
      trips the ping detector, but everything we know about its old

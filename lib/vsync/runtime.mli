@@ -50,6 +50,16 @@ type config = {
   cpu_us_per_extra_packet : int;
       (** additional CPU cost per 4 KB fragment beyond the first (the
           source of Figure 2's latency knee). *)
+  ab_window : int;
+      (** ABCAST origination pipeline depth: how many phase-1 rounds a
+          site may have outstanding per group before further ABCASTs
+          queue.  Queued rounds are released in {e bursts} (once at
+          least half the window is free) so that rounds launched
+          together coalesce into shared packets — phase-1 fan-out,
+          the members' prio replies, and the phase-2 commit fan-out
+          each collapse to one packet per destination per burst.
+          1 fully serializes rounds; [<= 0] disables the gate (every
+          round launches immediately, the historical behaviour). *)
   clock_offset_us : int;
       (** this site's wall-clock skew from true simulation time
           (unknown to the site itself; the real-time tool estimates
@@ -79,6 +89,12 @@ val trace : t -> Vsync_sim.Trace.t
 (** [cpu_busy_us t] is accumulated CPU busy time (for the load figures
     quoted in the paper's Sec 7). *)
 val cpu_busy_us : t -> int
+
+(** [transport_stats t] is the site's transport wire accounting as
+    labelled counters: data frames, dedicated ack frames, network
+    packets (one packet can carry several coalesced frames),
+    retransmitted frames, and failed channels. *)
+val transport_stats : t -> (string * int) list
 
 (** [local_time_us t] is the site's local wall clock — true time plus
     its configured skew. *)

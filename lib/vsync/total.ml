@@ -1,4 +1,5 @@
 open Types
+module Heap = Vsync_util.Heap
 
 type 'a entry = {
   mutable prio : prio;
@@ -11,9 +12,25 @@ type 'a t = {
   mutable ctr : int;
   mutable entries : 'a entry Uid_map.t;
   mutable delivered : Uid_set.t;
+  order : (prio * uid) Heap.t;
+      (* lazy-deletion min-heap mirroring [entries]: every (current
+         prio, uid) pair ever assigned is pushed; [head] discards keys
+         whose entry is gone or has since moved to a different
+         priority. *)
 }
 
-let create ~site () = { site; ctr = 0; entries = Uid_map.empty; delivered = Uid_set.empty }
+let order_compare (p1, u1) (p2, u2) =
+  let c = prio_compare p1 p2 in
+  if c <> 0 then c else uid_compare u1 u2
+
+let create ~site () =
+  {
+    site;
+    ctr = 0;
+    entries = Uid_map.empty;
+    delivered = Uid_set.empty;
+    order = Heap.create ~compare:order_compare;
+  }
 
 let seen t uid = Uid_map.mem uid t.entries || Uid_set.mem uid t.delivered
 
@@ -34,6 +51,7 @@ let intake t ~uid payload =
       t.ctr <- t.ctr + 1;
       let prio = (t.ctr, t.site) in
       t.entries <- Uid_map.add uid { prio; committed = false; payload = Some payload } t.entries;
+      Heap.push t.order (prio, uid);
       prio
     end
 
@@ -41,10 +59,14 @@ let commit t ~uid prio =
   if not (Uid_set.mem uid t.delivered) then begin
     (match Uid_map.find_opt uid t.entries with
     | Some e ->
-      e.prio <- prio;
+      if prio_compare e.prio prio <> 0 then begin
+        e.prio <- prio;
+        Heap.push t.order (prio, uid)
+      end;
       e.committed <- true
     | None ->
-      t.entries <- Uid_map.add uid { prio; committed = true; payload = None } t.entries);
+      t.entries <- Uid_map.add uid { prio; committed = true; payload = None } t.entries;
+      Heap.push t.order (prio, uid));
     t.ctr <- max t.ctr (fst prio)
   end
 
@@ -58,19 +80,21 @@ let drop t ~uid =
   | None -> ()
   | Some e ->
     if e.committed then invalid_arg "Total.drop: message is committed";
+    (* Lazy deletion: the heap key is discarded when it surfaces. *)
     t.entries <- Uid_map.remove uid t.entries
 
-let head t =
-  (* Smallest (prio, uid) among buffered entries.  Linear scan: pending
-     sets are small (outstanding, uncommitted multicasts only). *)
-  Uid_map.fold
-    (fun uid e acc ->
-      match acc with
-      | None -> Some (uid, e)
-      | Some (auid, ae) ->
-        let c = prio_compare e.prio ae.prio in
-        if c < 0 || (c = 0 && uid_compare uid auid < 0) then Some (uid, e) else acc)
-    t.entries None
+(* Smallest (prio, uid) among buffered entries, via the heap: pop stale
+   keys (entry removed, or re-prioritized — its current key is also in
+   the heap) until a live one surfaces. *)
+let rec head t =
+  match Heap.peek t.order with
+  | None -> None
+  | Some (prio, uid) -> (
+    match Uid_map.find_opt uid t.entries with
+    | Some e when prio_compare e.prio prio = 0 -> Some (uid, e)
+    | Some _ | None ->
+      ignore (Heap.pop t.order);
+      head t)
 
 let drain t =
   let rec loop acc =

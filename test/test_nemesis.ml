@@ -156,6 +156,30 @@ let test_apply_op_site_actions () =
   Nemesis.apply_op n (Nemesis.net_actions n) (Nemesis.Restart_site 1);
   Alcotest.(check bool) "net actions brought the site back" true (Net.site_up n 1)
 
+let test_wire_faults_oracle_clean () =
+  (* End-to-end: with frame coalescing and delayed acks ON (the
+     defaults), link loss, duplication, reordering and global loss must
+     neither break the virtual-synchrony oracle nor strand traffic. *)
+  let module Scenario = Vsync_core.Scenario in
+  List.iter
+    (fun (seed, op) ->
+      let plan =
+        [ { Nemesis.at = 0; op }; { Nemesis.at = 2_500_000; op = Nemesis.Clear_faults } ]
+      in
+      let r = Scenario.run ~sites:3 ~horizon_us:3_000_000 ~settle_us:20_000_000 ~plan ~seed () in
+      Alcotest.(check int)
+        (Printf.sprintf "seed %Ld: oracle clean under the fault" seed)
+        0
+        (List.length r.Scenario.violations);
+      Alcotest.(check bool) (Printf.sprintf "seed %Ld: traffic flowed" seed) true
+        (r.Scenario.delivered > 0))
+    [
+      (201L, Nemesis.Link_loss { src = 1; dst = 2; p = 0.4 });
+      (202L, Nemesis.Dup_window { src = 2; dst = 0; p = 1.0 });
+      (203L, Nemesis.Reorder_window { src = 0; dst = 1; p = 0.7; span_us = 40_000 });
+      (204L, Nemesis.Set_loss 0.2);
+    ]
+
 let suite =
   [
     Alcotest.test_case "link loss is directional" `Quick test_link_loss_is_directional;
@@ -166,4 +190,6 @@ let suite =
     Alcotest.test_case "intensity scales the plan" `Quick test_intensity_scales_plan;
     Alcotest.test_case "install drives the net" `Quick test_install_drives_the_net;
     Alcotest.test_case "apply_op site actions" `Quick test_apply_op_site_actions;
+    Alcotest.test_case "wire faults: oracle clean with coalescing on" `Quick
+      test_wire_faults_oracle_clean;
   ]

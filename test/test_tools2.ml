@@ -233,7 +233,7 @@ let prop_transport_loss =
       let b = Endpoint.create fab ~site:1 ~size:(fun _ -> 64) () in
       Endpoint.set_receiver a (fun ~src:_ _ -> ());
       let got = ref [] in
-      Endpoint.set_receiver b (fun ~src:_ tag -> got := tag :: !got);
+      Endpoint.set_receiver b (fun ~src:_ tags -> List.iter (fun tag -> got := tag :: !got) tags);
       for tag = 1 to 20 do
         Endpoint.send a ~dst:1 tag
       done;

@@ -20,13 +20,15 @@ let setup ?(sites = 2) ?(loss = 0.0) ?(seed = 1L) () =
 
 let collect ep =
   let log = ref [] in
-  Endpoint.set_receiver ep (fun ~src p -> log := (src, p.tag) :: !log);
+  Endpoint.set_receiver ep (fun ~src ps -> List.iter (fun p -> log := (src, p.tag) :: !log) ps);
   log
+
+let sink ep = Endpoint.set_receiver ep (fun ~src:_ _ -> ())
 
 let test_fifo_delivery () =
   let e, _n, eps = setup () in
   let log = collect eps.(1) in
-  Endpoint.set_receiver eps.(0) (fun ~src:_ _ -> ());
+  sink eps.(0);
   for tag = 1 to 10 do
     Endpoint.send eps.(0) ~dst:1 { tag; size = 100 }
   done;
@@ -41,7 +43,7 @@ let test_loss_recovery () =
      order, exactly once. *)
   let e, _n, eps = setup ~loss:0.3 ~seed:77L () in
   let log = collect eps.(1) in
-  Endpoint.set_receiver eps.(0) (fun ~src:_ _ -> ());
+  sink eps.(0);
   for tag = 1 to 50 do
     Endpoint.send eps.(0) ~dst:1 { tag; size = 200 }
   done;
@@ -55,7 +57,7 @@ let test_loss_recovery () =
 let test_fragmentation () =
   let e, _n, eps = setup () in
   let log = collect eps.(1) in
-  Endpoint.set_receiver eps.(0) (fun ~src:_ _ -> ());
+  sink eps.(0);
   Endpoint.send eps.(0) ~dst:1 { tag = 1; size = 20_000 };
   Endpoint.send eps.(0) ~dst:1 { tag = 2; size = 10 };
   Engine.run ~until:5_000_000 e;
@@ -77,7 +79,7 @@ let test_retransmit_exhaustion_fails_channel () =
     Array.init 2 (fun site -> Endpoint.create ~config:cfg fab ~site ~size:(fun p -> p.size) ())
   in
   let log = collect eps.(1) in
-  Endpoint.set_receiver eps.(0) (fun ~src:_ _ -> ());
+  sink eps.(0);
   let failed = ref [] in
   Endpoint.set_failure_handler eps.(0) (fun s -> failed := s :: !failed);
   (* A clean prefix, then a partition swallowing two sends entirely. *)
@@ -107,7 +109,7 @@ let test_duplicated_fragments () =
      not corrupt the partially-reassembled payload. *)
   let e, n, eps = setup ~seed:9L () in
   let log = collect eps.(1) in
-  Endpoint.set_receiver eps.(0) (fun ~src:_ _ -> ());
+  sink eps.(0);
   Net.set_link_dup n ~src:0 ~dst:1 1.0;
   Endpoint.send eps.(0) ~dst:1 { tag = 1; size = 20_000 };
   Endpoint.send eps.(0) ~dst:1 { tag = 2; size = 100 };
@@ -121,7 +123,7 @@ let test_reordered_fragments () =
      is still the send order. *)
   let e, n, eps = setup ~seed:21L () in
   let log = collect eps.(1) in
-  Endpoint.set_receiver eps.(0) (fun ~src:_ _ -> ());
+  sink eps.(0);
   Net.set_link_reorder n ~src:0 ~dst:1 0.5;
   for tag = 1 to 20 do
     Endpoint.send eps.(0) ~dst:1 { tag; size = 300 }
@@ -136,7 +138,7 @@ let test_reordered_fragments () =
 let test_crash_silences () =
   let e, n, eps = setup () in
   let log = collect eps.(1) in
-  Endpoint.set_receiver eps.(0) (fun ~src:_ _ -> ());
+  sink eps.(0);
   Endpoint.crash eps.(0);
   Net.crash_site n 0;
   Endpoint.send eps.(0) ~dst:1 { tag = 1; size = 10 };
@@ -146,7 +148,7 @@ let test_crash_silences () =
 let test_restart_new_incarnation () =
   let e, n, eps = setup () in
   let log = collect eps.(1) in
-  Endpoint.set_receiver eps.(0) (fun ~src:_ _ -> ());
+  sink eps.(0);
   Endpoint.send eps.(0) ~dst:1 { tag = 1; size = 10 };
   Engine.run ~until:1_000_000 e;
   (* Crash and restart the sender: its epoch bumps, and the receiver
@@ -165,7 +167,7 @@ let test_restart_new_incarnation () =
 let test_failure_detector_detects_crash () =
   let e, n, eps = setup () in
   ignore (collect eps.(1));
-  Endpoint.set_receiver eps.(0) (fun ~src:_ _ -> ());
+  sink eps.(0);
   let failed = ref [] in
   Endpoint.set_failure_handler eps.(0) (fun s -> failed := s :: !failed);
   Endpoint.monitor eps.(0) ~site:1;
@@ -181,7 +183,7 @@ let test_failure_detector_detects_crash () =
 let test_failure_detector_unmonitor () =
   let e, n, eps = setup () in
   ignore (collect eps.(1));
-  Endpoint.set_receiver eps.(0) (fun ~src:_ _ -> ());
+  sink eps.(0);
   let failed = ref [] in
   Endpoint.set_failure_handler eps.(0) (fun s -> failed := s :: !failed);
   Endpoint.monitor eps.(0) ~site:1;
@@ -208,6 +210,99 @@ let test_rtt_estimator () =
   Rtt.observe r 32_000;
   Alcotest.(check bool) "sample resets backoff" true (Rtt.timeout_us r <= before * 2)
 
+let test_coalescing_packs_frames () =
+  let e, _n, eps = setup () in
+  let log = collect eps.(1) in
+  sink eps.(0);
+  (* 40 sends from one engine event: the staging queue must pack them
+     into a handful of shared packets, each within the network's 4 KB
+     packet bound — Net.send raises on oversize, so the bound is
+     enforced by construction, not sampled. *)
+  for tag = 1 to 40 do
+    Endpoint.send eps.(0) ~dst:1 { tag; size = 200 }
+  done;
+  Engine.run ~until:10_000_000 e;
+  Alcotest.(check (list (pair int int)))
+    "in order, exactly once"
+    (List.init 40 (fun i -> (0, i + 1)))
+    (List.rev !log);
+  let frames = Endpoint.frames_sent eps.(0) and packets = Endpoint.packets_sent eps.(0) in
+  Alcotest.(check int) "one frame per message" 40 frames;
+  Alcotest.(check bool) "burst coalesced into fewer packets" true (packets < frames);
+  Alcotest.(check bool) "the 4 KB bound forced several packets" true (packets >= 2);
+  (* Delayed acks fold the 40 deliveries into at most one dedicated ack
+     per arriving packet. *)
+  Alcotest.(check bool) "acks collapsed by the delay timer" true
+    (Endpoint.acks_sent eps.(1) <= packets)
+
+let test_piggybacked_acks_suppress_dedicated () =
+  (* Echo traffic: the receiver answers every payload within the ack
+     delay, so its cumulative acks ride the reverse data frames and the
+     dedicated ack frame is never needed in that direction. *)
+  let e, _n, eps = setup () in
+  let got = ref 0 and back = ref 0 in
+  Endpoint.set_receiver eps.(1) (fun ~src:_ ps ->
+      List.iter
+        (fun p ->
+          incr got;
+          Endpoint.send eps.(1) ~dst:0 { tag = 1000 + p.tag; size = 100 })
+        ps);
+  Endpoint.set_receiver eps.(0) (fun ~src:_ ps -> back := !back + List.length ps);
+  for tag = 1 to 30 do
+    Endpoint.send eps.(0) ~dst:1 { tag; size = 100 }
+  done;
+  Engine.run ~until:10_000_000 e;
+  Alcotest.(check int) "all forward messages delivered" 30 !got;
+  Alcotest.(check int) "all echoes delivered" 30 !back;
+  Alcotest.(check int) "echo direction needed no dedicated acks" 0 (Endpoint.acks_sent eps.(1))
+
+let test_duplicate_reack_quiesces_sender () =
+  (* The ack direction is black-holed: the receiver delivers but the
+     sender keeps retransmitting.  After the heal, the re-ack triggered
+     by a duplicate [seq] must quiesce the sender for good. *)
+  let e, n, eps = setup () in
+  let log = collect eps.(1) in
+  sink eps.(0);
+  Net.set_link_loss n ~src:1 ~dst:0 1.0;
+  Endpoint.send eps.(0) ~dst:1 { tag = 1; size = 100 };
+  Engine.run ~until:2_000_000 e;
+  Alcotest.(check (list (pair int int))) "delivered despite lost acks" [ (0, 1) ] (List.rev !log);
+  Alcotest.(check bool) "sender retransmitted" true (Endpoint.retransmits eps.(0) > 0);
+  Net.clear_link n ~src:1 ~dst:0;
+  Engine.run ~until:(Engine.now e + 5_000_000) e;
+  let settled = Endpoint.retransmits eps.(0) in
+  Engine.run ~until:(Engine.now e + 30_000_000) e;
+  Alcotest.(check int) "re-ack stopped the retransmissions" settled (Endpoint.retransmits eps.(0));
+  Alcotest.(check (list (pair int int))) "still exactly once" [ (0, 1) ] (List.rev !log)
+
+let test_karn_ignores_ambiguous_rtt () =
+  (* Karn's algorithm: an ack that may answer a retransmission — or a
+     fresh message queued behind one — must not train the RTT
+     estimator; the next unambiguous exchange must. *)
+  let e, n, eps = setup () in
+  ignore (collect eps.(1));
+  sink eps.(0);
+  Net.set_link_loss n ~src:1 ~dst:0 1.0;
+  Endpoint.send eps.(0) ~dst:1 { tag = 1; size = 100 };
+  (* Let the retransmission timer fire at least once. *)
+  Engine.run ~until:200_000 e;
+  Alcotest.(check bool) "head was retransmitted" true (Endpoint.retransmits eps.(0) > 0);
+  (* A fresh message now rides behind the retransmitted head. *)
+  Endpoint.send eps.(0) ~dst:1 { tag = 2; size = 100 };
+  Net.clear_link n ~src:1 ~dst:0;
+  Engine.run ~until:(Engine.now e + 5_000_000) e;
+  (match Endpoint.out_rtt_stats eps.(0) ~dst:1 with
+  | Some (samples, _) -> Alcotest.(check int) "ambiguous cumulative ack sampled nothing" 0 samples
+  | None -> Alcotest.fail "outbound channel disappeared");
+  Endpoint.send eps.(0) ~dst:1 { tag = 3; size = 100 };
+  Engine.run ~until:(Engine.now e + 5_000_000) e;
+  match Endpoint.out_rtt_stats eps.(0) ~dst:1 with
+  | Some (samples, srtt) ->
+    Alcotest.(check int) "clean exchange sampled exactly once" 1 samples;
+    Alcotest.(check bool) "estimate reflects the real rtt, not the initial guess" true
+      (srtt < 50_000)
+  | None -> Alcotest.fail "outbound channel disappeared"
+
 let test_rtt_adapts_to_slow_peer () =
   (* An overloaded (slow) site pushes the timeout up rather than being
      declared dead: timeout always exceeds the observed RTT level. *)
@@ -232,6 +327,12 @@ let suite =
     Alcotest.test_case "restart new incarnation" `Quick test_restart_new_incarnation;
     Alcotest.test_case "failure detector detects crash" `Quick test_failure_detector_detects_crash;
     Alcotest.test_case "failure detector unmonitor" `Quick test_failure_detector_unmonitor;
+    Alcotest.test_case "coalescing packs frames" `Quick test_coalescing_packs_frames;
+    Alcotest.test_case "piggybacked acks suppress dedicated" `Quick
+      test_piggybacked_acks_suppress_dedicated;
+    Alcotest.test_case "duplicate re-ack quiesces sender" `Quick
+      test_duplicate_reack_quiesces_sender;
+    Alcotest.test_case "karn ignores ambiguous rtt" `Quick test_karn_ignores_ambiguous_rtt;
     Alcotest.test_case "rtt estimator" `Quick test_rtt_estimator;
     Alcotest.test_case "rtt adapts to slow peer" `Quick test_rtt_adapts_to_slow_peer;
   ]
