@@ -15,6 +15,21 @@ let e_app = Entry.user 0
 let json_path : string option ref = ref None
 let smoke = ref false
 
+(* [--gc-stats] makes every JSON-writing bench record the peak live
+   heap: [note_gc] folds the current live size (after a full major)
+   into a running maximum, and [write_json] samples once more and
+   appends [max_live_words] to the artifact.  Benches with natural
+   checkpoints (end of a run, end of a decile) call [note_gc] there. *)
+let gc_stats = ref false
+let max_live_words = ref 0
+
+let note_gc () =
+  if !gc_stats then begin
+    Gc.full_major ();
+    let live = (Gc.stat ()).Gc.live_words in
+    if live > !max_live_words then max_live_words := live
+  end
+
 (* [--no-coalesce] re-runs experiments with the historical wire
    behaviour — one frame per packet, a dedicated ack per delivery, an
    no ABCAST origination gate — for A/B comparisons against the coalescing
@@ -97,6 +112,17 @@ module Json = struct
     output_string oc (to_string j);
     close_out oc
 end
+
+(* All benches write their artifacts through this, so the [--gc-stats]
+   annotation lands uniformly. *)
+let write_json path (j : Json.t) =
+  note_gc ();
+  let j =
+    match (j, !gc_stats) with
+    | Json.Obj fields, true -> Json.Obj (fields @ [ ("max_live_words", Json.Int !max_live_words) ])
+    | j, _ -> j
+  in
+  Json.to_file path j
 
 (* A group with one member per site, fully formed. *)
 type cluster = {

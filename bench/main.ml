@@ -7,14 +7,17 @@
      dune exec bench/main.exe fig2 fig3  # a subset
 
    Experiments: table1 fig2 fig3 twentyq ablate load faults scale micro
-   msgpath wire.
+   msgpath wire soak.
 
    Flags (consumed before experiment names):
-     --json PATH    JSON-capable experiments (msgpath, wire) write results there
+     --json PATH    JSON-capable experiments (msgpath, wire, soak) write
+                    results there
      --smoke        reduced iteration counts, for CI perf tracking
      --no-coalesce  run with the historical wire behaviour (no frame
                     coalescing, ack per delivery, ABCAST window 1) for
-                    A/B comparisons *)
+                    A/B comparisons
+     --gc-stats     record the peak live heap (max_live_words) in every
+                    JSON artifact *)
 
 let experiments =
   [
@@ -29,6 +32,7 @@ let experiments =
     ("micro", Micro.run);
     ("msgpath", Msgpath.run);
     ("wire", Wire.run);
+    ("soak", Soak.run);
   ]
 
 let () =
@@ -45,6 +49,9 @@ let () =
       parse rest
     | "--no-coalesce" :: rest ->
       Harness.no_coalesce := true;
+      parse rest
+    | "--gc-stats" :: rest ->
+      Harness.gc_stats := true;
       parse rest
     | name :: rest -> name :: parse rest
     | [] -> []

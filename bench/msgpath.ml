@@ -207,5 +207,5 @@ let run () =
                  tput_rows) );
         ]
     in
-    to_file path j;
+    Harness.write_json path j;
     Printf.printf "msgpath: wrote %s\n" path

@@ -224,7 +224,7 @@ let run () =
           ("elapsed_us", J.Int r.elapsed_us);
         ]
     in
-    J.to_file path
+    Harness.write_json path
       (J.Obj
          [
            ("bench", J.Str "wire");

@@ -177,6 +177,14 @@ let packets_sent t = t.n_packets_sent
 let retransmits t = t.n_retransmits
 let channel_failures t = t.n_channel_failures
 
+(* Live transport state, for bounded-memory gauges: in-flight send
+   window (unacked messages, trimmed by cumulative acks) and
+   receive-side reassembly buffers (partials above [next_deliver] —
+   the receive dedup itself is a per-channel watermark, so it holds no
+   per-message state at all). *)
+let inflight t = Hashtbl.fold (fun _ ch acc -> acc + Queue.length ch.unacked) t.outs 0
+let recv_pending t = Hashtbl.fold (fun _ ch acc -> acc + Hashtbl.length ch.pending) t.ins 0
+
 let frame_bytes t = function
   | Data { chunk; _ } -> chunk + t.cfg.frame_header_bytes
   | Ack _ | Ping _ | Pong _ -> t.cfg.frame_header_bytes
@@ -392,20 +400,22 @@ and handle_ack t ~src ~gen ~upto =
   | Some ch when ch.gen <> gen -> () (* ack for an abandoned channel generation *)
   | Some ch ->
     let now = Engine.now (engine t) in
-    (* Karn's algorithm: only first-transmission samples train the
-       estimator — and only while no retransmitted message sits ahead in
-       the queue.  After a go-back-N round a never-retransmitted message
-       can ride behind retransmitted ones, and a cumulative ack covering
-       it may have been triggered by any copy of those: it cannot date
-       the later message either. *)
+    (* Trim the acked prefix (the queue is oldest-first, so everything
+       the cumulative ack covers sits at the head), sampling the RTT
+       estimator as we go.  Karn's algorithm: only first-transmission
+       samples train the estimator — and only while no retransmitted
+       message sits ahead in the queue.  After a go-back-N round a
+       never-retransmitted message can ride behind retransmitted ones,
+       and a cumulative ack covering it may have been triggered by any
+       copy of those: it cannot date the later message either.
+       (Messages beyond the acked prefix can never yield a sample, so
+       fusing sampling into the trim makes each ack O(acked) where the
+       historical separate Karn scan was O(in-flight window).) *)
     let clean = ref true in
-    Queue.iter
-      (fun m ->
-        if m.attempts > 0 then clean := false
-        else if !clean && m.seq <= upto then Rtt.observe ch.out_rtt (now - m.first_sent_at))
-      ch.unacked;
     while (not (Queue.is_empty ch.unacked)) && (Queue.peek ch.unacked).seq <= upto do
-      ignore (Queue.pop ch.unacked)
+      let m = Queue.pop ch.unacked in
+      if m.attempts > 0 then clean := false
+      else if !clean then Rtt.observe ch.out_rtt (now - m.first_sent_at)
     done;
     if Queue.is_empty ch.unacked then begin
       Option.iter Engine.cancel ch.rto_timer;

@@ -1,0 +1,16 @@
+(* Functional FIFO deque: [front] oldest-first, [back] newest-first.
+   O(1) push_back and prepend, against the O(n) "xs @ [x]" append
+   pattern it exists to replace. *)
+
+type 'a t = { front : 'a list; back : 'a list }
+
+let empty = { front = []; back = [] }
+let is_empty d = d.front = [] && d.back = []
+let push_back d x = { d with back = x :: d.back }
+
+(* [prepend xs d]: [xs] (oldest-first) comes before everything in [d]. *)
+let prepend xs d = { d with front = xs @ d.front }
+let exists p d = List.exists p d.front || List.exists p d.back
+let length d = List.length d.front + List.length d.back
+let to_list d = d.front @ List.rev d.back
+let of_list xs = { front = xs; back = [] }

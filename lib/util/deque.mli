@@ -1,0 +1,27 @@
+(** Functional FIFO deque with O(1) append.
+
+    A two-list queue ([front] oldest-first + [back] newest-first) for
+    the event-queue pattern where producers append one element at a
+    time ({!push_back}) and an occasional consumer takes the whole
+    queue ({!to_list}) or pushes a batch back on the front
+    ({!prepend}).  Replaces the quadratic [xs @ [x]] idiom. *)
+
+type 'a t
+
+val empty : 'a t
+val is_empty : 'a t -> bool
+
+(** [push_back d x] appends [x] as the newest element.  O(1). *)
+val push_back : 'a t -> 'a -> 'a t
+
+(** [prepend xs d] puts [xs] (oldest-first) before everything in [d].
+    O(|xs|). *)
+val prepend : 'a list -> 'a t -> 'a t
+
+val exists : ('a -> bool) -> 'a t -> bool
+val length : 'a t -> int
+
+(** [to_list d] is the queue oldest-first. *)
+val to_list : 'a t -> 'a list
+
+val of_list : 'a list -> 'a t

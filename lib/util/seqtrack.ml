@@ -1,0 +1,66 @@
+(* Cumulative sequence tracking: per-key watermark + sparse tail.
+
+   [mem]/[add] are O(log tail) with the tail expected tiny: the tail
+   only holds sequence numbers above the watermark, and the caller
+   advances the watermark as soon as an external protocol (message
+   stability, cumulative acks) guarantees that everything at or below
+   it has been accounted for.  Because sequence numbers within one key
+   need not be contiguous (a site-wide counter shared across groups
+   leaves gaps), the watermark never advances on local contiguity
+   guesses alone: only [add] over a dense prefix or an explicit
+   [advance] moves it. *)
+
+module Iset = Set.Make (Int)
+
+type entry = { mutable mark : int; mutable tail : Iset.t }
+type t = { tbl : (int, entry) Hashtbl.t }
+
+let create () = { tbl = Hashtbl.create 8 }
+
+let entry t key =
+  match Hashtbl.find_opt t.tbl key with
+  | Some e -> e
+  | None ->
+    let e = { mark = min_int; tail = Iset.empty } in
+    Hashtbl.replace t.tbl key e;
+    e
+
+let mem t ~key ~seq =
+  match Hashtbl.find_opt t.tbl key with
+  | None -> false
+  | Some e -> seq <= e.mark || Iset.mem seq e.tail
+
+(* Opportunistic compaction: absorb a contiguous run sitting right
+   above the watermark.  Never skips a gap, so the invariant "every
+   seq <= mark was added or covered by an advance" is preserved. *)
+let compact e =
+  while Iset.mem (e.mark + 1) e.tail do
+    e.mark <- e.mark + 1;
+    e.tail <- Iset.remove e.mark e.tail
+  done
+
+let add t ~key ~seq =
+  let e = entry t key in
+  if seq > e.mark then begin
+    e.tail <- Iset.add seq e.tail;
+    compact e
+  end
+
+let advance t ~key ~upto =
+  let e = entry t key in
+  if upto > e.mark then begin
+    e.mark <- upto;
+    let _below, _eq, above = Iset.split upto e.tail in
+    e.tail <- above;
+    compact e
+  end
+
+let mark t ~key =
+  match Hashtbl.find_opt t.tbl key with None -> min_int | Some e -> e.mark
+
+let keys t = Hashtbl.length t.tbl
+
+let tail_cardinal t =
+  Hashtbl.fold (fun _ e acc -> acc + Iset.cardinal e.tail) t.tbl 0
+
+let clear t = Hashtbl.reset t.tbl

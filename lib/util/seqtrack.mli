@@ -1,0 +1,49 @@
+(** Cumulative sequence tracking: per-key watermark + sparse tail.
+
+    Replaces an ever-growing "set of sequence numbers seen" with a
+    bounded structure, in the style of cumulative acknowledgements: for
+    each integer key (a sender site, a channel) keep a watermark [mark]
+    meaning {e every sequence number at or below [mark] is covered},
+    plus a sparse set of numbers above it (the out-of-order tail).
+
+    Membership is an integer comparison for anything at or below the
+    watermark, so the structure stays O(live tail) in space no matter
+    how many sequence numbers pass through — provided the caller calls
+    {!advance} when an external protocol (message stability, cumulative
+    acks) guarantees that nothing at or below a given sequence number
+    can legitimately reappear as new.
+
+    Sequence numbers within one key need not be contiguous: the
+    watermark only self-advances over runs actually added ({!add}
+    compacts a dense prefix), never across gaps. *)
+
+type t
+
+val create : unit -> t
+
+(** [mem t ~key ~seq] — was [seq] added for [key], or covered by a
+    watermark advance? *)
+val mem : t -> key:int -> seq:int -> bool
+
+(** [add t ~key ~seq] records [seq].  No-op if already covered. *)
+val add : t -> key:int -> seq:int -> unit
+
+(** [advance t ~key ~upto] raises the watermark: every sequence number
+    [<= upto] is now covered, and tail entries at or below it are
+    discarded.  No-op if the watermark is already past [upto]. *)
+val advance : t -> key:int -> upto:int -> unit
+
+(** [mark t ~key] is the current watermark ([min_int] if the key was
+    never touched). *)
+val mark : t -> key:int -> int
+
+(** [keys t] — number of distinct keys tracked (bounded by the number
+    of senders, not by traffic). *)
+val keys : t -> int
+
+(** [tail_cardinal t] — total sparse-tail entries across all keys: the
+    only component that can grow with traffic, and what stability-driven
+    GC keeps bounded.  Gauge material. *)
+val tail_cardinal : t -> int
+
+val clear : t -> unit

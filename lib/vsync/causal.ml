@@ -1,5 +1,6 @@
 open Types
 module Vclock = Vsync_util.Vclock
+module Seqtrack = Vsync_util.Seqtrack
 
 type 'a waiting = { uid : uid; rank : int; vt : Vclock.t; payload : 'a }
 
@@ -7,19 +8,32 @@ type 'a t = {
   local : Vclock.t;
   delayed : 'a waiting Queue.t; (* arrival order *)
   mutable ready : (uid * 'a) list; (* reversed: newest first *)
-  mutable known : Uid_set.t; (* every uid ever received *)
+  known : Seqtrack.t;
+      (* every uid ever received, as a per-origin-site watermark + tail:
+         stability advances the watermark ([stabilized]) so the dedup
+         record of a message is dropped — and late retransmits rejected
+         by integer comparison — once no live sender can reintroduce it. *)
 }
 
 let create ~n_ranks () =
-  { local = Vclock.create n_ranks; delayed = Queue.create (); ready = []; known = Uid_set.empty }
+  { local = Vclock.create n_ranks; delayed = Queue.create (); ready = []; known = Seqtrack.create () }
 
 let stamp t ~rank =
   Vclock.incr t.local rank;
   Vclock.copy t.local
 
-let seen t uid = Uid_set.mem uid t.known
+let seen t uid = Seqtrack.mem t.known ~key:uid.usite ~seq:uid.useq
 
-let note_sent t uid = t.known <- Uid_set.add uid t.known
+let note_sent t uid = Seqtrack.add t.known ~key:uid.usite ~seq:uid.useq
+
+(* A CBCAST from site [s] is stable once every destination received it.
+   The transport is FIFO per channel and a sender's multicasts to the
+   view go to the same destinations, so every earlier CBCAST from [s]
+   (member-stamped or client-relayed) was received everywhere too:
+   covering the whole prefix [<= useq] is safe. *)
+let stabilized t uid = Seqtrack.advance t.known ~key:uid.usite ~upto:uid.useq
+
+let dedup_residue t = Seqtrack.tail_cardinal t.known
 
 (* After the local clock advances, some delayed messages may have become
    deliverable; rotate the queue (arrival order preserved) to a fixed
@@ -41,7 +55,7 @@ let rec promote t =
 
 let receive t ~uid ~rank ~vt payload =
   if not (seen t uid) then begin
-    t.known <- Uid_set.add uid t.known;
+    Seqtrack.add t.known ~key:uid.usite ~seq:uid.useq;
     if Vclock.deliverable ~msg:vt ~local:t.local ~sender:rank then begin
       Vclock.merge t.local vt;
       t.ready <- (uid, payload) :: t.ready;
@@ -52,7 +66,7 @@ let receive t ~uid ~rank ~vt payload =
 
 let receive_fifo t ~uid payload =
   if not (seen t uid) then begin
-    t.known <- Uid_set.add uid t.known;
+    Seqtrack.add t.known ~key:uid.usite ~seq:uid.useq;
     t.ready <- (uid, payload) :: t.ready
   end
 

@@ -62,8 +62,24 @@ val force_drain : 'a t -> (uid * 'a) list
 val pending : 'a t -> (uid * 'a) list
 
 (** [seen t uid] is true when [uid] was received (delivered or
-    pending). *)
+    pending), or is covered by a stability watermark.  O(log tail):
+    anything at or below the origin site's watermark is rejected by
+    integer comparison, not set membership. *)
 val seen : _ t -> uid -> bool
+
+(** [stabilized t uid] — the runtime learned [uid] is {e stable} (every
+    destination received it).  Advances the origin site's watermark to
+    [uid.useq], dropping the dedup records of [uid] and every earlier
+    multicast from that site: per-channel FIFO transport guarantees
+    they were received everywhere first, so no live sender can
+    reintroduce one as new.  This is what keeps [known] bounded on
+    long-lived views. *)
+val stabilized : _ t -> uid -> unit
+
+(** [dedup_residue t] — sparse dedup entries not yet covered by a
+    watermark (hygiene gauge: drains to the empty set once traffic
+    quiesces and stability catches up). *)
+val dedup_residue : _ t -> int
 
 (** [clock t] is the current local clock (not a copy; do not mutate). *)
 val clock : _ t -> Vsync_util.Vclock.t

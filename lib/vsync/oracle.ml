@@ -514,7 +514,13 @@ let check ?(hygiene = true) t =
           let gauge name v = if v <> 0 then fail "hygiene-quiescence" "site %d: %s = %d" s name v in
           gauge "pending_unstable" (Runtime.pending_unstable rt);
           gauge "pending_held_frames" (Runtime.pending_held_frames rt);
-          gauge "pending_sessions" (Runtime.pending_sessions rt)
+          gauge "pending_sessions" (Runtime.pending_sessions rt);
+          (* Stability-driven GC: once everything stabilized, the
+             retransmission store is empty and every dedup record is
+             covered by a watermark (a nonzero residue means a GC
+             path was missed and state would accrete forever). *)
+          gauge "pending_store" (Runtime.pending_store rt);
+          gauge "dedup_residue" (Runtime.dedup_residue rt)
         end)
       (List.sort_uniq compare final_sites)
   end;

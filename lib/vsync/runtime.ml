@@ -10,6 +10,7 @@ module Ivar = Vsync_tasks.Ivar
 module Condition = Vsync_tasks.Condition
 module Endpoint = Vsync_transport.Endpoint
 module Stats = Vsync_util.Stats
+module Deque = Vsync_util.Deque
 
 type config = {
   cpu_send_us : int;
@@ -17,6 +18,7 @@ type config = {
   cpu_us_per_kb : int;
   cpu_us_per_extra_packet : int;
   ab_window : int;
+  stability_gc : bool;
   clock_offset_us : int;
   endpoint : Endpoint.config;
 }
@@ -28,6 +30,7 @@ let default_config =
     cpu_us_per_kb = 700;
     cpu_us_per_extra_packet = 8_000;
     ab_window = 16;
+    stability_gc = true;
     clock_offset_us = 0;
     endpoint = Endpoint.default_config;
   }
@@ -91,7 +94,7 @@ and group = {
          suspected process is still alive and will keep multicasting
          (directly or through the client relay), so origination rejects
          its messages until a rejoin clears it *)
-  mutable pending_events : pending_event list; (* oldest first *)
+  mutable pending_events : pending_event Deque.t; (* oldest first *)
   mutable change : change_state option;
   mutable last_attempt : int;
   mutable last_commit : Proto.frame option;
@@ -119,7 +122,8 @@ and change_state = {
 }
 
 and ack_info = {
-  a_cb_known : uid list;
+  a_cb_known : Uid_set.t;
+  a_ab_uids : Uid_set.t; (* uids of [a_ab_report], for membership tests *)
   a_ab_report : Proto.ab_report list;
   a_ab_counter : int;
   a_already : Proto.frame option;
@@ -220,6 +224,8 @@ let transport_stats t =
     ("packets", Endpoint.packets_sent ep);
     ("retransmits", Endpoint.retransmits ep);
     ("channel_failures", Endpoint.channel_failures ep);
+    ("inflight", Endpoint.inflight ep);
+    ("recv_pending", Endpoint.recv_pending ep);
   ]
 
 (* --- CPU model: one processor per site, FIFO service --- *)
@@ -324,7 +330,18 @@ let bind p entry handler =
   if entry < 0 || entry > 255 then invalid_arg "Runtime.bind: bad entry";
   Hashtbl.replace p.entries entry handler
 
-let add_filter p f = p.filters <- p.filters @ [ f ]
+(* Filters are stored newest-first (O(1) install); dispatch applies
+   them oldest-first via [filters_pass]. *)
+let add_filter p f = p.filters <- f :: p.filters
+
+(* Oldest filter first — side-effectful filters (state transfer
+   buffering) rely on installation order — with short-circuit on the
+   first rejection, like the [List.for_all] over the append-ordered
+   list this replaces. *)
+let rec filters_pass rev_filters body =
+  match rev_filters with
+  | [] -> true
+  | f :: older -> filters_pass older body && f body
 
 let find_proc t (a : Addr.proc) =
   match Hashtbl.find_opt t.procs a.Addr.idx with
@@ -352,6 +369,75 @@ let acting_coord_site g =
   loop g.view.View.members
 
 let i_am_coord t g = acting_coord_site g = Some t.my_site
+
+(* --- wedge-ack reconciliation ---
+
+   What the flush coordinator decides from a complete set of wedge
+   acknowledgements.  Shared by [proceed_with_acks] (which fetches the
+   missing bodies) and [build_commit] (which re-derives the decisions
+   when assembling the commit): membership tests run against the
+   [Uid_set]s carried in [ack_info], where this logic historically did
+   [List.mem] over per-site uid lists — O(sites · uids²) on a large
+   flush. *)
+
+type ack_resolution = {
+  r_missing_cb : uid list; (* CBCASTs some wedged site has not received *)
+  r_ab_finalize : (uid * prio) list; (* final priorities, sorted by uid *)
+  r_ab_drop : uid list; (* uncommitted ABCASTs from dead originators *)
+  r_ab_missing : uid list; (* finalized ABCASTs some site lacks *)
+}
+
+let resolve_acks (c : change_state) =
+  let info_of s = List.assoc s c.c_acks in
+  let union =
+    List.fold_left (fun acc (_, a) -> Uid_set.union acc a.a_cb_known) Uid_set.empty c.c_acks
+  in
+  let missing_cb =
+    Uid_set.filter
+      (fun u -> List.exists (fun s -> not (Uid_set.mem u (info_of s).a_cb_known)) c.c_sites)
+      union
+  in
+  let ab_all : (uid, Proto.ab_report list) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (_, a) ->
+      List.iter
+        (fun (r : Proto.ab_report) ->
+          let cur = Option.value ~default:[] (Hashtbl.find_opt ab_all r.Proto.ab_uid) in
+          Hashtbl.replace ab_all r.Proto.ab_uid (r :: cur))
+        a.a_ab_report)
+    c.c_acks;
+  let floor = List.fold_left (fun acc (_, a) -> max acc a.a_ab_counter) 0 c.c_acks in
+  let ab_uids = Hashtbl.fold (fun u _ acc -> u :: acc) ab_all [] |> List.sort uid_compare in
+  let next_final = ref floor in
+  let ab_finalize, ab_drop =
+    List.fold_left
+      (fun (fins, drops) u ->
+        let reports = Hashtbl.find ab_all u in
+        match List.find_opt (fun r -> r.Proto.ab_committed) reports with
+        | Some r -> ((u, r.Proto.ab_prio) :: fins, drops)
+        | None ->
+          if List.mem u.usite c.c_sites then begin
+            (* Originator is live: finalize above every site's counter. *)
+            incr next_final;
+            ((u, (!next_final, u.usite)) :: fins, drops)
+          end
+          else (fins, u :: drops))
+      ([], []) ab_uids
+  in
+  let ab_finalize = List.rev ab_finalize and ab_drop = List.rev ab_drop in
+  let ab_missing =
+    List.filter
+      (fun (u, _) ->
+        List.exists (fun s -> not (Uid_set.mem u (info_of s).a_ab_uids)) c.c_sites)
+      ab_finalize
+    |> List.map fst
+  in
+  {
+    r_missing_cb = Uid_set.elements missing_cb;
+    r_ab_finalize = ab_finalize;
+    r_ab_drop = ab_drop;
+    r_ab_missing = ab_missing;
+  }
 
 (* ==================================================================
    The protocol core: one mutually recursive cluster.
@@ -399,7 +485,7 @@ and dispatch_to_proc t p body =
        recipient must never observe another's mutations.  [Message.copy]
        is copy-on-write — this is O(1) unless the recipient writes. *)
     let body = Message.copy body in
-    if List.for_all (fun f -> f body) p.filters then begin
+    if filters_pass p.filters body then begin
       if Message.mem body f_pg_kill then kill_proc p
       else
         match Message.entry body with
@@ -496,7 +582,9 @@ and check_stable t uid u =
     Hashtbl.remove t.unstables uid;
     List.iter (fun dst -> send_frame t ~dst (Proto.Stable { group = u.u_group; uid })) u.u_dests;
     (match group_of t u.u_group with
-    | Some g -> g.store <- Uid_map.remove uid g.store
+    | Some g ->
+      note_stabilized t g uid;
+      g.store <- Uid_map.remove uid g.store
     | None -> ());
     match u.u_owner with
     | Some p when p.palive ->
@@ -507,8 +595,25 @@ and check_stable t uid u =
 
 and on_stable t gid uid =
   match group_of t gid with
-  | Some g -> g.store <- Uid_map.remove uid g.store
+  | Some g ->
+    note_stabilized t g uid;
+    g.store <- Uid_map.remove uid g.store
   | None -> ()
+
+(* A stable multicast's dedup record can be garbage collected: every
+   destination delivered it, and (per-channel FIFO + per-sender
+   delivery monotonicity within each engine) everything earlier from
+   the same origin site was delivered everywhere first.  Advance the
+   watermark of the engine that carried it — the protocol is read off
+   the retransmission-store entry, because advancing the {e other}
+   engine's watermark could cover a uid of that protocol still in
+   flight. *)
+and note_stabilized t g uid =
+  if t.cfg.stability_gc then
+    match Uid_map.find_opt uid g.store with
+    | Some (Proto.Scb _) -> Causal.stabilized g.causal uid
+    | Some (Proto.Sab _) -> Total.stabilized g.total uid
+    | None -> ()
 
 (* --- sessions (reply collection) --- *)
 
@@ -560,7 +665,7 @@ and note_responders t sess responders =
            responders)
     in
     List.iter (fun s -> mon_acquire t s) extra;
-    sess.mon_sites <- sess.mon_sites @ extra;
+    sess.mon_sites <- extra @ sess.mon_sites;
     check_session t sess
   end
 
@@ -755,7 +860,12 @@ and origin_abcast t g ~owner body =
   mark_unstable t g uid ~remote ~owner;
   if remote = [] then begin
     Total.commit g.total ~uid my_prio;
-    drain_group t g
+    drain_group t g;
+    (* Purely local group: immediately stable.  GC the stabilization
+       copy and the dedup record [drain_group] just created (no
+       [Stable] flow ever runs for a local-only round). *)
+    note_stabilized t g uid;
+    g.store <- Uid_map.remove uid g.store
   end
   else begin
     g.ab_inflight <- g.ab_inflight + 1;
@@ -822,35 +932,34 @@ and route_event t g ev =
   | None -> Trace.emitf t.tracer ~category:"view" "no live coordinator for g%d" (gi g.gid)
 
 and enqueue_event t g ev =
+  let in_flight pred =
+    Deque.exists pred g.pending_events
+    || match g.change with Some c -> List.exists pred c.c_batch | None -> false
+  in
   let dup =
     match ev with
     | Ev_fail p | Ev_leave p ->
-      List.exists
-        (function
-          | Ev_fail q | Ev_leave q -> Addr.equal_proc p q
-          | Ev_join _ | Ev_gb _ -> false)
-        (g.pending_events
-        @ match g.change with Some c -> c.c_batch | None -> [])
+      in_flight (function
+        | Ev_fail q | Ev_leave q -> Addr.equal_proc p q
+        | Ev_join _ | Ev_gb _ -> false)
     | Ev_join (p, _) ->
-      List.exists
-        (function Ev_join (q, _) -> Addr.equal_proc p q | _ -> false)
-        (g.pending_events
-        @ match g.change with Some c -> c.c_batch | None -> [])
+      in_flight (function Ev_join (q, _) -> Addr.equal_proc p q | _ -> false)
     | Ev_gb _ -> false
   in
   ignore t;
-  if not dup then g.pending_events <- g.pending_events @ [ ev ]
+  if not dup then g.pending_events <- Deque.push_back g.pending_events ev
 
 (* --- the view-change / GBCAST flush --- *)
 
 and maybe_start_change t g =
-  if g.change = None && g.pending_events <> [] && i_am_coord t g then start_change t g
+  if g.change = None && (not (Deque.is_empty g.pending_events)) && i_am_coord t g then
+    start_change t g
 
 and start_change t g =
   let attempt = g.last_attempt + 1 in
   g.last_attempt <- attempt;
-  let batch = g.pending_events in
-  g.pending_events <- [];
+  let batch = Deque.to_list g.pending_events in
+  g.pending_events <- Deque.empty;
   let live_sites = List.filter (fun s -> not (List.mem s g.suspects)) (View.sites g.view) in
   let sites = List.sort_uniq compare (t.my_site :: live_sites) in
   g.change <-
@@ -869,7 +978,7 @@ and restart_change t g =
   (* A failure interrupted the flush: requeue the unprocessed batch and
      run again with fresh suspicions folded in. *)
   (match g.change with
-  | Some c when not c.c_committed -> g.pending_events <- c.c_batch @ g.pending_events
+  | Some c when not c.c_committed -> g.pending_events <- Deque.prepend c.c_batch g.pending_events
   | Some _ | None -> ());
   g.change <- None;
   maybe_start_change t g
@@ -905,7 +1014,7 @@ and on_wedge t ~src g ~view_id ~attempt ~coord_site =
       (match g.change with
       | Some c when coord_site <> t.my_site || c.c_attempt <> attempt ->
         if coord_site <> t.my_site then begin
-          if not c.c_committed then g.pending_events <- c.c_batch @ g.pending_events;
+          if not c.c_committed then g.pending_events <- Deque.prepend c.c_batch g.pending_events;
           g.change <- None
         end
       | Some _ | None -> ());
@@ -957,73 +1066,18 @@ and proceed_with_acks t g c =
      commit drive everyone forward. *)
   match List.find_map (fun (_, a) -> a.a_already) c.c_acks with
   | Some commit_frame ->
-    g.pending_events <- c.c_batch @ g.pending_events;
+    g.pending_events <- Deque.prepend c.c_batch g.pending_events;
     g.change <- None;
     List.iter (fun dst -> send_frame t ~dst commit_frame) c.c_sites
   | None ->
-    (* Which CBCAST bodies are missing somewhere? *)
-    let cb_known_of s = (List.assoc s c.c_acks).a_cb_known in
-    let union =
-      List.fold_left
-        (fun acc (_, a) -> List.fold_left (fun acc u -> Uid_set.add u acc) acc a.a_cb_known)
-        Uid_set.empty c.c_acks
-    in
-    let missing_anywhere =
-      Uid_set.filter
-        (fun u ->
-          List.exists (fun s -> not (List.mem u (cb_known_of s))) c.c_sites)
-        union
-    in
-    (* ABCAST resolution. *)
-    let ab_all : (uid, Proto.ab_report list) Hashtbl.t = Hashtbl.create 16 in
-    List.iter
-      (fun (_, a) ->
-        List.iter
-          (fun (r : Proto.ab_report) ->
-            let cur = Option.value ~default:[] (Hashtbl.find_opt ab_all r.Proto.ab_uid) in
-            Hashtbl.replace ab_all r.Proto.ab_uid (r :: cur))
-          a.a_ab_report)
-      c.c_acks;
-    let floor =
-      List.fold_left (fun acc (_, a) -> max acc a.a_ab_counter) 0 c.c_acks
-    in
-    let ab_uids = Hashtbl.fold (fun u _ acc -> u :: acc) ab_all [] |> List.sort uid_compare in
-    let next_final = ref floor in
-    let ab_finalize, _ab_drop =
-      List.fold_left
-        (fun (fins, drops) u ->
-          let reports = Hashtbl.find ab_all u in
-          match List.find_opt (fun r -> r.Proto.ab_committed) reports with
-          | Some r -> ((u, r.Proto.ab_prio) :: fins, drops)
-          | None ->
-            if List.mem u.usite c.c_sites then begin
-              (* Originator is live: finalize above every site's counter. *)
-              incr next_final;
-              ((u, (!next_final, u.usite)) :: fins, drops)
-            end
-            else (fins, u :: drops))
-        ([], []) ab_uids
-    in
-    let ab_finalize = List.rev ab_finalize in
-    (* ABCAST bodies missing at some site: sites whose report lacks the
-       uid need the body (unless dropped). *)
-    let ab_missing =
-      List.filter
-        (fun (u, _) ->
-          List.exists
-            (fun s ->
-              let a = List.assoc s c.c_acks in
-              not (List.exists (fun r -> uid_equal r.Proto.ab_uid u) a.a_ab_report))
-            c.c_sites)
-        ab_finalize
-      |> List.map fst
-    in
-    let needed = Uid_set.elements missing_anywhere @ ab_missing in
+    (* Which CBCAST / finalized-ABCAST bodies are missing somewhere? *)
+    let r = resolve_acks c in
+    let needed = r.r_missing_cb @ r.r_ab_missing in
     (* Who holds each needed body?  Prefer ourselves. *)
     let holder_of u =
       let has s =
         let a = List.assoc s c.c_acks in
-        List.mem u a.a_cb_known || List.exists (fun r -> uid_equal r.Proto.ab_uid u) a.a_ab_report
+        Uid_set.mem u a.a_cb_known || Uid_set.mem u a.a_ab_uids
       in
       if has t.my_site then t.my_site
       else (
@@ -1124,75 +1178,26 @@ and finish_change t g c =
   List.iter (fun dst -> send_frame t ~dst commit) dests
 
 and build_commit t g c events gb_bodies =
-  (* Reconstruct stabilization decisions from the acks (cheap; sets are
-     small) plus the fetched bodies. *)
-  let cb_known_of s = (List.assoc s c.c_acks).a_cb_known in
-  let union =
-    List.fold_left
-      (fun acc (_, a) -> List.fold_left (fun acc u -> Uid_set.add u acc) acc a.a_cb_known)
-      Uid_set.empty c.c_acks
-  in
-  let missing_anywhere =
-    Uid_set.filter
-      (fun u -> List.exists (fun s -> not (List.mem u (cb_known_of s))) c.c_sites)
-      union
-  in
-  let ab_all : (uid, Proto.ab_report list) Hashtbl.t = Hashtbl.create 16 in
-  List.iter
-    (fun (_, a) ->
-      List.iter
-        (fun (r : Proto.ab_report) ->
-          let cur = Option.value ~default:[] (Hashtbl.find_opt ab_all r.Proto.ab_uid) in
-          Hashtbl.replace ab_all r.Proto.ab_uid (r :: cur))
-        a.a_ab_report)
-    c.c_acks;
-  let floor = List.fold_left (fun acc (_, a) -> max acc a.a_ab_counter) 0 c.c_acks in
-  let ab_uids = Hashtbl.fold (fun u _ acc -> u :: acc) ab_all [] |> List.sort uid_compare in
-  let next_final = ref floor in
-  let ab_finalize, ab_drop =
-    List.fold_left
-      (fun (fins, drops) u ->
-        let reports = Hashtbl.find ab_all u in
-        match List.find_opt (fun r -> r.Proto.ab_committed) reports with
-        | Some r -> ((u, r.Proto.ab_prio) :: fins, drops)
-        | None ->
-          if List.mem u.usite c.c_sites then begin
-            incr next_final;
-            ((u, (!next_final, u.usite)) :: fins, drops)
-          end
-          else (fins, u :: drops))
-      ([], []) ab_uids
-  in
-  let ab_finalize = List.rev ab_finalize and ab_drop = List.rev ab_drop in
-  let final_of u = List.assoc u ab_finalize in
-  (* Collect stabilize bodies: local store/engine plus fetched; fix the
-     Sab priorities to the final values. *)
-  let needed_cb = Uid_set.elements missing_anywhere in
+  (* Re-derive the stabilization decisions from the acks (deterministic
+     given [c], so this agrees with what [proceed_with_acks] fetched)
+     and pair them with the bodies: local store/engine plus fetched,
+     with the Sab priorities fixed to the final values. *)
+  let r = resolve_acks c in
+  let final_of u = List.assoc u r.r_ab_finalize in
   let fetched = c.c_fetched in
   let lookup u =
     match List.find_opt (fun s -> uid_equal (Proto.stored_uid s) u) fetched with
     | Some s -> Some s
     | None -> body_for t g u
   in
-  let stab_cb = List.filter_map lookup needed_cb in
-  let ab_missing =
-    List.filter
-      (fun (u, _) ->
-        List.exists
-          (fun s ->
-            let a = List.assoc s c.c_acks in
-            not (List.exists (fun r -> uid_equal r.Proto.ab_uid u) a.a_ab_report))
-          c.c_sites)
-      ab_finalize
-    |> List.map fst
-  in
+  let stab_cb = List.filter_map lookup r.r_missing_cb in
   let stab_ab =
     List.filter_map
       (fun u ->
         match lookup u with
         | Some (Proto.Sab { uid; body; _ }) -> Some (Proto.Sab { uid; prio = final_of uid; body })
         | Some (Proto.Scb _) | None -> None)
-      ab_missing
+      r.r_ab_missing
   in
   let new_view = View.apply g.view events in
   Proto.Commit
@@ -1201,8 +1206,8 @@ and build_commit t g c events gb_bodies =
       view_id = g.view.View.view_id;
       attempt = c.c_attempt;
       stabilize = stab_cb @ stab_ab;
-      ab_finalize;
-      ab_drop;
+      ab_finalize = r.r_ab_finalize;
+      ab_drop = r.r_ab_drop;
       events;
       new_view;
       gname = g.gname;
@@ -1261,7 +1266,7 @@ and on_commit t g_opt frame =
       (match g.change with
       | Some c when c.c_committed -> g.change <- None
       | Some c ->
-        g.pending_events <- c.c_batch @ g.pending_events;
+        g.pending_events <- Deque.prepend c.c_batch g.pending_events;
         g.change <- None
       | None -> ());
       (* Every member site can answer directory queries for its groups,
@@ -1410,11 +1415,11 @@ and on_commit t g_opt frame =
       end
       else begin
         if i_am_coord t g then maybe_start_change t g
-        else if g.pending_events <> [] then begin
+        else if not (Deque.is_empty g.pending_events) then begin
           (* Leadership moved with the new view: hand queued events to
              the coordinator that can actually run them. *)
-          let evs = g.pending_events in
-          g.pending_events <- [];
+          let evs = Deque.to_list g.pending_events in
+          g.pending_events <- Deque.empty;
           List.iter (fun ev -> route_event t g ev) evs
         end;
         (* A site left without any local member is out of the group:
@@ -1454,7 +1459,7 @@ and make_group t ~gid ~gname ~view =
     join_validator = None;
     suspects = [];
     failed_procs = [];
-    pending_events = [];
+    pending_events = Deque.empty;
     change = None;
     last_attempt = 0;
     last_commit = None;
@@ -1623,12 +1628,17 @@ and handle_group_frame t ~src frame =
   match frame with
   | Proto.Cb_data { group; view_id; uid; rank; vt; body } ->
     with_group group view_id (fun g ->
-        g.store <- Uid_map.add uid (Proto.Scb { uid; rank; vt; body }) g.store;
-        (match vt with
-        | Some l when rank >= 0 ->
-          Causal.receive g.causal ~uid ~rank ~vt:(Vsync_util.Vclock.of_list l) body
-        | Some _ | None -> Causal.receive_fifo g.causal ~uid body);
-        drain_group t g)
+        (* A duplicate (retransmit, or a replay of something already
+           stabilized and GC'd) must not re-create a store copy the
+           [Stable] flow already collected. *)
+        if not (Causal.seen g.causal uid) then begin
+          g.store <- Uid_map.add uid (Proto.Scb { uid; rank; vt; body }) g.store;
+          (match vt with
+          | Some l when rank >= 0 ->
+            Causal.receive g.causal ~uid ~rank ~vt:(Vsync_util.Vclock.of_list l) body
+          | Some _ | None -> Causal.receive_fifo g.causal ~uid body);
+          drain_group t g
+        end)
   | Proto.Ab_data { group; view_id; uid; body } ->
     with_group group view_id (fun g ->
         let prio = Total.intake g.total ~uid body in
@@ -1672,7 +1682,16 @@ and handle_group_frame t ~src frame =
     match group_of t group with
     | Some g ->
       on_wedge_ack t g ~from_site ~attempt
-        { a_cb_known = cb_known; a_ab_report = ab_report; a_ab_counter = ab_counter; a_already = already_committed }
+        (* The wire carries plain lists; index them once on receipt so
+           the flush reconciliation runs on sets. *)
+        {
+          a_cb_known = Uid_set.of_list cb_known;
+          a_ab_uids =
+            Uid_set.of_list (List.map (fun (r : Proto.ab_report) -> r.Proto.ab_uid) ab_report);
+          a_ab_report = ab_report;
+          a_ab_counter = ab_counter;
+          a_already = already_committed;
+        }
     | None -> ())
   | Proto.Fetch { group; view_id; attempt; uids } -> (
     match group_of t group with
@@ -2142,3 +2161,38 @@ let pending_unstable t = Hashtbl.length t.unstables
 let pending_held_frames t = Hashtbl.fold (fun _ fs acc -> acc + List.length fs) t.held 0
 
 let pending_sessions t = Hashtbl.length t.sessions
+
+let pending_store t =
+  Hashtbl.fold (fun _ g acc -> acc + Uid_map.cardinal g.store) t.groups 0
+
+let dedup_residue t =
+  Hashtbl.fold
+    (fun _ g acc -> acc + Causal.dedup_residue g.causal + Total.dedup_residue g.total)
+    t.groups 0
+
+(* Labelled per-group protocol-state sizes, summed over the site's
+   groups — the raw material of the soak bench's bounded-memory
+   claim. *)
+let state_stats t =
+  let store = ref 0 and cb_tail = ref 0 and ab_tail = ref 0 and ab_entries = ref 0 in
+  let events = ref 0 and blocked = ref 0 in
+  Hashtbl.iter
+    (fun _ g ->
+      store := !store + Uid_map.cardinal g.store;
+      cb_tail := !cb_tail + Causal.dedup_residue g.causal;
+      ab_tail := !ab_tail + Total.dedup_residue g.total;
+      ab_entries := !ab_entries + List.length (Total.pending g.total);
+      events := !events + Deque.length g.pending_events;
+      blocked := !blocked + List.length g.blocked_sends)
+    t.groups;
+  [
+    ("store", !store);
+    ("cb_dedup_tail", !cb_tail);
+    ("ab_dedup_tail", !ab_tail);
+    ("ab_entries", !ab_entries);
+    ("pending_events", !events);
+    ("blocked_sends", !blocked);
+    ("unstables", Hashtbl.length t.unstables);
+    ("held_frames", pending_held_frames t);
+    ("sessions", Hashtbl.length t.sessions);
+  ]

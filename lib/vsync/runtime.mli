@@ -60,6 +60,16 @@ type config = {
           each collapse to one packet per destination per burst.
           1 fully serializes rounds; [<= 0] disables the gate (every
           round launches immediately, the historical behaviour). *)
+  stability_gc : bool;
+      (** Garbage-collect delivery-dedup state from message stability
+          (default [true]): once a multicast is {e stable} — every
+          destination received it, the same trigger that already GCs
+          the retransmission store — the engines' per-origin-site
+          dedup watermarks advance past it, so long-lived views run in
+          bounded memory and late duplicates are rejected by integer
+          comparison.  [false] reverts to the historical behaviour
+          (dedup records accumulate for the life of the view); kept
+          for the soak bench's A/B comparison. *)
   clock_offset_us : int;
       (** this site's wall-clock skew from true simulation time
           (unknown to the site itself; the real-time tool estimates
@@ -276,3 +286,19 @@ val uptime_utilization : t -> float
 val pending_unstable : t -> int
 val pending_held_frames : t -> int
 val pending_sessions : t -> int
+
+(** [pending_store t] — buffered multicast copies awaiting stability
+    across all groups (the paper's Sec 4 GC target). *)
+val pending_store : t -> int
+
+(** [dedup_residue t] — delivery-dedup records not yet covered by a
+    stability watermark, across all groups.  With {!config.stability_gc}
+    this drains to zero at quiescence; without it, it grows with every
+    multicast the view ever carried. *)
+val dedup_residue : t -> int
+
+(** [state_stats t] — labelled sizes of every per-group protocol-state
+    structure (store, dedup tails, buffered ABCASTs, queued events,
+    blocked sends, unstables, held frames, sessions), for the soak
+    bench's bounded-memory measurements. *)
+val state_stats : t -> (string * int) list

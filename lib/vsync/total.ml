@@ -1,5 +1,6 @@
 open Types
 module Heap = Vsync_util.Heap
+module Seqtrack = Vsync_util.Seqtrack
 
 type 'a entry = {
   mutable prio : prio;
@@ -11,7 +12,11 @@ type 'a t = {
   site : int;
   mutable ctr : int;
   mutable entries : 'a entry Uid_map.t;
-  mutable delivered : Uid_set.t;
+  delivered : Seqtrack.t;
+      (* per-origin-site watermark + sparse tail instead of an
+         ever-growing uid set: stability advances the watermark
+         ([stabilized]), so old deliveries are deduplicated by integer
+         comparison and their records dropped. *)
   order : (prio * uid) Heap.t;
       (* lazy-deletion min-heap mirroring [entries]: every (current
          prio, uid) pair ever assigned is pushed; [head] discards keys
@@ -28,11 +33,23 @@ let create ~site () =
     site;
     ctr = 0;
     entries = Uid_map.empty;
-    delivered = Uid_set.empty;
+    delivered = Seqtrack.create ();
     order = Heap.create ~compare:order_compare;
   }
 
-let seen t uid = Uid_map.mem uid t.entries || Uid_set.mem uid t.delivered
+let was_delivered t uid = Seqtrack.mem t.delivered ~key:uid.usite ~seq:uid.useq
+let seen t uid = Uid_map.mem uid t.entries || was_delivered t uid
+
+(* An ABCAST is stable once every destination delivered it.  Final
+   priorities from one origin site strictly increase in origination
+   order (each site's proposal counter is bumped by the earlier
+   intake, and per-channel FIFO makes intake follow origination
+   order), so total-order delivery of [uid] implies every earlier
+   ABCAST from that site was delivered first, everywhere: covering the
+   whole prefix [<= useq] is safe. *)
+let stabilized t uid = Seqtrack.advance t.delivered ~key:uid.usite ~upto:uid.useq
+
+let dedup_residue t = Seqtrack.tail_cardinal t.delivered
 
 let counter t = t.ctr
 
@@ -42,7 +59,7 @@ let intake t ~uid payload =
     if e.payload = None then e.payload <- Some payload;
     e.prio
   | None ->
-    if Uid_set.mem uid t.delivered then
+    if was_delivered t uid then
       (* Duplicate of something already delivered; return a harmless
          priority (the originator will not use it: it committed
          already). *)
@@ -56,19 +73,24 @@ let intake t ~uid payload =
     end
 
 let commit t ~uid prio =
-  if not (Uid_set.mem uid t.delivered) then begin
-    (match Uid_map.find_opt uid t.entries with
-    | Some e ->
-      if prio_compare e.prio prio <> 0 then begin
-        e.prio <- prio;
-        Heap.push t.order (prio, uid)
-      end;
-      e.committed <- true
-    | None ->
-      t.entries <- Uid_map.add uid { prio; committed = true; payload = None } t.entries;
-      Heap.push t.order (prio, uid));
+  (* Buffered entries take precedence over the delivered watermark: a
+     commit for something still buffered must always land, while a
+     commit duplicated after delivery (hence after any watermark
+     advance) is a no-op. *)
+  match Uid_map.find_opt uid t.entries with
+  | Some e ->
+    if prio_compare e.prio prio <> 0 then begin
+      e.prio <- prio;
+      Heap.push t.order (prio, uid)
+    end;
+    e.committed <- true;
     t.ctr <- max t.ctr (fst prio)
-  end
+  | None ->
+    if not (was_delivered t uid) then begin
+      t.entries <- Uid_map.add uid { prio; committed = true; payload = None } t.entries;
+      Heap.push t.order (prio, uid);
+      t.ctr <- max t.ctr (fst prio)
+    end
 
 let add_payload t ~uid payload =
   match Uid_map.find_opt uid t.entries with
@@ -103,7 +125,7 @@ let drain t =
       match e.payload with
       | Some p ->
         t.entries <- Uid_map.remove uid t.entries;
-        t.delivered <- Uid_set.add uid t.delivered;
+        Seqtrack.add t.delivered ~key:uid.usite ~seq:uid.useq;
         loop ((uid, e.prio, p) :: acc)
       | None -> List.rev acc)
     | Some _ | None -> List.rev acc

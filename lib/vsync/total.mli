@@ -61,7 +61,23 @@ val drain : 'a t -> (uid * prio * 'a) list
     material of a wedge acknowledgement. *)
 val pending : 'a t -> (uid * prio * bool * bool) list
 
+(** [seen t uid] — buffered or already delivered (possibly only as a
+    stability watermark: anything at or below the origin site's
+    watermark is recognized by integer comparison). *)
 val seen : _ t -> uid -> bool
+
+(** [stabilized t uid] — the runtime learned [uid] is {e stable}.
+    Advances the origin site's delivered-watermark to [uid.useq]: final
+    priorities from one site strictly increase in origination order, so
+    everything earlier from that site was delivered first and its dedup
+    record can be dropped.  Keeps [delivered] bounded on long-lived
+    views. *)
+val stabilized : _ t -> uid -> unit
+
+(** [dedup_residue t] — delivered-set entries not yet covered by a
+    watermark (hygiene gauge; drains to zero once stability catches
+    up). *)
+val dedup_residue : _ t -> int
 
 (** [payload_of t uid] returns the buffered body, if present (used when
     answering a stabilization fetch). *)

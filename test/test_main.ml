@@ -44,6 +44,7 @@ let () =
       ("core_smoke", Test_core_smoke.suite);
       ("vsync_props", Test_vsync_props.suite);
       ("ordering", Test_ordering.suite);
+      ("gc", Test_gc.suite);
       ("failures", Test_failures.suite);
       ("model", Test_model.suite);
       ("api", Test_api.suite);

@@ -5,6 +5,8 @@ module Rng = Vsync_util.Rng
 module Heap = Vsync_util.Heap
 module Vclock = Vsync_util.Vclock
 module Stats = Vsync_util.Stats
+module Seqtrack = Vsync_util.Seqtrack
+module Deque = Vsync_util.Deque
 
 (* --- rng --- *)
 
@@ -161,6 +163,83 @@ let prop_vclock_leq_partial_order =
       && ((not (Vclock.leq a b && Vclock.leq b a)) || Vclock.equal a b)
       && ((not (Vclock.leq a b && Vclock.leq b c)) || Vclock.leq a c))
 
+(* --- seqtrack --- *)
+
+let test_seqtrack_basics () =
+  let t = Seqtrack.create () in
+  Alcotest.(check bool) "fresh key unseen" false (Seqtrack.mem t ~key:1 ~seq:1);
+  Seqtrack.add t ~key:1 ~seq:3;
+  Alcotest.(check bool) "added" true (Seqtrack.mem t ~key:1 ~seq:3);
+  Alcotest.(check bool) "gap below stays unseen" false (Seqtrack.mem t ~key:1 ~seq:2);
+  Alcotest.(check bool) "other key independent" false (Seqtrack.mem t ~key:2 ~seq:3);
+  Alcotest.(check int) "sparse entry counted" 1 (Seqtrack.tail_cardinal t)
+
+let test_seqtrack_compaction () =
+  (* Sparse adds stay in the tail until the run touching mark+1 becomes
+     dense, then the whole run collapses into the watermark. *)
+  let t = Seqtrack.create () in
+  List.iter (fun s -> Seqtrack.add t ~key:7 ~seq:s) [ 2; 4; 5 ];
+  Alcotest.(check int) "all sparse" 3 (Seqtrack.tail_cardinal t);
+  Seqtrack.advance t ~key:7 ~upto:1;
+  Alcotest.(check int) "2 absorbed by mark=1" 2 (Seqtrack.tail_cardinal t);
+  Alcotest.(check int) "mark compacted through 2" 2 (Seqtrack.mark t ~key:7);
+  Seqtrack.add t ~key:7 ~seq:3;
+  Alcotest.(check int) "3,4,5 collapse" 0 (Seqtrack.tail_cardinal t);
+  Alcotest.(check int) "mark at 5" 5 (Seqtrack.mark t ~key:7);
+  List.iter
+    (fun s -> Alcotest.(check bool) "prefix covered" true (Seqtrack.mem t ~key:7 ~seq:s))
+    [ 2; 3; 4; 5 ]
+
+let test_seqtrack_advance () =
+  let t = Seqtrack.create () in
+  List.iter (fun s -> Seqtrack.add t ~key:3 ~seq:s) [ 10; 20; 30 ];
+  Seqtrack.advance t ~key:3 ~upto:25;
+  Alcotest.(check int) "tail above watermark survives" 1 (Seqtrack.tail_cardinal t);
+  Alcotest.(check bool) "below watermark is mem" true (Seqtrack.mem t ~key:3 ~seq:15);
+  Alcotest.(check bool) "surviving tail is mem" true (Seqtrack.mem t ~key:3 ~seq:30);
+  Alcotest.(check bool) "gap above watermark not mem" false (Seqtrack.mem t ~key:3 ~seq:27);
+  (* advance never regresses *)
+  Seqtrack.advance t ~key:3 ~upto:5;
+  Alcotest.(check int) "mark monotone" 25 (Seqtrack.mark t ~key:3)
+
+let prop_seqtrack_matches_set =
+  (* Random interleavings of add/advance against a reference model:
+     mem(s) iff s was added or covered by an advance. *)
+  QCheck.Test.make ~name:"seqtrack mem matches reference set" ~count:300
+    QCheck.(list (pair bool (0 -- 60)))
+    (fun ops ->
+      let t = Seqtrack.create () in
+      let added = Hashtbl.create 16 in
+      let hi = ref min_int in
+      List.iter
+        (fun (is_advance, s) ->
+          if is_advance then begin
+            Seqtrack.advance t ~key:0 ~upto:s;
+            if s > !hi then hi := s
+          end
+          else begin
+            Seqtrack.add t ~key:0 ~seq:s;
+            Hashtbl.replace added s ()
+          end)
+        ops;
+      List.for_all
+        (fun s ->
+          Seqtrack.mem t ~key:0 ~seq:s = (s <= !hi || Hashtbl.mem added s))
+        (List.init 62 Fun.id))
+
+(* --- deque --- *)
+
+let test_deque () =
+  let d = Deque.empty in
+  Alcotest.(check bool) "empty" true (Deque.is_empty d);
+  let d = List.fold_left Deque.push_back d [ 3; 4; 5 ] in
+  let d = Deque.prepend [ 1; 2 ] d in
+  Alcotest.(check (list int)) "prepend ahead of pushes" [ 1; 2; 3; 4; 5 ] (Deque.to_list d);
+  Alcotest.(check int) "length" 5 (Deque.length d);
+  Alcotest.(check bool) "exists" true (Deque.exists (fun x -> x = 4) d);
+  Alcotest.(check bool) "not exists" false (Deque.exists (fun x -> x = 9) d);
+  Alcotest.(check (list int)) "of_list round-trips" [ 7; 8 ] (Deque.to_list (Deque.of_list [ 7; 8 ]))
+
 (* --- stats --- *)
 
 let test_summary () =
@@ -206,6 +285,11 @@ let suite =
     Alcotest.test_case "vclock merge" `Quick test_vclock_merge;
     Alcotest.test_case "vclock dim mismatch" `Quick test_vclock_dim_mismatch;
     QCheck_alcotest.to_alcotest prop_vclock_leq_partial_order;
+    Alcotest.test_case "seqtrack basics" `Quick test_seqtrack_basics;
+    Alcotest.test_case "seqtrack compaction" `Quick test_seqtrack_compaction;
+    Alcotest.test_case "seqtrack advance" `Quick test_seqtrack_advance;
+    QCheck_alcotest.to_alcotest prop_seqtrack_matches_set;
+    Alcotest.test_case "deque" `Quick test_deque;
     Alcotest.test_case "summary stats" `Quick test_summary;
     Alcotest.test_case "counters" `Quick test_counter;
   ]
