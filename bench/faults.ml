@@ -13,8 +13,12 @@ let seed = 0xFA17L
 let run () =
   let row intensity =
     let r =
-      if intensity = 0.0 then Scenario.run ~seed ~plan:[] ()
-      else Scenario.run ~seed ~intensity ()
+      match
+        if intensity = 0.0 then Scenario.run ~seed ~plan:[] ()
+        else Scenario.run ~seed ~intensity ()
+      with
+      | Ok r -> r
+      | Error e -> failwith ("faults bench: scenario setup failed: " ^ e)
     in
     let secs = float_of_int r.elapsed_us /. 1_000_000. in
     let thru = float_of_int r.delivered /. secs in

@@ -15,6 +15,29 @@ let e_app = Entry.user 0
 let json_path : string option ref = ref None
 let smoke = ref false
 
+(* [--trace-out PATH] streams the typed event layer of every cluster the
+   harness builds to PATH as JSONL (one shared file across experiments;
+   events carry timestamps and sites, so runs remain separable). *)
+let trace_out : string option ref = ref None
+let trace_oc : out_channel option ref = ref None
+
+let attach_trace w =
+  match !trace_out with
+  | None -> ()
+  | Some path ->
+    let oc =
+      match !trace_oc with
+      | Some oc -> oc
+      | None ->
+        let oc = open_out path in
+        trace_oc := Some oc;
+        at_exit (fun () -> close_out oc);
+        oc
+    in
+    let tr = Vsync_sim.Trace.obs (World.trace w) in
+    Vsync_obs.Tracer.add_sink tr (Vsync_obs.Jsonl.sink_to_channel oc);
+    Vsync_obs.Tracer.set_enabled tr true
+
 (* [--gc-stats] makes every JSON-writing bench record the peak live
    heap: [note_gc] folds the current live size (after a full major)
    into a running maximum, and [write_json] samples once more and
@@ -138,6 +161,7 @@ let make_cluster ?(seed = 0xBE5CL) ?(name = "bench") ?net_config ?runtime_config
     | None -> if !no_coalesce then Some legacy_runtime_config else None
   in
   let w = World.create ~seed ?net_config ?runtime_config ~sites () in
+  attach_trace w;
   let members =
     Array.init sites (fun s -> World.proc w ~site:s ~name:(Printf.sprintf "b%d" s))
   in
@@ -154,6 +178,29 @@ let make_cluster ?(seed = 0xBE5CL) ?(name = "bench") ?net_config ?runtime_config
   done;
   World.run w;
   { w; members; gid }
+
+(* Per-site snapshot of the unified metrics registry, for embedding in
+   a JSON artifact: gauges sample live state, so take this while the
+   world of interest is still in scope. *)
+let metrics_json w =
+  Json.List
+    (List.init (World.n_sites w) (fun s ->
+         let snap = Vsync_obs.Metrics.snapshot (Runtime.metrics (World.runtime w s)) in
+         Json.Obj
+           (("site", Json.Int s)
+           :: List.map
+                (fun (name, v) ->
+                  match v with
+                  | Vsync_obs.Metrics.Counter_v n | Vsync_obs.Metrics.Gauge_v n ->
+                    (name, Json.Int n)
+                  | Vsync_obs.Metrics.Histo_v { count; sum; min; max } ->
+                    ( name,
+                      Json.Obj
+                        [
+                          ("count", Json.Int count); ("sum", Json.Int sum);
+                          ("min", Json.Int min); ("max", Json.Int max);
+                        ] ))
+                snap)))
 
 (* Messages padded to a target payload size. *)
 let padded_msg bytes =

@@ -12,6 +12,8 @@
    Flags (consumed before experiment names):
      --json PATH    JSON-capable experiments (msgpath, wire, soak) write
                     results there
+     --trace-out P  stream the typed event layer of every harness
+                    cluster to P as JSONL
      --smoke        reduced iteration counts, for CI perf tracking
      --no-coalesce  run with the historical wire behaviour (no frame
                     coalescing, ack per delivery, ABCAST window 1) for
@@ -43,6 +45,12 @@ let () =
       parse rest
     | "--json" :: [] ->
       Printf.eprintf "--json needs a path\n";
+      exit 2
+    | "--trace-out" :: path :: rest ->
+      Harness.trace_out := Some path;
+      parse rest
+    | "--trace-out" :: [] ->
+      Printf.eprintf "--trace-out needs a path\n";
       exit 2
     | "--smoke" :: rest ->
       Harness.smoke := true;

@@ -112,6 +112,11 @@ type tput_row = {
   t_wall_s : float;
 }
 
+(* Unified-metrics snapshot of the most recent throughput cluster,
+   embedded in the JSON artifact (gauges sample live state, so it is
+   taken while the world is still reachable). *)
+let last_metrics : Harness.Json.t option ref = ref None
+
 let throughput_run mode mode_name ~sites =
   let msgs = if !Harness.smoke then 40 else 200 in
   let c = Harness.make_cluster ~seed:0x9A7BL ~sites () in
@@ -133,6 +138,7 @@ let throughput_run mode mode_name ~sites =
   let wall0 = Unix.gettimeofday () in
   World.run ~until:(start + 600_000_000) c.w;
   let wall = Unix.gettimeofday () -. wall0 in
+  last_metrics := Some (Harness.metrics_json c.w);
   let elapsed_us = max 1 (!last_delivery - start) in
   {
     t_mode = mode_name;
@@ -206,6 +212,11 @@ let run () =
                      ])
                  tput_rows) );
         ]
+    in
+    let j =
+      match (j, !last_metrics) with
+      | Obj fields, Some m -> Obj (fields @ [ ("metrics", m) ])
+      | j, _ -> j
     in
     Harness.write_json path j;
     Printf.printf "msgpath: wrote %s\n" path

@@ -27,12 +27,31 @@ let mode_conv =
   in
   Cmdliner.Arg.conv (parse, fun ppf m -> Format.pp_print_string ppf (Types.mode_to_string m))
 
+(* With --trace-out FILE, stream the typed event layer as JSONL into
+   FILE for the duration of [f]. *)
+let with_trace_out trace_out f =
+  match trace_out with
+  | None -> f None
+  | Some path ->
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> f (Some (Vsync_obs.Jsonl.sink_to_channel oc)))
+
 (* --nemesis SEED[:INTENSITY]: run the standard nemesis scenario — a
    fully-formed group under seeded traffic while a random fault plan
    runs — print the plan and the oracle's verdict, and exit non-zero on
    any violation. *)
-let run_nemesis sites (seed, intensity) =
-  let r = Scenario.run ~sites ?intensity ~seed () in
+let run_nemesis sites trace_out (seed, intensity) =
+  let outcome =
+    with_trace_out trace_out (fun trace_sink ->
+        Scenario.run ~sites ?intensity ?trace_sink ~seed ())
+  in
+  match outcome with
+  | Error e ->
+    Printf.eprintf "nemesis scenario: setup failed: %s\n" e;
+    2
+  | Ok r ->
   Printf.printf "nemesis scenario: seed %Ld, intensity %.2f, %d sites\n" seed
     (Option.value ~default:0.5 intensity)
     sites;
@@ -50,13 +69,20 @@ let run_nemesis sites (seed, intensity) =
   print_string (Oracle.report r.oracle r.violations);
   if r.violations = [] then 0 else 1
 
-let run sites seed messages size mode loss crash_site crash_at_ms trace_on nemesis =
+let run sites seed messages size mode loss crash_site crash_at_ms trace_on trace_out nemesis =
   match nemesis with
-  | Some spec -> run_nemesis sites spec
+  | Some spec -> run_nemesis sites trace_out spec
   | None ->
+  with_trace_out trace_out @@ fun trace_sink ->
   let net_config = { Net.default_config with Net.loss_probability = loss } in
   let w = World.create ~seed:(Int64.of_int seed) ~net_config ~sites () in
   if trace_on then Trace.set_enabled (World.trace w) true;
+  (match trace_sink with
+  | None -> ()
+  | Some sink ->
+    let tr = Trace.obs (World.trace w) in
+    Vsync_obs.Tracer.add_sink tr sink;
+    Vsync_obs.Tracer.set_enabled tr true);
   let members = Array.init sites (fun s -> World.proc w ~site:s ~name:(Printf.sprintf "m%d" s)) in
   let logs = Array.make sites [] in
   Array.iteri
@@ -160,6 +186,13 @@ let crash_site =
 let crash_at = Arg.(value & opt int 100 & info [ "crash-at" ] ~doc:"Crash time (virtual ms).")
 let trace = Arg.(value & flag & info [ "trace" ] ~doc:"Dump the protocol trace.")
 
+let trace_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:"Stream the typed event layer to $(docv) as JSONL (one event per line).")
+
 let nemesis_conv =
   let parse s =
     let mk seed intensity =
@@ -198,6 +231,6 @@ let cmd =
     (Cmd.info "vsim" ~doc)
     Term.(
       const run $ sites $ seed $ messages $ size $ mode $ loss $ crash_site $ crash_at $ trace
-      $ nemesis)
+      $ trace_out $ nemesis)
 
 let () = exit (Cmd.eval' cmd)

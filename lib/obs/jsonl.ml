@@ -1,0 +1,173 @@
+(* JSONL codec for event records: one flat JSON object per line,
+   [{"at":N,"ev":TAG, field:value, ...}].  Hand-rolled on both sides —
+   the repo takes no external JSON dependency — and exactly inverse to
+   [Event.fields]/[Event.of_fields], which the round-trip test pins. *)
+
+let escape buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let add_field buf k v =
+  Buffer.add_string buf ",\"";
+  escape buf k;
+  Buffer.add_string buf "\":";
+  match v with
+  | Event.I n -> Buffer.add_string buf (string_of_int n)
+  | Event.S s ->
+    Buffer.add_char buf '"';
+    escape buf s;
+    Buffer.add_char buf '"'
+
+let to_buffer buf (r : Event.record) =
+  let tag, fields = Event.fields r.ev in
+  Buffer.add_string buf "{\"at\":";
+  Buffer.add_string buf (string_of_int r.at);
+  Buffer.add_string buf ",\"ev\":\"";
+  escape buf tag;
+  Buffer.add_char buf '"';
+  List.iter (fun (k, v) -> add_field buf k v) fields;
+  Buffer.add_char buf '}'
+
+let of_record r =
+  let buf = Buffer.create 128 in
+  to_buffer buf r;
+  Buffer.contents buf
+
+(* --- parsing -------------------------------------------------------- *)
+
+(* Minimal parser for the flat objects this module itself writes:
+   string keys, int or string values.  Whitespace-tolerant; anything
+   else is [None]. *)
+
+exception Bad
+
+let parse_fields line =
+  let n = String.length line in
+  let pos = ref 0 in
+  let peek () = if !pos < n then line.[!pos] else raise Bad in
+  let advance () = incr pos in
+  let skip_ws () =
+    while !pos < n && (match line.[!pos] with ' ' | '\t' | '\r' -> true | _ -> false) do
+      advance ()
+    done
+  in
+  let expect c =
+    skip_ws ();
+    if peek () <> c then raise Bad;
+    advance ()
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec loop () =
+      match peek () with
+      | '"' -> advance ()
+      | '\\' ->
+        advance ();
+        (match peek () with
+        | '"' -> Buffer.add_char buf '"'
+        | '\\' -> Buffer.add_char buf '\\'
+        | 'n' -> Buffer.add_char buf '\n'
+        | 't' -> Buffer.add_char buf '\t'
+        | 'u' ->
+          advance ();
+          if !pos + 3 >= n then raise Bad;
+          let code = int_of_string ("0x" ^ String.sub line !pos 4) in
+          pos := !pos + 3;
+          if code > 0xff then raise Bad;
+          Buffer.add_char buf (Char.chr code)
+        | _ -> raise Bad);
+        advance ();
+        loop ()
+      | c ->
+        Buffer.add_char buf c;
+        advance ();
+        loop ()
+    in
+    loop ();
+    Buffer.contents buf
+  in
+  let parse_int () =
+    skip_ws ();
+    let start = !pos in
+    if !pos < n && line.[!pos] = '-' then advance ();
+    while !pos < n && match line.[!pos] with '0' .. '9' -> true | _ -> false do
+      advance ()
+    done;
+    if !pos = start then raise Bad;
+    int_of_string (String.sub line start (!pos - start))
+  in
+  let parse_value () =
+    skip_ws ();
+    match peek () with '"' -> Event.S (parse_string ()) | _ -> Event.I (parse_int ())
+  in
+  try
+    expect '{';
+    let fields = ref [] in
+    skip_ws ();
+    if peek () = '}' then advance ()
+    else begin
+      let rec members () =
+        skip_ws ();
+        let k = parse_string () in
+        expect ':';
+        let v = parse_value () in
+        fields := (k, v) :: !fields;
+        skip_ws ();
+        match peek () with
+        | ',' ->
+          advance ();
+          members ()
+        | '}' -> advance ()
+        | _ -> raise Bad
+      in
+      members ()
+    end;
+    skip_ws ();
+    if !pos <> n then raise Bad;
+    Some (List.rev !fields)
+  with Bad | Invalid_argument _ | Failure _ -> None
+
+let parse line =
+  match parse_fields line with
+  | None -> None
+  | Some fields -> (
+    match (List.assoc_opt "at" fields, List.assoc_opt "ev" fields) with
+    | Some (Event.I at), Some (Event.S tag) -> (
+      let rest = List.filter (fun (k, _) -> k <> "at" && k <> "ev") fields in
+      match Event.of_fields tag rest with
+      | Some ev -> Some { Event.at; ev }
+      | None -> None)
+    | _ -> None)
+
+let load path =
+  let ic = open_in path in
+  let records = ref [] in
+  (try
+     while true do
+       let line = input_line ic in
+       if String.length line > 0 then
+         match parse line with Some r -> records := r :: !records | None -> ()
+     done
+   with End_of_file -> ());
+  close_in ic;
+  List.rev !records
+
+(* A tracer sink writing one line per event.  The caller owns the
+   channel's lifetime and is expected to close (hence flush) it when
+   the run ends. *)
+let sink_to_channel oc : Event.record -> unit =
+  let buf = Buffer.create 256 in
+  fun r ->
+    Buffer.clear buf;
+    to_buffer buf r;
+    Buffer.add_char buf '\n';
+    Buffer.output_buffer oc buf

@@ -1,0 +1,23 @@
+(** JSONL codec for {!Event.record}s.
+
+    One flat JSON object per line: [{"at":N,"ev":TAG, field:value,
+    ...}] with int and string values only — the shape emitted by
+    {!Event.fields}.  Both directions are hand-rolled (the repo takes
+    no external JSON dependency) and the unit tests pin the
+    round-trip. *)
+
+(** [of_record r] is the one-line JSON encoding (no trailing
+    newline). *)
+val of_record : Event.record -> string
+
+(** [parse line] decodes one line; [None] on malformed input or an
+    unknown event tag. *)
+val parse : string -> Event.record option
+
+(** [load path] reads a JSONL file, skipping unparseable lines. *)
+val load : string -> Event.record list
+
+(** [sink_to_channel oc] is a {!Tracer.sink} writing each event as one
+    line on [oc].  The caller owns the channel (and should close it
+    when the run ends). *)
+val sink_to_channel : out_channel -> Event.record -> unit

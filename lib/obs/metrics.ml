@@ -1,0 +1,77 @@
+(* Unified metrics registry: counters, callback gauges and simple
+   histograms under one namespace, so consumers (the oracle's hygiene
+   checks, bench JSON artifacts) sample state by name instead of
+   knowing which module owns which accessor. *)
+
+type counter = { mutable c : int }
+type histogram = { mutable n : int; mutable sum : int; mutable hmin : int; mutable hmax : int }
+type source = Counter_src of counter | Gauge_src of (unit -> int) | Histo_src of histogram
+
+type t = {
+  tbl : (string, source) Hashtbl.t;
+  mutable names : string list; (* reverse registration order *)
+}
+
+type value =
+  | Counter_v of int
+  | Gauge_v of int
+  | Histo_v of { count : int; sum : int; min : int; max : int }
+
+let create () = { tbl = Hashtbl.create 32; names = [] }
+
+let register t name src =
+  if Hashtbl.mem t.tbl name then invalid_arg ("Metrics: duplicate metric " ^ name);
+  Hashtbl.replace t.tbl name src;
+  t.names <- name :: t.names
+
+let counter t name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some (Counter_src c) -> c
+  | Some _ -> invalid_arg ("Metrics.counter: " ^ name ^ " is not a counter")
+  | None ->
+    let c = { c = 0 } in
+    register t name (Counter_src c);
+    c
+
+let incr c = c.c <- c.c + 1
+let add c n = c.c <- c.c + n
+let counter_value c = c.c
+let gauge t name f = register t name (Gauge_src f)
+
+let histogram t name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some (Histo_src h) -> h
+  | Some _ -> invalid_arg ("Metrics.histogram: " ^ name ^ " is not a histogram")
+  | None ->
+    let h = { n = 0; sum = 0; hmin = max_int; hmax = min_int } in
+    register t name (Histo_src h);
+    h
+
+let observe h v =
+  h.n <- h.n + 1;
+  h.sum <- h.sum + v;
+  if v < h.hmin then h.hmin <- v;
+  if v > h.hmax then h.hmax <- v
+
+let read_source = function
+  | Counter_src c -> Counter_v c.c
+  | Gauge_src f -> Gauge_v (f ())
+  | Histo_src h ->
+    Histo_v
+      { count = h.n; sum = h.sum; min = (if h.n = 0 then 0 else h.hmin); max = (if h.n = 0 then 0 else h.hmax) }
+
+let read t name = Option.map read_source (Hashtbl.find_opt t.tbl name)
+
+(* Counter and gauge values flatten to their int; histograms to their
+   sample count.  Hygiene checks comparing "is this state empty" want
+   exactly this. *)
+let read_int t name =
+  match read t name with
+  | Some (Counter_v v) | Some (Gauge_v v) -> Some v
+  | Some (Histo_v { count; _ }) -> Some count
+  | None -> None
+
+let snapshot t =
+  List.rev_map (fun name -> (name, read_source (Hashtbl.find t.tbl name))) t.names
+
+let names t = List.rev t.names

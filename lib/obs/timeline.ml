@@ -1,0 +1,60 @@
+(* Per-uid causal timeline: "explain this message's delivery".
+
+   Filters an event stream down to the records about one broadcast —
+   its origination, the frames that carried it, the ABCAST votes and
+   commit that ordered it, each site's delivery, and each site's
+   stabilization — in emission order.  Works over any record list: the
+   tracer's ring, a sink's accumulation, or a JSONL file re-loaded with
+   [Jsonl.load]. *)
+
+type t = { usite : int; useq : int; events : Event.record list }
+
+let of_uid records ~usite ~useq =
+  let events =
+    List.filter
+      (fun (r : Event.record) ->
+        match Event.uid_of r.ev with Some (us, uq) -> us = usite && uq = useq | None -> false)
+      records
+  in
+  { usite; useq; events }
+
+let has p t = List.exists (fun (r : Event.record) -> p r.ev) t.events
+
+let originated t = has (function Event.Originate _ -> true | _ -> false) t
+
+let delivery_sites t =
+  List.filter_map
+    (fun (r : Event.record) -> match r.ev with Event.Deliver { site; _ } -> Some site | _ -> None)
+    t.events
+  |> List.sort_uniq compare
+
+let stabilized_sites t =
+  List.filter_map
+    (fun (r : Event.record) -> match r.ev with Event.Stabilize { site; _ } -> Some site | _ -> None)
+    t.events
+  |> List.sort_uniq compare
+
+(* A timeline "explains" a delivery when the whole arc is present:
+   origination, at least one delivery, and at least one stabilization
+   (the origin learning its broadcast is safe everywhere). *)
+let complete t = originated t && delivery_sites t <> [] && stabilized_sites t <> []
+
+(* All uids that were delivered somewhere in [records], each once. *)
+let delivered_uids records =
+  let seen = Hashtbl.create 64 in
+  let out = ref [] in
+  List.iter
+    (fun (r : Event.record) ->
+      match r.ev with
+      | Event.Deliver { usite; useq; _ } ->
+        if not (Hashtbl.mem seen (usite, useq)) then begin
+          Hashtbl.replace seen (usite, useq) ();
+          out := (usite, useq) :: !out
+        end
+      | _ -> ())
+    records;
+  List.rev !out
+
+let pp ppf t =
+  Format.fprintf ppf "uid (%d,%d): %d events@." t.usite t.useq (List.length t.events);
+  List.iter (fun r -> Format.fprintf ppf "  %a@." Event.pp_record r) t.events

@@ -1,0 +1,31 @@
+(** Per-uid causal timeline reconstruction: "explain this message's
+    delivery".
+
+    A timeline is the sub-stream of events about one broadcast uid —
+    origination, the frames that carried it, ABCAST votes/commit,
+    per-site deliveries, per-site stabilizations — in emission order.
+    Sources: the tracer ring ({!Tracer.records}), a sink accumulation,
+    or a re-loaded JSONL trace ({!Jsonl.load}). *)
+
+type t = { usite : int; useq : int; events : Event.record list }
+
+val of_uid : Event.record list -> usite:int -> useq:int -> t
+
+(** Did we see the [Originate] event? *)
+val originated : t -> bool
+
+(** Sites that delivered the message (sorted, deduped). *)
+val delivery_sites : t -> int list
+
+(** Sites that stabilized the message (sorted, deduped). *)
+val stabilized_sites : t -> int list
+
+(** Origination, at least one delivery and at least one stabilization
+    are all present: the timeline explains the full arc. *)
+val complete : t -> bool
+
+(** All uids with a [Deliver] event in the stream, in first-delivery
+    order, each once. *)
+val delivered_uids : Event.record list -> (int * int) list
+
+val pp : Format.formatter -> t -> unit

@@ -16,6 +16,7 @@ type t = {
   root_rng : Rng.t;
   mutable fired : int;
   live : int ref; (* scheduled and not yet fired or cancelled — exact *)
+  mutable tracer : Vsync_obs.Tracer.t option;
 }
 
 let create ?(seed = 0x5EEDL) () =
@@ -25,13 +26,19 @@ let create ?(seed = 0x5EEDL) () =
     root_rng = Rng.create seed;
     fired = 0;
     live = ref 0;
+    tracer = None;
   }
 
 let now t = t.clock
 let rng t = t.root_rng
+let set_tracer t tr = t.tracer <- Some tr
 
 let schedule_at t at action =
   let at = if at < t.clock then t.clock else at in
+  (match t.tracer with
+  | Some tr when Vsync_obs.Tracer.wants tr Vsync_obs.Event.Engine ->
+    Vsync_obs.Tracer.emit tr (Vsync_obs.Event.Sched { delay = at - t.clock })
+  | Some _ | None -> ());
   let h = { cancelled = false; live = t.live } in
   Heap.push t.queue { at; action; h };
   incr t.live;
@@ -74,6 +81,10 @@ let step t =
       e.h.cancelled <- true;
       t.clock <- e.at;
       t.fired <- t.fired + 1;
+      (match t.tracer with
+      | Some tr when Vsync_obs.Tracer.wants tr Vsync_obs.Event.Engine ->
+        Vsync_obs.Tracer.emit tr Vsync_obs.Event.Fire
+      | Some _ | None -> ());
       e.action ()
     end;
     true

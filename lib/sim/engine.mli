@@ -24,6 +24,13 @@ val now : t -> time
     {!Vsync_util.Rng.split} it once at construction. *)
 val rng : t -> Vsync_util.Rng.t
 
+(** [set_tracer t tr] attaches a typed-event tracer: every schedule and
+    fire emits an [Engine]-class event on it.  The [Engine] class is
+    masked off by default (see {!Vsync_obs.Tracer}), so attaching a
+    tracer costs one branch per schedule until that class is opted
+    into. *)
+val set_tracer : t -> Vsync_obs.Tracer.t -> unit
+
 (** [schedule t ~delay f] runs [f] at [now t + delay].
     @raise Invalid_argument if [delay < 0]. *)
 val schedule : t -> delay:time -> (unit -> unit) -> handle

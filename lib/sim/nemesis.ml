@@ -40,14 +40,6 @@ let apply_op net actions = function
     Net.clear_links net;
     Net.set_loss net 0.0
 
-let install ?actions net plan =
-  let actions = match actions with Some a -> a | None -> net_actions net in
-  List.iter
-    (fun ev ->
-      if ev.at < 0 then invalid_arg "Nemesis.install: negative event time";
-      ignore (Engine.schedule (Net.engine net) ~delay:ev.at (fun () -> apply_op net actions ev.op)))
-    plan
-
 (* --- Pretty-printing --- *)
 
 let pp_sites ppf ss =
@@ -73,6 +65,21 @@ let pp_op ppf = function
   | Clear_faults -> Format.pp_print_string ppf "clear all faults"
 
 let pp_event ppf ev = Format.fprintf ppf "[+%8.3fs] %a" (Engine.to_sec ev.at) pp_op ev.op
+
+let install ?actions net plan =
+  let actions = match actions with Some a -> a | None -> net_actions net in
+  List.iter
+    (fun ev ->
+      if ev.at < 0 then invalid_arg "Nemesis.install: negative event time";
+      ignore
+        (Engine.schedule (Net.engine net) ~delay:ev.at (fun () ->
+             (match Net.tracer net with
+             | Some tr when Vsync_obs.Tracer.wants tr Vsync_obs.Event.Net ->
+               Vsync_obs.Tracer.emit tr
+                 (Vsync_obs.Event.Nemesis { action = Format.asprintf "%a" pp_op ev.op })
+             | Some _ | None -> ());
+             apply_op net actions ev.op)))
+    plan
 let pp_plan ppf plan = List.iter (fun ev -> Format.fprintf ppf "%a@." pp_event ev) plan
 let plan_to_string plan = Format.asprintf "%a" pp_plan plan
 

@@ -1,5 +1,7 @@
 module Rng = Vsync_util.Rng
 module Stats = Vsync_util.Stats
+module Tracer = Vsync_obs.Tracer
+module Event = Vsync_obs.Event
 
 type site = int
 
@@ -70,6 +72,7 @@ type t = {
   links : (site * site, link) Hashtbl.t;
   rng : Rng.t;
   counters : Stats.Counter.t;
+  mutable tracer : Tracer.t option;
 }
 
 let create engine cfg ~sites =
@@ -84,11 +87,21 @@ let create engine cfg ~sites =
     links = Hashtbl.create 8;
     rng = Rng.split (Engine.rng engine);
     counters = Stats.Counter.create ();
+    tracer = None;
   }
 
 let config t = t.cfg
 let n_sites t = t.n_sites
 let engine t = t.engine
+let set_tracer t tr = t.tracer <- Some tr
+let tracer t = t.tracer
+
+(* Fault decisions are worth tracing but must stay free when tracing is
+   off: construct the event only once a listener is confirmed. *)
+let trace_net t mk =
+  match t.tracer with
+  | Some tr when Tracer.wants tr Event.Net -> Tracer.emit tr (mk ())
+  | Some _ | None -> ()
 
 let check_site t s name =
   if s < 0 || s >= t.n_sites then invalid_arg (Printf.sprintf "Net.%s: bad site %d" name s)
@@ -216,8 +229,12 @@ let send t ~src ~dst ~bytes deliver =
     let p_keep =
       (1.0 -. t.cfg.loss_probability) *. (1.0 -. extra_loss) *. (1.0 -. burst_loss)
     in
-    if not (Rng.bernoulli t.rng p_keep) then
-      Stats.Counter.incr t.counters "net.lost"
+    if not (Rng.bernoulli t.rng p_keep) then begin
+      Stats.Counter.incr t.counters "net.lost";
+      trace_net t (fun () ->
+          let reason = if burst_loss > 0.0 then "burst_loss" else "loss" in
+          Event.Net_drop { src; dst; reason })
+    end
     else begin
       let now = Engine.now t.engine in
       (* Serialize on the sender's transmitter, then propagate.  A
@@ -240,7 +257,11 @@ let send t ~src ~dst ~bytes deliver =
           let detour =
             if l.l_reorder > 0.0 && Rng.bernoulli t.rng l.l_reorder then begin
               Stats.Counter.incr t.counters "net.reordered";
-              if l.l_reorder_span_us > 0 then Rng.int_in t.rng 1 l.l_reorder_span_us else 0
+              let d =
+                if l.l_reorder_span_us > 0 then Rng.int_in t.rng 1 l.l_reorder_span_us else 0
+              in
+              trace_net t (fun () -> Event.Net_delay { src; dst; extra_us = d });
+              d
             end
             else 0
           in
@@ -251,12 +272,18 @@ let send t ~src ~dst ~bytes deliver =
         (* Partition/destination checks happen at arrival time:
            a packet in flight when the link goes bad is lost. *)
         if t.up.(dst) && not (partitioned t src dst) then deliver ()
-        else Stats.Counter.incr t.counters "net.lost"
+        else begin
+          Stats.Counter.incr t.counters "net.lost";
+          trace_net t (fun () ->
+              let reason = if t.up.(dst) then "partition" else "dst_down" in
+              Event.Net_drop { src; dst; reason })
+        end
       in
       ignore (Engine.schedule_at t.engine arrival deliver_checked);
       match lk with
       | Some l when l.l_dup > 0.0 && Rng.bernoulli t.rng l.l_dup ->
         Stats.Counter.incr t.counters "net.dup";
+        trace_net t (fun () -> Event.Net_dup { src; dst });
         let echo_at = arrival + Rng.int_in t.rng 1 2_000 in
         ignore (Engine.schedule_at t.engine echo_at deliver_checked)
       | Some _ | None -> ()

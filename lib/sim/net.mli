@@ -58,6 +58,13 @@ val config : t -> config
 val n_sites : t -> int
 val engine : t -> Engine.t
 
+(** [set_tracer t tr] attaches a typed-event tracer: fault decisions
+    (drops with their reason, duplications, reorder detours) emit
+    [Net]-class events.  Free when the tracer is disabled. *)
+val set_tracer : t -> Vsync_obs.Tracer.t -> unit
+
+val tracer : t -> Vsync_obs.Tracer.t option
+
 (** [send t ~src ~dst ~bytes deliver] transmits one {e packet} of
     [bytes] payload bytes from [src] to [dst] and calls [deliver] at the
     receiver-side arrival time — unless the packet is lost, a site is

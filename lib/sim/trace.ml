@@ -1,36 +1,65 @@
-module Ring = Vsync_util.Ring
+(* Thin compatibility shim over the typed observability layer
+   ([Vsync_obs]): the historical string-category API keeps compiling,
+   but every record now lands in the shared typed event stream as a
+   [Note_event], next to the structured events the layers emit
+   directly.  [obs] exposes the underlying tracer for typed use. *)
+
+module Tracer = Vsync_obs.Tracer
+module Event = Vsync_obs.Event
 
 type record = { at : Engine.time; category : string; detail : string }
 
 type t = {
   engine : Engine.t;
-  mutable enabled : bool;
-  records : record Ring.t;
+  tracer : Tracer.t;
 }
 
-(* Enough for any single experiment; long runs keep the most recent
-   tail rather than growing without bound. *)
 let default_capacity = 200_000
 
-let create engine = { engine; enabled = false; records = Ring.create ~capacity:default_capacity }
+let create engine =
+  let tracer =
+    Tracer.create ~capacity:default_capacity ~now:(fun () -> Engine.now engine) ()
+  in
+  { engine; tracer }
 
-let set_enabled t b = t.enabled <- b
-let enabled t = t.enabled
+let obs t = t.tracer
+let set_enabled t b = Tracer.set_enabled t.tracer b
+let enabled t = Tracer.enabled t.tracer
 
+(* String notes carry no site; -1 marks "not site-specific". *)
 let emit t ~category detail =
-  if t.enabled then
-    Ring.push t.records { at = Engine.now t.engine; category; detail }
+  if Tracer.wants t.tracer Event.Note then
+    Tracer.emit t.tracer (Event.Note_event { site = -1; cat = category; text = detail })
+
+(* The disabled branch used to run the format through the shared
+   [Format.str_formatter], mutating global state (and leaking partial
+   output into anyone else's use of it) on every disabled call.  A
+   private sink formatter discards the arguments without touching
+   anything shared. *)
+let null_formatter = Format.make_formatter (fun _ _ _ -> ()) (fun () -> ())
 
 let emitf t ~category fmt =
-  if t.enabled then
+  if Tracer.wants t.tracer Event.Note then
     Format.kasprintf (fun detail -> emit t ~category detail) fmt
-  else Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
+  else Format.ikfprintf (fun _ -> ()) null_formatter fmt
 
-let records t = Ring.to_list t.records
+(* Read-back view: notes keep their category/text; typed events render
+   under their class name, so trace dumps show the whole stream. *)
+let to_record (r : Event.record) =
+  match r.ev with
+  | Event.Note_event { cat; text; _ } -> { at = r.at; category = cat; detail = text }
+  | ev ->
+    {
+      at = r.at;
+      category = Event.cls_name (Event.cls_of ev);
+      detail = Format.asprintf "%a" Event.pp ev;
+    }
+
+let records t = List.map to_record (Tracer.records t.tracer)
 
 let by_category t c = List.filter (fun r -> String.equal r.category c) (records t)
 
-let clear t = Ring.clear t.records
+let clear t = Tracer.clear t.tracer
 
 let pp_record ppf r =
   Format.fprintf ppf "[%a] %-12s %s" Engine.pp_time r.at r.category r.detail

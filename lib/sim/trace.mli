@@ -1,10 +1,13 @@
-(** Event tracing.
+(** Event tracing (compatibility shim).
 
-    Protocol layers emit timestamped records under a category; the
-    Figure-3 experiment replays the trace of a single ABCAST to break
-    its execution time into phases, and the CLI can dump traces for
-    debugging.  Tracing is off by default and costs one branch when
-    disabled. *)
+    Historically this was a standalone string logger; it is now a thin
+    facade over the typed observability layer ({!Vsync_obs}).  String
+    emissions become [Note_event]s in the shared stream, and [records]
+    renders the whole stream — typed events included — in the legacy
+    [record] shape for dumps and tests.  New instrumentation should
+    emit typed events on [obs t] directly.
+
+    Tracing is off by default and costs one branch when disabled. *)
 
 type record = { at : Engine.time; category : string; detail : string }
 
@@ -12,12 +15,15 @@ type t
 
 val create : Engine.t -> t
 
+(** The underlying typed tracer; enable/disable state is shared. *)
+val obs : t -> Vsync_obs.Tracer.t
+
 (** [set_enabled t b] turns recording on or off (records are kept). *)
 val set_enabled : t -> bool -> unit
 
 val enabled : t -> bool
 
-(** [emit t ~category detail] appends a record when enabled. *)
+(** [emit t ~category detail] appends a note record when enabled. *)
 val emit : t -> category:string -> string -> unit
 
 (** [emitf t ~category fmt ...] is [emit] with formatting, only

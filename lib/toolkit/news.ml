@@ -11,6 +11,7 @@ type agent = {
   proc : Runtime.proc;
   mutable subs : (string * Runtime.proc * (Message.t -> unit)) list;
   mutable ready : bool;
+  mutable failed : string option;
 }
 
 let deliver_local a m =
@@ -23,31 +24,56 @@ let deliver_local a m =
           Runtime.spawn_task p (fun () -> f (Message.copy m)))
       a.subs
 
+(* A refused join is usually transient (the group was mid view-change,
+   or the creator's commit had not landed here yet): retry a bounded
+   number of times, then record the failure on the agent and report it
+   on the typed event stream instead of killing the site's task with an
+   exception. *)
+let join_attempts = 5
+
+let report_failure rt a detail =
+  a.failed <- Some detail;
+  let tr = Vsync_sim.Trace.obs (Runtime.trace rt) in
+  if Vsync_obs.Tracer.wants tr Vsync_obs.Event.Note then
+    Vsync_obs.Tracer.emit tr
+      (Vsync_obs.Event.Error_event { site = Runtime.site rt; what = "news.join"; detail })
+
 let start_agent rt =
   let proc = Runtime.spawn_proc rt ~name:(Printf.sprintf "news.agent%d" (Runtime.site rt)) () in
-  let a = { proc; subs = []; ready = false } in
+  let a = { proc; subs = []; ready = false; failed = None } in
   Runtime.bind proc Entry.generic_news (fun m -> deliver_local a m);
   Runtime.spawn_task proc (fun () ->
       (* Site 0's agent creates the group; the others keep looking it
          up until it exists (agents may start concurrently). *)
-      let rec connect () =
+      let rec connect attempt =
         match Runtime.pg_lookup proc group_name with
         | Some gid -> (
           match Runtime.pg_join proc gid ~credentials:(Message.create ()) with
-          | Ok () -> ()
-          | Error e -> failwith ("news agent could not join: " ^ e))
+          | Ok () -> a.ready <- true
+          | Error e ->
+            if attempt < join_attempts then begin
+              Runtime.sleep proc 200_000;
+              connect (attempt + 1)
+            end
+            else
+              report_failure rt a
+                (Printf.sprintf "could not join %s after %d attempts: %s" group_name
+                   join_attempts e))
         | None ->
-          if Runtime.site rt = 0 then ignore (Runtime.pg_create proc group_name)
+          if Runtime.site rt = 0 then begin
+            ignore (Runtime.pg_create proc group_name);
+            a.ready <- true
+          end
           else begin
             Runtime.sleep proc 200_000;
-            connect ()
+            connect attempt
           end
       in
-      connect ();
-      a.ready <- true);
+      connect 1);
   a
 
 let agent_ready a = a.ready
+let agent_failed a = a.failed
 
 let subscribe a p ~subject f =
   Vsync_util.Stats.Counter.incr (Runtime.counters (Runtime.runtime_of p)) "prim.local_rpc";

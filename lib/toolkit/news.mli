@@ -26,6 +26,12 @@ val start_agent : Runtime.t -> agent
 (** [agent_ready a] — the agent has joined the news group. *)
 val agent_ready : agent -> bool
 
+(** [agent_failed a] — [Some reason] if the agent gave up joining the
+    news group after its bounded retries (also reported as an
+    [Error_event] on the typed event stream); [None] while connecting
+    or once connected. *)
+val agent_failed : agent -> string option
+
 (** [subscribe a p ~subject f] enrolls process [p]: [f msg] runs for
     every posting on [subject], in global posting order (1 local
     RPC). *)

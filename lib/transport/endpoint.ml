@@ -1,5 +1,7 @@
 module Net = Vsync_sim.Net
 module Engine = Vsync_sim.Engine
+module Tracer = Vsync_obs.Tracer
+module Event = Vsync_obs.Event
 
 type site = int
 
@@ -119,6 +121,7 @@ type 'p t = {
   mutable n_packets_sent : int;
   mutable n_retransmits : int;
   mutable n_channel_failures : int;
+  mutable tracer : Tracer.t option;
 }
 
 and 'p fabric = {
@@ -157,6 +160,7 @@ let create ?(config = default_config) fabric ~site ~size () =
       n_packets_sent = 0;
       n_retransmits = 0;
       n_channel_failures = 0;
+      tracer = None;
     }
   in
   fabric.endpoints.(site) <- Some t;
@@ -169,6 +173,15 @@ let net t = t.fabric.fnet
 let engine t = Net.engine t.fabric.fnet
 
 let set_receiver t f = t.receiver <- Some f
+let set_tracer t tr = t.tracer <- Some tr
+
+(* Guard-then-construct: transport events allocate nothing unless a
+   tracer is attached, enabled and listening to the class. *)
+let trace_transport t mk =
+  match t.tracer with
+  | Some tr when Tracer.wants tr Event.Transport -> Tracer.emit tr (mk ())
+  | Some _ | None -> ()
+
 let set_failure_handler t f = t.on_failure <- f
 let set_restart_handler t f = t.on_peer_restart <- f
 let frames_sent t = t.n_frames_sent
@@ -267,6 +280,12 @@ and flush_sendq t ~dst q =
 
 and send_packet t ~dst frames ~bytes =
   t.n_packets_sent <- t.n_packets_sent + 1;
+  (* Per-packet: guard inlined so the disabled path allocates nothing
+     (without flambda a [trace_transport] thunk is a heap closure). *)
+  (match t.tracer with
+  | Some tr when Tracer.wants tr Event.Transport ->
+    Tracer.emit tr (Event.Packet_send { site = t.my_site; dst; nframes = List.length frames; bytes })
+  | Some _ | None -> ());
   Net.send t.fabric.fnet ~src:t.my_site ~dst ~bytes (fun () ->
       match t.fabric.endpoints.(dst) with
       | Some peer when peer.is_alive -> handle_packet peer ~src:t.my_site frames
@@ -301,7 +320,11 @@ and arm_rto t ~dst ch =
       Some
         (Engine.schedule (engine t) ~delay (fun () ->
              ch.rto_timer <- None;
-             if t.is_alive && t.my_epoch = my_epoch then retransmit t ~dst ch))
+             if t.is_alive && t.my_epoch = my_epoch then begin
+               trace_transport t (fun () ->
+                   Event.Rto { site = t.my_site; dst; timeout_us = delay });
+               retransmit t ~dst ch
+             end))
   end
 
 and retransmit t ~dst ch =
@@ -316,12 +339,15 @@ and retransmit t ~dst ch =
          budget therefore fails the whole channel, loudly. *)
       fail_channel t ~dst ch
     else begin
+      let nframes = ref 0 in
       Queue.iter
         (fun m ->
           m.attempts <- m.attempts + 1;
+          nframes := !nframes + List.length m.frames;
           t.n_retransmits <- t.n_retransmits + List.length m.frames;
           List.iter (fun f -> transmit t ~dst f) m.frames)
         ch.unacked;
+      trace_transport t (fun () -> Event.Retransmit { site = t.my_site; dst; nframes = !nframes });
       arm_rto t ~dst ch
     end
   end
@@ -335,13 +361,34 @@ and fail_channel t ~dst ch =
      receiver discards any leftovers of this generation when it sees it. *)
   Hashtbl.replace t.out_gens dst (ch.gen + 1);
   t.n_channel_failures <- t.n_channel_failures + 1;
+  trace_transport t (fun () ->
+      Event.Channel_fail
+        { site = t.my_site; peer = dst; dir = "out"; reason = "retransmit budget exhausted" });
   t.on_failure dst
+
+(* Inbound analogue of [fail_channel], for a receive stream whose
+   reassembly state is provably corrupt: keeping the channel would
+   either deliver garbage or wedge FIFO forever, so tear it down loudly
+   and let the failure handler treat the peer like any other broken
+   channel.  The next frame from the peer reopens a fresh stream. *)
+and fail_in_channel t ~src ch ~reason =
+  cancel_ack_timer ch;
+  Hashtbl.reset ch.pending;
+  Hashtbl.remove t.ins src;
+  t.n_channel_failures <- t.n_channel_failures + 1;
+  trace_transport t (fun () ->
+      Event.Channel_fail { site = t.my_site; peer = src; dir = "in"; reason });
+  t.on_failure src
 
 (* One network packet arrived: process its frames in order, then hand
    every payload completed by this packet to the receiver in a single
    batch (the protocol layer charges its per-interrupt CPU cost once per
    packet, not once per frame — the point of coalescing). *)
 and handle_packet t ~src frames =
+  (match t.tracer with
+  | Some tr when Tracer.wants tr Event.Transport ->
+    Tracer.emit tr (Event.Packet_recv { site = t.my_site; src; nframes = List.length frames })
+  | Some _ | None -> ());
   let sink = ref [] in
   List.iter (fun frame -> handle_frame t ~src ~sink frame) frames;
   match (t.receiver, List.rev !sink) with
@@ -426,8 +473,13 @@ and handle_ack t ~src ~gen ~upto =
    dedicated frame goes out only if no reverse data frame has carried
    the ack when the (short, well under the minimum RTO) timer fires. *)
 and note_ack_owed t ~src ch =
-  if t.cfg.delayed_ack_us <= 0 then
+  if t.cfg.delayed_ack_us <= 0 then begin
+    (match t.tracer with
+    | Some tr when Tracer.wants tr Event.Transport ->
+      Tracer.emit tr (Event.Ack_send { site = t.my_site; dst = src; upto = ch.next_deliver - 1 })
+    | Some _ | None -> ());
     transmit t ~dst:src (Ack { epoch = t.my_epoch; gen = ch.in_gen; upto = ch.next_deliver - 1 })
+  end
   else begin
     ch.ack_owed <- true;
     if ch.ack_timer = None then begin
@@ -438,6 +490,11 @@ and note_ack_owed t ~src ch =
                ch.ack_timer <- None;
                if t.is_alive && t.my_epoch = my_epoch && ch.ack_owed then begin
                  ch.ack_owed <- false;
+                 (match t.tracer with
+                 | Some tr when Tracer.wants tr Event.Transport ->
+                   Tracer.emit tr
+                     (Event.Ack_send { site = t.my_site; dst = src; upto = ch.next_deliver - 1 })
+                 | Some _ | None -> ());
                  transmit t ~dst:src
                    (Ack { epoch = t.my_epoch; gen = ch.in_gen; upto = ch.next_deliver - 1 })
                end))
@@ -474,20 +531,30 @@ and handle_data t ~src ~gen ~seq ~frag ~nfrags ~payload ~sink =
       (* Release every complete in-order message into the batch. *)
       let complete p = Array.for_all Fun.id p.got in
       let made_progress = ref false in
+      let corrupt = ref false in
       let rec drain () =
         match Hashtbl.find_opt ch.pending ch.next_deliver with
-        | Some p when complete p ->
-          Hashtbl.remove ch.pending ch.next_deliver;
-          ch.next_deliver <- ch.next_deliver + 1;
-          made_progress := true;
-          (match p.payload with
-          | Some v -> sink := v :: !sink
-          | None -> failwith "Endpoint: complete message with no payload fragment");
-          drain ()
+        | Some p when complete p -> (
+          match p.payload with
+          | Some v ->
+            Hashtbl.remove ch.pending ch.next_deliver;
+            ch.next_deliver <- ch.next_deliver + 1;
+            made_progress := true;
+            sink := v :: !sink;
+            drain ()
+          | None ->
+            (* Fragment 0 always carries the payload, so a complete
+               partial without one means the reassembly state is
+               corrupt.  Channel-fatal, not process-fatal: delivering
+               on would hand garbage up, and skipping the message would
+               silently break FIFO. *)
+            corrupt := true)
         | Some _ | None -> ()
       in
       drain ();
-      if !made_progress then note_ack_owed t ~src ch
+      if !corrupt then
+        fail_in_channel t ~src ch ~reason:"complete message with no payload fragment"
+      else if !made_progress then note_ack_owed t ~src ch
     end
   end
 
@@ -501,6 +568,21 @@ and handle_pong t ~src ~id =
       mon.missed <- 0;
       Rtt.observe mon.mon_rtt (Engine.now (engine t) - sent_at)
     | Some _ | None -> ())
+
+(* Test hook.  The reassembly invariant "a complete message holds its
+   payload fragment" cannot be violated by any wire behaviour — fragment
+   0 always carries the payload, and loss/dup/reorder can delay or drop
+   frames but never strip one — so the defensive teardown in the drain
+   is not organically reachable.  This forges a complete payload-less
+   partial at the delivery watermark and runs the real drain over it,
+   letting the regression test pin the channel-fatal behaviour. *)
+let inject_reassembly_corruption t ~src =
+  let ch = in_chan t src in
+  Hashtbl.replace ch.pending ch.next_deliver
+    { nfrags = 1; got = Array.make 1 true; payload = None };
+  let sink = ref [] in
+  handle_data t ~src ~gen:ch.in_gen ~seq:ch.next_deliver ~frag:(-1) ~nfrags:1 ~payload:None ~sink;
+  assert (!sink = [])
 
 let send t ~dst p =
   if t.is_alive then begin

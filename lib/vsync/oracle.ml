@@ -1,6 +1,9 @@
 module Addr = Vsync_msg.Addr
 module Entry = Vsync_msg.Entry
 module Message = Vsync_msg.Message
+module Obs_tracer = Vsync_obs.Tracer
+module Obs_event = Vsync_obs.Event
+module Metrics = Vsync_obs.Metrics
 
 type violation = { invariant : string; detail : string }
 
@@ -40,10 +43,37 @@ type t = {
   mutable tracked : tracked list; (* newest first *)
   sends : (int, send_rec) Hashtbl.t;
   send_seq : (string, int) Hashtbl.t;
+  (* Runtime-level ground truth collected from the typed event stream
+     (when tracing is enabled): (site, usite, useq) -> delivery count,
+     and the set of uids each site reported stable. *)
+  obs_deliveries : (int * int * int, int) Hashtbl.t;
+  obs_stabilized : (int * int * int, unit) Hashtbl.t;
 }
 
 let create ?(tag_field = "tag") world ~gid =
-  { world; gid; tag_field; tracked = []; sends = Hashtbl.create 64; send_seq = Hashtbl.create 8 }
+  let t =
+    {
+      world;
+      gid;
+      tag_field;
+      tracked = [];
+      sends = Hashtbl.create 64;
+      send_seq = Hashtbl.create 8;
+      obs_deliveries = Hashtbl.create 256;
+      obs_stabilized = Hashtbl.create 256;
+    }
+  in
+  let tr = Vsync_sim.Trace.obs (World.trace world) in
+  Obs_tracer.add_sink tr (fun (r : Obs_event.record) ->
+      match r.Obs_event.ev with
+      | Obs_event.Deliver { site; usite; useq; _ } ->
+        let key = (site, usite, useq) in
+        let n = Option.value ~default:0 (Hashtbl.find_opt t.obs_deliveries key) in
+        Hashtbl.replace t.obs_deliveries key (n + 1)
+      | Obs_event.Stabilize { site; usite; useq } ->
+        Hashtbl.replace t.obs_stabilized (site, usite, useq) ()
+      | _ -> ());
+  t
 
 let tracked_procs t = List.rev_map (fun tr -> tr.proc) t.tracked
 
@@ -511,19 +541,43 @@ let check ?(hygiene = true) t =
       (fun s ->
         let rt = World.runtime t.world s in
         if Runtime.alive rt then begin
-          let gauge name v = if v <> 0 then fail "hygiene-quiescence" "site %d: %s = %d" s name v in
-          gauge "pending_unstable" (Runtime.pending_unstable rt);
-          gauge "pending_held_frames" (Runtime.pending_held_frames rt);
-          gauge "pending_sessions" (Runtime.pending_sessions rt);
+          (* Sampled through the metrics registry rather than ad-hoc
+             accessors, so the sweep also validates that the gauges the
+             dashboards read are wired to live state. *)
+          let m = Runtime.metrics rt in
+          let gauge name =
+            match Metrics.read_int m name with
+            | None -> fail "hygiene-quiescence" "site %d: gauge %s is not registered" s name
+            | Some v -> if v <> 0 then fail "hygiene-quiescence" "site %d: %s = %d" s name v
+          in
+          gauge "runtime.pending_unstable";
+          gauge "runtime.held_frames";
+          gauge "runtime.sessions";
           (* Stability-driven GC: once everything stabilized, the
              retransmission store is empty and every dedup record is
              covered by a watermark (a nonzero residue means a GC
              path was missed and state would accrete forever). *)
-          gauge "pending_store" (Runtime.pending_store rt);
-          gauge "dedup_residue" (Runtime.dedup_residue rt)
+          gauge "runtime.pending_store";
+          gauge "runtime.dedup_residue"
         end)
       (List.sort_uniq compare final_sites)
   end;
+
+  (* 11. Typed event stream (populated only when tracing is enabled;
+     vacuous otherwise): the runtime must never hand the same uid to a
+     site's delivery queue twice, and a site may only report a uid
+     stable if that site actually delivered it. *)
+  Hashtbl.fold (fun k n acc -> if n > 1 then (k, n) :: acc else acc) t.obs_deliveries []
+  |> List.sort compare
+  |> List.iter (fun ((site, usite, useq), n) ->
+         fail "obs-duplicate-delivery" "site %d delivered uid %d.%d %d times (typed stream)" site
+           usite useq n);
+  Hashtbl.fold (fun k () acc -> k :: acc) t.obs_stabilized []
+  |> List.sort compare
+  |> List.iter (fun ((site, usite, useq) as k) ->
+         if not (Hashtbl.mem t.obs_deliveries k) then
+           fail "obs-stability-without-delivery"
+             "site %d marked uid %d.%d stable without delivering it (typed stream)" site usite useq);
 
   List.rev !violations
 

@@ -11,6 +11,10 @@ module Condition = Vsync_tasks.Condition
 module Endpoint = Vsync_transport.Endpoint
 module Stats = Vsync_util.Stats
 module Deque = Vsync_util.Deque
+module Obs_tracer = Vsync_obs.Tracer
+module Obs_event = Vsync_obs.Event
+module Metrics = Vsync_obs.Metrics
+module Int_set = Set.Make (Int)
 
 type config = {
   cpu_send_us : int;
@@ -87,7 +91,7 @@ and group = {
   mutable ab_inflight : int;
   mutable g_monitors : (proc * (View.t -> View.change list -> unit)) list;
   mutable join_validator : (proc * (Addr.proc -> Message.t -> bool)) option;
-  mutable suspects : int list;
+  mutable suspects : Int_set.t;
   mutable failed_procs : Addr.proc list;
       (* processes a past view change removed as FAILED.  Failures are
          clean: nothing further from them may be delivered — a falsely
@@ -162,6 +166,7 @@ and t = {
   tracer : Trace.t;
   mutable ep : Proto.frame Endpoint.t option; (* set right after create *)
   ctrs : Stats.Counter.t;
+  metrics : Metrics.t;
   mutable running : bool;
   mutable next_proc_idx : int;
   mutable next_useq : int;
@@ -199,7 +204,18 @@ let engine t = t.eng
 let alive t = t.running
 let counters t = t.ctrs
 let trace t = t.tracer
+let metrics t = t.metrics
 let cpu_busy_us t = t.cpu_busy
+
+(* Emit one protocol-class typed event.  [mk] is forced only when some
+   listener wants the class.  Without flambda the thunk itself is a
+   heap closure, so per-message hot paths (originate, deliver, ack,
+   stabilize) inline the guard instead; this helper serves the cold
+   paths (view changes, GC, errors) where a closure per call is
+   irrelevant. *)
+let trace_proto t mk =
+  let tr = Trace.obs t.tracer in
+  if Obs_tracer.wants tr Obs_event.Proto then Obs_tracer.emit tr (mk ())
 
 (* The site's local wall clock: true simulation time plus this site's
    (unknown to it) offset.  The real-time tool's clock synchronization
@@ -249,10 +265,40 @@ let on_cpu t cost k =
   t.cpu_busy <- t.cpu_busy + cost;
   ignore (Engine.schedule_at t.eng finish (fun () -> if t.running then k ()))
 
+(* Frames that are "about" one multicast — the per-uid timeline raw
+   material.  Control frames without a uid (directory, membership,
+   flush plumbing) stay visible through the note stream and the
+   transport packet events. *)
+let frame_uid_kind = function
+  | Proto.Cb_data { uid; _ } -> Some ("cb_data", uid)
+  | Proto.Ab_data { uid; _ } -> Some ("ab_data", uid)
+  | Proto.Ab_prio { uid; _ } -> Some ("ab_prio", uid)
+  | Proto.Ab_commit { uid; _ } -> Some ("ab_commit", uid)
+  | Proto.Deliver_ack { uid; _ } -> Some ("deliver_ack", uid)
+  | Proto.Stable { uid; _ } -> Some ("stable", uid)
+  | _ -> None
+
+(* Frame_tx/Frame_rx, guarded before [frame_uid_kind] so the disabled
+   path allocates nothing. *)
+let emit_frame_event t ~peer ~rx frame =
+  let tr = Trace.obs t.tracer in
+  if Obs_tracer.wants tr Obs_event.Proto then
+    match frame_uid_kind frame with
+    | Some (kind, u) ->
+      Obs_tracer.emit tr
+        (if rx then
+           Obs_event.Frame_rx
+             { site = t.my_site; src = peer; kind; usite = u.usite; useq = u.useq }
+         else
+           Obs_event.Frame_tx
+             { site = t.my_site; dst = peer; kind; usite = u.usite; useq = u.useq })
+    | None -> ()
+
 let send_frame t ~dst frame =
   if t.running then begin
     if Trace.enabled t.tracer then
       Trace.emitf t.tracer ~category:"frame" "s%d->s%d %a" t.my_site dst Proto.pp frame;
+    emit_frame_event t ~peer:dst ~rx:false frame;
     Endpoint.send (endpoint t) ~dst frame
   end
 
@@ -364,7 +410,7 @@ let acting_coord_site g =
   let rec loop = function
     | [] -> None
     | (m : Addr.proc) :: rest ->
-      if List.mem m.Addr.site g.suspects then loop rest else Some m.Addr.site
+      if Int_set.mem m.Addr.site g.suspects then loop rest else Some m.Addr.site
   in
   loop g.view.View.members
 
@@ -387,8 +433,21 @@ type ack_resolution = {
   r_ab_missing : uid list; (* finalized ABCASTs some site lacks *)
 }
 
-let resolve_acks (c : change_state) =
-  let info_of s = List.assoc s c.c_acks in
+let resolve_acks ~gid ~view_id (c : change_state) =
+  (* Every lookup here trusts the invariant that acks arrived from
+     exactly [c_sites]; when that breaks (a protocol bug), fail with the
+     flush's full coordinates rather than a bare [Not_found]. *)
+  let info_of s =
+    match List.assoc_opt s c.c_acks with
+    | Some a -> a
+    | None ->
+      invalid_arg
+        (Printf.sprintf
+           "Runtime.resolve_acks: no wedge ack from site %d (group g%d view %d attempt %d; \
+            acks from [%s])"
+           s gid view_id c.c_attempt
+           (String.concat " " (List.map (fun (s, _) -> string_of_int s) c.c_acks)))
+  in
   let union =
     List.fold_left (fun acc (_, a) -> Uid_set.union acc a.a_cb_known) Uid_set.empty c.c_acks
   in
@@ -408,15 +467,25 @@ let resolve_acks (c : change_state) =
     c.c_acks;
   let floor = List.fold_left (fun acc (_, a) -> max acc a.a_ab_counter) 0 c.c_acks in
   let ab_uids = Hashtbl.fold (fun u _ acc -> u :: acc) ab_all [] |> List.sort uid_compare in
+  let site_set = Int_set.of_list c.c_sites in
   let next_final = ref floor in
   let ab_finalize, ab_drop =
     List.fold_left
       (fun (fins, drops) u ->
-        let reports = Hashtbl.find ab_all u in
+        let reports =
+          match Hashtbl.find_opt ab_all u with
+          | Some rs -> rs
+          | None ->
+            invalid_arg
+              (Printf.sprintf
+                 "Runtime.resolve_acks: no ab report for uid %d.%d (group g%d view %d attempt \
+                  %d)"
+                 u.usite u.useq gid view_id c.c_attempt)
+        in
         match List.find_opt (fun r -> r.Proto.ab_committed) reports with
         | Some r -> ((u, r.Proto.ab_prio) :: fins, drops)
         | None ->
-          if List.mem u.usite c.c_sites then begin
+          if Int_set.mem u.usite site_set then begin
             (* Originator is live: finalize above every site's counter. *)
             incr next_final;
             ((u, (!next_final, u.usite)) :: fins, drops)
@@ -438,6 +507,15 @@ let resolve_acks (c : change_state) =
     r_ab_drop = ab_drop;
     r_ab_missing = ab_missing;
   }
+
+(* Origin-site self-delivery happens outside [drain_group] (the
+   primitive looks instantaneous to the sender); give it the same
+   [Deliver] event, but only when the site actually hosts members. *)
+let emit_local_deliver t g uid =
+  let tr = Trace.obs t.tracer in
+  if Obs_tracer.wants tr Obs_event.Proto && local_members t g <> [] then
+    Obs_tracer.emit tr
+      (Obs_event.Deliver { site = t.my_site; group = gi g.gid; usite = uid.usite; useq = uid.useq })
 
 (* ==================================================================
    The protocol core: one mutually recursive cluster.
@@ -545,6 +623,11 @@ and clear_obligation t ~responder ~session =
 and drain_group t g =
   let deliver uid body =
     Trace.emitf t.tracer ~category:"deliver" "g%d %a at s%d" (gi g.gid) pp_uid uid t.my_site;
+    (let tr = Trace.obs t.tracer in
+     if Obs_tracer.wants tr Obs_event.Proto then
+       Obs_tracer.emit tr
+         (Obs_event.Deliver
+            { site = t.my_site; group = gi g.gid; usite = uid.usite; useq = uid.useq }));
     deliver_to_members t g body ~members:(local_members t g);
     if uid.usite = t.my_site then note_local_origin_delivered t uid
     else send_frame t ~dst:uid.usite (Proto.Deliver_ack { group = g.gid; uid })
@@ -580,6 +663,10 @@ and on_deliver_ack t ~src uid =
 and check_stable t uid u =
   if u.remaining = [] then begin
     Hashtbl.remove t.unstables uid;
+    (let tr = Trace.obs t.tracer in
+     if Obs_tracer.wants tr Obs_event.Proto then
+       Obs_tracer.emit tr
+         (Obs_event.Stabilize { site = t.my_site; usite = uid.usite; useq = uid.useq }));
     List.iter (fun dst -> send_frame t ~dst (Proto.Stable { group = u.u_group; uid })) u.u_dests;
     (match group_of t u.u_group with
     | Some g ->
@@ -596,6 +683,13 @@ and check_stable t uid u =
 and on_stable t gid uid =
   match group_of t gid with
   | Some g ->
+    (let tr = Trace.obs t.tracer in
+     if Obs_tracer.wants tr Obs_event.Proto then begin
+       Obs_tracer.emit tr
+         (Obs_event.Stabilize { site = t.my_site; usite = uid.usite; useq = uid.useq });
+       Obs_tracer.emit tr
+         (Obs_event.Stable_advance { site = t.my_site; origin = uid.usite; upto = uid.useq })
+     end);
     note_stabilized t g uid;
     g.store <- Uid_map.remove uid g.store
   | None -> ()
@@ -611,8 +705,16 @@ and on_stable t gid uid =
 and note_stabilized t g uid =
   if t.cfg.stability_gc then
     match Uid_map.find_opt uid g.store with
-    | Some (Proto.Scb _) -> Causal.stabilized g.causal uid
-    | Some (Proto.Sab _) -> Total.stabilized g.total uid
+    | Some (Proto.Scb _) ->
+      Causal.stabilized g.causal uid;
+      let tr = Trace.obs t.tracer in
+      if Obs_tracer.wants tr Obs_event.Proto then
+        Obs_tracer.emit tr (Obs_event.Gc_reclaim { site = t.my_site; n = 1 })
+    | Some (Proto.Sab _) ->
+      Total.stabilized g.total uid;
+      let tr = Trace.obs t.tracer in
+      if Obs_tracer.wants tr Obs_event.Proto then
+        Obs_tracer.emit tr (Obs_event.Gc_reclaim { site = t.my_site; n = 1 })
     | None -> ()
 
 (* --- sessions (reply collection) --- *)
@@ -655,11 +757,12 @@ and close_session t sess outcome =
 and note_responders t sess responders =
   if sess.responders = None then begin
     sess.responders <- Some responders;
+    let monitored = Int_set.of_list sess.mon_sites in
     let extra =
       List.sort_uniq compare
         (List.filter_map
            (fun (r : Addr.proc) ->
-             if r.Addr.site <> t.my_site && not (List.mem r.Addr.site sess.mon_sites) then
+             if r.Addr.site <> t.my_site && not (Int_set.mem r.Addr.site monitored) then
                Some r.Addr.site
              else None)
            responders)
@@ -794,9 +897,16 @@ and origin_cbcast t g ~owner body =
   in
   let remote = remote_member_sites t g in
   Trace.emitf t.tracer ~category:"cbcast" "send %a g%d" pp_uid uid (gi g.gid);
-  if remote = [] then
+  (let tr = Trace.obs t.tracer in
+   if Obs_tracer.wants tr Obs_event.Proto then
+     Obs_tracer.emit tr
+       (Obs_event.Originate
+          { site = t.my_site; proto = "cbcast"; group = gi g.gid; usite = uid.usite; useq = uid.useq }));
+  if remote = [] then begin
     (* Purely local group: immediately stable. *)
+    emit_local_deliver t g uid;
     deliver_to_members t g body ~members:(local_members t g)
+  end
   else begin
     g.store <- Uid_map.add uid (Proto.Scb { uid; rank; vt; body }) g.store;
     Causal.note_sent g.causal uid;
@@ -808,6 +918,7 @@ and origin_cbcast t g ~owner body =
       remote;
     (* Self-delivery: immediate — the primitive looks instantaneous to
        the sender, which is the heart of the asynchronous style. *)
+    emit_local_deliver t g uid;
     deliver_to_members t g body ~members:(local_members t g)
   end
 
@@ -856,6 +967,11 @@ and origin_abcast t g ~owner body =
   let uid = fresh_uid t in
   let remote = remote_member_sites t g in
   Trace.emitf t.tracer ~category:"abcast" "send %a g%d" pp_uid uid (gi g.gid);
+  (let tr = Trace.obs t.tracer in
+   if Obs_tracer.wants tr Obs_event.Proto then
+     Obs_tracer.emit tr
+       (Obs_event.Originate
+          { site = t.my_site; proto = "abcast"; group = gi g.gid; usite = uid.usite; useq = uid.useq }));
   let my_prio = Total.intake g.total ~uid body in
   mark_unstable t g uid ~remote ~owner;
   if remote = [] then begin
@@ -864,6 +980,10 @@ and origin_abcast t g ~owner body =
     (* Purely local group: immediately stable.  GC the stabilization
        copy and the dedup record [drain_group] just created (no
        [Stable] flow ever runs for a local-only round). *)
+    (let tr = Trace.obs t.tracer in
+     if Obs_tracer.wants tr Obs_event.Proto then
+       Obs_tracer.emit tr
+         (Obs_event.Stabilize { site = t.my_site; usite = uid.usite; useq = uid.useq }));
     note_stabilized t g uid;
     g.store <- Uid_map.remove uid g.store
   end
@@ -879,9 +999,12 @@ and origin_abcast t g ~owner body =
 and origin_gbcast t g body =
   let uid = fresh_uid t in
   Trace.emitf t.tracer ~category:"gbcast" "request %a g%d" pp_uid uid (gi g.gid);
+  trace_proto t (fun () ->
+      Obs_event.Originate
+        { site = t.my_site; proto = "gbcast"; group = gi g.gid; usite = uid.usite; useq = uid.useq });
   route_event t g (Ev_gb (uid, body))
 
-and on_ab_prio t uid prio =
+and on_ab_prio t ~src uid prio =
   match Hashtbl.find_opt t.ab_collects uid with
   | None -> () (* collection finished or superseded by a flush *)
   | Some col -> (
@@ -890,6 +1013,11 @@ and on_ab_prio t uid prio =
     | Some g ->
       if g.wedge <> None then () (* the flush coordinator will finalize *)
       else begin
+        (let tr = Trace.obs t.tracer in
+         if Obs_tracer.wants tr Obs_event.Proto then
+           Obs_tracer.emit tr
+             (Obs_event.Ab_vote
+                { site = t.my_site; voter = src; usite = uid.usite; useq = uid.useq; prio = fst prio }));
         col.ac_max <- prio_max col.ac_max prio;
         (* The proposal's sender is implicit: we just count down. *)
         (match col.ac_expect with
@@ -901,6 +1029,11 @@ and on_ab_prio t uid prio =
             g.ab_inflight <- max 0 (g.ab_inflight - 1);
             let final = col.ac_max in
             Trace.emitf t.tracer ~category:"abcast" "commit %a %a" pp_uid uid pp_prio final;
+            (let tr = Trace.obs t.tracer in
+             if Obs_tracer.wants tr Obs_event.Proto then
+               Obs_tracer.emit tr
+                 (Obs_event.Ab_commit
+                    { site = t.my_site; usite = uid.usite; useq = uid.useq; prio = fst final }));
             List.iter
               (fun dst ->
                 send_frame t ~dst
@@ -960,7 +1093,7 @@ and start_change t g =
   g.last_attempt <- attempt;
   let batch = Deque.to_list g.pending_events in
   g.pending_events <- Deque.empty;
-  let live_sites = List.filter (fun s -> not (List.mem s g.suspects)) (View.sites g.view) in
+  let live_sites = List.filter (fun s -> not (Int_set.mem s g.suspects)) (View.sites g.view) in
   let sites = List.sort_uniq compare (t.my_site :: live_sites) in
   g.change <-
     Some
@@ -968,6 +1101,9 @@ and start_change t g =
         c_fetched = []; c_committed = false };
   Trace.emitf t.tracer ~category:"view" "start change g%d v%d a%d (%d events)" (gi g.gid)
     g.view.View.view_id attempt (List.length batch);
+  trace_proto t (fun () ->
+      Obs_event.Flush
+        { site = t.my_site; group = gi g.gid; view_id = g.view.View.view_id; attempt });
   List.iter
     (fun dst ->
       send_frame t ~dst
@@ -1010,6 +1146,8 @@ and on_wedge t ~src g ~view_id ~attempt ~coord_site =
     if dominated then begin
       g.wedge <- Some { w_attempt = attempt; w_coord = coord_site };
       g.last_attempt <- max g.last_attempt attempt;
+      trace_proto t (fun () ->
+          Obs_event.Wedge { site = t.my_site; group = gi g.gid; view_id });
       (* If we were coordinating a lower-precedence change, abandon it. *)
       (match g.change with
       | Some c when coord_site <> t.my_site || c.c_attempt <> attempt ->
@@ -1071,13 +1209,19 @@ and proceed_with_acks t g c =
     List.iter (fun dst -> send_frame t ~dst commit_frame) c.c_sites
   | None ->
     (* Which CBCAST / finalized-ABCAST bodies are missing somewhere? *)
-    let r = resolve_acks c in
+    let r = resolve_acks ~gid:(gi g.gid) ~view_id:g.view.View.view_id c in
     let needed = r.r_missing_cb @ r.r_ab_missing in
     (* Who holds each needed body?  Prefer ourselves. *)
     let holder_of u =
       let has s =
-        let a = List.assoc s c.c_acks in
-        Uid_set.mem u a.a_cb_known || Uid_set.mem u a.a_ab_uids
+        match List.assoc_opt s c.c_acks with
+        | Some a -> Uid_set.mem u a.a_cb_known || Uid_set.mem u a.a_ab_uids
+        | None ->
+          invalid_arg
+            (Printf.sprintf
+               "Runtime.proceed_with_acks: no wedge ack from site %d (group g%d view %d \
+                attempt %d)"
+               s (gi g.gid) g.view.View.view_id c.c_attempt)
       in
       if has t.my_site then t.my_site
       else (
@@ -1182,8 +1326,18 @@ and build_commit t g c events gb_bodies =
      given [c], so this agrees with what [proceed_with_acks] fetched)
      and pair them with the bodies: local store/engine plus fetched,
      with the Sab priorities fixed to the final values. *)
-  let r = resolve_acks c in
-  let final_of u = List.assoc u r.r_ab_finalize in
+  let r = resolve_acks ~gid:(gi g.gid) ~view_id:g.view.View.view_id c in
+  let final_of u =
+    match List.assoc_opt u r.r_ab_finalize with
+    | Some p -> p
+    | None ->
+      invalid_arg
+        (Printf.sprintf
+           "Runtime.build_commit: no final priority for uid %d.%d (group g%d view %d attempt \
+            %d; %d finalized)"
+           u.usite u.useq (gi g.gid) g.view.View.view_id c.c_attempt
+           (List.length r.r_ab_finalize))
+  in
   let fetched = c.c_fetched in
   let lookup u =
     match List.find_opt (fun s -> uid_equal (Proto.stored_uid s) u) fetched with
@@ -1241,6 +1395,14 @@ and on_commit t g_opt frame =
         let old_members = local_members t g in
         let deliver uid body =
           Trace.emitf t.tracer ~category:"deliver" "flush g%d %a" (gi g.gid) pp_uid uid;
+          trace_proto t (fun () ->
+              Obs_event.Deliver
+                { site = t.my_site; group = gi g.gid; usite = uid.usite; useq = uid.useq });
+          (* Delivery at the synchronization point is also the moment the
+             message's protocol state is discharged: report it stable so
+             per-uid timelines complete without a Stable round. *)
+          trace_proto t (fun () ->
+              Obs_event.Stabilize { site = t.my_site; usite = uid.usite; useq = uid.useq });
           deliver_to_members t g body ~members:old_members
         in
         List.iter (fun (u, b) -> deliver u b) (Causal.force_drain g.causal);
@@ -1279,7 +1441,17 @@ and on_commit t g_opt frame =
       g.store <- Uid_map.empty;
       g.wedge <- None;
       g.last_commit <- Some frame;
-      g.suspects <- List.filter (fun s -> List.mem s (View.sites new_view)) g.suspects;
+      let new_sites = View.sites new_view in
+      let new_site_set = Int_set.of_list new_sites in
+      trace_proto t (fun () ->
+          Obs_event.View_install
+            {
+              site = t.my_site;
+              group = gi group;
+              view_id = new_view.View.view_id;
+              nsites = List.length new_sites;
+            });
+      g.suspects <- Int_set.inter g.suspects new_site_set;
       (* Failure is sticky until a rejoin: record processes this change
          removed as failed, and clear any that just (re)joined. *)
       g.failed_procs <-
@@ -1340,6 +1512,14 @@ and on_commit t g_opt frame =
       List.iter
         (fun (uid, body) ->
           Trace.emitf t.tracer ~category:"deliver" "gbcast g%d %a" (gi group) pp_uid uid;
+          trace_proto t (fun () ->
+              Obs_event.Deliver
+                { site = t.my_site; group = gi group; usite = uid.usite; useq = uid.useq });
+          (* A GBCAST is stable the instant it commits: delivered at the
+             synchronization point, everywhere, with nothing left to
+             retransmit. *)
+          trace_proto t (fun () ->
+              Obs_event.Stabilize { site = t.my_site; usite = uid.usite; useq = uid.useq });
           deliver_to_members t g body ~members:(local_members t g))
         gb_bodies;
       (* 4b. Open reply collections waiting on a removed member will
@@ -1385,10 +1565,10 @@ and on_commit t g_opt frame =
           | View.Member_joined _ | View.Member_left _ | View.Member_failed _ -> ())
         events;
       (* 6. Failure detector subscriptions follow the membership. *)
-      let new_sites = View.sites new_view in
       if local_members t g <> [] then begin
-        List.iter (fun s -> if not (List.mem s old_sites) then mon_acquire t s) new_sites;
-        List.iter (fun s -> if not (List.mem s new_sites) then mon_release t s) old_sites
+        let old_site_set = Int_set.of_list old_sites in
+        List.iter (fun s -> if not (Int_set.mem s old_site_set) then mon_acquire t s) new_sites;
+        List.iter (fun s -> if not (Int_set.mem s new_site_set) then mon_release t s) old_sites
       end;
       (* 7. Unwedge: rerun blocked operations in order, then replay any
          frames that arrived for the new view early.  Re-origination
@@ -1457,7 +1637,7 @@ and make_group t ~gid ~gname ~view =
     ab_inflight = 0;
     g_monitors = [];
     join_validator = None;
-    suspects = [];
+    suspects = Int_set.empty;
     failed_procs = [];
     pending_events = Deque.empty;
     change = None;
@@ -1486,22 +1666,25 @@ and on_site_down t s =
      hints. *)
   Hashtbl.iter
     (fun gid_int sites ->
-      if List.mem s sites then Hashtbl.replace t.contacts gid_int (List.filter (( <> ) s) sites))
+      (* One filtering pass instead of a membership scan followed by a
+         second filter scan. *)
+      let remaining = List.filter (( <> ) s) sites in
+      if List.compare_lengths remaining sites <> 0 then
+        Hashtbl.replace t.contacts gid_int remaining)
     (Hashtbl.copy t.contacts);
   Hashtbl.iter
     (fun name (gid, sites) ->
-      if List.mem s sites then begin
-        let remaining = List.filter (( <> ) s) sites in
+      let remaining = List.filter (( <> ) s) sites in
+      if List.compare_lengths remaining sites <> 0 then
         if remaining = [] then Hashtbl.remove t.dir name
-        else Hashtbl.replace t.dir name (gid, remaining)
-      end)
+        else Hashtbl.replace t.dir name (gid, remaining))
     (Hashtbl.copy t.dir);
   session_site_down t s;
   let groups = Hashtbl.fold (fun _ g acc -> g :: acc) t.groups [] in
   List.iter
     (fun g ->
-      if List.mem s (View.sites g.view) && not (List.mem s g.suspects) then begin
-        g.suspects <- s :: g.suspects;
+      if List.mem s (View.sites g.view) && not (Int_set.mem s g.suspects) then begin
+        g.suspects <- Int_set.add s g.suspects;
         let victims = View.members_at_site g.view s in
         if i_am_coord t g then begin
           List.iter (fun v -> enqueue_event t g (Ev_fail v)) victims;
@@ -1535,6 +1718,7 @@ and handle_frame t ~src frame =
   if t.running then begin
     if Trace.enabled t.tracer then
       Trace.emitf t.tracer ~category:"recv" "s%d<-s%d %a" t.my_site src Proto.pp frame;
+    emit_frame_event t ~peer:src ~rx:true frame;
     match frame with
     | Proto.Ptp { dest; body } -> (
       if Message.get_bool body f_is_reply = Some true then on_reply_body t body
@@ -1644,7 +1828,7 @@ and handle_group_frame t ~src frame =
         let prio = Total.intake g.total ~uid body in
         send_frame t ~dst:src (Proto.Ab_prio { group; view_id; uid; prio }))
   | Proto.Ab_prio { group; view_id; uid; prio } ->
-    with_group group view_id (fun _g -> on_ab_prio t uid prio)
+    with_group group view_id (fun _g -> on_ab_prio t ~src uid prio)
   | Proto.Ab_commit { group; view_id; uid; prio } ->
     with_group group view_id (fun g ->
         Total.commit g.total ~uid prio;
@@ -1724,6 +1908,7 @@ let wire_endpoint t =
     Endpoint.create ~config:t.cfg.endpoint t.fab.ep_fabric ~site:t.my_site ~size:Proto.size ()
   in
   t.ep <- Some ep;
+  Endpoint.set_tracer ep (Trace.obs t.tracer);
   Endpoint.set_receiver ep (fun ~src frames ->
       (* One arriving packet can carry several frames (coalescing).  The
          fixed per-interrupt dispatch cost is charged once per packet;
@@ -1752,6 +1937,32 @@ let wire_endpoint t =
      groups explicitly, like any newcomer. *)
   Endpoint.set_restart_handler ep (fun s -> if t.running then on_site_down t s)
 
+(* The hygiene gauges live in the registry under stable names, so
+   consumers (oracle checks, bench artifacts) sample by name instead of
+   importing Runtime accessors.  Registered after [wire_endpoint]: the
+   transport gauges read the endpoint lazily at sample time. *)
+let register_metrics t =
+  let m = t.metrics in
+  Metrics.gauge m "runtime.pending_unstable" (fun () -> Hashtbl.length t.unstables);
+  Metrics.gauge m "runtime.held_frames" (fun () ->
+      Hashtbl.fold (fun _ fs acc -> acc + List.length fs) t.held 0);
+  Metrics.gauge m "runtime.sessions" (fun () -> Hashtbl.length t.sessions);
+  Metrics.gauge m "runtime.pending_store" (fun () ->
+      Hashtbl.fold (fun _ g acc -> acc + Uid_map.cardinal g.store) t.groups 0);
+  Metrics.gauge m "runtime.dedup_residue" (fun () ->
+      Hashtbl.fold
+        (fun _ g acc -> acc + Causal.dedup_residue g.causal + Total.dedup_residue g.total)
+        t.groups 0);
+  Metrics.gauge m "runtime.cpu_busy_us" (fun () -> t.cpu_busy);
+  Metrics.gauge m "transport.inflight" (fun () -> Endpoint.inflight (endpoint t));
+  Metrics.gauge m "transport.recv_pending" (fun () -> Endpoint.recv_pending (endpoint t));
+  Metrics.gauge m "transport.data_frames" (fun () -> Endpoint.frames_sent (endpoint t));
+  Metrics.gauge m "transport.ack_frames" (fun () -> Endpoint.acks_sent (endpoint t));
+  Metrics.gauge m "transport.packets" (fun () -> Endpoint.packets_sent (endpoint t));
+  Metrics.gauge m "transport.retransmits" (fun () -> Endpoint.retransmits (endpoint t));
+  Metrics.gauge m "transport.channel_failures" (fun () ->
+      Endpoint.channel_failures (endpoint t))
+
 let create ?(config = default_config) fab ~site ~trace () =
   let t =
     {
@@ -1762,6 +1973,7 @@ let create ?(config = default_config) fab ~site ~trace () =
       tracer = trace;
       ep = None;
       ctrs = Stats.Counter.create ();
+      metrics = Metrics.create ();
       running = true;
       next_proc_idx = 0;
       next_useq = 0;
@@ -1786,6 +1998,7 @@ let create ?(config = default_config) fab ~site ~trace () =
     }
   in
   wire_endpoint t;
+  register_metrics t;
   t
 
 let crash t =

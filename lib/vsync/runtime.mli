@@ -96,6 +96,13 @@ val alive : t -> bool
 val counters : t -> Vsync_util.Stats.Counter.t
 val trace : t -> Vsync_sim.Trace.t
 
+(** [metrics t] is the site's unified metrics registry: the hygiene
+    gauges ([runtime.pending_unstable], [runtime.pending_store],
+    [runtime.dedup_residue], …) and the transport wire accounting
+    ([transport.inflight], [transport.retransmits], …), sampled live by
+    name. *)
+val metrics : t -> Vsync_obs.Metrics.t
+
 (** [cpu_busy_us t] is accumulated CPU busy time (for the load figures
     quoted in the paper's Sec 7). *)
 val cpu_busy_us : t -> int

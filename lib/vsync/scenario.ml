@@ -17,11 +17,27 @@ type result = {
 }
 
 let run ?(sites = 4) ?(horizon_us = 20_000_000) ?(settle_us = 30_000_000)
-    ?(send_interval_us = 150_000) ?(payload_bytes = 256) ?plan ?(intensity = 0.5) ~seed () =
+    ?(send_interval_us = 150_000) ?(payload_bytes = 256) ?plan ?(intensity = 0.5) ?trace_sink
+    ~seed () =
   let w = World.create ~seed ~sites () in
+  (* Run with the typed protocol events on (and only those — the mask
+     excludes the legacy Note strings), so every sweep also exercises
+     the event layer and the oracle's typed-stream checks have data.
+     Enabling tracing draws no randomness, so seeded runs stay
+     bit-identical to untraced ones.  An exporting caller widens the
+     mask to the net and transport layers too. *)
+  let tr = Vsync_sim.Trace.obs (World.trace w) in
+  (match trace_sink with
+  | None -> Vsync_obs.Tracer.set_mask tr (Vsync_obs.Event.cls_bit Vsync_obs.Event.Proto)
+  | Some sink ->
+    Vsync_obs.Tracer.set_classes tr
+      [ Vsync_obs.Event.Net; Vsync_obs.Event.Transport; Vsync_obs.Event.Proto ];
+    Vsync_obs.Tracer.add_sink tr sink);
+  Vsync_obs.Tracer.set_enabled tr true;
   let members =
     Array.init sites (fun s -> World.proc w ~site:s ~name:(Printf.sprintf "n%d" s))
   in
+  let join_error = ref None in
   let gid = ref None in
   World.run_task w members.(0) (fun () -> gid := Some (Runtime.pg_create members.(0) "nemesis"));
   World.run w;
@@ -31,9 +47,14 @@ let run ?(sites = 4) ?(horizon_us = 20_000_000) ?(settle_us = 30_000_000)
         ignore (Runtime.pg_lookup members.(i) "nemesis");
         match Runtime.pg_join members.(i) gid ~credentials:(Message.create ()) with
         | Ok () -> ()
-        | Error e -> failwith ("Scenario.run: member join: " ^ e))
+        | Error e ->
+          if !join_error = None then
+            join_error := Some (Printf.sprintf "member n%d join: %s" i e))
   done;
   World.run w;
+  match !join_error with
+  | Some e -> Error e
+  | None ->
   let oracle = Oracle.create w ~gid in
   Array.iter (fun m -> Oracle.bind_tap oracle m e_app (fun _ -> ())) members;
   let plan =
@@ -77,12 +98,13 @@ let run ?(sites = 4) ?(horizon_us = 20_000_000) ?(settle_us = 30_000_000)
     members;
   World.run ~until:(t0 + horizon_us + settle_us) w;
   let violations = Oracle.check oracle in
-  {
-    plan;
-    violations;
-    oracle;
-    world = w;
-    sent = !next_tag;
-    delivered = Oracle.n_deliveries oracle;
-    elapsed_us = World.now w - t0;
-  }
+  Ok
+    {
+      plan;
+      violations;
+      oracle;
+      world = w;
+      sent = !next_tag;
+      delivered = Oracle.n_deliveries oracle;
+      elapsed_us = World.now w - t0;
+    }

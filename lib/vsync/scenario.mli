@@ -23,7 +23,17 @@ type result = {
     [horizon_us] of virtual time while the fault plan runs, lets the
     system settle for [settle_us], then checks the oracle.  The plan
     defaults to [Nemesis.random_plan ~seed ~intensity]; pass [?plan] to
-    use a hand-written one (or an empty list for a clean baseline). *)
+    use a hand-written one (or an empty list for a clean baseline).
+
+    The scenario runs with the typed protocol-event stream enabled
+    (class mask [Proto] only), so the oracle's typed-stream checks see
+    data on every run.  Pass [?trace_sink] (e.g.
+    [Vsync_obs.Jsonl.sink_to_channel oc]) to receive every event as it
+    is emitted; the mask then widens to net + transport + proto.
+
+    Returns [Error msg] if the harness itself could not be assembled
+    (e.g. a member's group join was refused) — setup failures surface
+    as values rather than aborting the whole sweep. *)
 val run :
   ?sites:int ->
   ?horizon_us:int ->
@@ -32,6 +42,7 @@ val run :
   ?payload_bytes:int ->
   ?plan:Vsync_sim.Nemesis.plan ->
   ?intensity:float ->
+  ?trace_sink:(Vsync_obs.Event.record -> unit) ->
   seed:int64 ->
   unit ->
-  result
+  (result, string) Stdlib.result

@@ -15,6 +15,8 @@ let create ?(seed = 0x15155EEDL) ?(net_config = Net.default_config) ?runtime_con
   let eng = Engine.create ~seed () in
   let network = Net.create eng net_config ~sites in
   let tracer = Trace.create eng in
+  Engine.set_tracer eng (Trace.obs tracer);
+  Net.set_tracer network (Trace.obs tracer);
   let fabric = Runtime.make_fabric network in
   let skew_rng = Vsync_util.Rng.split (Engine.rng eng) in
   let runtimes =

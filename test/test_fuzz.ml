@@ -163,7 +163,11 @@ let test_fuzz_lossy () = List.iter (fun s -> fuzz_one ~loss:0.02 s) [ 2001L; 200
 let test_nemesis_scenarios () =
   List.iter
     (fun seed ->
-      let r = Scenario.run ~seed () in
+      let r =
+        match Scenario.run ~seed () with
+        | Ok r -> r
+        | Error e -> Alcotest.failf "nemesis seed %Ld: scenario setup failed: %s" seed e
+      in
       if r.violations <> [] then
         Alcotest.failf "nemesis seed %Ld:\n%s" seed (Oracle.report r.oracle r.violations);
       Alcotest.(check bool)
@@ -174,7 +178,11 @@ let test_nemesis_scenarios () =
 (* Acceptance criterion: the same (seed, intensity) twice produces
    byte-identical plans, traffic counts, latencies and oracle reports. *)
 let test_nemesis_determinism () =
-  let run () = Scenario.run ~seed:90210L ~intensity:0.7 () in
+  let run () =
+    match Scenario.run ~seed:90210L ~intensity:0.7 () with
+    | Ok r -> r
+    | Error e -> Alcotest.failf "determinism run: scenario setup failed: %s" e
+  in
   let a = run () in
   let b = run () in
   Alcotest.(check string) "identical plan"

@@ -198,7 +198,11 @@ let test_dup_sweep () =
   List.iter
     (fun seed ->
       let plan = dup_heavy_plan ~sites:4 ~horizon_us in
-      let r = Scenario.run ~sites:4 ~horizon_us ~plan ~seed () in
+      let r =
+        match Scenario.run ~sites:4 ~horizon_us ~plan ~seed () with
+        | Ok r -> r
+        | Error e -> Alcotest.failf "seed %Ld: scenario setup failed: %s" seed e
+      in
       if r.Scenario.violations <> [] then
         Alcotest.failf "seed %Ld: %s" seed (Oracle.report r.Scenario.oracle r.Scenario.violations);
       Alcotest.(check bool)

@@ -5,7 +5,11 @@ let fuzz_sweep n =
   let failures = ref 0 in
   for i = 1 to n do
     let seed = Int64.of_int (9000 + i) in
-    let r = Vsync_core.Scenario.run ~seed ~intensity:0.5 () in
+    let r =
+      match Vsync_core.Scenario.run ~seed ~intensity:0.5 () with
+      | Ok r -> r
+      | Error e -> failwith (Printf.sprintf "fuzz-sweep seed %Ld: scenario setup failed: %s" seed e)
+    in
     let ok = r.Vsync_core.Scenario.violations = [] in
     Printf.printf "seed %Ld: %s  sent %d delivered %d\n%!" seed
       (if ok then "PASS" else "FAIL")
@@ -40,6 +44,7 @@ let () =
       ("sim", Test_sim.suite);
       ("tasks", Test_tasks.suite);
       ("transport", Test_transport.suite);
+      ("obs", Test_obs.suite);
       ("nemesis", Test_nemesis.suite);
       ("core_smoke", Test_core_smoke.suite);
       ("vsync_props", Test_vsync_props.suite);

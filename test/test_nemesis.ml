@@ -166,7 +166,11 @@ let test_wire_faults_oracle_clean () =
       let plan =
         [ { Nemesis.at = 0; op }; { Nemesis.at = 2_500_000; op = Nemesis.Clear_faults } ]
       in
-      let r = Scenario.run ~sites:3 ~horizon_us:3_000_000 ~settle_us:20_000_000 ~plan ~seed () in
+      let r =
+        match Scenario.run ~sites:3 ~horizon_us:3_000_000 ~settle_us:20_000_000 ~plan ~seed () with
+        | Ok r -> r
+        | Error e -> Alcotest.failf "seed %Ld: scenario setup failed: %s" seed e
+      in
       Alcotest.(check int)
         (Printf.sprintf "seed %Ld: oracle clean under the fault" seed)
         0

@@ -169,15 +169,21 @@ let test_scenario_trace_digests () =
   let digest (r : Scenario.result) =
     Digest.to_hex (Digest.string (Format.asprintf "%a" Oracle.pp_history r.oracle))
   in
+  let run_exn sc =
+    match sc with Ok r -> r | Error e -> Alcotest.failf "scenario setup failed: %s" e
+  in
   let r =
-    Scenario.run ~sites:3 ~horizon_us:6_000_000 ~settle_us:20_000_000 ~intensity:0.5
-      ~seed:0xD16E57L ()
+    run_exn
+      (Scenario.run ~sites:3 ~horizon_us:6_000_000 ~settle_us:20_000_000 ~intensity:0.5
+         ~seed:0xD16E57L ())
   in
   Alcotest.(check int) "faulty run: sent" 92 r.sent;
   Alcotest.(check int) "faulty run: delivered" 223 r.delivered;
   Alcotest.(check int) "faulty run: no violations" 0 (List.length r.violations);
   Alcotest.(check string) "faulty run: trace digest" "a62254271ae6acd58ef729562277d7bb" (digest r);
-  let r2 = Scenario.run ~sites:4 ~horizon_us:4_000_000 ~settle_us:10_000_000 ~plan:[] ~seed:42L () in
+  let r2 =
+    run_exn (Scenario.run ~sites:4 ~horizon_us:4_000_000 ~settle_us:10_000_000 ~plan:[] ~seed:42L ())
+  in
   Alcotest.(check int) "clean run: sent" 109 r2.sent;
   Alcotest.(check int) "clean run: delivered" 436 r2.delivered;
   Alcotest.(check int) "clean run: no violations" 0 (List.length r2.violations);
