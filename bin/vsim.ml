@@ -69,7 +69,8 @@ let run_nemesis sites trace_out (seed, intensity) =
   print_string (Oracle.report r.oracle r.violations);
   if r.violations = [] then 0 else 1
 
-let run sites seed messages size mode loss crash_site crash_at_ms trace_on trace_out nemesis =
+let run sites seed messages size mode loss crash_site crash_at_ms partition trace_on trace_out
+    nemesis =
   match nemesis with
   | Some spec -> run_nemesis sites trace_out spec
   | None ->
@@ -127,6 +128,24 @@ let run sites seed messages size mode loss crash_site crash_at_ms trace_on trace
           done))
     members;
   (* Failure injection. *)
+  (match partition with
+  | Some (left, right, dur_ms) ->
+    let bad = List.filter (fun s -> s < 0 || s >= sites) (left @ right) in
+    if bad <> [] then
+      Printf.eprintf "ignoring bad --partition sites: %s\n"
+        (String.concat " " (List.map string_of_int bad))
+    else begin
+      let show l = String.concat "," (List.map string_of_int l) in
+      World.run_for w 100_000;
+      Printf.printf "[%8.1fms] >>> partition [%s] | [%s] for %dms <<<\n"
+        (float_of_int (World.now w) /. 1000.)
+        (show left) (show right) dur_ms;
+      World.partition w left right;
+      World.run_for w (dur_ms * 1000);
+      Printf.printf "[%8.1fms] >>> heal <<<\n" (float_of_int (World.now w) /. 1000.);
+      World.heal w
+    end
+  | None -> ());
   (match crash_site with
   | Some s when s >= 0 && s < sites ->
     World.run_for w (crash_at_ms * 1000);
@@ -143,9 +162,19 @@ let run sites seed messages size mode loss crash_site crash_at_ms trace_on trace
       Printf.printf "member %d delivered %d: [%s]\n" i (List.length l)
         (String.concat " " (List.map string_of_int l)))
     logs;
+  (* A site evicted by the primary-partition rule (its copy torn down,
+     never rejoined) is not a survivor: virtual synchrony promises
+     agreement only among members that stayed in the view. *)
   let survivors =
-    List.filter (fun i -> crash_site <> Some i) (List.init sites Fun.id)
+    List.filter
+      (fun i -> crash_site <> Some i && Runtime.pg_view members.(i) gid <> None)
+      (List.init sites Fun.id)
   in
+  List.iter
+    (fun i ->
+      if crash_site <> Some i && Runtime.pg_view members.(i) gid = None then
+        Printf.printf "site %d was evicted from the group (partitioned minority)\n" i)
+    (List.init sites Fun.id);
   let survivor_logs = List.map (fun i -> List.rev logs.(i)) survivors in
   (match survivor_logs with
   | first :: rest ->
@@ -193,6 +222,45 @@ let trace_out =
     & info [ "trace-out" ] ~docv:"FILE"
         ~doc:"Stream the typed event layer to $(docv) as JSONL (one event per line).")
 
+(* L|R:DUR_MS — comma-separated site lists on each side of the split,
+   then how long the partition holds before the heal. *)
+let partition_conv =
+  let parse_sites part =
+    let fields = String.split_on_char ',' part in
+    let sites = List.filter_map int_of_string_opt fields in
+    if List.compare_lengths sites fields = 0 && sites <> [] then Some sites else None
+  in
+  let parse s =
+    match String.rindex_opt s ':' with
+    | None -> Error (`Msg (Printf.sprintf "bad partition spec %S (want L|R:DUR_MS)" s))
+    | Some i -> (
+      let split = String.sub s 0 i in
+      let dur = String.sub s (i + 1) (String.length s - i - 1) in
+      match (String.index_opt split '|', int_of_string_opt dur) with
+      | Some j, Some dur_ms when dur_ms > 0 -> (
+        let l = String.sub split 0 j in
+        let r = String.sub split (j + 1) (String.length split - j - 1) in
+        match (parse_sites l, parse_sites r) with
+        | Some left, Some right -> Ok (left, right, dur_ms)
+        | _ -> Error (`Msg (Printf.sprintf "bad partition site lists in %S" s)))
+      | None, _ -> Error (`Msg (Printf.sprintf "partition spec %S has no '|' split" s))
+      | _, (Some _ | None) -> Error (`Msg (Printf.sprintf "bad partition duration in %S" s)))
+  in
+  let print ppf (l, r, d) =
+    let show sl = String.concat "," (List.map string_of_int sl) in
+    Format.fprintf ppf "%s|%s:%d" (show l) (show r) d
+  in
+  Cmdliner.Arg.conv (parse, print)
+
+let partition =
+  Arg.(
+    value
+    & opt (some partition_conv) None
+    & info [ "partition" ] ~docv:"L|R:DUR_MS"
+        ~doc:
+          "Split the network into site sets $(b,L) and $(b,R) (comma-separated) 100ms into the \
+           traffic phase, heal after $(b,DUR_MS) virtual milliseconds, e.g. 0,1,2|3,4:800.")
+
 let nemesis_conv =
   let parse s =
     let mk seed intensity =
@@ -230,7 +298,7 @@ let cmd =
   Cmd.v
     (Cmd.info "vsim" ~doc)
     Term.(
-      const run $ sites $ seed $ messages $ size $ mode $ loss $ crash_site $ crash_at $ trace
-      $ trace_out $ nemesis)
+      const run $ sites $ seed $ messages $ size $ mode $ loss $ crash_site $ crash_at $ partition
+      $ trace $ trace_out $ nemesis)
 
 let () = exit (Cmd.eval' cmd)

@@ -8,7 +8,7 @@
    arrive already flattened — a uid is its [(usite, useq)] pair, a group
    its integer id, an address its site number. *)
 
-type cls = Engine | Net | Transport | Proto | Note
+type cls = Engine | Net | Transport | Proto | Partition | Note
 
 let cls_bit = function
   | Engine -> 1
@@ -16,12 +16,14 @@ let cls_bit = function
   | Transport -> 4
   | Proto -> 8
   | Note -> 16
+  | Partition -> 32
 
 let cls_name = function
   | Engine -> "engine"
   | Net -> "net"
   | Transport -> "transport"
   | Proto -> "proto"
+  | Partition -> "partition"
   | Note -> "note"
 
 let cls_of_name = function
@@ -29,10 +31,11 @@ let cls_of_name = function
   | "net" -> Some Net
   | "transport" -> Some Transport
   | "proto" -> Some Proto
+  | "partition" -> Some Partition
   | "note" -> Some Note
   | _ -> None
 
-let all_classes = [ Engine; Net; Transport; Proto; Note ]
+let all_classes = [ Engine; Net; Transport; Proto; Partition; Note ]
 
 type t =
   (* engine *)
@@ -60,9 +63,14 @@ type t =
   | Stabilize of { site : int; usite : int; useq : int }
   | Wedge of { site : int; group : int; view_id : int }
   | Flush of { site : int; group : int; view_id : int; attempt : int }
-  | View_install of { site : int; group : int; view_id : int; nsites : int }
+  | View_install of { site : int; group : int; view_id : int; nsites : int; mhash : int }
   | Stable_advance of { site : int; origin : int; upto : int }
   | Gc_reclaim of { site : int; n : int }
+  (* partition / primary-partition membership *)
+  | Partition_wedge of { site : int; group : int; view_id : int; survivors : int; needed : int }
+  | Partition_probe of { site : int; group : int; view_id : int }
+  | Partition_evict of { site : int; group : int; view_id : int; new_view_id : int }
+  | Partition_exit of { site : int; group : int; view_id : int }
   (* free-form *)
   | Error_event of { site : int; what : string; detail : string }
   | Note_event of { site : int; cat : string; text : string }
@@ -75,6 +83,7 @@ let cls_of = function
   | Originate _ | Frame_tx _ | Frame_rx _ | Ab_vote _ | Ab_commit _ | Deliver _
   | Stabilize _ | Wedge _ | Flush _ | View_install _ | Stable_advance _ | Gc_reclaim _ ->
     Proto
+  | Partition_wedge _ | Partition_probe _ | Partition_evict _ | Partition_exit _ -> Partition
   | Error_event _ | Note_event _ -> Note
 
 (* The uid an event is "about", for per-message timeline reconstruction. *)
@@ -111,6 +120,10 @@ let site_of = function
   | View_install { site; _ }
   | Stable_advance { site; _ }
   | Gc_reclaim { site; _ }
+  | Partition_wedge { site; _ }
+  | Partition_probe { site; _ }
+  | Partition_evict { site; _ }
+  | Partition_exit { site; _ }
   | Error_event { site; _ }
   | Note_event { site; _ } ->
     Some site
@@ -162,9 +175,28 @@ let fields = function
     ("wedge", [ ("site", I site); ("group", I group); ("view_id", I view_id) ])
   | Flush { site; group; view_id; attempt } ->
     ("flush", [ ("site", I site); ("group", I group); ("view_id", I view_id); ("attempt", I attempt) ])
-  | View_install { site; group; view_id; nsites } ->
+  | View_install { site; group; view_id; nsites; mhash } ->
     ( "view_install",
-      [ ("site", I site); ("group", I group); ("view_id", I view_id); ("nsites", I nsites) ] )
+      [
+        ("site", I site); ("group", I group); ("view_id", I view_id); ("nsites", I nsites);
+        ("mhash", I mhash);
+      ] )
+  | Partition_wedge { site; group; view_id; survivors; needed } ->
+    ( "partition_wedge",
+      [
+        ("site", I site); ("group", I group); ("view_id", I view_id);
+        ("survivors", I survivors); ("needed", I needed);
+      ] )
+  | Partition_probe { site; group; view_id } ->
+    ("partition_probe", [ ("site", I site); ("group", I group); ("view_id", I view_id) ])
+  | Partition_evict { site; group; view_id; new_view_id } ->
+    ( "partition_evict",
+      [
+        ("site", I site); ("group", I group); ("view_id", I view_id);
+        ("new_view_id", I new_view_id);
+      ] )
+  | Partition_exit { site; group; view_id } ->
+    ("partition_exit", [ ("site", I site); ("group", I group); ("view_id", I view_id) ])
   | Stable_advance { site; origin; upto } ->
     ("stable_advance", [ ("site", I site); ("origin", I origin); ("upto", I upto) ])
   | Gc_reclaim { site; n } -> ("gc_reclaim", [ ("site", I site); ("n", I n) ])
@@ -293,7 +325,31 @@ let of_fields tag fs =
     let* group = i "group" in
     let* view_id = i "view_id" in
     let* nsites = i "nsites" in
-    Some (View_install { site; group; view_id; nsites })
+    let* mhash = i "mhash" in
+    Some (View_install { site; group; view_id; nsites; mhash })
+  | "partition_wedge" ->
+    let* site = i "site" in
+    let* group = i "group" in
+    let* view_id = i "view_id" in
+    let* survivors = i "survivors" in
+    let* needed = i "needed" in
+    Some (Partition_wedge { site; group; view_id; survivors; needed })
+  | "partition_probe" ->
+    let* site = i "site" in
+    let* group = i "group" in
+    let* view_id = i "view_id" in
+    Some (Partition_probe { site; group; view_id })
+  | "partition_evict" ->
+    let* site = i "site" in
+    let* group = i "group" in
+    let* view_id = i "view_id" in
+    let* new_view_id = i "new_view_id" in
+    Some (Partition_evict { site; group; view_id; new_view_id })
+  | "partition_exit" ->
+    let* site = i "site" in
+    let* group = i "group" in
+    let* view_id = i "view_id" in
+    Some (Partition_exit { site; group; view_id })
   | "stable_advance" ->
     let* site = i "site" in
     let* origin = i "origin" in

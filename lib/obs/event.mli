@@ -13,8 +13,10 @@
     a uid is its [(usite, useq)] pair, a group its integer id. *)
 
 (** Event class, for bitmask filtering on the tracer.  [Engine] events
-    are voluminous (every scheduled callback) and off by default. *)
-type cls = Engine | Net | Transport | Proto | Note
+    are voluminous (every scheduled callback) and off by default.
+    [Partition] carries the primary-partition membership machinery:
+    minority wedges, heal probes, evictions and recoveries. *)
+type cls = Engine | Net | Transport | Proto | Partition | Note
 
 val cls_bit : cls -> int
 val cls_name : cls -> string
@@ -47,9 +49,23 @@ type t =
   | Stabilize of { site : int; usite : int; useq : int }
   | Wedge of { site : int; group : int; view_id : int }
   | Flush of { site : int; group : int; view_id : int; attempt : int }
-  | View_install of { site : int; group : int; view_id : int; nsites : int }
+  | View_install of { site : int; group : int; view_id : int; nsites : int; mhash : int }
+      (** [mhash] fingerprints the installed membership so an external
+          checker can compare installs of the same view id across
+          sites without carrying the member list. *)
   | Stable_advance of { site : int; origin : int; upto : int }
   | Gc_reclaim of { site : int; n : int }
+  (* partition / primary-partition membership *)
+  | Partition_wedge of { site : int; group : int; view_id : int; survivors : int; needed : int }
+      (** a view-change attempt found its component below quorum:
+          [survivors] members retained of a base needing [needed]. *)
+  | Partition_probe of { site : int; group : int; view_id : int }
+  | Partition_evict of { site : int; group : int; view_id : int; new_view_id : int }
+      (** a minority site learned the primary moved to [new_view_id]
+          without it; it discards group state and may rejoin fresh. *)
+  | Partition_exit of { site : int; group : int; view_id : int }
+      (** false alarm: suspicion cleared and the component recovered
+          without losing primacy. *)
   (* free-form *)
   | Error_event of { site : int; what : string; detail : string }
   | Note_event of { site : int; cat : string; text : string }

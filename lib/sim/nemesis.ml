@@ -4,7 +4,9 @@ type op =
   | Crash_site of int
   | Restart_site of int
   | Partition of int list * int list
+  | Partition_oneway of int list * int list
   | Heal
+  | Heal_partition of int list * int list
   | Set_loss of float
   | Link_loss of { src : int; dst : int; p : float }
   | Loss_burst of { src : int; dst : int; burst : Net.burst }
@@ -26,7 +28,9 @@ let apply_op net actions = function
   | Crash_site s -> actions.crash_site s
   | Restart_site s -> actions.restart_site s
   | Partition (l, r) -> Net.partition net l r
+  | Partition_oneway (l, r) -> Net.partition_oneway net l r
   | Heal -> Net.heal net
+  | Heal_partition (l, r) -> Net.heal_split net l r
   | Set_loss p -> Net.set_loss net p
   | Link_loss { src; dst; p } -> Net.set_link_loss net ~src ~dst p
   | Loss_burst { src; dst; burst } -> Net.set_link_burst net ~src ~dst burst
@@ -49,7 +53,10 @@ let pp_op ppf = function
   | Crash_site s -> Format.fprintf ppf "crash site %d" s
   | Restart_site s -> Format.fprintf ppf "restart site %d" s
   | Partition (l, r) -> Format.fprintf ppf "partition %a | %a" pp_sites l pp_sites r
+  | Partition_oneway (l, r) ->
+    Format.fprintf ppf "partition-oneway %a -> %a" pp_sites l pp_sites r
   | Heal -> Format.pp_print_string ppf "heal"
+  | Heal_partition (l, r) -> Format.fprintf ppf "heal-partition %a | %a" pp_sites l pp_sites r
   | Set_loss p -> Format.fprintf ppf "global loss %.3f" p
   | Link_loss { src; dst; p } -> Format.fprintf ppf "link %d->%d loss %.3f" src dst p
   | Loss_burst { src; dst; burst } ->
@@ -140,15 +147,19 @@ let random_plan ?(protect = [ 0 ]) ~seed ~sites ~horizon_us ~intensity () =
       end
     end
     else if kind < 32 then begin
-      (* A short full partition: long enough to stall traffic, short
-         enough that the failure detectors do not evict anyone (ISIS
-         stalls through partitions rather than tolerate them). *)
+      (* Partition phases.  Durations span both regimes: short splits
+         that merely stall traffic, and splits long enough for the
+         failure detectors to evict a side — exercising the
+         primary-partition rule, the minority wedge, and the heal /
+         rejoin path.  A quarter of the splits are one-way (asymmetric
+         partitions), and long splits occasionally overlap a second,
+         different split so more than one is in force at once. *)
       let start, dur =
-        pick_window ~min_dur:200_000
-          ~max_dur:(200_000 + int_of_float (intensity *. 1.0e6))
+        pick_window ~min_dur:250_000
+          ~max_dur:(600_000 + int_of_float (intensity *. 3.4e6))
       in
       if !part_busy <= start then begin
-        part_busy := start + dur + 200_000;
+        part_busy := start + dur + 300_000;
         let rec split tries =
           let left = List.filter (fun _ -> Rng.bool rng) (List.init sites Fun.id) in
           let right = List.filter (fun s -> not (List.mem s left)) (List.init sites Fun.id) in
@@ -156,8 +167,20 @@ let random_plan ?(protect = [ 0 ]) ~seed ~sites ~horizon_us ~intensity () =
         in
         let left, right = split 8 in
         if left <> [] && right <> [] then begin
-          emit start (Partition (left, right));
-          emit (start + dur) Heal
+          let oneway = Rng.int rng 100 < 25 in
+          emit start (if oneway then Partition_oneway (left, right) else Partition (left, right));
+          emit (start + dur) (Heal_partition (left, right));
+          if sites >= 4 && dur > 600_000 && Rng.int rng 100 < 30 then begin
+            let left2, right2 = split 8 in
+            if
+              left2 <> [] && right2 <> []
+              && List.sort compare left2 <> List.sort compare left
+            then begin
+              let s2 = start + (dur / 3) and d2 = dur / 2 in
+              emit s2 (Partition (left2, right2));
+              emit (s2 + d2) (Heal_partition (left2, right2))
+            end
+          end
         end
       end
     end

@@ -15,7 +15,15 @@ type op =
   | Crash_site of int
   | Restart_site of int
   | Partition of int list * int list
-  | Heal
+      (** add a two-way split; splits accumulate (overlapping
+          partitions are allowed). *)
+  | Partition_oneway of int list * int list
+      (** add an asymmetric split: left-to-right packets are dropped,
+          the reverse direction flows. *)
+  | Heal  (** remove every active split. *)
+  | Heal_partition of int list * int list
+      (** remove the one split with these site sets, leaving any
+          overlapping splits in force. *)
   | Set_loss of float  (** uniform global loss probability. *)
   | Link_loss of { src : int; dst : int; p : float }
   | Loss_burst of { src : int; dst : int; burst : Net.burst }
@@ -54,10 +62,13 @@ val install : ?actions:actions -> Net.t -> plan -> unit
     with its reversal, and a final {!Heal} + {!Clear_faults} acts as a
     safety net).  [intensity] in [\[0,1\]] scales both the number of
     episodes and their severity.  Sites in [protect] (default [[0]])
-    are never crashed, keeping the group rooted.  Partitions are kept
-    short enough that failure detectors do not evict live sites — ISIS
-    stalls through partitions (paper Sec 2.1) rather than tolerating
-    them, and the plan respects that envelope.  Crashes never take the
+    are never crashed, keeping the group rooted.  Partition episodes
+    span both regimes: splits short enough to merely stall traffic,
+    and splits long enough that the failure detectors evict a side —
+    driving the runtime's primary-partition rule, minority wedge and
+    heal/rejoin path.  A fraction are one-way (asymmetric), and long
+    splits may overlap a second simultaneous split.  Every split is
+    paired with its own {!Heal_partition}.  Crashes never take the
     system below two live sites. *)
 val random_plan :
   ?protect:int list ->

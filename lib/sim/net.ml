@@ -60,6 +60,8 @@ let fresh_link () =
     l_bad = false;
   }
 
+type split = { sp_left : site list; sp_right : site list; sp_sym : bool }
+
 type t = {
   engine : Engine.t;
   mutable cfg : config;
@@ -68,7 +70,10 @@ type t = {
   (* Earliest time each site's transmitter is free: models NIC
      serialization, which is what saturates throughput in Figure 2. *)
   tx_free : Engine.time array;
-  mutable partition : (site list * site list) option;
+  (* Active splits; more than one may be in force at once (overlapping
+     partitions), and a split may be one-way ([sym = false] blocks only
+     left-to-right traffic — an asymmetric partition). *)
+  mutable splits : split list;
   links : (site * site, link) Hashtbl.t;
   rng : Rng.t;
   counters : Stats.Counter.t;
@@ -83,7 +88,7 @@ let create engine cfg ~sites =
     n_sites = sites;
     up = Array.make sites true;
     tx_free = Array.make sites 0;
-    partition = None;
+    splits = [];
     links = Hashtbl.create 8;
     rng = Rng.split (Engine.rng engine);
     counters = Stats.Counter.create ();
@@ -121,14 +126,34 @@ let restart_site t s =
 
 let set_loss t p = t.cfg <- { t.cfg with loss_probability = p }
 
-let partition t left right = t.partition <- Some (left, right)
-let heal t = t.partition <- None
+let partition t left right =
+  t.splits <- { sp_left = left; sp_right = right; sp_sym = true } :: t.splits
 
-let partitioned t a b =
-  match t.partition with
-  | None -> false
-  | Some (left, right) ->
-    (List.mem a left && List.mem b right) || (List.mem a right && List.mem b left)
+let partition_oneway t left right =
+  t.splits <- { sp_left = left; sp_right = right; sp_sym = false } :: t.splits
+
+let heal t = t.splits <- []
+
+(* Remove one split by its site sets (either orientation), leaving any
+   overlapping splits in force. *)
+let heal_split t left right =
+  let same a b = List.sort compare a = List.sort compare b in
+  let matches sp =
+    (same sp.sp_left left && same sp.sp_right right)
+    || (same sp.sp_left right && same sp.sp_right left)
+  in
+  match List.find_opt matches t.splits with
+  | None -> ()
+  | Some sp -> t.splits <- List.filter (fun x -> x != sp) t.splits
+
+let split_blocks sp a b =
+  (List.mem a sp.sp_left && List.mem b sp.sp_right)
+  || (sp.sp_sym && List.mem a sp.sp_right && List.mem b sp.sp_left)
+
+(* [partitioned t a b]: is a packet from [a] to [b] blocked by any
+   active split?  Directional — for a one-way split only the
+   left-to-right direction is blocked. *)
+let partitioned t a b = List.exists (fun sp -> split_blocks sp a b) t.splits
 
 (* --- Per-link faults --- *)
 

@@ -10,8 +10,11 @@
     Failure model (paper Sec 2.1): packets can be lost; sites can crash
     (everything in flight to/from them is dropped); the network can
     partition, in which case cross-partition packets are silently
-    dropped until {!heal} — ISIS does not tolerate partitions, it stalls
-    until communication is restored, and so do we.
+    dropped until healed.  Several splits may be in force at once
+    (overlapping partitions), and a split may be one-way (an asymmetric
+    partition: only one direction is blocked).  The paper assumes
+    partitions never happen; the runtime layered above survives them
+    with a primary-partition membership rule instead of stalling.
 
     Beyond the paper's failure model, every {e directed} inter-site link
     can be independently degraded at runtime (the nemesis subsystem
@@ -95,13 +98,24 @@ val restart_site : t -> site -> unit
     study). *)
 val set_loss : t -> float -> unit
 
-(** [partition t left right] drops packets between the two groups (a
-    site absent from both lists communicates with everyone). *)
+(** [partition t left right] adds a two-way split dropping packets
+    between the two groups (a site absent from both lists communicates
+    with everyone).  Splits accumulate: several may be active at once. *)
 val partition : t -> site list -> site list -> unit
 
-(** [heal t] removes any partition. *)
+(** [partition_oneway t left right] adds an asymmetric split: packets
+    from [left] to [right] are dropped, the reverse direction flows. *)
+val partition_oneway : t -> site list -> site list -> unit
+
+(** [heal t] removes every active split. *)
 val heal : t -> unit
 
+(** [heal_split t left right] removes the one split with exactly these
+    site sets (either orientation), leaving other splits in force. *)
+val heal_split : t -> site list -> site list -> unit
+
+(** [partitioned t a b]: is a packet from [a] to [b] currently blocked
+    by an active split?  Directional, to honour one-way splits. *)
 val partitioned : t -> site -> site -> bool
 
 (** {1 Per-link faults}

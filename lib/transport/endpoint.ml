@@ -97,6 +97,11 @@ type monitor_state = {
   mutable outstanding : (int * Engine.time) option; (* ping id, sent at *)
   mutable mon_timer : Engine.handle option;
   mutable active : bool;
+  mutable suspected : bool;
+      (* failure declared but probing continues: a later pong revokes
+         the suspicion via [on_recovery].  A suspicion is a verdict
+         about the recent past, not the future — only [unmonitor]
+         (membership says the site is really gone) stops the probes. *)
 }
 
 type 'p t = {
@@ -108,6 +113,7 @@ type 'p t = {
   mutable is_alive : bool;
   mutable receiver : (src:site -> 'p list -> unit) option;
   mutable on_failure : site -> unit;
+  mutable on_recovery : site -> unit;
   mutable on_peer_restart : site -> unit;
   outs : (site, 'p out_chan) Hashtbl.t;
   ins : (site, 'p in_chan) Hashtbl.t;
@@ -147,6 +153,7 @@ let create ?(config = default_config) fabric ~site ~size () =
       is_alive = true;
       receiver = None;
       on_failure = (fun _ -> ());
+      on_recovery = (fun _ -> ());
       on_peer_restart = (fun _ -> ());
       outs = Hashtbl.create 8;
       ins = Hashtbl.create 8;
@@ -183,6 +190,7 @@ let trace_transport t mk =
   | Some _ | None -> ()
 
 let set_failure_handler t f = t.on_failure <- f
+let set_recovery_handler t f = t.on_recovery <- f
 let set_restart_handler t f = t.on_peer_restart <- f
 let frames_sent t = t.n_frames_sent
 let acks_sent t = t.n_acks_sent
@@ -429,7 +437,21 @@ and handle_frame t ~src ~sink frame =
         | None -> ());
         (* A restart can beat the failure detector (crash + revive inside
            the suspicion window).  Whoever relied on the old incarnation
-           must hear about it regardless. *)
+           must hear about it regardless.  The monitor's history is of
+           the OLD incarnation, so it restarts from scratch: the standing
+           suspicion must not be retracted by a pong from the new
+           incarnation (recovery means "same incarnation reachable
+           again"; a restart confirms the old one is dead for good), and
+           the accumulated miss count and any in-flight ping must not be
+           held against the new one — a stale ping's backed-off timeout
+           firing over a still-huge [missed] would re-declare the fresh
+           incarnation down the moment it came up. *)
+        (match Hashtbl.find_opt t.monitors src with
+        | Some mon ->
+          mon.suspected <- false;
+          mon.missed <- 0;
+          mon.outstanding <- None
+        | None -> ());
         t.on_peer_restart src
       | Some _ -> ());
       match frame with
@@ -566,7 +588,11 @@ and handle_pong t ~src ~id =
     | Some (expected, sent_at) when expected = id ->
       mon.outstanding <- None;
       mon.missed <- 0;
-      Rtt.observe mon.mon_rtt (Engine.now (engine t) - sent_at)
+      Rtt.observe mon.mon_rtt (Engine.now (engine t) - sent_at);
+      if mon.suspected then begin
+        mon.suspected <- false;
+        t.on_recovery src
+      end
     | Some _ | None -> ())
 
 (* Test hook.  The reassembly invariant "a complete message holds its
@@ -660,12 +686,16 @@ and send_ping t ~site mon =
              mon.missed <- mon.missed + 1;
              Rtt.backoff mon.mon_rtt
            | Some _ | None -> ());
-           if mon.missed >= t.cfg.suspect_after then begin
-             mon.active <- false;
-             Option.iter Engine.cancel mon.mon_timer;
-             mon.mon_timer <- None;
-             Hashtbl.remove t.monitors site;
-             t.on_failure site
+           if mon.missed >= t.cfg.suspect_after && not mon.suspected then begin
+             (* Declare the suspicion but KEEP probing: a suspicion of a
+                site that is merely unreachable (loss window, partition)
+                must be revocable, or a stale report circulates forever
+                once the network heals.  Probing stops only when the
+                membership layer calls [unmonitor] — i.e. the view
+                really evicted the site. *)
+             mon.suspected <- true;
+             t.on_failure site;
+             if mon.active then schedule_ping t ~site mon
            end
            else schedule_ping t ~site mon
          end))
@@ -679,6 +709,7 @@ let monitor t ~site =
         outstanding = None;
         mon_timer = None;
         active = true;
+        suspected = false;
       }
     in
     Hashtbl.replace t.monitors site mon;

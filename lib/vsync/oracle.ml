@@ -30,10 +30,22 @@ type tracked = {
 type send_rec = {
   s_mode : Types.mode;
   s_sender : string;
+  s_site : int;
+  s_member : bool; (* sender held a group copy (member send) vs client relay *)
   s_seq : int; (* per-sender send index *)
   s_view : int option;
   s_deps : int list; (* tags the sender had delivered before sending *)
   s_at : int;
+}
+
+(* A network split the harness vouches for: symmetric, covering every
+   site, alone in its window, with no concurrent crashes — the cases
+   where the primary-partition rule owes the majority side progress. *)
+type partition_note = {
+  p_from : int;
+  p_until : int;
+  p_left : int list;
+  p_right : int list;
 }
 
 type t = {
@@ -48,6 +60,11 @@ type t = {
      and the set of uids each site reported stable. *)
   obs_deliveries : (int * int * int, int) Hashtbl.t;
   obs_stabilized : (int * int * int, unit) Hashtbl.t;
+  (* (group, view_id) -> per-site installed membership shape, from
+     View_install events: the raw material of the no-split-brain
+     check. *)
+  obs_views : (int * int, (int * int * int) list) Hashtbl.t;
+  mutable partitions : partition_note list;
 }
 
 let create ?(tag_field = "tag") world ~gid =
@@ -61,6 +78,8 @@ let create ?(tag_field = "tag") world ~gid =
       send_seq = Hashtbl.create 8;
       obs_deliveries = Hashtbl.create 256;
       obs_stabilized = Hashtbl.create 256;
+      obs_views = Hashtbl.create 32;
+      partitions = [];
     }
   in
   let tr = Vsync_sim.Trace.obs (World.trace world) in
@@ -72,13 +91,38 @@ let create ?(tag_field = "tag") world ~gid =
         Hashtbl.replace t.obs_deliveries key (n + 1)
       | Obs_event.Stabilize { site; usite; useq } ->
         Hashtbl.replace t.obs_stabilized (site, usite, useq) ()
+      | Obs_event.View_install { site; group; view_id; nsites; mhash } ->
+        let key = (group, view_id) in
+        let prev = Option.value ~default:[] (Hashtbl.find_opt t.obs_views key) in
+        Hashtbl.replace t.obs_views key ((site, nsites, mhash) :: prev)
       | _ -> ());
   t
+
+let note_partition t ~from_us ~until_us ~left ~right =
+  if until_us > from_us && left <> [] && right <> [] then
+    t.partitions <-
+      { p_from = from_us; p_until = until_us; p_left = left; p_right = right } :: t.partitions
 
 let tracked_procs t = List.rev_map (fun tr -> tr.proc) t.tracked
 
 let find_tracked t proc =
   List.find_opt (fun tr -> Runtime.proc_uid tr.proc = Runtime.proc_uid proc) t.tracked
+
+let monitor_views t tr =
+  Runtime.pg_monitor tr.proc t.gid (fun v changes ->
+      tr.events <-
+        Viewed
+          {
+            v_id = v.View.view_id;
+            v_members = List.map Addr.proc_to_string v.View.members;
+            v_failed =
+              List.filter_map
+                (function
+                  | View.Member_failed p -> Some (Addr.proc_to_string p)
+                  | View.Member_joined _ | View.Member_left _ -> None)
+                changes;
+          }
+        :: tr.events)
 
 let track t proc =
   match find_tracked t proc with
@@ -94,20 +138,30 @@ let track t proc =
       }
     in
     t.tracked <- tr :: t.tracked;
-    Runtime.pg_monitor proc t.gid (fun v changes ->
-        tr.events <-
-          Viewed
-            {
-              v_id = v.View.view_id;
-              v_members = List.map Addr.proc_to_string v.View.members;
-              v_failed =
-                List.filter_map
-                  (function
-                    | View.Member_failed p -> Some (Addr.proc_to_string p)
-                    | View.Member_joined _ | View.Member_left _ -> None)
-                  changes;
-            }
-          :: tr.events)
+    monitor_views t tr
+
+(* After an evicted process rejoins, its group copy — monitor
+   registration included — is a fresh one: re-register the monitor and
+   log the join view as a synthetic observation, so post-rejoin
+   deliveries are attributed to the right view.  The process keeps its
+   tracked record (and delivery history: exactly-once spans the
+   eviction). *)
+let retrack t proc =
+  match find_tracked t proc with
+  | None -> track t proc
+  | Some tr ->
+    (match Runtime.pg_view proc t.gid with
+    | Some v ->
+      tr.events <-
+        Viewed
+          {
+            v_id = v.View.view_id;
+            v_members = List.map Addr.proc_to_string v.View.members;
+            v_failed = [];
+          }
+        :: tr.events
+    | None -> ());
+    monitor_views t tr
 
 (* The membership view a tracked proc is currently in, {e as the proc
    itself has observed it}: the runtime's [pg_view] runs ahead of the
@@ -135,6 +189,8 @@ let note_send t proc ~mode ~tag =
     {
       s_mode = mode;
       s_sender = sender;
+      s_site = (Runtime.proc_addr proc).Addr.site;
+      s_member = Runtime.pg_view proc t.gid <> None;
       s_seq = seq;
       s_view = Option.bind tr observed_view;
       s_deps = (match tr with Some tr -> tr.delivered_tags | None -> []);
@@ -466,11 +522,26 @@ let check ?(hygiene = true) t =
         else acc)
       min_int tracked
   in
-  (* [survived_view tr v]: tr demonstrably outlived view v — it observed
-     a later view, or v is the newest view and tr is alive in it. *)
+  (* [survived_view tr v]: tr demonstrably outlived view v {e as a
+     member} — it observed a later view (or v is the newest view and tr
+     is alive in it), and the next membership change after v kept it.  A
+     process the next view removed — failed, left, or evicted on the
+     losing side of a partition — carries no delivery obligation for v,
+     even if it later rejoins and observes newer views. *)
+  let next_membership v =
+    Hashtbl.fold
+      (fun id (members, _) acc ->
+        if id > v then
+          match acc with Some (bid, _) when bid < id -> acc | _ -> Some (id, members)
+        else acc)
+      view_members None
+  in
   let survived_view tr v =
-    List.exists (function Viewed { v_id; _ } -> v_id > v | Delivered _ -> false) tr.events
-    || (v = newest_view_id && Runtime.proc_alive tr.proc && observed_view tr = Some v)
+    (List.exists (function Viewed { v_id; _ } -> v_id > v | Delivered _ -> false) tr.events
+    || (v = newest_view_id && Runtime.proc_alive tr.proc && observed_view tr = Some v))
+    && match next_membership v with
+       | Some (_, members) -> List.mem tr.pname members
+       | None -> true
   in
   List.iter
     (fun tag ->
@@ -509,10 +580,20 @@ let check ?(hygiene = true) t =
       let failed = Hashtbl.create 8 in
       List.iter
         (function
-          | Viewed { v_failed; _ } -> List.iter (fun p -> Hashtbl.replace failed p ()) v_failed
+          | Viewed { v_members; v_failed; _ } ->
+            List.iter (fun p -> Hashtbl.replace failed p ()) v_failed;
+            (* A failed process reappearing in a later membership
+               rejoined as a fresh member: its new sends are
+               legitimate. *)
+            List.iter (fun p -> Hashtbl.remove failed p) v_members
           | Delivered { tag; _ } -> (
             match send_of tag with
-            | Some s when Hashtbl.mem failed s.s_sender ->
+            (* Client sends are exempt: an evicted process whose group
+               copy was torn down keeps multicasting through the relay
+               path as an ordinary non-member client, which ISIS
+               permits — the failure the receiver observed retired its
+               membership, not its right to talk to the group. *)
+            | Some s when s.s_member && Hashtbl.mem failed s.s_sender ->
               fail "no-delivery-after-failure"
                 "%s delivered tag %d from %s after observing its failure" tr.pname tag s.s_sender
             | Some _ | None -> ()))
@@ -575,9 +656,75 @@ let check ?(hygiene = true) t =
   Hashtbl.fold (fun k () acc -> k :: acc) t.obs_stabilized []
   |> List.sort compare
   |> List.iter (fun ((site, usite, useq) as k) ->
-         if not (Hashtbl.mem t.obs_deliveries k) then
+         (* At the origin site the Stabilize event is sender-side
+            bookkeeping — "every remote destination acked" — not a
+            delivery claim: an origin whose own delivery was still in
+            the causal buffer when a partition evicted it never
+            delivers, legally.  Hold every non-origin site to the
+            strict reading. *)
+         if site <> usite && not (Hashtbl.mem t.obs_deliveries k) then
            fail "obs-stability-without-delivery"
              "site %d marked uid %d.%d stable without delivering it (typed stream)" site usite useq);
+
+  (* 12. No split brain: a given (group, view id) is installed with one
+     membership — same size, same member hash — at every site that
+     installs it.  Two components each believing they hold view [v]
+     with different memberships is exactly the split-brain the
+     primary-partition rule forbids.  Collected from the typed event
+     stream; vacuous when tracing is off. *)
+  Hashtbl.fold (fun k vs acc -> (k, vs) :: acc) t.obs_views []
+  |> List.sort compare
+  |> List.iter (fun ((group, view_id), installs) ->
+         match List.rev installs with
+         | [] | [ _ ] -> ()
+         | (s0, n0, h0) :: rest ->
+           List.iter
+             (fun (s, n, h) ->
+               if n <> n0 || h <> h0 then
+                 fail "no-split-brain"
+                   "group %d view #%d installed with different memberships at site %d and site %d \
+                    (split brain)"
+                   group view_id s0 s)
+             rest);
+
+  (* 13. Primary-partition progress: during a vouched-for full split
+     (see [note_partition]) the side holding a strict majority of the
+     sites retains the primary partition, so its members' sends must
+     still be delivered by the time the run quiesces.  A send that
+     vanishes means the majority wedged — the availability half of the
+     primary-partition rule.  One exemption: a sender that was itself
+     evicted from the group at some later view change (e.g. a post-heal
+     loss window got it suspected) loses its still-buffered sends with
+     the partition teardown, which is the documented Buffer-policy
+     contract, not a wedge.  A genuinely wedged majority installs no
+     views at all, so no eviction is ever observed and the check still
+     fires. *)
+  let evicted_senders =
+    List.concat_map
+      (fun tr ->
+        List.concat_map (function Viewed v -> v.v_failed | Delivered _ -> []) tr.events)
+      tracked
+  in
+  List.iter
+    (fun pn ->
+      let total = List.length pn.p_left + List.length pn.p_right in
+      let maj =
+        if List.length pn.p_left > List.length pn.p_right then pn.p_left else pn.p_right
+      in
+      if 2 * List.length maj > total then
+        Hashtbl.fold (fun tag s acc -> (tag, s) :: acc) t.sends []
+        |> List.sort compare
+        |> List.iter (fun (tag, s) ->
+               if
+                 s.s_at >= pn.p_from && s.s_at < pn.p_until
+                 && List.mem s.s_site maj
+                 && (not (List.exists (fun tr -> List.mem tag tr.delivered_tags) tracked))
+                 && not (List.mem s.s_sender evicted_senders)
+               then
+                 fail "primary-partition-progress"
+                   "tag %d sent from majority site %d during the split at %dus was never delivered"
+                   tag s.s_site s.s_at))
+    (List.rev t.partitions);
 
   List.rev !violations
 

@@ -34,6 +34,10 @@
       ([pending_unstable], [pending_held_frames], [pending_sessions])
       have drained to zero (disable with [~hygiene:false] when checking
       mid-run).
+    - {b no-split-brain}: a view id is installed with one membership at
+      every site (typed event stream; vacuous when tracing is off).
+    - {b primary-partition-progress}: sends from the majority side of a
+      {!note_partition}ed split are delivered before quiescence.
 
     The oracle only records; {!check} is pure and can be called
     repeatedly.  All reporting is deterministic, so two identical
@@ -57,7 +61,24 @@ val create : ?tag_field:string -> World.t -> gid:Addr.group_id -> t
     Idempotent. *)
 val track : t -> Runtime.proc -> unit
 
+(** [retrack t p] refreshes the tracking of an already-tracked [p]
+    after it rejoined the group (its previous copy — view monitor
+    included — died with the eviction): re-registers the monitor and
+    records the join view as an observation.  Tracks [p] afresh if it
+    was never tracked.  Delivery history is kept, so exactly-once
+    checking spans the eviction. *)
+val retrack : t -> Runtime.proc -> unit
+
 val tracked_procs : t -> Runtime.proc list
+
+(** [note_partition t ~from_us ~until_us ~left ~right] vouches for one
+    network split (absolute virtual times): symmetric, covering every
+    site, alone in its window, no concurrent crashes.  {!check}'s
+    primary-partition-progress invariant then requires every send made
+    from the strict-majority side during the window to be delivered by
+    check time.  Windows that do not meet the preconditions must not be
+    noted (the invariant would report false positives). *)
+val note_partition : t -> from_us:int -> until_us:int -> left:int list -> right:int list -> unit
 
 (** [note_send t p ~mode ~tag] records that [p] multicast tag [tag].
     Call it immediately before the [bcast] so the sender's causal

@@ -34,9 +34,26 @@ type frame =
   | Join_req of { group : Addr.group_id; joiner : Addr.proc; credentials : Message.t }
   | Join_refused of { group : Addr.group_id; joiner : Addr.proc; reason : string }
   | Leave_req of { group : Addr.group_id; who : Addr.proc }
-  | Proc_failed of { group : Addr.group_id; who : Addr.proc }
+  | Proc_failed of {
+      group : Addr.group_id;
+      who : Addr.proc;
+      certain : bool;
+          (* true when the death is certain (reported by the victim's
+             own site), false for suspicion-based eviction of an
+             unreachable site.  Certain deaths shrink the quorum
+             denominator of the primary-partition rule. *)
+    }
   | Gb_req of { group : Addr.group_id; uid : uid; body : Message.t }
-  | Wedge of { group : Addr.group_id; view_id : int; attempt : int; coord_site : int }
+  | Wedge of {
+      group : Addr.group_id;
+      view_id : int;
+      attempt : int;
+      coord_site : int;
+      coord_epoch : int;
+          (* the coordinator's transport incarnation; echoed back in
+             the matching Commit so receivers can fence commits from a
+             coordinator that crashed and restarted mid-flush. *)
+    }
   | Wedge_ack of {
       group : Addr.group_id;
       view_id : int;
@@ -62,6 +79,13 @@ type frame =
       group : Addr.group_id;
       view_id : int;
       attempt : int;
+      coord_site : int;
+      coord_epoch : int;
+          (* fencing identity: wedged receivers only accept a commit
+             whose (attempt, coord_site) does not lose the wedge
+             domination order to the flush they acked, and whose epoch
+             matches that wedge — a stale coordinator finalizing after
+             the primary moved on is dropped. *)
       stabilize : stored list;
       ab_finalize : (uid * prio) list;
       ab_drop : uid list;
@@ -82,6 +106,13 @@ type frame =
     }
   | Relay_info of { session : int; responders : Addr.proc list }
   | Site_hello of { site : int; epoch : int }
+  | View_probe of { group : Addr.group_id; view_id : int; from_site : int }
+      (* sent by a wedged minority component to the sites it suspects:
+         "has the group's view moved past [view_id]?"  Only flows on
+         minority paths, so partition-free runs never carry it. *)
+  | View_probe_reply of { group : Addr.group_id; view_id : int }
+      (* [view_id] is the responder's installed view, or -1 when the
+         responder holds no state for the group. *)
 
 (* Size model: a fixed frame header plus the natural encoded widths of
    each component.  Application payloads use their true encoded size. *)
@@ -137,6 +168,8 @@ let size = function
   | Relay { body; _ } -> header + sz_int + 1 + Message.size body + sz_addr + sz_int
   | Relay_info { responders; _ } -> header + sz_int + sz_list (fun _ -> sz_addr) responders
   | Site_hello _ -> header + (2 * sz_int)
+  | View_probe _ -> header + (3 * sz_int)
+  | View_probe_reply _ -> header + (2 * sz_int)
 
 let pp ppf frame =
   let g gid = Addr.group_to_int gid in
@@ -158,10 +191,11 @@ let pp ppf frame =
   | Join_refused { group; joiner; _ } ->
     Format.fprintf ppf "Join_refused(g%d,%a)" (g group) Addr.pp_proc joiner
   | Leave_req { group; who } -> Format.fprintf ppf "Leave_req(g%d,%a)" (g group) Addr.pp_proc who
-  | Proc_failed { group; who } ->
-    Format.fprintf ppf "Proc_failed(g%d,%a)" (g group) Addr.pp_proc who
+  | Proc_failed { group; who; certain } ->
+    Format.fprintf ppf "Proc_failed(g%d,%a%s)" (g group) Addr.pp_proc who
+      (if certain then ",certain" else "")
   | Gb_req { group; uid; _ } -> Format.fprintf ppf "Gb_req(g%d,%a)" (g group) pp_uid uid
-  | Wedge { group; view_id; attempt; coord_site } ->
+  | Wedge { group; view_id; attempt; coord_site; _ } ->
     Format.fprintf ppf "Wedge(g%d,v%d,a%d,c%d)" (g group) view_id attempt coord_site
   | Wedge_ack { group; view_id; attempt; from_site; _ } ->
     Format.fprintf ppf "Wedge_ack(g%d,v%d,a%d,s%d)" (g group) view_id attempt from_site
@@ -180,3 +214,7 @@ let pp ppf frame =
   | Relay_info { session; responders } ->
     Format.fprintf ppf "Relay_info(s%d,%d resp)" session (List.length responders)
   | Site_hello { site; epoch } -> Format.fprintf ppf "Site_hello(s%d,e%d)" site epoch
+  | View_probe { group; view_id; from_site } ->
+    Format.fprintf ppf "View_probe(g%d,v%d,s%d)" (g group) view_id from_site
+  | View_probe_reply { group; view_id } ->
+    Format.fprintf ppf "View_probe_reply(g%d,v%d)" (g group) view_id

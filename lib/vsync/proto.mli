@@ -63,10 +63,26 @@ type frame =
     }
   | Join_refused of { group : Addr.group_id; joiner : Addr.proc; reason : string }
   | Leave_req of { group : Addr.group_id; who : Addr.proc }
-  | Proc_failed of { group : Addr.group_id; who : Addr.proc }
+  | Proc_failed of {
+      group : Addr.group_id;
+      who : Addr.proc;
+      certain : bool;
+          (** [true] when the reporter witnessed the death directly
+              (same-site monitor): certain deaths shrink the
+              primary-partition quorum base; suspicions never do. *)
+    }
   | Gb_req of { group : Addr.group_id; uid : uid; body : Message.t }
   (* --- the view-change / GBCAST flush protocol --- *)
-  | Wedge of { group : Addr.group_id; view_id : int; attempt : int; coord_site : int }
+  | Wedge of {
+      group : Addr.group_id;
+      view_id : int;
+      attempt : int;
+      coord_site : int;
+      coord_epoch : int;
+          (** the coordinator's transport epoch; receivers record it in
+              their wedge and use it to fence commits from a
+              crashed-and-restarted coordinator incarnation. *)
+    }
   | Wedge_ack of {
       group : Addr.group_id;
       view_id : int;
@@ -94,6 +110,11 @@ type frame =
       group : Addr.group_id;
       view_id : int;  (** the view being retired. *)
       attempt : int;
+      coord_site : int;  (** who built this commit... *)
+      coord_epoch : int;
+          (** ...and under which transport epoch: together with
+              [attempt] these let receivers fence commits from stale or
+              restarted coordinators against the wedge they hold. *)
       stabilize : stored list;  (** bodies some destination lacks. *)
       ab_finalize : (uid * prio) list;  (** finalize these, then deliver. *)
       ab_drop : uid list;  (** uncommitted, origin dead: drop everywhere. *)
@@ -116,6 +137,16 @@ type frame =
     }
   | Relay_info of { session : int; responders : Addr.proc list }
   | Site_hello of { site : int; epoch : int }
+  (* --- partition probing (primary-partition membership) --- *)
+  | View_probe of { group : Addr.group_id; view_id : int; from_site : int }
+      (** a minority-wedged coordinator asking a suspected site which
+          view of [group] it holds. *)
+  | View_probe_reply of { group : Addr.group_id; view_id : int }
+      (** the probed site's current view id, or [-1] if it holds no
+          state for the group.  A reply (or unsolicited verdict from a
+          minority coordinator) advertising a view {e newer} than the
+          receiver's tells it the primary partition moved on without
+          it: the receiver discards its dead copy and rejoins fresh. *)
 
 (** [size f] is the frame's wire size in bytes. *)
 val size : frame -> int

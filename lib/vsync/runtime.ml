@@ -16,6 +16,13 @@ module Obs_event = Vsync_obs.Event
 module Metrics = Vsync_obs.Metrics
 module Int_set = Set.Make (Int)
 
+(* What happens to multicasts originated inside a minority-wedged
+   component: [Buffer] queues them like any wedge does (they replay if
+   the component recovers its primacy, and are dropped with the state
+   on eviction); [Reject] fails them immediately with the typed
+   [Partitioned] exception. *)
+type minority_policy = Buffer | Reject
+
 type config = {
   cpu_send_us : int;
   cpu_recv_us : int;
@@ -24,6 +31,7 @@ type config = {
   ab_window : int;
   stability_gc : bool;
   clock_offset_us : int;
+  minority_policy : minority_policy;
   endpoint : Endpoint.config;
 }
 
@@ -36,8 +44,11 @@ let default_config =
     ab_window = 16;
     stability_gc = true;
     clock_offset_us = 0;
+    minority_policy = Buffer;
     endpoint = Endpoint.default_config;
   }
+
+exception Partitioned of Addr.group_id
 
 (* System fields riding on application messages (in addition to the
    $sender/$session/$entry fields managed by Vsync_msg.Message). *)
@@ -99,17 +110,41 @@ and group = {
          (directly or through the client relay), so origination rejects
          its messages until a rejoin clears it *)
   mutable pending_events : pending_event Deque.t; (* oldest first *)
+  mutable gb_outstanding : (uid * Message.t) list;
+      (* GBCASTs this site originated that no installed view has
+         delivered yet (newest first).  The origin keeps responsibility:
+         a [Gb_req] routed to a coordinator that a partition (or its
+         eviction) swallowed would otherwise vanish — the request lives
+         only in that coordinator's queue.  Each install prunes the
+         delivered ones and re-routes the rest at the new view's
+         coordinator; [enqueue_event] dedups re-routed copies by uid. *)
   mutable change : change_state option;
   mutable last_attempt : int;
   mutable last_commit : Proto.frame option;
+  mutable minority : minority_state option;
+      (* Some when a view-change attempt found this component below
+         quorum (the primary-partition rule): the group is wedged with
+         no change in flight, origination is blocked or rejected per
+         [config.minority_policy], and a probe loop watches for the
+         heal — either the primary's newer view (eviction: discard
+         state, rejoin fresh) or the suspicion clearing (false alarm:
+         resume) *)
 }
 
-and wedge_state = { w_attempt : int; w_coord : int }
+and wedge_state = { w_attempt : int; w_coord : int; w_epoch : int }
+
+and minority_state = {
+  m_attempt : int;
+  mutable m_batch : pending_event list;
+      (* the membership batch whose application would have lost quorum;
+         re-played through [start_change] if suspicion clears *)
+  mutable m_rounds : int; (* probe rounds sent so far *)
+}
 
 and pending_event =
   | Ev_join of Addr.proc * Message.t
   | Ev_leave of Addr.proc
-  | Ev_fail of Addr.proc
+  | Ev_fail of Addr.proc * bool (* certain: reported by the victim's own site *)
   | Ev_gb of uid * Message.t
 
 and change_state = {
@@ -216,6 +251,16 @@ let cpu_busy_us t = t.cpu_busy
 let trace_proto t mk =
   let tr = Trace.obs t.tracer in
   if Obs_tracer.wants tr Obs_event.Proto then Obs_tracer.emit tr (mk ())
+
+(* Same, for the partition-membership event class. *)
+let trace_partition t mk =
+  let tr = Trace.obs t.tracer in
+  if Obs_tracer.wants tr Obs_event.Partition then Obs_tracer.emit tr (mk ())
+
+(* Same, for free-form notes (typed error events). *)
+let trace_note t mk =
+  let tr = Trace.obs t.tracer in
+  if Obs_tracer.wants tr Obs_event.Note then Obs_tracer.emit tr (mk ())
 
 (* The site's local wall clock: true simulation time plus this site's
    (unknown to it) offset.  The real-time tool's clock synchronization
@@ -539,7 +584,10 @@ let rec kill_proc p =
           | None -> ()
           | Some g ->
             if View.is_member g.view p.addr then
-              route_event t g (Ev_fail p.addr))
+              (* The site monitor saw the crash directly: this death is
+                 [certain], not a suspicion — it never counts against the
+                 partition quorum. *)
+              route_event t g (Ev_fail (p.addr, true)))
         p.memberships
     end
   end
@@ -847,6 +895,11 @@ and origin_multicast t g mode ~owner body =
     | None -> false
   in
   if sender_failed then init_done owner
+  else if g.minority <> None && t.cfg.minority_policy = Reject then
+    (* Minority component under the reject policy: fail fast (the owner
+       fiber sees [Partitioned] at the API layer; relays just drop)
+       instead of buffering behind a wedge that may never lift. *)
+    init_done owner
   else if g.wedge <> None then
     (* Wedged: the group is between views; queue the operation and rerun
        it once the new view is installed. *)
@@ -1002,6 +1055,7 @@ and origin_gbcast t g body =
   trace_proto t (fun () ->
       Obs_event.Originate
         { site = t.my_site; proto = "gbcast"; group = gi g.gid; usite = uid.usite; useq = uid.useq });
+  g.gb_outstanding <- (uid, body) :: g.gb_outstanding;
   route_event t g (Ev_gb (uid, body))
 
 and on_ab_prio t ~src uid prio =
@@ -1049,20 +1103,60 @@ and on_ab_prio t ~src uid prio =
 
 (* Route a membership/GBCAST event to the acting coordinator. *)
 and route_event t g ev =
-  match acting_coord_site g with
-  | Some c when c = t.my_site ->
-    enqueue_event t g ev;
-    maybe_start_change t g
-  | Some c ->
-    let frame =
-      match ev with
-      | Ev_join (p, cred) -> Proto.Join_req { group = g.gid; joiner = p; credentials = cred }
-      | Ev_leave p -> Proto.Leave_req { group = g.gid; who = p }
-      | Ev_fail p -> Proto.Proc_failed { group = g.gid; who = p }
-      | Ev_gb (uid, body) -> Proto.Gb_req { group = g.gid; uid; body }
-    in
-    send_frame t ~dst:c frame
-  | None -> Trace.emitf t.tracer ~category:"view" "no live coordinator for g%d" (gi g.gid)
+  match g.minority, ev with
+  | Some _, Ev_join (p, _) ->
+    (* A minority component must not grow itself back over quorum with
+       newcomers: refuse immediately so the joiner retries against the
+       primary partition once the split heals. *)
+    let reason = "partitioned: minority component" in
+    if p.Addr.site = t.my_site then (
+      match Hashtbl.find_opt t.join_waiters (gi g.gid, p.Addr.idx) with
+      | Some iv ->
+        Hashtbl.remove t.join_waiters (gi g.gid, p.Addr.idx);
+        Ivar.fill iv (Error reason)
+      | None -> ())
+    else send_frame t ~dst:p.Addr.site (Proto.Join_refused { group = g.gid; joiner = p; reason })
+  | _ -> (
+    match acting_coord_site g with
+    | Some c when c = t.my_site ->
+      enqueue_event t g ev;
+      maybe_start_change t g
+    | Some c ->
+      let frame =
+        match ev with
+        | Ev_join (p, cred) -> Proto.Join_req { group = g.gid; joiner = p; credentials = cred }
+        | Ev_leave p -> Proto.Leave_req { group = g.gid; who = p }
+        | Ev_fail (p, certain) -> Proto.Proc_failed { group = g.gid; who = p; certain }
+        | Ev_gb (uid, body) -> Proto.Gb_req { group = g.gid; uid; body }
+      in
+      send_frame t ~dst:c frame
+    | None ->
+      (* Every member site is suspected: there is no coordinator to run
+         the change.  Dropping the event here silently stalled the
+         group; instead park it and re-probe — either a suspicion
+         clears (and routing finds the new coordinator) or the copy is
+         eventually torn down. *)
+      Trace.emitf t.tracer ~category:"view" "no live coordinator for g%d" (gi g.gid);
+      trace_note t (fun () ->
+          Obs_event.Error_event
+            {
+              site = t.my_site;
+              what = "no-live-coordinator";
+              detail = Printf.sprintf "g%d" (gi g.gid);
+            });
+      enqueue_event t g ev;
+      let gid_int = gi g.gid in
+      ignore
+        (Engine.schedule t.eng ~delay:500_000 (fun () ->
+             if t.running then
+               match Hashtbl.find_opt t.groups gid_int with
+               | Some g' when g' == g ->
+                 if not (Deque.is_empty g.pending_events) then begin
+                   let evs = Deque.to_list g.pending_events in
+                   g.pending_events <- Deque.empty;
+                   List.iter (fun ev -> route_event t g ev) evs
+                 end
+               | Some _ | None -> ())))
 
 and enqueue_event t g ev =
   let in_flight pred =
@@ -1071,13 +1165,24 @@ and enqueue_event t g ev =
   in
   let dup =
     match ev with
-    | Ev_fail p | Ev_leave p ->
+    | Ev_fail (p, certain) ->
+      (* A certain death upgrades a queued suspicion of the same process
+         (certainty matters to the quorum rule), so only an equally- or
+         more-certain record counts as a duplicate. *)
       in_flight (function
-        | Ev_fail q | Ev_leave q -> Addr.equal_proc p q
+        | Ev_fail (q, c') -> Addr.equal_proc p q && (c' || not certain)
+        | Ev_leave q -> Addr.equal_proc p q
+        | Ev_join _ | Ev_gb _ -> false)
+    | Ev_leave p ->
+      in_flight (function
+        | Ev_fail (q, _) | Ev_leave q -> Addr.equal_proc p q
         | Ev_join _ | Ev_gb _ -> false)
     | Ev_join (p, _) ->
       in_flight (function Ev_join (q, _) -> Addr.equal_proc p q | _ -> false)
-    | Ev_gb _ -> false
+    | Ev_gb (u, _) ->
+      (* Re-routed copies of an undelivered GBCAST (see
+         [gb_outstanding]) collapse onto the queued original. *)
+      in_flight (function Ev_gb (u2, _) -> u2 = u | _ -> false)
   in
   ignore t;
   if not dup then g.pending_events <- Deque.push_back g.pending_events ev
@@ -1085,30 +1190,365 @@ and enqueue_event t g ev =
 (* --- the view-change / GBCAST flush --- *)
 
 and maybe_start_change t g =
-  if g.change = None && (not (Deque.is_empty g.pending_events)) && i_am_coord t g then
-    start_change t g
+  if
+    g.change = None
+    && g.minority = None
+    && (not (Deque.is_empty g.pending_events))
+    && i_am_coord t g
+  then start_change t g
 
 and start_change t g =
-  let attempt = g.last_attempt + 1 in
-  g.last_attempt <- attempt;
   let batch = Deque.to_list g.pending_events in
   g.pending_events <- Deque.empty;
+  (* Collapse duplicate failure records of one process, keeping the
+     strongest certainty: a local kill may race an earlier suspicion of
+     the same process, and certainty matters to the quorum rule. *)
+  let batch =
+    List.rev
+      (List.fold_left
+         (fun acc ev ->
+           match ev with
+           | Ev_fail (p, c) ->
+             let merged = ref false in
+             let acc =
+               List.map
+                 (function
+                   | Ev_fail (q, c') when Addr.equal_proc p q ->
+                     merged := true;
+                     Ev_fail (q, c' || c)
+                   | e -> e)
+                 acc
+             in
+             if !merged then acc else ev :: acc
+           | e -> e :: acc)
+         [] batch)
+  in
+  (* A suspicion of a member hosted HERE that is demonstrably alive is
+     stale by construction (a heal delivered someone's partition-era
+     report after the fact): processing it would evict a live local
+     member — or, worse, make this coordinator count itself dead and
+     wedge a healthy component.  Certain reports are never dropped. *)
+  let batch =
+    List.filter
+      (function
+        | Ev_fail (p, false) when p.Addr.site = t.my_site -> find_proc t p = None
+        | _ -> true)
+      batch
+  in
+  (* Primary-partition rule: the component this coordinator can still
+     reach may run the change (and keep delivering in the new view) only
+     if it retains a quorum of the current view.  Deaths witnessed
+     directly ([certain]) and voluntary leaves shrink the quorum base;
+     mere suspicions do not — suspicions are exactly what a partition
+     forges on both sides at once. *)
+  let certain =
+    List.filter_map
+      (function Ev_fail (p, true) | Ev_leave p -> Some p | _ -> None)
+      batch
+  in
+  let gone =
+    List.filter_map (function Ev_fail (p, _) | Ev_leave p -> Some p | _ -> None) batch
+  in
+  (* The surviving component is the members this batch keeps MINUS any
+     member whose site we currently suspect.  The second clause matters
+     when eviction reports drip in one at a time (a report routed to an
+     unreachable coordinator is lost): without it an isolated site could
+     evict the far side one member per flush, each step retaining a
+     "majority" of the freshly shrunk view, and walk itself into a
+     unilateral view — split-brain by induction. *)
+  let survivors =
+    List.filter
+      (fun (m : Addr.proc) ->
+        (not (List.exists (Addr.equal_proc m) gone))
+        && (m.Addr.site = t.my_site || not (Int_set.mem m.Addr.site g.suspects)))
+      g.view.View.members
+  in
+  if not (View.quorum_met ~prev:g.view ~survivors ~certain) then
+    enter_minority t g ~batch ~survivors ~certain
+  else begin
+    let attempt = g.last_attempt + 1 in
+    g.last_attempt <- attempt;
+    let live_sites = List.filter (fun s -> not (Int_set.mem s g.suspects)) (View.sites g.view) in
+    let sites = List.sort_uniq compare (t.my_site :: live_sites) in
+    g.change <-
+      Some
+        { c_attempt = attempt; c_batch = batch; c_sites = sites; c_acks = []; c_fetch_wait = [];
+          c_fetched = []; c_committed = false };
+    Trace.emitf t.tracer ~category:"view" "start change g%d v%d a%d (%d events)" (gi g.gid)
+      g.view.View.view_id attempt (List.length batch);
+    trace_proto t (fun () ->
+        Obs_event.Flush
+          { site = t.my_site; group = gi g.gid; view_id = g.view.View.view_id; attempt });
+    List.iter
+      (fun dst ->
+        send_frame t ~dst
+          (Proto.Wedge
+             { group = g.gid; view_id = g.view.View.view_id; attempt; coord_site = t.my_site;
+               coord_epoch = Endpoint.epoch (endpoint t) }))
+      sites;
+    wedge_retry t g ~attempt
+  end
+
+(* A flush can starve on participants that could not ack the original
+   Wedge: a site still catching up on an OLDER view (it held a
+   higher-precedence wedge there and fenced our commit predecessor)
+   ignores a Wedge for a view ahead of its own, then adopts that view
+   via a rebroadcast commit — at which point it would happily ack, but
+   the Wedge is long gone.  Re-send the Wedge to the participants whose
+   acks are still missing, until the change completes, aborts, or moves
+   to a new attempt.  Re-wedging an already-wedged site is idempotent
+   (same attempt/coordinator falls through to a duplicate ack, which
+   [on_wedge_ack] drops). *)
+and wedge_retry t g ~attempt =
+  let gid_int = gi g.gid in
+  ignore
+    (Engine.schedule t.eng ~delay:1_000_000 (fun () ->
+         if t.running then
+           match Hashtbl.find_opt t.groups gid_int with
+           | Some g' when g' == g -> (
+             match g.change with
+             | Some c when c.c_attempt = attempt && not c.c_committed ->
+               let missing =
+                 List.filter
+                   (fun s -> s <> t.my_site && not (List.mem_assoc s c.c_acks))
+                   c.c_sites
+               in
+               if missing <> [] then begin
+                 List.iter
+                   (fun dst ->
+                     send_frame t ~dst
+                       (Proto.Wedge
+                          { group = g.gid; view_id = g.view.View.view_id; attempt;
+                            coord_site = t.my_site;
+                            coord_epoch = Endpoint.epoch (endpoint t) }))
+                   missing;
+                 wedge_retry t g ~attempt
+               end
+             | Some _ | None -> ())
+           | Some _ | None -> ()))
+
+(* --- the minority side of a partition ---
+
+   The coordinator of a component that lost its quorum must not install
+   views: doing so on both sides of a split is exactly split-brain.
+   Instead it wedges its whole component (blocking origination
+   everywhere in it, via the ordinary wedge machinery) and probes the
+   sites it suspects.  Three ways out: a probe reply shows a suspected
+   site is reachable at our view (false alarm / heal before eviction) —
+   fold it back in and rerun the change; a reply shows the primary
+   partition has moved to a newer view without us — discard this dead
+   copy so local members can rejoin fresh through state transfer; or
+   the probes run dry for long enough that the group is assumed
+   dissolved. *)
+
+and enter_minority t g ~batch ~survivors ~certain =
+  let attempt = g.last_attempt + 1 in
+  g.last_attempt <- attempt;
+  g.change <- None;
+  let m = { m_attempt = attempt; m_batch = batch; m_rounds = 0 } in
+  g.minority <- Some m;
+  let base =
+    List.filter
+      (fun mem -> not (List.exists (Addr.equal_proc mem) certain))
+      g.view.View.members
+  in
+  let needed = (List.length base / 2) + 1 in
+  Trace.emitf t.tracer ~category:"view" "minority wedge g%d v%d: %d of %d survive, need %d"
+    (gi g.gid) g.view.View.view_id (List.length survivors) (List.length base) needed;
+  trace_partition t (fun () ->
+      Obs_event.Partition_wedge
+        {
+          site = t.my_site;
+          group = gi g.gid;
+          view_id = g.view.View.view_id;
+          survivors = List.length survivors;
+          needed;
+        });
+  (* Wedge every reachable component site (self included) so that
+     origination blocks component-wide, not just here. *)
   let live_sites = List.filter (fun s -> not (Int_set.mem s g.suspects)) (View.sites g.view) in
   let sites = List.sort_uniq compare (t.my_site :: live_sites) in
-  g.change <-
-    Some
-      { c_attempt = attempt; c_batch = batch; c_sites = sites; c_acks = []; c_fetch_wait = [];
-        c_fetched = []; c_committed = false };
-  Trace.emitf t.tracer ~category:"view" "start change g%d v%d a%d (%d events)" (gi g.gid)
-    g.view.View.view_id attempt (List.length batch);
-  trace_proto t (fun () ->
-      Obs_event.Flush
-        { site = t.my_site; group = gi g.gid; view_id = g.view.View.view_id; attempt });
   List.iter
     (fun dst ->
       send_frame t ~dst
-        (Proto.Wedge { group = g.gid; view_id = g.view.View.view_id; attempt; coord_site = t.my_site }))
-    sites
+        (Proto.Wedge
+           { group = g.gid; view_id = g.view.View.view_id; attempt; coord_site = t.my_site;
+             coord_epoch = Endpoint.epoch (endpoint t) }))
+    sites;
+  schedule_minority_probe t g m
+
+and schedule_minority_probe t g m =
+  let gid_int = gi g.gid in
+  ignore
+    (Engine.schedule t.eng ~delay:500_000 (fun () ->
+         if t.running then
+           match Hashtbl.find_opt t.groups gid_int with
+           | Some g' when g' == g -> (
+             match g.minority with
+             | Some m' when m' == m ->
+               m.m_rounds <- m.m_rounds + 1;
+               if m.m_rounds > 40 then
+                 (* Nothing answered for ~20s of probing: the rest of the
+                    group is gone (or we are irrecoverably cut off).
+                    Treat this copy as dissolved rather than wedging
+                    forever. *)
+                 partition_teardown t g ~new_view_id:(-1)
+               else begin
+                 trace_partition t (fun () ->
+                     Obs_event.Partition_probe
+                       { site = t.my_site; group = gid_int; view_id = g.view.View.view_id });
+                 (* Probe the suspects AND the sites of members this
+                    batch would have evicted: a stale suspicion can put
+                    a member in the batch without its site being in
+                    [suspects], and probing nobody would let the copy
+                    run dry against a perfectly healthy peer. *)
+                 let targets =
+                   List.fold_left
+                     (fun acc ev ->
+                       match ev with
+                       | Ev_fail (p, false) when p.Addr.site <> t.my_site ->
+                         Int_set.add p.Addr.site acc
+                       | _ -> acc)
+                     g.suspects m.m_batch
+                 in
+                 Int_set.iter
+                   (fun s ->
+                     send_frame t ~dst:s
+                       (Proto.View_probe
+                          { group = g.gid; view_id = g.view.View.view_id; from_site = t.my_site }))
+                   targets;
+                 schedule_minority_probe t g m
+               end
+             | Some _ | None -> ())
+           | Some _ | None -> ()))
+
+(* A probe reply showed [site] is reachable and still at our view:
+   clear the suspicion, drop its members' suspicion-based failure
+   records, and rerun the change — if quorum now holds, the ordinary
+   flush commits (its commit unwedges the whole component, even with an
+   empty event batch); otherwise we re-enter the minority state and
+   keep probing. *)
+and minority_recover t g m ~site =
+  g.suspects <- Int_set.remove site g.suspects;
+  let drop_suspicion_of ev =
+    match ev with Ev_fail (p, false) -> p.Addr.site <> site | _ -> true
+  in
+  m.m_batch <- List.filter drop_suspicion_of m.m_batch;
+  (* Stale suspicions of the recovered site may also sit in the pending
+     queue — e.g. a copy routed here by a peer after it healed — and
+     would sail into the next change untouched by the batch filter. *)
+  g.pending_events <- Deque.of_list (List.filter drop_suspicion_of (Deque.to_list g.pending_events));
+  g.minority <- None;
+  trace_partition t (fun () ->
+      Obs_event.Partition_exit
+        { site = t.my_site; group = gi g.gid; view_id = g.view.View.view_id });
+  Trace.emitf t.tracer ~category:"view" "minority recover g%d: site %d reachable" (gi g.gid) site;
+  g.pending_events <- Deque.prepend m.m_batch g.pending_events;
+  (* Clearing the suspicion may hand coordinatorship back to the
+     recovered site: route the parked events instead of running the
+     change from here. *)
+  if i_am_coord t g then start_change t g
+  else begin
+    let evs = Deque.to_list g.pending_events in
+    g.pending_events <- Deque.empty;
+    List.iter (fun ev -> route_event t g ev) evs
+  end
+
+(* This site's copy of the group is dead: the primary partition
+   installed view [new_view_id] without us (or probing ran dry,
+   [new_view_id = -1]).  Discard all group state — unstable minority
+   deliveries included — so local members can rejoin as fresh joiners
+   and pull current state through the state-transfer toolkit.  Contacts
+   and the name directory survive on purpose: they are how the rejoin
+   finds the primary. *)
+and partition_teardown t g ~new_view_id =
+  let gid_int = gi g.gid in
+  Trace.emitf t.tracer ~category:"view" "partition evict g%d v%d (primary at v%d)" gid_int
+    g.view.View.view_id new_view_id;
+  trace_partition t (fun () ->
+      Obs_event.Partition_evict
+        { site = t.my_site; group = gid_int; view_id = g.view.View.view_id; new_view_id });
+  (* Let fellow component sites (which are wedged but hold no minority
+     record) learn the verdict instead of wedging forever: a probe
+     reply advertising a view beyond theirs makes them discard their
+     copy too.  On a probing give-up there is no known primary view, so
+     advertise the next id — the copy is dead either way. *)
+  (match g.minority with
+  | Some _ ->
+    let verdict = if new_view_id >= 0 then new_view_id else g.view.View.view_id + 1 in
+    List.iter
+      (fun s ->
+        if s <> t.my_site && not (Int_set.mem s g.suspects) then
+          send_frame t ~dst:s (Proto.View_probe_reply { group = g.gid; view_id = verdict }))
+      (View.sites g.view)
+  | None -> ());
+  g.minority <- None;
+  (* Release every waiter parked on this copy. *)
+  List.iter (fun (owner, _, _) -> init_done owner) (List.rev g.blocked_sends);
+  g.blocked_sends <- [];
+  Queue.iter (fun (owner, _) -> init_done owner) g.ab_queue;
+  Queue.clear g.ab_queue;
+  let settled =
+    Hashtbl.fold
+      (fun uid u acc -> if gi u.u_group = gid_int then (uid, u) :: acc else acc)
+      t.unstables []
+  in
+  List.iter
+    (fun (uid, (u : unstable)) ->
+      Hashtbl.remove t.unstables uid;
+      match u.u_owner with
+      | Some p when p.palive ->
+        p.outstanding <- Uid_set.remove uid p.outstanding;
+        maybe_wake_flushers p
+      | Some _ | None -> ())
+    settled;
+  let stale_collects =
+    Hashtbl.fold
+      (fun uid col acc -> if gi col.ac_group = gid_int then uid :: acc else acc)
+      t.ab_collects []
+  in
+  List.iter (fun u -> Hashtbl.remove t.ab_collects u) stale_collects;
+  Hashtbl.remove t.held gid_int;
+  Hashtbl.iter
+    (fun (gid', idx) iv ->
+      if gid' = gid_int then begin
+        Hashtbl.remove t.join_waiters (gid', idx);
+        Ivar.fill iv (Error "partitioned: evicted from primary partition")
+      end)
+    (Hashtbl.copy t.join_waiters);
+  Hashtbl.iter
+    (fun (gid', idx) iv ->
+      if gid' = gid_int then begin
+        Hashtbl.remove t.leave_waiters (gid', idx);
+        Ivar.fill iv ()
+      end)
+    (Hashtbl.copy t.leave_waiters);
+  Hashtbl.iter
+    (fun _ pr -> pr.memberships <- List.filter (fun g' -> g' <> gid_int) pr.memberships)
+    t.procs;
+  List.iter (fun s -> mon_release t s) (View.sites g.view);
+  Hashtbl.remove t.groups gid_int;
+  (* The local copy is gone, so this site must stop advertising itself
+     as a contact for the group.  During the partition the failure
+     detector purged the (unreachable) primary sites from the hints, so
+     what's left typically points right back here — a rejoin that
+     resolved the name locally would send its Join_req to this site and
+     be refused.  Keep any surviving primary-side hints; if none
+     remain, drop the entry entirely so the next lookup broadcasts a
+     fresh directory query. *)
+  (match Hashtbl.find_opt t.contacts gid_int with
+  | Some sites -> (
+    match List.filter (( <> ) t.my_site) sites with
+    | [] -> Hashtbl.remove t.contacts gid_int
+    | remaining -> Hashtbl.replace t.contacts gid_int remaining)
+  | None -> ());
+  Hashtbl.iter
+    (fun name (gid', sites) ->
+      if gi gid' = gid_int then
+        match List.filter (( <> ) t.my_site) sites with
+        | [] -> Hashtbl.remove t.dir name
+        | remaining -> Hashtbl.replace t.dir name (gid', remaining))
+    (Hashtbl.copy t.dir)
 
 and restart_change t g =
   (* A failure interrupted the flush: requeue the unprocessed batch and
@@ -1119,24 +1559,36 @@ and restart_change t g =
   g.change <- None;
   maybe_start_change t g
 
-and on_wedge t ~src g ~view_id ~attempt ~coord_site =
-  if view_id < g.view.View.view_id then
-    (* We already committed past this view: tell the (new) coordinator. *)
-    send_frame t ~dst:src
-      (Proto.Wedge_ack
-         {
-           group = g.gid;
-           view_id;
-           attempt;
-           from_site = t.my_site;
-           cb_known = [];
-           ab_report = [];
-           ab_counter = 0;
-           already_committed =
-             (match g.last_commit with
-             | Some (Proto.Commit c as frame) when c.view_id = view_id -> Some frame
-             | Some _ | None -> None);
-         })
+and on_wedge t ~src g ~view_id ~attempt ~coord_site ~coord_epoch =
+  if view_id < g.view.View.view_id then (
+    (* We already committed past this view.  Two very different cases
+       hide behind that comparison.  If our commit is for this very
+       view change (a prior coordinator died after partially fanning it
+       out), hand the frame to the new coordinator so it re-broadcasts
+       instead of re-deciding.  Otherwise the lineages have diverged —
+       e.g. a wedged minority coordinator revived after the primary
+       moved several views on — and answering with an empty Wedge_ack
+       would let the stale coordinator count us towards ITS quorum and
+       commit a rival view under a recycled view id (split brain).
+       Refuse with a probe reply: seeing the newer id makes the stale
+       copy tear itself down and rejoin fresh. *)
+    match g.last_commit with
+    | Some (Proto.Commit c as frame) when c.view_id = view_id ->
+      send_frame t ~dst:src
+        (Proto.Wedge_ack
+           {
+             group = g.gid;
+             view_id;
+             attempt;
+             from_site = t.my_site;
+             cb_known = [];
+             ab_report = [];
+             ab_counter = 0;
+             already_committed = Some frame;
+           })
+    | Some _ | None ->
+      send_frame t ~dst:src
+        (Proto.View_probe_reply { group = g.gid; view_id = g.view.View.view_id }))
   else if view_id = g.view.View.view_id then begin
     let dominated =
       match g.wedge with
@@ -1144,16 +1596,29 @@ and on_wedge t ~src g ~view_id ~attempt ~coord_site =
       | Some w -> attempt > w.w_attempt || (attempt = w.w_attempt && coord_site <= w.w_coord)
     in
     if dominated then begin
-      g.wedge <- Some { w_attempt = attempt; w_coord = coord_site };
+      g.wedge <- Some { w_attempt = attempt; w_coord = coord_site; w_epoch = coord_epoch };
       g.last_attempt <- max g.last_attempt attempt;
       trace_proto t (fun () ->
           Obs_event.Wedge { site = t.my_site; group = gi g.gid; view_id });
-      (* If we were coordinating a lower-precedence change, abandon it. *)
+      (* If we were coordinating a lower-precedence change, abandon it.
+         The batch goes back in the queue, and a delayed re-propose
+         covers the case where the winning wedge never turns into a
+         commit — e.g. it was a minority component's wedge and its
+         owner recovered (abandoning it) rather than committing.
+         Without the retry both flushes die and the group stays wedged
+         with undrained state until the end of time. *)
       (match g.change with
       | Some c when coord_site <> t.my_site || c.c_attempt <> attempt ->
         if coord_site <> t.my_site then begin
           if not c.c_committed then g.pending_events <- Deque.prepend c.c_batch g.pending_events;
-          g.change <- None
+          g.change <- None;
+          let gid_int = gi g.gid in
+          ignore
+            (Engine.schedule t.eng ~delay:500_000 (fun () ->
+                 if t.running then
+                   match Hashtbl.find_opt t.groups gid_int with
+                   | Some g' when g' == g -> maybe_start_change t g
+                   | Some _ | None -> ()))
         end
       | Some _ | None -> ());
       let cb_known = Uid_map.fold (fun uid s acc -> match s with Proto.Scb _ -> uid :: acc | Proto.Sab _ -> acc) g.store [] in
@@ -1185,13 +1650,40 @@ and on_wedge t ~src g ~view_id ~attempt ~coord_site =
              already_committed = None;
            })
     end
+    else
+      (* A competing wedge that loses to the one we hold.  Refusing
+         silently starves the losing coordinator: it keeps waiting for
+         our ack while the winner proceeds, and if the winner then
+         dies or abandons (a recovered minority wedge), neither flush
+         ever finishes.  Echo the winning wedge so the loser adopts
+         it, abandons its change, and re-proposes later if the flush
+         stalls. *)
+      match g.wedge with
+      | Some w when src <> t.my_site ->
+        send_frame t ~dst:src
+          (Proto.Wedge
+             {
+               group = g.gid;
+               view_id;
+               attempt = w.w_attempt;
+               coord_site = w.w_coord;
+               coord_epoch = w.w_epoch;
+             })
+      | Some _ | None -> ()
   end
-  (* view_id > current: impossible — views only advance through commits
-     we process ourselves. *)
+  (* view_id > current: the sender installed views we never saw — we
+     are on the dead side of a partition; our own probe/commit path
+     will discover and handle the eviction. *)
 
 and on_wedge_ack t g ~from_site ~attempt ack =
   match g.change with
-  | Some c when c.c_attempt = attempt ->
+  | Some c when c.c_attempt = attempt && List.mem from_site c.c_sites ->
+    (* The [c_sites] guard matters: a site excluded from the flush as
+       suspected can recover in mid-change and ack the broadcast wedge
+       anyway.  The quorum test counts acks, so an out-of-set ack would
+       let the flush proceed while a participant is still missing
+       (resolve_acks then has no report to consult for it).  The
+       recovered site is evicted by this view and rejoins. *)
     if not (List.mem_assoc from_site c.c_acks) then begin
       c.c_acks <- (from_site, ack) :: c.c_acks;
       if List.length c.c_acks = List.length c.c_sites then proceed_with_acks t g c
@@ -1284,6 +1776,41 @@ and finish_change t g c =
     | Some (vp, f) when proc_alive vp -> f joiner cred
     | Some _ | None -> true
   in
+  (* A suspicion of a member whose site ACKED this very flush is stale
+     by contradiction — the site is answering us right now.  (Typical
+     source: a partition-era report delivered after the heal.)  Dropping
+     it keeps a provably-present member; if the reporter still cannot
+     reach the site it will re-report and a later flush can evict.
+     Certain deaths are never second-guessed. *)
+  let batch =
+    List.filter
+      (function
+        | Ev_fail (p, false) -> not (List.mem_assoc p.Addr.site c.c_acks)
+        | _ -> true)
+      c.c_batch
+  in
+  (* Members this commit removes, computed over the whole batch up
+     front so GBCAST filtering below can consult it regardless of event
+     order within the batch. *)
+  let removed =
+    List.filter_map
+      (function
+        | (Ev_leave p | Ev_fail (p, _)) when View.is_member g.view p -> Some p
+        | _ -> None)
+      batch
+  in
+  (* A queued user GBCAST whose originating site no longer hosts a
+     surviving member must not ride this flush: delivering it would
+     hand the group a message from a sender AFTER the view change that
+     evicted it.  (The grain is per-site because a uid names only the
+     originating site; with one group member per site — the only
+     configuration the simulator drives — this is exact.) *)
+  let origin_survives (uid : Types.uid) =
+    List.exists
+      (fun (m : Addr.proc) ->
+        m.Addr.site = uid.Types.usite && not (List.exists (Addr.equal_proc m) removed))
+      g.view.View.members
+  in
   let events, gb_bodies, refused =
     List.fold_left
       (fun (evs, gbs, refs) ev ->
@@ -1294,11 +1821,12 @@ and finish_change t g c =
           else (evs, gbs, refs @ [ p ])
         | Ev_leave p ->
           if View.is_member g.view p then (evs @ [ View.Member_left p ], gbs, refs) else (evs, gbs, refs)
-        | Ev_fail p ->
+        | Ev_fail (p, _) ->
           if View.is_member g.view p then (evs @ [ View.Member_failed p ], gbs, refs)
           else (evs, gbs, refs)
-        | Ev_gb (uid, body) -> (evs, gbs @ [ (uid, body) ], refs))
-      ([], [], []) c.c_batch
+        | Ev_gb (uid, body) ->
+          if origin_survives uid then (evs, gbs @ [ (uid, body) ], refs) else (evs, gbs, refs))
+      ([], [], []) batch
   in
   List.iter
     (fun (p : Addr.proc) ->
@@ -1353,12 +1881,21 @@ and build_commit t g c events gb_bodies =
         | Some (Proto.Scb _) | None -> None)
       r.r_ab_missing
   in
-  let new_view = View.apply g.view events in
+  (* The successor id derives from the committing attempt.  Attempt and
+     view advance in lockstep when changes are uncontested, so this is
+     the familiar [view_id + 1]; under contention a takeover runs at a
+     strictly higher attempt, so a stale coordinator that still manages
+     to commit (it cannot be fenced behind a partition) produces a view
+     id its successor never reuses — stale-side state is then
+     detectably old instead of colliding with the primary's. *)
+  let new_view = View.apply ~id:(c.c_attempt + 1) g.view events in
   Proto.Commit
     {
       group = g.gid;
       view_id = g.view.View.view_id;
       attempt = c.c_attempt;
+      coord_site = t.my_site;
+      coord_epoch = Endpoint.epoch (endpoint t);
       stabilize = stab_cb @ stab_ab;
       ab_finalize = r.r_ab_finalize;
       ab_drop = r.r_ab_drop;
@@ -1368,9 +1905,11 @@ and build_commit t g c events gb_bodies =
       gb_bodies;
     }
 
-and on_commit t g_opt frame =
+and on_commit t ~src g_opt frame =
   match frame with
-  | Proto.Commit { group; view_id; stabilize; ab_finalize; ab_drop; events; new_view; gname; gb_bodies; _ } -> (
+  | Proto.Commit
+      { group; view_id; attempt; coord_site; coord_epoch; stabilize; ab_finalize; ab_drop;
+        events; new_view; gname; gb_bodies; _ } -> (
     let install g_old =
       (* 1. Fill gaps. *)
       (match g_old with
@@ -1440,6 +1979,7 @@ and on_commit t g_opt frame =
       g.total <- Total.create ~site:t.my_site ();
       g.store <- Uid_map.empty;
       g.wedge <- None;
+      g.minority <- None;
       g.last_commit <- Some frame;
       let new_sites = View.sites new_view in
       let new_site_set = Int_set.of_list new_sites in
@@ -1450,6 +1990,11 @@ and on_commit t g_opt frame =
               group = gi group;
               view_id = new_view.View.view_id;
               nsites = List.length new_sites;
+              mhash =
+                Hashtbl.hash
+                  (List.map
+                     (fun (m : Addr.proc) -> (m.Addr.site, m.Addr.idx))
+                     new_view.View.members);
             });
       g.suspects <- Int_set.inter g.suspects new_site_set;
       (* Failure is sticky until a rejoin: record processes this change
@@ -1522,6 +2067,12 @@ and on_commit t g_opt frame =
               Obs_event.Stabilize { site = t.my_site; usite = uid.usite; useq = uid.useq });
           deliver_to_members t g body ~members:(local_members t g))
         gb_bodies;
+      (* GBCASTs of ours this commit delivered are done; the rest are
+         re-routed below once the new view's coordinator is known. *)
+      g.gb_outstanding <-
+        List.filter
+          (fun (u, _) -> not (List.exists (fun (u', _) -> u' = u) gb_bodies))
+          g.gb_outstanding;
       (* 4b. Open reply collections waiting on a removed member will
          never hear from it: discount it now. *)
       List.iter
@@ -1594,6 +2145,23 @@ and on_commit t g_opt frame =
         Hashtbl.remove t.contacts (gi group)
       end
       else begin
+        (* A suspicion that survived the change means the matching
+           eviction report went missing — e.g. it was routed to a
+           coordinator that a partition (or its death) swallowed.
+           Re-propose it against the new view, so failure reports
+           converge to an eviction no matter how many are lost in
+           flight; duplicates collapse in the coordinator's queue. *)
+        List.iter
+          (fun (m : Addr.proc) ->
+            if m.Addr.site <> t.my_site && Int_set.mem m.Addr.site g.suspects then
+              route_event t g (Ev_fail (m, false)))
+          new_view.View.members;
+        (* Same convergence story for our undelivered GBCASTs: the
+           request may be parked at a coordinator this change evicted
+           (or a partition swallowed), so re-issue it against the new
+           view until some commit carries it.  Duplicates collapse by
+           uid in the coordinator's queue. *)
+        List.iter (fun (uid, body) -> route_event t g (Ev_gb (uid, body))) (List.rev g.gb_outstanding);
         if i_am_coord t g then maybe_start_change t g
         else if not (Deque.is_empty g.pending_events) then begin
           (* Leadership moved with the new view: hand queued events to
@@ -1613,7 +2181,30 @@ and on_commit t g_opt frame =
       end
     in
     match g_opt with
-    | Some g when view_id = g.view.View.view_id -> install (Some g)
+    | Some g when view_id = g.view.View.view_id ->
+      (* Fence the commit against the wedge actually in force here.  A
+         coordinator the flush has moved past (its wedge superseded by
+         a higher-precedence one) must not finalize: accepting its
+         commit while the current coordinator is still collecting acks
+         forks the view history.  Acceptable commits: from the exact
+         coordinator we are wedged under — same attempt, same site,
+         and the same endpoint epoch, so a crashed-and-restarted
+         coordinator's ghost commit is rejected; from the wedge-holder
+         site itself rebroadcasting a dead predecessor's commit (the
+         already-committed recovery path); or carrying an attempt that
+         dominates our wedge outright. *)
+      let accept =
+        match g.wedge with
+        | None -> true
+        | Some w ->
+          if attempt = w.w_attempt && coord_site = w.w_coord then coord_epoch = w.w_epoch
+          else if src = w.w_coord then true
+          else attempt > w.w_attempt || (attempt = w.w_attempt && coord_site < w.w_coord)
+      in
+      if accept then install (Some g)
+      else
+        Trace.emitf t.tracer ~category:"view" "fenced stale commit g%d v%d a%d from s%d"
+          (gi group) view_id attempt src
     | Some _ -> () (* stale or repeated commit *)
     | None ->
       (* Joiner site (or rebroadcast): only meaningful if we host one of
@@ -1643,6 +2234,8 @@ and make_group t ~gid ~gname ~view =
     change = None;
     last_attempt = 0;
     last_commit = None;
+    minority = None;
+    gb_outstanding = [];
   }
 
 and replay_held t gid_int =
@@ -1658,7 +2251,7 @@ and hold_frame t ~src gid_int frame =
 
 (* --- failure handling --- *)
 
-and on_site_down t s =
+and on_site_down ?(certain = false) t s =
   Trace.emitf t.tracer ~category:"fail" "site %d suspected down (observed at s%d)" s t.my_site;
   List.iter (fun w -> w (`Down s)) t.site_watchers;
   (* Purge the dead site from name-resolution hints FIRST: failing the
@@ -1683,11 +2276,16 @@ and on_site_down t s =
   let groups = Hashtbl.fold (fun _ g acc -> g :: acc) t.groups [] in
   List.iter
     (fun g ->
-      if List.mem s (View.sites g.view) && not (Int_set.mem s g.suspects) then begin
+      (* A certain death (incarnation change) is always re-reported,
+         even for a site already under suspicion: the earlier
+         suspicion-based report may have been lost in flight (routed to
+         a coordinator across a partition), and certainty additionally
+         shrinks the primary-partition quorum base. *)
+      if List.mem s (View.sites g.view) && (certain || not (Int_set.mem s g.suspects)) then begin
         g.suspects <- Int_set.add s g.suspects;
         let victims = View.members_at_site g.view s in
         if i_am_coord t g then begin
-          List.iter (fun v -> enqueue_event t g (Ev_fail v)) victims;
+          List.iter (fun v -> enqueue_event t g (Ev_fail (v, certain))) victims;
           (* A change in flight that involved the dead site must restart. *)
           match g.change with
           | Some c when List.mem s c.c_sites -> restart_change t g
@@ -1697,11 +2295,11 @@ and on_site_down t s =
         else begin
           (* Tell the acting coordinator (it may not share our failure
              detector's view yet). *)
-          List.iter (fun v -> route_event t g (Ev_fail v)) victims;
+          List.iter (fun v -> route_event t g (Ev_fail (v, certain))) victims;
           (* If the dead site was the coordinator, we may have just
              become it. *)
           if i_am_coord t g then begin
-            List.iter (fun v -> enqueue_event t g (Ev_fail v)) victims;
+            List.iter (fun v -> enqueue_event t g (Ev_fail (v, certain))) victims;
             maybe_start_change t g
           end
         end
@@ -1711,6 +2309,36 @@ and on_site_down t s =
 and on_site_up t s =
   Trace.emitf t.tracer ~category:"fail" "site %d announced recovery" s;
   List.iter (fun w -> w (`Up s)) t.site_watchers
+
+(* The ping detector heard back from a site it had declared down: the
+   suspicion was about reachability, not death.  Retract it wherever it
+   has not yet been acted on — a suspicion that already rode a commit
+   is final (the eviction is part of the view history; the site
+   rejoins), but one still pending must stop circulating, or the
+   install-time re-propose keeps the group churning empty view changes
+   forever after the network heals. *)
+and on_site_recovered t s =
+  Trace.emitf t.tracer ~category:"fail" "site %d reachable again (observed at s%d)" s t.my_site;
+  List.iter (fun w -> w (`Up s)) t.site_watchers;
+  let groups = Hashtbl.fold (fun _ g acc -> g :: acc) t.groups [] in
+  List.iter
+    (fun g ->
+      if List.mem s (View.sites g.view) && Int_set.mem s g.suspects then
+        match g.minority with
+        | Some m -> minority_recover t g m ~site:s
+        | None ->
+          g.suspects <- Int_set.remove s g.suspects;
+          let drop ev = match ev with Ev_fail (p, false) -> p.Addr.site <> s | _ -> true in
+          g.pending_events <-
+            Deque.of_list (List.filter drop (Deque.to_list g.pending_events));
+          (* Coordinatorship may have moved back to the recovered site:
+             hand it any events parked here. *)
+          if (not (i_am_coord t g)) && not (Deque.is_empty g.pending_events) then begin
+            let evs = Deque.to_list g.pending_events in
+            g.pending_events <- Deque.empty;
+            List.iter (fun ev -> route_event t g ev) evs
+          end)
+    groups
 
 (* --- frame handling --- *)
 
@@ -1767,6 +2395,25 @@ and handle_frame t ~src frame =
       Hashtbl.replace t.dir name (group, sites);
       remember_contacts t group sites
     | Proto.Site_hello { site = s; _ } -> on_site_up t s
+    | Proto.View_probe { group; view_id = _; from_site } ->
+      (* Answer with the view we hold (or -1 for no state at all): a
+         minority-wedged prober uses the answer to tell a false alarm
+         from an eviction.  Stateless on this side — safe even if this
+         site dropped the group long ago. *)
+      let vid = match group_of t group with Some g -> g.view.View.view_id | None -> -1 in
+      send_frame t ~dst:from_site (Proto.View_probe_reply { group; view_id = vid })
+    | Proto.View_probe_reply { group; view_id = peer_vid } -> (
+      match group_of t group with
+      | None -> ()
+      | Some g ->
+        if peer_vid > g.view.View.view_id then
+          (* The primary partition installed views without us: this copy
+             is dead; discard it so members can rejoin fresh. *)
+          partition_teardown t g ~new_view_id:peer_vid
+        else (
+          match g.minority with
+          | Some m when peer_vid = g.view.View.view_id -> minority_recover t g m ~site:src
+          | Some _ | None -> ()))
     | Proto.Relay { group; mode; body; session; caller } -> (
       match group_of t group with
       | Some g ->
@@ -1806,8 +2453,23 @@ and handle_group_frame t ~src frame =
         if g.wedge <> None then () (* wedged: post-ack data is dropped; the flush stabilizes *)
         else k g
       else if view_id > g.view.View.view_id then hold_frame t ~src (gi gid) frame
-      (* else: stale view, drop *)
-    | None -> hold_frame t ~src (gi gid) frame
+      else if not (List.mem src (View.sites g.view)) then
+        (* Stale data from a site outside the current view: a stale
+           coordinator that managed to commit a divergent (lower-id)
+           view before the primary moved past it, still sending under
+           the dead lineage.  Tell it which view is current; the reply
+           triggers its partition-eviction path and it rejoins fresh. *)
+        send_frame t ~dst:src
+          (Proto.View_probe_reply { group = gid; view_id = g.view.View.view_id })
+      (* else: stale view from a member, drop (normal retransmit tail) *)
+    | None ->
+      (* No state for this group: hold the frame only when a local join
+         is in flight (new-view data racing its Commit here).  Without a
+         joiner nothing will ever replay the buffer — e.g. a restarted
+         site whose dead member is still listed in the senders' view
+         would accumulate frames without bound. *)
+      if Hashtbl.fold (fun (g', _) _ acc -> acc || g' = gi gid) t.join_waiters false then
+        hold_frame t ~src (gi gid) frame
   in
   match frame with
   | Proto.Cb_data { group; view_id; uid; rank; vt; body } ->
@@ -1841,26 +2503,83 @@ and handle_group_frame t ~src frame =
         (Proto.Join_refused { group; joiner; reason = "no such group at contact site" }))
   | Proto.Join_refused { group; joiner; reason } -> (
     if joiner.Addr.site = t.my_site then
+      (* A "no such group" refusal is authoritative evidence the
+         refusing site holds no copy, so stop offering it as a
+         contact: after a partition teardown both evicted sites may
+         still list each other in their (stale) hints, and without the
+         purge a rejoin retry would bounce off the same dead contact
+         forever.  With the hint gone, the retry's lookup falls back
+         to a directory query and finds the primary.  Other refusals
+         (validator, minority wedge) come from sites that DO hold the
+         group — their hints stay. *)
+      (if reason = "no such group at contact site" then begin
+         (match Hashtbl.find_opt t.contacts (gi group) with
+         | Some sites -> (
+           match List.filter (( <> ) src) sites with
+           | [] -> Hashtbl.remove t.contacts (gi group)
+           | remaining -> Hashtbl.replace t.contacts (gi group) remaining)
+         | None -> ());
+         Hashtbl.iter
+           (fun name (gid', sites) ->
+             if gi gid' = gi group then
+               match List.filter (( <> ) src) sites with
+               | [] -> Hashtbl.remove t.dir name
+               | remaining -> Hashtbl.replace t.dir name (gid', remaining))
+           (Hashtbl.copy t.dir)
+       end);
       match Hashtbl.find_opt t.join_waiters (gi group, joiner.Addr.idx) with
       | Some iv ->
         Hashtbl.remove t.join_waiters (gi group, joiner.Addr.idx);
+        (* Frames held in anticipation of the join have no replayer
+           now (unless another local joiner is still waiting). *)
+        if
+          group_of t group = None
+          && not (Hashtbl.fold (fun (g', _) _ acc -> acc || g' = gi group) t.join_waiters false)
+        then Hashtbl.remove t.held (gi group);
         Ivar.fill iv (Error reason)
       | None -> ())
   | Proto.Leave_req { group; who } -> (
     match group_of t group with
-    | Some g -> route_event t g (Ev_leave who)
+    | Some g ->
+      if List.mem src (View.sites g.view) then route_event t g (Ev_leave who)
+      else
+        send_frame t ~dst:src
+          (Proto.View_probe_reply { group; view_id = g.view.View.view_id })
     | None -> ())
-  | Proto.Proc_failed { group; who } -> (
+  | Proto.Proc_failed { group; who; certain } -> (
     match group_of t group with
-    | Some g -> route_event t g (Ev_fail who)
+    | Some g ->
+      (* Suspicion reports are only credible from sites inside the
+         current view: a site evicted by a partition keeps pinging
+         with stale reachability state, and accepting its suspicions
+         after its eviction lets a dead lineage evict live members of
+         the primary component.  CERTAIN reports (the victim's own
+         site witnessed the death) are ground truth and stay welcome
+         from anyone — an old coordinator that just left the view
+         still forwards queued kill reports to its successor. *)
+      if certain || List.mem src (View.sites g.view) then route_event t g (Ev_fail (who, certain))
+      else
+        send_frame t ~dst:src
+          (Proto.View_probe_reply { group; view_id = g.view.View.view_id })
     | None -> ())
   | Proto.Gb_req { group; uid; body } -> (
     match group_of t group with
-    | Some g -> route_event t g (Ev_gb (uid, body))
+    | Some g ->
+      if List.mem src (View.sites g.view) then route_event t g (Ev_gb (uid, body))
+      else
+        (* A GBCAST request from a site outside the current view: the
+           sender was evicted while its request sat in a retransmit
+           queue (partition).  Honouring it would deliver a message
+           from the evicted member AFTER the view change that removed
+           it — exactly what the flush exists to forbid.  Point the
+           sender at the current view instead; the reply triggers its
+           partition-eviction path and it rejoins fresh. *)
+        send_frame t ~dst:src
+          (Proto.View_probe_reply { group; view_id = g.view.View.view_id })
     | None -> ())
-  | Proto.Wedge { group; view_id; attempt; coord_site } -> (
+  | Proto.Wedge { group; view_id; attempt; coord_site; coord_epoch } -> (
     match group_of t group with
-    | Some g -> on_wedge t ~src g ~view_id ~attempt ~coord_site
+    | Some g -> on_wedge t ~src g ~view_id ~attempt ~coord_site ~coord_epoch
     | None -> ())
   | Proto.Wedge_ack { group; attempt; from_site; cb_known; ab_report; ab_counter; already_committed; _ } -> (
     match group_of t group with
@@ -1885,7 +2604,7 @@ and handle_group_frame t ~src frame =
     match group_of t group with
     | Some g -> on_fetch_reply t g ~from_site ~attempt bodies
     | None -> ())
-  | Proto.Commit { group; _ } -> on_commit t (group_of t group) frame
+  | Proto.Commit { group; _ } -> on_commit t ~src (group_of t group) frame
   | _ -> invalid_arg "handle_group_frame: not a group frame"
 
 and on_reply_body t body =
@@ -1930,12 +2649,13 @@ let wire_endpoint t =
       in
       on_cpu t cost (fun () -> List.iter (fun frame -> handle_frame t ~src frame) frames));
   Endpoint.set_failure_handler ep (fun s -> if t.running then on_site_down t s);
+  Endpoint.set_recovery_handler ep (fun s -> if t.running then on_site_recovered t s);
   (* A peer that crashed and revived inside the suspicion window never
      trips the ping detector, but everything we know about its old
      incarnation (members, channels, unstable acks) is dead state: treat
      the incarnation change as a site failure.  The revived site rejoins
      groups explicitly, like any newcomer. *)
-  Endpoint.set_restart_handler ep (fun s -> if t.running then on_site_down t s)
+  Endpoint.set_restart_handler ep (fun s -> if t.running then on_site_down ~certain:true t s)
 
 (* The hygiene gauges live in the registry under stable names, so
    consumers (oracle checks, bench artifacts) sample by name instead of
@@ -2208,6 +2928,12 @@ let bcast p mode ~dest ~entry msg ~(want : want) =
     | Addr.Group gid -> (
       match group_of t gid with
       | Some g ->
+        (* Reject-policy minority: surface the partition to the caller
+           as a typed error instead of parking the send behind a wedge
+           that may never lift. *)
+        (match g.minority, t.cfg.minority_policy with
+        | Some _, Reject -> raise (Partitioned gid)
+        | (Some _ | None), _ -> ());
         let sess =
           match want with
           | No_reply -> None
@@ -2255,6 +2981,18 @@ let bcast_multi p mode ~dests ~entry msg ~(want : want) =
     Message.set_entry body entry;
     Message.set_int body f_want (want_to_int want);
     Message.set_int body f_mode (mode_to_int mode);
+    (* Reject-policy minority: any locally-visible destination group
+       sitting in a minority component fails the whole send. *)
+    List.iter
+      (fun dest ->
+        match dest with
+        | Addr.Group gid -> (
+          match group_of t gid with
+          | Some g when g.minority <> None && t.cfg.minority_policy = Reject ->
+            raise (Partitioned gid)
+          | Some _ | None -> ())
+        | Addr.Proc _ -> ())
+      dests;
     (* Responders across all destinations, when every group is locally
        visible; otherwise leave them to the relays. *)
     let local_responders =

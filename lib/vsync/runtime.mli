@@ -40,6 +40,15 @@ module Message = Vsync_msg.Message
 type t
 type proc
 
+(** What happens to multicasts originated inside a minority-wedged
+    partition component.  [Buffer] (the default) queues them like any
+    wedge does: they replay if the component recovers its primacy
+    (false alarm / fast heal) and are dropped with the rest of the
+    minority state on eviction.  [Reject] fails the send immediately
+    with {!Partitioned}, for callers that prefer an error over an
+    open-ended stall. *)
+type minority_policy = Buffer | Reject
+
 type config = {
   cpu_send_us : int;
       (** CPU cost to initiate a protocol operation (calibrated so the
@@ -74,10 +83,18 @@ type config = {
       (** this site's wall-clock skew from true simulation time
           (unknown to the site itself; the real-time tool estimates
           it). *)
+  minority_policy : minority_policy;
+      (** see {!minority_policy}; default [Buffer]. *)
   endpoint : Vsync_transport.Endpoint.config;
 }
 
 val default_config : config
+
+(** Raised by {!bcast} / {!bcast_multi} under [minority_policy = Reject]
+    when the destination group's local copy sits in a minority partition
+    component: the send cannot be delivered view-synchronously until the
+    partition heals, and the caller asked not to wait. *)
+exception Partitioned of Addr.group_id
 
 (** The transport fabric shared by all runtimes of a simulation. *)
 type fabric

@@ -28,10 +28,12 @@ let run ?(sites = 4) ?(horizon_us = 20_000_000) ?(settle_us = 30_000_000)
      mask to the net and transport layers too. *)
   let tr = Vsync_sim.Trace.obs (World.trace w) in
   (match trace_sink with
-  | None -> Vsync_obs.Tracer.set_mask tr (Vsync_obs.Event.cls_bit Vsync_obs.Event.Proto)
+  | None ->
+    Vsync_obs.Tracer.set_classes tr [ Vsync_obs.Event.Proto; Vsync_obs.Event.Partition ]
   | Some sink ->
     Vsync_obs.Tracer.set_classes tr
-      [ Vsync_obs.Event.Net; Vsync_obs.Event.Transport; Vsync_obs.Event.Proto ];
+      [ Vsync_obs.Event.Net; Vsync_obs.Event.Transport; Vsync_obs.Event.Proto;
+        Vsync_obs.Event.Partition; Vsync_obs.Event.Note ];
     Vsync_obs.Tracer.add_sink tr sink);
   Vsync_obs.Tracer.set_enabled tr true;
   let members =
@@ -64,6 +66,55 @@ let run ?(sites = 4) ?(horizon_us = 20_000_000) ?(settle_us = 30_000_000)
   in
   World.apply_nemesis w plan;
   let t0 = World.now w in
+  (* Vouch the qualifying splits to the oracle: symmetric, covering
+     every site, one strict-majority side, alone in their window, and
+     crash-free up to their heal — exactly the windows in which the
+     primary-partition rule owes the majority side progress.  Pure plan
+     arithmetic: no randomness, so seeded digests are unaffected. *)
+  let all_sites = List.init sites (fun s -> s) in
+  let heal_time at l r =
+    List.fold_left
+      (fun acc (e : Nemesis.event) ->
+        if e.at >= at && e.at < acc then
+          match e.op with
+          | Nemesis.Heal -> e.at
+          | Nemesis.Heal_partition (l', r')
+            when (l' = l && r' = r) || (l' = r && r' = l) ->
+            e.at
+          | _ -> acc
+        else acc)
+      max_int plan
+  in
+  let split_windows =
+    List.filter_map
+      (fun (e : Nemesis.event) ->
+        match e.op with
+        | Nemesis.Partition (l, r) -> Some (e.at, heal_time e.at l r, l, r, true)
+        | Nemesis.Partition_oneway (l, r) -> Some (e.at, heal_time e.at l r, l, r, false)
+        | _ -> None)
+      plan
+  in
+  let crashes =
+    List.filter_map
+      (fun (e : Nemesis.event) ->
+        match e.op with Nemesis.Crash_site _ -> Some e.at | _ -> None)
+      plan
+  in
+  List.iter
+    (fun ((a, h, l, r, sym) as w') ->
+      let covers = List.sort_uniq compare (l @ r) = all_sites in
+      let maj = max (List.length l) (List.length r) in
+      let alone =
+        List.for_all (fun ((a', h', _, _, _) as w'') -> w'' == w' || h' <= a || a' >= h)
+          split_windows
+      in
+      if
+        sym && h < max_int && covers
+        && 2 * maj > sites
+        && alone
+        && List.for_all (fun c -> c >= h) crashes
+      then Oracle.note_partition oracle ~from_us:(t0 + a) ~until_us:(t0 + h) ~left:l ~right:r)
+    split_windows;
   let next_tag = ref 0 in
   (* One traffic stream per member, each on its own RNG stream so one
      member's draws never perturb another's. *)

@@ -4,6 +4,7 @@ type t = {
   group : Addr.group_id;
   view_id : int;
   members : Addr.proc list;
+  primary : bool;
 }
 
 type change =
@@ -11,7 +12,7 @@ type change =
   | Member_left of Addr.proc
   | Member_failed of Addr.proc
 
-let initial group creator = { group; view_id = 1; members = [ creator ] }
+let initial group creator = { group; view_id = 1; members = [ creator ]; primary = true }
 
 let n_members t = List.length t.members
 
@@ -38,7 +39,7 @@ let sites t =
 
 let members_at_site t s = List.filter (fun (p : Addr.proc) -> p.Addr.site = s) t.members
 
-let apply t changes =
+let apply ?id t changes =
   let removed =
     List.filter_map
       (function Member_left p | Member_failed p -> Some p | Member_joined _ -> None)
@@ -53,7 +54,34 @@ let apply t changes =
       if List.exists (Addr.equal_proc j) survivors then
         invalid_arg "View.apply: joining member already present")
     joined;
-  { t with view_id = t.view_id + 1; members = survivors @ joined }
+  let view_id =
+    match id with Some i -> max i (t.view_id + 1) | None -> t.view_id + 1
+  in
+  { t with view_id; members = survivors @ joined }
+
+(* The primary-partition rule.  A component of the previous agreed
+   view may install a successor (and keep delivering) only when it
+   retains a quorum of that view.  Members whose failure is CERTAIN —
+   local crashes reported by the victim's own site, and voluntary
+   leaves — shrink the denominator: they can never be on the other
+   side of a partition, so counting them against the survivors would
+   wedge groups that merely shrank.  Only suspicion-based evictions
+   (unreachable sites) count against quorum.  The tie-break for an
+   exact half keeps the side holding the oldest not-certainly-dead
+   member, which is unique, so two disjoint halves can never both
+   pass. *)
+let quorum_met ~prev ~survivors ~certain =
+  let certainly_dead p = List.exists (Addr.equal_proc p) certain in
+  let base = List.filter (fun m -> not (certainly_dead m)) prev.members in
+  let surviving = List.filter (fun m -> List.exists (Addr.equal_proc m) survivors) base in
+  let n = List.length base and k = List.length surviving in
+  if n = 0 then true
+  else if 2 * k > n then true
+  else if 2 * k = n then
+    match base with
+    | [] -> true
+    | oldest :: _ -> List.exists (Addr.equal_proc oldest) surviving
+  else false
 
 let pp_change ppf = function
   | Member_joined p -> Format.fprintf ppf "+%a" Addr.pp_proc p

@@ -16,6 +16,12 @@ type t = {
   group : Addr.group_id;
   view_id : int;           (** consecutive, starting at 1. *)
   members : Addr.proc list; (** oldest first. *)
+  primary : bool;
+      (** whether this view was installed by a primary component — one
+          holding a quorum of its predecessor (see {!quorum_met}).
+          Carried in the record so a chain of minority components can
+          never manufacture primacy: every installed view descends from
+          an unbroken line of primary views. *)
 }
 
 (** What changed between consecutive views, as reported to monitors. *)
@@ -46,11 +52,25 @@ val sites : t -> int list
 (** [members_at_site t s] lists members hosted at site [s], age order. *)
 val members_at_site : t -> int -> Addr.proc list
 
-(** [apply t changes] builds the successor view: failed/left members
-    removed, joined members appended youngest-last (joins keep request
-    order).  The view id increments by one.
+(** [apply ?id t changes] builds the successor view: failed/left
+    members removed, joined members appended youngest-last (joins keep
+    request order).  The view id becomes [max id (view_id + 1)] — the
+    flush coordinator passes its attempt-derived id, so two divergent
+    commits retiring the same view (a stale coordinator racing its
+    successor) install views with {e distinct} ids, never the same id
+    with different memberships.  Without [id] it increments by one.
     @raise Invalid_argument when a join duplicates a member. *)
-val apply : t -> change list -> t
+val apply : ?id:int -> t -> change list -> t
+
+(** [quorum_met ~prev ~survivors ~certain] decides whether a component
+    retaining [survivors] of the agreed view [prev] is primary.
+    [certain] lists members whose failure is certain (local crashes,
+    voluntary leaves); they are removed from the denominator before
+    the majority test.  The component passes with a strict majority of
+    the remaining members, or exactly half of them when it retains the
+    oldest — the age tie-break is unique, so two disjoint halves can
+    never both pass. *)
+val quorum_met : prev:t -> survivors:Addr.proc list -> certain:Addr.proc list -> bool
 
 val pp_change : Format.formatter -> change -> unit
 val pp : Format.formatter -> t -> unit

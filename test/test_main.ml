@@ -60,4 +60,5 @@ let () =
       ("extensions", Test_extensions.suite);
       ("realtime", Test_realtime.suite);
       ("tools2", Test_tools2.suite);
+      ("partition", Test_partition.suite);
     ]

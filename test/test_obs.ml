@@ -76,7 +76,7 @@ let sample_events =
     Event.Stabilize { site = 1; usite = 0; useq = 9 };
     Event.Wedge { site = 2; group = 1; view_id = 3 };
     Event.Flush { site = 2; group = 1; view_id = 3; attempt = 1 };
-    Event.View_install { site = 2; group = 1; view_id = 4; nsites = 3 };
+    Event.View_install { site = 2; group = 1; view_id = 4; nsites = 3; mhash = 77 };
     Event.Stable_advance { site = 1; origin = 0; upto = 9 };
     Event.Gc_reclaim { site = 1; n = 12 };
     Event.Error_event { site = 0; what = "news.join"; detail = "refused" };
