@@ -7,7 +7,7 @@
      dune exec bench/main.exe fig2 fig3  # a subset
 
    Experiments: table1 fig2 fig3 twentyq ablate load faults scale micro
-   msgpath wire soak.
+   msgpath wire soak shard.
 
    Flags (consumed before experiment names):
      --json PATH    JSON-capable experiments (msgpath, wire, soak) write
@@ -35,6 +35,7 @@ let experiments =
     ("msgpath", Msgpath.run);
     ("wire", Wire.run);
     ("soak", Soak.run);
+    ("shard", Shard.run);
   ]
 
 let () =

@@ -7,7 +7,8 @@
 
      dune exec bin/vsim.exe -- --sites 3 --messages 12 --mode abcast
      dune exec bin/vsim.exe -- --crash-site 2 --crash-at 200 --trace
-     dune exec bin/vsim.exe -- --loss 0.2 --mode cbcast *)
+     dune exec bin/vsim.exe -- --loss 0.2 --mode cbcast
+     dune exec bin/vsim.exe -- --sites 5 --shard 16 *)
 
 open Vsync_core
 module Addr = Vsync_msg.Addr
@@ -69,8 +70,95 @@ let run_nemesis sites trace_out (seed, intensity) =
   print_string (Oracle.report r.oracle r.violations);
   if r.violations = [] then 0 else 1
 
+(* --shard N: deploy the sharded twenty-questions service over N ring
+   partitions (3-replica groups placed by rendezvous hashing), drive a
+   keyed workload, crash a site to force handoff, and verify the
+   coverage scan still finds every key exactly once. *)
+let run_shard sites seed partitions =
+  if partitions < 1 then begin
+    Printf.eprintf "--shard needs at least 1 partition\n";
+    2
+  end
+  else begin
+    let module Sharded = Twentyq.Sharded in
+    let module Deployment = Twentyq.Sharded.Deployment in
+    let w = World.create ~seed:(Int64.of_int seed) ~sites () in
+    let d = Deployment.deploy w ~partitions ~replicas:(min 3 sites) () in
+    if not (Deployment.settle d) then begin
+      Printf.eprintf "sharded deployment failed to form\n";
+      2
+    end
+    else begin
+      Printf.printf "sharded twentyq: %d partitions over %d sites, %d replicas each\n" partitions
+        sites
+        (min 3 sites);
+      for part = 0 to partitions - 1 do
+        let hosts =
+          List.map
+            (fun m -> (Runtime.proc_addr (Sharded.member_proc m)).Addr.site)
+            (Deployment.members d part)
+        in
+        Printf.printf "  partition %2d -> sites [%s]\n" part
+          (String.concat " " (List.map string_of_int (List.sort compare hosts)))
+      done;
+      Deployment.enable_auto_handoff d;
+      let cp = World.proc w ~site:0 ~name:"shard-client" in
+      let c = Sharded.connect cp ~partitions in
+      let n = 24 in
+      let puts_ok = ref 0 in
+      let verdicts = ref [] in
+      let scan label =
+        match Sharded.scan_keys c with
+        | Ok keys ->
+          let sorted = List.sort compare keys in
+          let expected = List.sort compare (List.init n (fun i -> Printf.sprintf "key%02d" i)) in
+          let ok = sorted = expected in
+          verdicts := ok :: !verdicts;
+          Printf.printf "[%8.1fms] scan %s: %d keys, exactly once: %b\n"
+            (float_of_int (World.now w) /. 1000.)
+            label (List.length keys) ok
+        | Error e ->
+          verdicts := false :: !verdicts;
+          Printf.printf "scan %s failed: %s\n" label e
+      in
+      World.run_task w cp (fun () ->
+          for i = 0 to n - 1 do
+            match Sharded.put c [ Printf.sprintf "key%02d" i ] with
+            | Ok () -> incr puts_ok
+            | Error e -> Printf.printf "put key%02d failed: %s\n" i e
+          done;
+          Printf.printf "[%8.1fms] %d/%d keyed puts acknowledged\n"
+            (float_of_int (World.now w) /. 1000.)
+            !puts_ok n;
+          (match Sharded.ask c "object=key07" with
+          | Ok (a, hits) ->
+            Printf.printf "keyed query object=key07: %s (%d hit)\n"
+              (Twentyq.Database.answer_to_string a) hits
+          | Error e -> Printf.printf "keyed query failed: %s\n" e);
+          scan "after load");
+      World.run w;
+      (if sites > 1 then begin
+         let victim = sites - 1 in
+         Printf.printf "[%8.1fms] >>> crashing site %d; handoff re-replicates its partitions <<<\n"
+           (float_of_int (World.now w) /. 1000.)
+           victim;
+         World.crash_site w victim;
+         World.run_for w 5_000_000;
+         if not (Deployment.settle d) then Printf.printf "redeployment incomplete\n";
+         World.run_task w cp (fun () -> scan "after crash + handoff");
+         World.run w
+       end);
+      let ok = !puts_ok = n && !verdicts <> [] && List.for_all Fun.id !verdicts in
+      Printf.printf "sharded run: %s\n" (if ok then "OK" else "FAILED");
+      if ok then 0 else 1
+    end
+  end
+
 let run sites seed messages size mode loss crash_site crash_at_ms partition trace_on trace_out
-    nemesis =
+    nemesis shard =
+  match shard with
+  | Some partitions -> run_shard sites seed partitions
+  | None ->
   match nemesis with
   | Some spec -> run_nemesis sites trace_out spec
   | None ->
@@ -293,12 +381,22 @@ let nemesis =
           "Run the standard nemesis scenario instead: seeded random fault plan under steady \
            traffic, judged by the virtual-synchrony oracle.  Exits non-zero on any violation.")
 
+let shard =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "shard" ] ~docv:"N"
+        ~doc:
+          "Run the sharded twenty-questions workload instead: $(docv) consistent-hash ring \
+           partitions as 3-replica groups, keyed puts and queries, then a site crash with \
+           handoff.  Exits non-zero unless the coverage scan finds every key exactly once.")
+
 let cmd =
   let doc = "drive a virtually synchronous process group in simulation" in
   Cmd.v
     (Cmd.info "vsim" ~doc)
     Term.(
       const run $ sites $ seed $ messages $ size $ mode $ loss $ crash_site $ crash_at $ partition
-      $ trace $ trace_out $ nemesis)
+      $ trace $ trace_out $ nemesis $ shard)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,55 @@
+type t = { partitions : int }
+
+let create ?(partitions = 64) () =
+  if partitions < 1 then invalid_arg "Ring.create: partitions < 1";
+  { partitions }
+
+let n_partitions t = t.partitions
+
+(* FNV-1a, 64-bit.  Chosen over [Hashtbl.hash] because the ring's
+   key→partition and partition→site maps must be stable across OCaml
+   versions and word sizes: they are baked into handoff tests, bench
+   JSON, and any persisted placement. *)
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let hash64 s =
+  let h = ref fnv_offset in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h fnv_prime)
+    s;
+  !h
+
+(* Map to [0, n) via the top bits after one avalanche multiply; the
+   low bits of raw FNV are the weakest. *)
+let bucket h n =
+  let h = Int64.mul h 0xff51afd7ed558ccdL in
+  let top = Int64.to_int (Int64.shift_right_logical h 33) in
+  top mod n
+
+let partition_of_key t key = bucket (hash64 key) t.partitions
+
+(* Rendezvous (highest-random-weight) score of [site] for [part].
+   Mixing the two ids through the string hash keeps the score
+   independent across partitions, so each partition ranks sites in an
+   effectively random — but deterministic — order. *)
+let score part site =
+  hash64 (Printf.sprintf "p%d/s%d" part site)
+
+let owners t ~sites ~replicas part =
+  if sites = [] then invalid_arg "Ring.owners: no sites";
+  if replicas < 1 then invalid_arg "Ring.owners: replicas < 1";
+  if part < 0 || part >= t.partitions then invalid_arg "Ring.owners: bad partition";
+  let scored = List.map (fun s -> (score part s, s)) sites in
+  let by_pref (h1, s1) (h2, s2) =
+    (* Descending score; site id breaks the (improbable) tie so the
+       order is total and set-deterministic. *)
+    match Int64.unsigned_compare h2 h1 with 0 -> compare s1 s2 | c -> c
+  in
+  let sorted = List.sort by_pref scored in
+  List.filteri (fun i _ -> i < replicas) (List.map snd sorted)
+
+let primary t ~sites part =
+  List.hd (owners t ~sites ~replicas:1 part)

@@ -1,0 +1,52 @@
+(** The consistent-hash ring: keys → partitions → small replica sets.
+
+    The flat one-group-per-service design multicasts every update to
+    every member, which the paper itself caps at "groups of 32 or 64
+    sites".  The ring is the scaling move the paper's twentyq design
+    already hints at (it partitions the database across members): split
+    the key space into a fixed number of {e partitions} (vnodes, in
+    riak_core terms) and give each partition its own {e small}
+    view-synchronous replica group.  A multicast then touches the
+    partition's replicas — typically 3 sites — no matter how large the
+    deployment grows, and aggregate throughput scales with the number
+    of partitions that can make progress concurrently.
+
+    The ring itself is pure arithmetic, shared by every router and
+    test: a deterministic string hash maps a key to one of
+    [partitions] ids, and rendezvous (highest-random-weight) hashing
+    maps a partition id to its preferred replica sites.  Rendezvous
+    hashing keeps reassignment minimal: removing a site only moves the
+    partitions that site owned, and every other assignment is
+    untouched — exactly the property the view-change-driven handoff
+    relies on. *)
+
+type t
+
+(** [create ?partitions ()] — a ring with [partitions] partitions
+    (default 64).
+    @raise Invalid_argument if [partitions < 1]. *)
+val create : ?partitions:int -> unit -> t
+
+val n_partitions : t -> int
+
+(** [partition_of_key t key] — the partition owning [key].  Pure and
+    deterministic: the same key maps to the same partition in every
+    process of every run. *)
+val partition_of_key : t -> string -> int
+
+(** [owners t ~sites ~replicas part] — the preferred replica sites for
+    [part], in descending preference order: the [replicas] highest
+    rendezvous scores among [sites] (all of [sites], preference-sorted,
+    when fewer than [replicas] are available).  Deterministic in
+    [sites] as a {e set} (order-insensitive).
+    @raise Invalid_argument if [sites] is empty or [replicas < 1]. *)
+val owners : t -> sites:int list -> replicas:int -> int -> int list
+
+(** [primary t ~sites part] — the first owner ([owners] head) with a
+    single replica. *)
+val primary : t -> sites:int list -> int -> int
+
+(** [hash64 s] — the ring's deterministic 64-bit string hash (FNV-1a),
+    exposed for tests and for callers that need a stable hash of their
+    own. *)
+val hash64 : string -> int64

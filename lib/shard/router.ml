@@ -1,0 +1,64 @@
+module Addr = Vsync_msg.Addr
+module Entry = Vsync_msg.Entry
+module Message = Vsync_msg.Message
+module Runtime = Vsync_core.Runtime
+module Types = Vsync_core.Types
+module Condition = Vsync_tasks.Condition
+
+type t = {
+  me : Runtime.proc;
+  ring : Ring.t;
+  base : string;
+  gids : (int, Addr.group_id) Hashtbl.t;
+}
+
+let create me ~ring ~base = { me; ring; base; gids = Hashtbl.create 64 }
+let ring t = t.ring
+let owner_proc t = t.me
+let group_name t part = Printf.sprintf "%s-p%d" t.base part
+let partition_of_key t key = Ring.partition_of_key t.ring key
+
+let lookup t part =
+  match Hashtbl.find_opt t.gids part with
+  | Some gid -> Some gid
+  | None -> (
+    match Runtime.pg_lookup t.me (group_name t part) with
+    | Some gid ->
+      Hashtbl.replace t.gids part gid;
+      Some gid
+    | None -> None)
+
+let forget t part = Hashtbl.remove t.gids part
+
+let cast t ~key mode ~entry msg ~want =
+  let part = partition_of_key t key in
+  match lookup t part with
+  | None -> None
+  | Some gid -> Some (Runtime.bcast t.me mode ~dest:(Addr.Group gid) ~entry msg ~want)
+
+type covered = { cov_part : int; cov_outcome : Runtime.outcome option }
+
+let coverage t mode ~entry ~make ~want =
+  let n = Ring.n_partitions t.ring in
+  let results = Array.make n None in
+  let remaining = ref n in
+  let done_ = Condition.create () in
+  for part = 0 to n - 1 do
+    Runtime.spawn_task t.me (fun () ->
+        let outcome =
+          match lookup t part with
+          | None -> None
+          | Some gid ->
+            Some (Runtime.bcast t.me mode ~dest:(Addr.Group gid) ~entry (make part) ~want)
+        in
+        results.(part) <- Some { cov_part = part; cov_outcome = outcome };
+        decr remaining;
+        if !remaining = 0 then Condition.broadcast done_)
+  done;
+  while !remaining > 0 do
+    Condition.wait done_
+  done;
+  Array.to_list results
+  |> List.map (function
+       | Some r -> r
+       | None -> assert false (* every slot filled before the gate opens *))

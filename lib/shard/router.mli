@@ -1,0 +1,76 @@
+(** The partition router: keyed requests → the owning replica group.
+
+    One router per client process.  It owns a {!Ring.t}, derives the
+    per-partition group names ([<base>-p<N>]), caches directory
+    lookups so the steady-state keyed path costs one hash plus one
+    hashtable probe, and implements the two request shapes of a
+    sharded service:
+
+    - {e keyed}: hash the key, multicast to the one small replica
+      group that owns its partition;
+    - {e coverage}: scatter a request to {e every} partition group
+      concurrently and gather the per-partition outcomes (the
+      horizontal-query mode).  Reply collection relies on the
+      null-reply convention — a replica that has nothing to say must
+      [null_reply] — so coverage calls never hang on a healthy
+      group, and failed groups resolve to [All_failed] rather than
+      blocking.
+
+    All blocking calls must run inside a task of the router's
+    process. *)
+
+module Addr = Vsync_msg.Addr
+module Entry = Vsync_msg.Entry
+module Message = Vsync_msg.Message
+module Runtime = Vsync_core.Runtime
+module Types = Vsync_core.Types
+
+type t
+
+val create : Runtime.proc -> ring:Ring.t -> base:string -> t
+val ring : t -> Ring.t
+val owner_proc : t -> Runtime.proc
+
+(** [group_name t part] — directory name of partition [part]'s group. *)
+val group_name : t -> int -> string
+
+val partition_of_key : t -> string -> int
+
+(** [lookup t part] — the partition's group id, from cache or one
+    directory lookup (blocking on a miss). *)
+val lookup : t -> int -> Addr.group_id option
+
+(** [forget t part] drops the cached id (after a failed send whose
+    group may have been remade). *)
+val forget : t -> int -> unit
+
+(** [cast t ~key mode ~entry msg ~want] multicasts to the group owning
+    [key]'s partition.  [None] when the partition's group is not in
+    the directory (service down or not yet deployed). *)
+val cast :
+  t ->
+  key:string ->
+  Types.mode ->
+  entry:Entry.t ->
+  Message.t ->
+  want:Types.want ->
+  Runtime.outcome option
+
+(** One partition's slice of a coverage call. *)
+type covered = {
+  cov_part : int;
+  cov_outcome : Runtime.outcome option;
+      (** [None]: the partition's group could not be resolved. *)
+}
+
+(** [coverage t mode ~entry ~make ~want] scatters [make part] to every
+    partition's group concurrently and gathers all outcomes.  Results
+    are in partition order; the call returns when every partition has
+    either answered, failed, or proven unresolvable. *)
+val coverage :
+  t ->
+  Types.mode ->
+  entry:Entry.t ->
+  make:(int -> Message.t) ->
+  want:Types.want ->
+  covered list

@@ -75,6 +75,14 @@ let matches op cell value =
     let c = String.compare cell value in
     match op with `Eq -> c = 0 | `Lt -> c < 0 | `Gt -> c > 0)
 
+let count_matches t q =
+  let total = List.length t.data in
+  match column_index t q.column with
+  | exception Not_found -> (0, total)
+  | ci ->
+    let hits = List.length (List.filter (fun row -> matches q.op row.(ci) q.value) t.data) in
+    (hits, total)
+
 let eval t ?restrict_object q ~row_filter =
   let ci = try column_index t q.column with Not_found -> -1 in
   if ci < 0 then No

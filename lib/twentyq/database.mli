@@ -50,6 +50,11 @@ val eval : t -> ?restrict_object:string -> query -> row_filter:(int -> bool) -> 
     @raise Not_found for unknown columns. *)
 val column_index : t -> string -> int
 
+(** [count_matches t q] is [(hits, examined)] over every row — the
+    partial counts a shard reports so a scatter/gather caller can
+    recombine the exact flat-database answer. *)
+val count_matches : t -> query -> int * int
+
 (** [encode t] / [decode chunks] — state-transfer/checkpoint format
     (one chunk per row plus a schema chunk). *)
 val encode : t -> bytes list

@@ -1,0 +1,454 @@
+module Addr = Vsync_msg.Addr
+module Entry = Vsync_msg.Entry
+module Message = Vsync_msg.Message
+module Runtime = Vsync_core.Runtime
+module View = Vsync_core.View
+module World = Vsync_core.World
+module Types = Vsync_core.Types
+module State_transfer = Vsync_toolkit.State_transfer
+module Ring = Vsync_shard.Ring
+module Router = Vsync_shard.Router
+
+let base_name = "twentyq"
+let entry = Entry.user 9
+let group_name part = Printf.sprintf "%s-p%d" base_name part
+
+let f_op = "$sq.op"
+let f_values = "$sq.vals"
+let f_query = "$sq.q"
+let f_answer = "$sq.ans"
+let f_hits = "$sq.hits"
+let f_examined = "$sq.exam"
+let f_keys = "$sq.keys"
+let f_column = "$sq.col"
+let f_value = "$sq.val"
+let f_count = "$sq.n"
+
+(* Rows travel packed like the flat service's ('\x1f' between values);
+   scan replies pack keys with '\x1e'. *)
+let pack_row = String.concat "\x1f"
+let unpack_row = String.split_on_char '\x1f'
+let pack_keys = String.concat "\x1e"
+let unpack_keys s = if String.equal s "" then [] else String.split_on_char '\x1e' s
+
+(* --- Replicas --- *)
+
+type member = {
+  mem_me : Runtime.proc;
+  mem_part : int;
+  mutable mem_gid : Addr.group_id;
+  mutable mem_db : Database.t;
+}
+
+let member_proc m = m.mem_me
+let member_part m = m.mem_part
+let member_gid m = m.mem_gid
+let member_db m = m.mem_db
+
+let key_column mem =
+  match Database.columns mem.mem_db with c :: _ -> c | [] -> "object"
+
+let row_key values = match values with k :: _ -> Some k | [] -> None
+
+(* Upsert: replace any row with the same key, then append.  Replaying
+   the same put (handoff restart, client retry) converges instead of
+   duplicating — the exactly-once-per-key invariant the handoff test
+   checks. *)
+let apply_put mem values =
+  match row_key values with
+  | None -> ()
+  | Some key ->
+    ignore (Database.remove_rows mem.mem_db ~column:(key_column mem) ~value:key);
+    (try Database.add_row mem.mem_db values with Invalid_argument _ -> ())
+
+let i_am_rank0 mem = Runtime.pg_rank mem.mem_me mem.mem_gid = Some 0
+
+let answer_of_counts ~hits ~examined =
+  if examined = 0 || hits = 0 then Database.No
+  else if hits = examined then Database.Yes
+  else Database.Sometimes
+
+(* Exactly one real reply per partition group — the rank-0 replica in
+   the delivery view — and null replies from the rest, so Wait_n 1
+   reply collection never hangs (paper Sec 3.2). *)
+let handle mem m =
+  let null () =
+    if Message.session m <> None then Runtime.null_reply mem.mem_me ~request:m
+  in
+  let reply r = Runtime.reply mem.mem_me ~request:m r in
+  match Message.get_str m f_op with
+  | Some "put" ->
+    (match Message.get_str m f_values with
+    | Some packed -> apply_put mem (unpack_row packed)
+    | None -> ());
+    if i_am_rank0 mem && Message.session m <> None then reply (Message.create ()) else null ()
+  | Some "remove" -> (
+    match Message.get_str m f_column, Message.get_str m f_value with
+    | Some column, Some value ->
+      let gone =
+        try Database.remove_rows mem.mem_db ~column ~value with Not_found -> 0
+      in
+      if i_am_rank0 mem && Message.session m <> None then begin
+        let r = Message.create () in
+        Message.set_int r f_count gone;
+        reply r
+      end
+      else null ()
+    | _ -> null ())
+  | Some "query" -> (
+    if not (i_am_rank0 mem) then null ()
+    else
+      match Option.bind (Message.get_str m f_query) Database.parse_query with
+      | None -> null ()
+      | Some q ->
+        let hits, examined = Database.count_matches mem.mem_db q in
+        let r = Message.create () in
+        Message.set_str r f_answer
+          (Database.answer_to_string (answer_of_counts ~hits ~examined));
+        Message.set_int r f_hits hits;
+        Message.set_int r f_examined examined;
+        reply r)
+  | Some "scan" ->
+    if not (i_am_rank0 mem) then null ()
+    else begin
+      let keys = List.filter_map row_key (Database.rows mem.mem_db) in
+      let r = Message.create () in
+      Message.set_str r f_keys (pack_keys keys);
+      Message.set_int r f_count (List.length keys);
+      reply r
+    end
+  | Some _ | None -> null ()
+
+let segments mem =
+  [
+    ( "db",
+      (fun () -> Database.encode mem.mem_db),
+      fun chunks -> if chunks <> [] then mem.mem_db <- Database.decode chunks );
+  ]
+
+let serve me ~part ~columns =
+  let mem =
+    {
+      mem_me = me;
+      mem_part = part;
+      mem_gid = Addr.group_of_int 0;
+      mem_db = Database.create ~columns;
+    }
+  in
+  mem.mem_gid <- Runtime.pg_create me (group_name part);
+  Runtime.bind me entry (handle mem);
+  State_transfer.attach me ~gid:mem.mem_gid ~segments:(segments mem);
+  mem
+
+let join me ~part =
+  (* The group may still be forming (deploy issues serve and join
+     concurrently): give the directory a grace period. *)
+  let rec look tries =
+    match Runtime.pg_lookup me (group_name part) with
+    | Some gid -> Some gid
+    | None when tries > 0 ->
+      Runtime.sleep me 250_000;
+      look (tries - 1)
+    | None -> None
+  in
+  match look 40 with
+  | None -> Error (Printf.sprintf "partition %d: group not found" part)
+  | Some gid ->
+    let mem =
+      {
+        mem_me = me;
+        mem_part = part;
+        mem_gid = gid;
+        (* placeholder schema until the transferred segment installs *)
+        mem_db = Database.create ~columns:[ "object" ];
+      }
+    in
+    Runtime.bind me entry (handle mem);
+    let segs = segments mem in
+    (match State_transfer.join_and_xfer me ~gid ~credentials:(Message.create ()) ~segments:segs with
+    | Ok () ->
+      State_transfer.attach me ~gid ~segments:segs;
+      Ok mem
+    | Error e -> Error e)
+
+(* --- Clients --- *)
+
+type client = { cl : Runtime.proc; rt : Router.t }
+
+let connect p ~partitions =
+  { cl = p; rt = Router.create p ~ring:(Ring.create ~partitions ()) ~base:base_name }
+
+let router c = c.rt
+
+let msg_put values =
+  let m = Message.create () in
+  Message.set_str m f_op "put";
+  Message.set_str m f_values (pack_row values);
+  m
+
+let msg_query q =
+  let m = Message.create () in
+  Message.set_str m f_op "query";
+  Message.set_str m f_query q;
+  m
+
+let backoff c = Runtime.sleep c.cl 200_000
+
+let rec put ?(retries = 5) c values =
+  match row_key values with
+  | None -> Error "empty row"
+  | Some key -> (
+    match Router.cast c.rt ~key Types.Gbcast ~entry (msg_put values) ~want:(Types.Wait_n 1) with
+    | Some (Runtime.Replies (_ :: _)) -> Ok ()
+    | Some (Runtime.Replies []) | Some Runtime.All_failed | None ->
+      (* Owner group unresolved, remade, or its answering replica died
+         mid-request: re-resolve and reissue (the upsert is
+         idempotent, so a delivered-but-unanswered attempt is safe). *)
+      if retries <= 0 then Error "partition unreachable"
+      else begin
+        Router.forget c.rt (Router.partition_of_key c.rt key);
+        backoff c;
+        put ~retries:(retries - 1) c values
+      end)
+
+(* Gather one decoded slice per partition; [Error parts] lists the
+   partitions that failed this round (to forget and retry). *)
+let gather_coverage c mode ~make ~decode ~want =
+  let covered = Router.coverage c.rt mode ~entry ~make ~want in
+  let bad = ref [] in
+  let slices =
+    List.filter_map
+      (fun { Router.cov_part; cov_outcome } ->
+        match cov_outcome with
+        | Some (Runtime.Replies ((_, m) :: _)) -> (
+          match decode m with
+          | Some v -> Some (cov_part, v)
+          | None ->
+            bad := cov_part :: !bad;
+            None)
+        | Some (Runtime.Replies []) | Some Runtime.All_failed | None ->
+          bad := cov_part :: !bad;
+          None)
+      covered
+  in
+  if !bad = [] then Ok slices else Error !bad
+
+let rec covering ?(retries = 5) c mode ~make ~decode ~combine =
+  match gather_coverage c mode ~make ~decode ~want:(Types.Wait_n 1) with
+  | Ok slices -> Ok (combine slices)
+  | Error bad ->
+    if retries <= 0 then Error "coverage incomplete"
+    else begin
+      List.iter (Router.forget c.rt) bad;
+      backoff c;
+      covering ~retries:(retries - 1) c mode ~make ~decode ~combine
+    end
+
+let remove ?retries c ~column ~value =
+  let make _ =
+    let m = Message.create () in
+    Message.set_str m f_op "remove";
+    Message.set_str m f_column column;
+    Message.set_str m f_value value;
+    m
+  in
+  covering ?retries c Types.Gbcast ~make
+    ~decode:(fun m -> Message.get_int m f_count)
+    ~combine:(fun slices -> List.fold_left (fun acc (_, n) -> acc + n) 0 slices)
+
+let ask_keyed retries c q key =
+  let rec go retries =
+    match Router.cast c.rt ~key Types.Cbcast ~entry (msg_query q) ~want:(Types.Wait_n 1) with
+    | Some (Runtime.Replies ((_, m) :: _)) -> (
+      match Message.get_int m f_hits with
+      (* An equality probe on the key column is an existence check:
+         every row with that key lives in the owning partition, so
+         [hits] is exact, and the answer must not depend on what else
+         the partition happens to host. *)
+      | Some hits -> Ok ((if hits > 0 then Database.Yes else Database.No), hits)
+      | None -> Error "malformed reply")
+    | Some (Runtime.Replies []) | Some Runtime.All_failed | None ->
+      if retries <= 0 then Error "partition unreachable"
+      else begin
+        Router.forget c.rt (Router.partition_of_key c.rt key);
+        backoff c;
+        go (retries - 1)
+      end
+  in
+  go retries
+
+let ask_coverage retries c q =
+  covering ?retries c Types.Cbcast
+    ~make:(fun _ -> msg_query q)
+    ~decode:(fun m ->
+      match Message.get_int m f_hits, Message.get_int m f_examined with
+      | Some h, Some e -> Some (h, e)
+      | _ -> None)
+    ~combine:(fun slices ->
+      let hits, examined =
+        List.fold_left (fun (h, e) (_, (h', e')) -> (h + h', e + e')) (0, 0) slices
+      in
+      (answer_of_counts ~hits ~examined, hits))
+
+let ask ?(retries = 5) c q =
+  match Database.parse_query q with
+  | None -> Error "malformed query"
+  | Some pq ->
+    (* Equality on the key column pins the matching rows to one
+       partition: route there.  Everything else needs every shard's
+       counts. *)
+    if pq.Database.op = `Eq && String.equal pq.Database.column "object" then
+      ask_keyed retries c q pq.Database.value
+    else ask_coverage (Some retries) c q
+
+let scan_keys ?retries c =
+  let make _ =
+    let m = Message.create () in
+    Message.set_str m f_op "scan";
+    m
+  in
+  covering ?retries c Types.Cbcast ~make
+    ~decode:(fun m -> Option.map unpack_keys (Message.get_str m f_keys))
+    ~combine:(fun slices -> List.concat_map snd slices)
+
+(* --- Deployment harness --- *)
+
+module Deployment = struct
+  type t = {
+    world : World.t;
+    ring : Ring.t;
+    dep_replicas : int;
+    columns : string list;
+    tbl : (int, member list ref) Hashtbl.t;
+    joining : (int * int, unit) Hashtbl.t; (* (partition, site) in flight *)
+    reb_pending : bool ref;
+  }
+
+  let ring d = d.ring
+  let replicas d = d.dep_replicas
+  let all_sites d = List.init (World.n_sites d.world) Fun.id
+  let live_sites d = List.filter (fun s -> Runtime.alive (World.runtime d.world s)) (all_sites d)
+
+  let slot d part =
+    match Hashtbl.find_opt d.tbl part with
+    | Some r -> r
+    | None ->
+      let r = ref [] in
+      Hashtbl.replace d.tbl part r;
+      r
+
+  let members d part =
+    let r = slot d part in
+    r := List.filter (fun m -> Runtime.proc_alive m.mem_me) !r;
+    !r
+
+  let push d part m = (slot d part) := m :: !(slot d part)
+  let drop d part m = (slot d part) := List.filter (fun m' -> m' != m) !(slot d part)
+
+  let spawn_join d part site =
+    if not (Hashtbl.mem d.joining (part, site)) then begin
+      Hashtbl.replace d.joining (part, site) ();
+      let p =
+        World.proc d.world ~site ~name:(Printf.sprintf "sq-p%d-s%d" part site)
+      in
+      World.run_task d.world p (fun () ->
+          (match join p ~part with
+          | Ok m -> push d part m
+          | Error _ -> ());
+          Hashtbl.remove d.joining (part, site))
+    end
+
+  let deploy w ?(partitions = 16) ?(replicas = 3) ?(columns = [ "object" ]) () =
+    let d =
+      {
+        world = w;
+        ring = Ring.create ~partitions ();
+        dep_replicas = replicas;
+        columns;
+        tbl = Hashtbl.create partitions;
+        joining = Hashtbl.create 16;
+        reb_pending = ref false;
+      }
+    in
+    let sites = all_sites d in
+    for part = 0 to partitions - 1 do
+      match Ring.owners d.ring ~sites ~replicas part with
+      | [] -> ()
+      | first :: rest ->
+        let p0 = World.proc w ~site:first ~name:(Printf.sprintf "sq-p%d-s%d" part first) in
+        World.run_task w p0 (fun () -> push d part (serve p0 ~part ~columns));
+        List.iter (fun s -> spawn_join d part s) rest
+    done;
+    d
+
+  let formed d =
+    let live = live_sites d in
+    let target = min d.dep_replicas (List.length live) in
+    target > 0
+    && List.for_all
+         (fun part -> List.length (members d part) >= target)
+         (List.init (Ring.n_partitions d.ring) Fun.id)
+
+  let settle ?(timeout_us = 60_000_000) d =
+    let deadline = World.now d.world + timeout_us in
+    let rec loop () =
+      if formed d then true
+      else if World.now d.world >= deadline then formed d
+      else begin
+        World.run_for d.world 500_000;
+        loop ()
+      end
+    in
+    loop ()
+
+  (* A replica that lost ownership leaves only after the partition is
+     back to strength, so the handoff donor set never empties. *)
+  let retire d part m =
+    Runtime.spawn_task m.mem_me (fun () ->
+        let rec wait tries =
+          match Runtime.pg_view m.mem_me m.mem_gid with
+          | Some v when View.n_members v > d.dep_replicas -> ()
+          | _ when tries > 0 ->
+            Runtime.sleep m.mem_me 250_000;
+            wait (tries - 1)
+          | _ -> ()
+        in
+        wait 40;
+        (try Runtime.pg_leave m.mem_me m.mem_gid with _ -> ());
+        drop d part m)
+
+  let rebalance d =
+    let live = live_sites d in
+    if live <> [] then
+      for part = 0 to Ring.n_partitions d.ring - 1 do
+        let owners = Ring.owners d.ring ~sites:live ~replicas:d.dep_replicas part in
+        let current = members d part in
+        let hosted = List.map (fun m -> (Runtime.proc_addr m.mem_me).Addr.site) current in
+        (* Data survives only through live replicas; a partition whose
+           replicas all died cannot be rebuilt here. *)
+        if current <> [] then begin
+          List.iter (fun s -> if not (List.mem s hosted) then spawn_join d part s) owners;
+          List.iter
+            (fun m ->
+              let s = (Runtime.proc_addr m.mem_me).Addr.site in
+              if not (List.mem s owners) then retire d part m)
+            current
+        end
+      done
+
+  let enable_auto_handoff d =
+    List.iter
+      (fun s ->
+        Runtime.watch_sites (World.runtime d.world s) (fun _event ->
+            if not !(d.reb_pending) then begin
+              d.reb_pending := true;
+              let anchor = World.proc d.world ~site:s ~name:"sq-rebalancer" in
+              World.run_task d.world anchor (fun () ->
+                  (* Let the membership flushes land before recomputing
+                     ownership. *)
+                  Runtime.sleep anchor 1_500_000;
+                  d.reb_pending := false;
+                  rebalance d)
+            end))
+      (all_sites d)
+end

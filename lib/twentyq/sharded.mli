@@ -1,0 +1,127 @@
+(** Twenty-questions, re-homed on the consistent-hash ring.
+
+    The flat {!Service} keeps the whole relation in one group; every
+    update multicast touches every member.  Here the relation is
+    partitioned by row key (the first column's value) across
+    [twentyq-p<N>] groups — one small view-synchronous replica set per
+    ring partition — so an update touches only the 3 replicas owning
+    its key, and aggregate throughput grows with the partition count.
+
+    Protocol split, as in the paper's Sec 5 design: updates go by
+    GBCAST within the owning group (totally ordered w.r.t. membership
+    changes, so replicas stay identical), queries by CBCAST with the
+    rank-0 replica answering and the others null-replying.  Keyed
+    queries ([object=X]) route to one partition; anything else runs as
+    a {e coverage query} — scatter over all partitions, gather the
+    per-partition [(hits, examined)] counts, and recombine the exact
+    flat-database answer.
+
+    Handoff: a replica set is (re)populated by {!join}, which rides
+    the view-change protocol via [State_transfer.join_and_xfer] — the
+    new member's database is captured at the join's view event, so no
+    update is missed or applied twice.  {!Deployment.rebalance}
+    recomputes ring ownership over the live sites and drives joins
+    (and retirements) accordingly; {!Deployment.enable_auto_handoff}
+    triggers that from membership views. *)
+
+module Addr = Vsync_msg.Addr
+module Entry = Vsync_msg.Entry
+module Message = Vsync_msg.Message
+module Runtime = Vsync_core.Runtime
+module World = Vsync_core.World
+module Ring = Vsync_shard.Ring
+module Router = Vsync_shard.Router
+
+val base_name : string
+(** ["twentyq"]; partition [p]'s group is named ["twentyq-p<p>"]. *)
+
+val entry : Entry.t
+
+(** {1 Replicas} *)
+
+type member
+
+val member_proc : member -> Runtime.proc
+val member_part : member -> int
+val member_gid : member -> Addr.group_id
+val member_db : member -> Database.t
+
+(** [serve p ~part ~columns] creates partition [part]'s group with [p]
+    as first replica (blocking; task context). *)
+val serve : Runtime.proc -> part:int -> columns:string list -> member
+
+(** [join p ~part] joins partition [part]'s existing group, receiving
+    the partition database by state transfer.  Retries the directory
+    lookup briefly, so it may be issued concurrently with {!serve}. *)
+val join : Runtime.proc -> part:int -> (member, string) result
+
+(** {1 Clients} *)
+
+type client
+
+(** [connect p ~partitions] — a client routing over a [partitions]-way
+    ring (must match the deployment's). *)
+val connect : Runtime.proc -> partitions:int -> client
+
+val router : client -> Router.t
+
+(** [put c values] upserts a row, keyed by its first value: the keyed
+    GBCAST replaces any row with the same key in the owning partition
+    (idempotent, so handoff restarts cannot duplicate it). *)
+val put : ?retries:int -> client -> string list -> (unit, string) result
+
+(** [remove c ~column ~value] deletes matching rows in every partition
+    (coverage GBCAST); returns how many went. *)
+val remove : ?retries:int -> client -> column:string -> value:string -> (int, string) result
+
+(** [ask c q] answers a twenty-questions query.  An equality query on
+    the key column is an existence probe routed to the one partition
+    owning the key ({!Database.Yes} iff a row with that key exists;
+    the hit count is exact, since all rows sharing a key colocate);
+    everything else is a coverage query recombined exactly from the
+    per-partition counts.  Returns the answer and the number of
+    matching rows. *)
+val ask : ?retries:int -> client -> string -> (Database.answer * int, string) result
+
+(** [scan_keys c] — coverage scan: every row key in the whole sharded
+    relation (the handoff exactly-once check is built on this).
+    Partition order, insertion order within a partition. *)
+val scan_keys : ?retries:int -> client -> (string list, string) result
+
+(** {1 Deployment harness} *)
+
+module Deployment : sig
+  type t
+
+  (** [deploy w ~partitions ~replicas ~columns] enqueues formation
+      tasks for [partitions] replica groups placed by ring ownership
+      over all of [w]'s sites.  Drive the world (e.g. {!settle}) to
+      let formation complete. *)
+  val deploy :
+    World.t -> ?partitions:int -> ?replicas:int -> ?columns:string list -> unit -> t
+
+  val ring : t -> Ring.t
+  val replicas : t -> int
+
+  (** [members t part] — live replicas of [part]. *)
+  val members : t -> int -> member list
+
+  (** [formed t] — every partition has reached its replica target (or
+      the live-site count, if smaller). *)
+  val formed : t -> bool
+
+  (** [settle t ~timeout_us] runs the world until {!formed} (true) or
+      the timeout (false). *)
+  val settle : ?timeout_us:int -> t -> bool
+
+  (** [rebalance t] recomputes ring ownership over the currently-live
+      sites and enqueues the moves: joins at new owner sites (handoff
+      in, by state transfer) and retirements of replicas that lost
+      ownership (once the partition is back to strength).  Returns
+      immediately; drive the world to complete. *)
+  val rebalance : t -> unit
+
+  (** [enable_auto_handoff t] watches for site failures and runs
+      {!rebalance} automatically (debounced) when one is detected. *)
+  val enable_auto_handoff : t -> unit
+end

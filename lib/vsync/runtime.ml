@@ -151,7 +151,7 @@ and change_state = {
   c_attempt : int;
   c_batch : pending_event list;
   c_sites : int list; (* wedge set, incl. self *)
-  mutable c_acks : (int * ack_info) list;
+  c_acks : (int, ack_info) Hashtbl.t; (* by site; coordinator hot path *)
   mutable c_fetch_wait : int list;
   mutable c_fetched : Proto.stored list;
   mutable c_committed : bool;
@@ -212,13 +212,25 @@ and t = {
   held : (int, (int * Proto.frame) list) Hashtbl.t;
       (* gid -> future-view (src, frame), newest first *)
   dir : (string, Addr.group_id * int list) Hashtbl.t;
+  dir_by_gid : (int, string) Hashtbl.t;
+      (* reverse of [dir]: gid -> registered name, so per-group purges
+         (teardown, stale-contact refusals) are keyed lookups instead of
+         whole-directory scans — a site hosting hundreds of small groups
+         must not pay O(directory) per group event *)
   contacts : (int, int list) Hashtbl.t;
   sessions : (int, session_state) Hashtbl.t;
   obligations : (int, (int * Addr.proc) list) Hashtbl.t; (* responder idx -> obligations *)
   dir_queries : (int, int ref * (Addr.group_id * int list) option Ivar.t) Hashtbl.t;
   unstables : (uid, unstable) Hashtbl.t;
+  unstable_by_group : (int, Uid_set.t ref) Hashtbl.t;
+      (* per-group index over [unstables]: view install and teardown
+         settle one group's records without folding the global table *)
   ab_collects : (uid, ab_collect) Hashtbl.t;
+  collects_by_group : (int, Uid_set.t ref) Hashtbl.t; (* same, for [ab_collects] *)
   join_waiters : (int * int, (unit, string) result Ivar.t) Hashtbl.t; (* gid, proc idx *)
+  join_pending : (int, int) Hashtbl.t;
+      (* per-gid waiter count: [handle_group_frame] asks "any local join
+         in flight for this group?" per unknown-group frame *)
   leave_waiters : (int * int, unit Ivar.t) Hashtbl.t;
   mutable site_watchers : ([ `Down of int | `Up of int ] -> unit) list;
   mon_refs : (int, int) Hashtbl.t;
@@ -272,6 +284,89 @@ let uptime_utilization t =
   if now = 0 then 0.0 else float_of_int t.cpu_busy /. float_of_int now
 
 let gi = Addr.group_to_int
+
+(* --- per-group secondary indexes ---
+
+   [unstables] and [ab_collects] are global uid-keyed tables; these
+   helpers maintain gid-keyed shadow sets so group-scoped sweeps touch
+   only their own records. *)
+
+let grp_index_add tbl gid_int uid =
+  let r =
+    match Hashtbl.find_opt tbl gid_int with
+    | Some r -> r
+    | None ->
+      let r = ref Uid_set.empty in
+      Hashtbl.replace tbl gid_int r;
+      r
+  in
+  r := Uid_set.add uid !r
+
+let grp_index_remove tbl gid_int uid =
+  match Hashtbl.find_opt tbl gid_int with
+  | Some r ->
+    r := Uid_set.remove uid !r;
+    if Uid_set.is_empty !r then Hashtbl.remove tbl gid_int
+  | None -> ()
+
+(* [grp_index_take tbl gid] empties the group's set and returns its
+   elements. *)
+let grp_index_take tbl gid_int =
+  match Hashtbl.find_opt tbl gid_int with
+  | Some r ->
+    Hashtbl.remove tbl gid_int;
+    Uid_set.elements !r
+  | None -> []
+
+(* --- join-waiter registry (count shadowed per gid) --- *)
+
+let jw_add t ~gid_int ~idx iv =
+  Hashtbl.replace t.join_waiters (gid_int, idx) iv;
+  Hashtbl.replace t.join_pending gid_int
+    (1 + Option.value ~default:0 (Hashtbl.find_opt t.join_pending gid_int))
+
+let jw_take t ~gid_int ~idx =
+  match Hashtbl.find_opt t.join_waiters (gid_int, idx) with
+  | Some iv ->
+    Hashtbl.remove t.join_waiters (gid_int, idx);
+    (match Hashtbl.find_opt t.join_pending gid_int with
+    | Some n when n > 1 -> Hashtbl.replace t.join_pending gid_int (n - 1)
+    | Some _ -> Hashtbl.remove t.join_pending gid_int
+    | None -> ());
+    Some iv
+  | None -> None
+
+let jw_any t gid_int = Hashtbl.mem t.join_pending gid_int
+
+(* --- name directory, with its gid reverse index --- *)
+
+let dir_set t name (gid, sites) =
+  Hashtbl.replace t.dir name (gid, sites);
+  Hashtbl.replace t.dir_by_gid (gi gid) name
+
+let dir_remove t name =
+  match Hashtbl.find_opt t.dir name with
+  | Some (gid, _) ->
+    Hashtbl.remove t.dir name;
+    (match Hashtbl.find_opt t.dir_by_gid (gi gid) with
+    | Some n when String.equal n name -> Hashtbl.remove t.dir_by_gid (gi gid)
+    | Some _ | None -> ())
+  | None -> ()
+
+(* [dir_drop_site t ~gid_int ~site] removes [site] from the hints of
+   the (single) name registered for [gid_int], dropping the entry when
+   no hint remains — the keyed replacement for scanning the whole
+   directory. *)
+let dir_drop_site t ~gid_int ~site =
+  match Hashtbl.find_opt t.dir_by_gid gid_int with
+  | None -> ()
+  | Some name -> (
+    match Hashtbl.find_opt t.dir name with
+    | Some (gid', sites) when gi gid' = gid_int -> (
+      match List.filter (( <> ) site) sites with
+      | [] -> dir_remove t name
+      | remaining -> Hashtbl.replace t.dir name (gid', remaining))
+    | Some _ | None -> ())
 
 let endpoint t =
   match t.ep with Some e -> e | None -> invalid_arg "Runtime: endpoint not wired"
@@ -474,6 +569,7 @@ let i_am_coord t g = acting_coord_site g = Some t.my_site
 type ack_resolution = {
   r_missing_cb : uid list; (* CBCASTs some wedged site has not received *)
   r_ab_finalize : (uid * prio) list; (* final priorities, sorted by uid *)
+  r_final : (uid, prio) Hashtbl.t; (* same, keyed for per-uid lookups *)
   r_ab_drop : uid list; (* uncommitted ABCASTs from dead originators *)
   r_ab_missing : uid list; (* finalized ABCASTs some site lacks *)
 }
@@ -483,7 +579,7 @@ let resolve_acks ~gid ~view_id (c : change_state) =
      exactly [c_sites]; when that breaks (a protocol bug), fail with the
      flush's full coordinates rather than a bare [Not_found]. *)
   let info_of s =
-    match List.assoc_opt s c.c_acks with
+    match Hashtbl.find_opt c.c_acks s with
     | Some a -> a
     | None ->
       invalid_arg
@@ -491,10 +587,11 @@ let resolve_acks ~gid ~view_id (c : change_state) =
            "Runtime.resolve_acks: no wedge ack from site %d (group g%d view %d attempt %d; \
             acks from [%s])"
            s gid view_id c.c_attempt
-           (String.concat " " (List.map (fun (s, _) -> string_of_int s) c.c_acks)))
+           (String.concat " "
+              (Hashtbl.fold (fun s _ acc -> string_of_int s :: acc) c.c_acks [])))
   in
   let union =
-    List.fold_left (fun acc (_, a) -> Uid_set.union acc a.a_cb_known) Uid_set.empty c.c_acks
+    Hashtbl.fold (fun _ a acc -> Uid_set.union acc a.a_cb_known) c.c_acks Uid_set.empty
   in
   let missing_cb =
     Uid_set.filter
@@ -502,15 +599,15 @@ let resolve_acks ~gid ~view_id (c : change_state) =
       union
   in
   let ab_all : (uid, Proto.ab_report list) Hashtbl.t = Hashtbl.create 16 in
-  List.iter
-    (fun (_, a) ->
+  Hashtbl.iter
+    (fun _ a ->
       List.iter
         (fun (r : Proto.ab_report) ->
           let cur = Option.value ~default:[] (Hashtbl.find_opt ab_all r.Proto.ab_uid) in
           Hashtbl.replace ab_all r.Proto.ab_uid (r :: cur))
         a.a_ab_report)
     c.c_acks;
-  let floor = List.fold_left (fun acc (_, a) -> max acc a.a_ab_counter) 0 c.c_acks in
+  let floor = Hashtbl.fold (fun _ a acc -> max acc a.a_ab_counter) c.c_acks 0 in
   let ab_uids = Hashtbl.fold (fun u _ acc -> u :: acc) ab_all [] |> List.sort uid_compare in
   let site_set = Int_set.of_list c.c_sites in
   let next_final = ref floor in
@@ -546,9 +643,12 @@ let resolve_acks ~gid ~view_id (c : change_state) =
       ab_finalize
     |> List.map fst
   in
+  let final_tbl = Hashtbl.create (List.length ab_finalize) in
+  List.iter (fun (u, p) -> Hashtbl.replace final_tbl u p) ab_finalize;
   {
     r_missing_cb = Uid_set.elements missing_cb;
     r_ab_finalize = ab_finalize;
+    r_final = final_tbl;
     r_ab_drop = ab_drop;
     r_ab_missing = ab_missing;
   }
@@ -711,6 +811,7 @@ and on_deliver_ack t ~src uid =
 and check_stable t uid u =
   if u.remaining = [] then begin
     Hashtbl.remove t.unstables uid;
+    grp_index_remove t.unstable_by_group (gi u.u_group) uid;
     (let tr = Trace.obs t.tracer in
      if Obs_tracer.wants tr Obs_event.Proto then
        Obs_tracer.emit tr
@@ -928,6 +1029,7 @@ and mark_unstable t g uid ~remote ~owner =
   if remote <> [] then begin
     Hashtbl.replace t.unstables uid
       { remaining = remote; u_owner = owner; u_group = g.gid; u_dests = remote };
+    grp_index_add t.unstable_by_group (gi g.gid) uid;
     match owner with
     | Some p when p.palive -> p.outstanding <- Uid_set.add uid p.outstanding
     | Some _ | None -> ()
@@ -1043,6 +1145,7 @@ and origin_abcast t g ~owner body =
   else begin
     g.ab_inflight <- g.ab_inflight + 1;
     Hashtbl.replace t.ab_collects uid { ac_group = g.gid; ac_expect = remote; ac_max = my_prio };
+    grp_index_add t.collects_by_group (gi g.gid) uid;
     List.iter
       (fun dst ->
         send_frame t ~dst (Proto.Ab_data { group = g.gid; view_id = g.view.View.view_id; uid; body }))
@@ -1063,7 +1166,9 @@ and on_ab_prio t ~src uid prio =
   | None -> () (* collection finished or superseded by a flush *)
   | Some col -> (
     match group_of t col.ac_group with
-    | None -> Hashtbl.remove t.ab_collects uid
+    | None ->
+      Hashtbl.remove t.ab_collects uid;
+      grp_index_remove t.collects_by_group (gi col.ac_group) uid
     | Some g ->
       if g.wedge <> None then () (* the flush coordinator will finalize *)
       else begin
@@ -1080,6 +1185,7 @@ and on_ab_prio t ~src uid prio =
           col.ac_expect <- List.tl col.ac_expect;
           if col.ac_expect = [] then begin
             Hashtbl.remove t.ab_collects uid;
+            grp_index_remove t.collects_by_group (gi col.ac_group) uid;
             g.ab_inflight <- max 0 (g.ab_inflight - 1);
             let final = col.ac_max in
             Trace.emitf t.tracer ~category:"abcast" "commit %a %a" pp_uid uid pp_prio final;
@@ -1110,10 +1216,8 @@ and route_event t g ev =
        primary partition once the split heals. *)
     let reason = "partitioned: minority component" in
     if p.Addr.site = t.my_site then (
-      match Hashtbl.find_opt t.join_waiters (gi g.gid, p.Addr.idx) with
-      | Some iv ->
-        Hashtbl.remove t.join_waiters (gi g.gid, p.Addr.idx);
-        Ivar.fill iv (Error reason)
+      match jw_take t ~gid_int:(gi g.gid) ~idx:p.Addr.idx with
+      | Some iv -> Ivar.fill iv (Error reason)
       | None -> ())
     else send_frame t ~dst:p.Addr.site (Proto.Join_refused { group = g.gid; joiner = p; reason })
   | _ -> (
@@ -1272,7 +1376,8 @@ and start_change t g =
     let sites = List.sort_uniq compare (t.my_site :: live_sites) in
     g.change <-
       Some
-        { c_attempt = attempt; c_batch = batch; c_sites = sites; c_acks = []; c_fetch_wait = [];
+        { c_attempt = attempt; c_batch = batch; c_sites = sites;
+          c_acks = Hashtbl.create (List.length sites); c_fetch_wait = [];
           c_fetched = []; c_committed = false };
     Trace.emitf t.tracer ~category:"view" "start change g%d v%d a%d (%d events)" (gi g.gid)
       g.view.View.view_id attempt (List.length batch);
@@ -1310,7 +1415,7 @@ and wedge_retry t g ~attempt =
              | Some c when c.c_attempt = attempt && not c.c_committed ->
                let missing =
                  List.filter
-                   (fun s -> s <> t.my_site && not (List.mem_assoc s c.c_acks))
+                   (fun s -> s <> t.my_site && not (Hashtbl.mem c.c_acks s))
                    c.c_sites
                in
                if missing <> [] then begin
@@ -1488,34 +1593,30 @@ and partition_teardown t g ~new_view_id =
   g.blocked_sends <- [];
   Queue.iter (fun (owner, _) -> init_done owner) g.ab_queue;
   Queue.clear g.ab_queue;
-  let settled =
-    Hashtbl.fold
-      (fun uid u acc -> if gi u.u_group = gid_int then (uid, u) :: acc else acc)
-      t.unstables []
-  in
   List.iter
-    (fun (uid, (u : unstable)) ->
-      Hashtbl.remove t.unstables uid;
-      match u.u_owner with
-      | Some p when p.palive ->
-        p.outstanding <- Uid_set.remove uid p.outstanding;
-        maybe_wake_flushers p
-      | Some _ | None -> ())
-    settled;
-  let stale_collects =
-    Hashtbl.fold
-      (fun uid col acc -> if gi col.ac_group = gid_int then uid :: acc else acc)
-      t.ab_collects []
-  in
-  List.iter (fun u -> Hashtbl.remove t.ab_collects u) stale_collects;
+    (fun uid ->
+      match Hashtbl.find_opt t.unstables uid with
+      | None -> ()
+      | Some (u : unstable) -> (
+        Hashtbl.remove t.unstables uid;
+        match u.u_owner with
+        | Some p when p.palive ->
+          p.outstanding <- Uid_set.remove uid p.outstanding;
+          maybe_wake_flushers p
+        | Some _ | None -> ()))
+    (grp_index_take t.unstable_by_group gid_int);
+  List.iter
+    (fun u -> Hashtbl.remove t.ab_collects u)
+    (grp_index_take t.collects_by_group gid_int);
   Hashtbl.remove t.held gid_int;
-  Hashtbl.iter
-    (fun (gid', idx) iv ->
-      if gid' = gid_int then begin
-        Hashtbl.remove t.join_waiters (gid', idx);
-        Ivar.fill iv (Error "partitioned: evicted from primary partition")
-      end)
-    (Hashtbl.copy t.join_waiters);
+  if jw_any t gid_int then
+    Hashtbl.iter
+      (fun (gid', idx) _ ->
+        if gid' = gid_int then
+          match jw_take t ~gid_int ~idx with
+          | Some iv -> Ivar.fill iv (Error "partitioned: evicted from primary partition")
+          | None -> ())
+      (Hashtbl.copy t.join_waiters);
   Hashtbl.iter
     (fun (gid', idx) iv ->
       if gid' = gid_int then begin
@@ -1542,13 +1643,7 @@ and partition_teardown t g ~new_view_id =
     | [] -> Hashtbl.remove t.contacts gid_int
     | remaining -> Hashtbl.replace t.contacts gid_int remaining)
   | None -> ());
-  Hashtbl.iter
-    (fun name (gid', sites) ->
-      if gi gid' = gid_int then
-        match List.filter (( <> ) t.my_site) sites with
-        | [] -> Hashtbl.remove t.dir name
-        | remaining -> Hashtbl.replace t.dir name (gid', remaining))
-    (Hashtbl.copy t.dir)
+  dir_drop_site t ~gid_int ~site:t.my_site
 
 and restart_change t g =
   (* A failure interrupted the flush: requeue the unprocessed batch and
@@ -1684,9 +1779,9 @@ and on_wedge_ack t g ~from_site ~attempt ack =
        let the flush proceed while a participant is still missing
        (resolve_acks then has no report to consult for it).  The
        recovered site is evicted by this view and rejoins. *)
-    if not (List.mem_assoc from_site c.c_acks) then begin
-      c.c_acks <- (from_site, ack) :: c.c_acks;
-      if List.length c.c_acks = List.length c.c_sites then proceed_with_acks t g c
+    if not (Hashtbl.mem c.c_acks from_site) then begin
+      Hashtbl.replace c.c_acks from_site ack;
+      if Hashtbl.length c.c_acks = List.length c.c_sites then proceed_with_acks t g c
     end
   | Some _ | None -> ()
 
@@ -1694,7 +1789,11 @@ and proceed_with_acks t g c =
   (* Someone already holds a commit from a dead coordinator for this
      view: re-broadcast it verbatim, requeue our batch, and let the
      commit drive everyone forward. *)
-  match List.find_map (fun (_, a) -> a.a_already) c.c_acks with
+  match
+    Hashtbl.fold
+      (fun _ a acc -> match acc with Some _ -> acc | None -> a.a_already)
+      c.c_acks None
+  with
   | Some commit_frame ->
     g.pending_events <- Deque.prepend c.c_batch g.pending_events;
     g.change <- None;
@@ -1706,7 +1805,7 @@ and proceed_with_acks t g c =
     (* Who holds each needed body?  Prefer ourselves. *)
     let holder_of u =
       let has s =
-        match List.assoc_opt s c.c_acks with
+        match Hashtbl.find_opt c.c_acks s with
         | Some a -> Uid_set.mem u a.a_cb_known || Uid_set.mem u a.a_ab_uids
         | None ->
           invalid_arg
@@ -1785,7 +1884,7 @@ and finish_change t g c =
   let batch =
     List.filter
       (function
-        | Ev_fail (p, false) -> not (List.mem_assoc p.Addr.site c.c_acks)
+        | Ev_fail (p, false) -> not (Hashtbl.mem c.c_acks p.Addr.site)
         | _ -> true)
       c.c_batch
   in
@@ -1856,7 +1955,7 @@ and build_commit t g c events gb_bodies =
      with the Sab priorities fixed to the final values. *)
   let r = resolve_acks ~gid:(gi g.gid) ~view_id:g.view.View.view_id c in
   let final_of u =
-    match List.assoc_opt u r.r_ab_finalize with
+    match Hashtbl.find_opt r.r_final u with
     | Some p -> p
     | None ->
       invalid_arg
@@ -1973,7 +2072,7 @@ and on_commit t ~src g_opt frame =
       (* Every member site can answer directory queries for its groups,
          so the name outlives the creator site. *)
       if not (String.equal gname "") then
-        Hashtbl.replace t.dir gname (group, View.sites new_view);
+        dir_set t gname (group, View.sites new_view);
       g.view <- new_view;
       g.causal <- Causal.create ~n_ranks:(View.n_members new_view) ();
       g.total <- Total.create ~site:t.my_site ();
@@ -2009,26 +2108,21 @@ and on_commit t ~src g_opt frame =
           g.failed_procs events;
       (* Old-view unstable records of this group are settled by the
          flush. *)
-      let settled =
-        Hashtbl.fold
-          (fun uid u acc -> if gi u.u_group = gi group then (uid, u) :: acc else acc)
-          t.unstables []
-      in
       List.iter
-        (fun (uid, (u : unstable)) ->
-          Hashtbl.remove t.unstables uid;
-          match u.u_owner with
-          | Some p when p.palive ->
-            p.outstanding <- Uid_set.remove uid p.outstanding;
-            maybe_wake_flushers p
-          | Some _ | None -> ())
-        settled;
-      let stale_collects =
-        Hashtbl.fold
-          (fun uid col acc -> if gi col.ac_group = gi group then uid :: acc else acc)
-          t.ab_collects []
-      in
-      List.iter (fun u -> Hashtbl.remove t.ab_collects u) stale_collects;
+        (fun uid ->
+          match Hashtbl.find_opt t.unstables uid with
+          | None -> ()
+          | Some (u : unstable) -> (
+            Hashtbl.remove t.unstables uid;
+            match u.u_owner with
+            | Some p when p.palive ->
+              p.outstanding <- Uid_set.remove uid p.outstanding;
+              maybe_wake_flushers p
+            | Some _ | None -> ()))
+        (grp_index_take t.unstable_by_group (gi group));
+      List.iter
+        (fun u -> Hashtbl.remove t.ab_collects u)
+        (grp_index_take t.collects_by_group (gi group));
       (* The flush settled every outstanding ABCAST round of the old
          view; the origination pipeline restarts empty in the new one
          (queued sends dispatch below, before the blocked replay, which
@@ -2102,10 +2196,8 @@ and on_commit t ~src g_opt frame =
         (fun ev ->
           match ev with
           | View.Member_joined p when p.Addr.site = t.my_site -> (
-            match Hashtbl.find_opt t.join_waiters (gi group, p.Addr.idx) with
-            | Some iv ->
-              Hashtbl.remove t.join_waiters (gi group, p.Addr.idx);
-              Ivar.fill iv (Ok ())
+            match jw_take t ~gid_int:(gi group) ~idx:p.Addr.idx with
+            | Some iv -> Ivar.fill iv (Ok ())
             | None -> ())
           | View.Member_left p when p.Addr.site = t.my_site -> (
             match Hashtbl.find_opt t.leave_waiters (gi group, p.Addr.idx) with
@@ -2269,7 +2361,7 @@ and on_site_down ?(certain = false) t s =
     (fun name (gid, sites) ->
       let remaining = List.filter (( <> ) s) sites in
       if List.compare_lengths remaining sites <> 0 then
-        if remaining = [] then Hashtbl.remove t.dir name
+        if remaining = [] then dir_remove t name
         else Hashtbl.replace t.dir name (gid, remaining))
     (Hashtbl.copy t.dir);
   session_site_down t s;
@@ -2382,7 +2474,7 @@ and handle_frame t ~src frame =
         match info with
         | Some (name, gid, sites) ->
           Hashtbl.remove t.dir_queries qid;
-          Hashtbl.replace t.dir name (gid, sites);
+          dir_set t name (gid, sites);
           remember_contacts t gid sites;
           Ivar.fill_if_empty iv (Some (gid, sites)) |> ignore
         | None ->
@@ -2392,7 +2484,7 @@ and handle_frame t ~src frame =
             Ivar.fill_if_empty iv None |> ignore
           end))
     | Proto.Dir_update { name; group; sites } ->
-      Hashtbl.replace t.dir name (group, sites);
+      dir_set t name (group, sites);
       remember_contacts t group sites
     | Proto.Site_hello { site = s; _ } -> on_site_up t s
     | Proto.View_probe { group; view_id = _; from_site } ->
@@ -2468,8 +2560,7 @@ and handle_group_frame t ~src frame =
          joiner nothing will ever replay the buffer — e.g. a restarted
          site whose dead member is still listed in the senders' view
          would accumulate frames without bound. *)
-      if Hashtbl.fold (fun (g', _) _ acc -> acc || g' = gi gid) t.join_waiters false then
-        hold_frame t ~src (gi gid) frame
+      if jw_any t (gi gid) then hold_frame t ~src (gi gid) frame
   in
   match frame with
   | Proto.Cb_data { group; view_id; uid; rank; vt; body } ->
@@ -2519,23 +2610,14 @@ and handle_group_frame t ~src frame =
            | [] -> Hashtbl.remove t.contacts (gi group)
            | remaining -> Hashtbl.replace t.contacts (gi group) remaining)
          | None -> ());
-         Hashtbl.iter
-           (fun name (gid', sites) ->
-             if gi gid' = gi group then
-               match List.filter (( <> ) src) sites with
-               | [] -> Hashtbl.remove t.dir name
-               | remaining -> Hashtbl.replace t.dir name (gid', remaining))
-           (Hashtbl.copy t.dir)
+         dir_drop_site t ~gid_int:(gi group) ~site:src
        end);
-      match Hashtbl.find_opt t.join_waiters (gi group, joiner.Addr.idx) with
+      match jw_take t ~gid_int:(gi group) ~idx:joiner.Addr.idx with
       | Some iv ->
-        Hashtbl.remove t.join_waiters (gi group, joiner.Addr.idx);
         (* Frames held in anticipation of the join have no replayer
            now (unless another local joiner is still waiting). *)
-        if
-          group_of t group = None
-          && not (Hashtbl.fold (fun (g', _) _ acc -> acc || g' = gi group) t.join_waiters false)
-        then Hashtbl.remove t.held (gi group);
+        if group_of t group = None && not (jw_any t (gi group)) then
+          Hashtbl.remove t.held (gi group);
         Ivar.fill iv (Error reason)
       | None -> ())
   | Proto.Leave_req { group; who } -> (
@@ -2703,13 +2785,17 @@ let create ?(config = default_config) fab ~site ~trace () =
       groups = Hashtbl.create 16;
       held = Hashtbl.create 8;
       dir = Hashtbl.create 16;
+      dir_by_gid = Hashtbl.create 16;
       contacts = Hashtbl.create 16;
       sessions = Hashtbl.create 16;
       obligations = Hashtbl.create 16;
       dir_queries = Hashtbl.create 8;
       unstables = Hashtbl.create 32;
+      unstable_by_group = Hashtbl.create 16;
       ab_collects = Hashtbl.create 16;
+      collects_by_group = Hashtbl.create 16;
       join_waiters = Hashtbl.create 8;
+      join_pending = Hashtbl.create 8;
       leave_waiters = Hashtbl.create 8;
       site_watchers = [];
       mon_refs = Hashtbl.create 8;
@@ -2734,13 +2820,17 @@ let crash t =
     Hashtbl.reset t.groups;
     Hashtbl.reset t.held;
     Hashtbl.reset t.dir;
+    Hashtbl.reset t.dir_by_gid;
     Hashtbl.reset t.contacts;
     Hashtbl.reset t.sessions;
     Hashtbl.reset t.obligations;
     Hashtbl.reset t.dir_queries;
     Hashtbl.reset t.unstables;
+    Hashtbl.reset t.unstable_by_group;
     Hashtbl.reset t.ab_collects;
+    Hashtbl.reset t.collects_by_group;
     Hashtbl.reset t.join_waiters;
+    Hashtbl.reset t.join_pending;
     Hashtbl.reset t.leave_waiters;
     Hashtbl.reset t.mon_refs;
     t.site_watchers <- [];
@@ -2775,7 +2865,7 @@ let pg_create p name =
   let view = View.initial gid p.addr in
   let g = make_group t ~gid ~gname:name ~view in
   Hashtbl.replace t.groups (gi gid) g;
-  Hashtbl.replace t.dir name (gid, [ t.my_site ]);
+  dir_set t name (gid, [ t.my_site ]);
   remember_contacts t gid [ t.my_site ];
   p.memberships <- gi gid :: p.memberships;
   Trace.emitf t.tracer ~category:"group" "create %s = g%d" name (gi gid);
@@ -2816,14 +2906,14 @@ let pg_join p gid ~credentials =
   let credentials = Message.copy credentials in
   Message.set_sender credentials p.addr;
   let iv = Ivar.create () in
-  Hashtbl.replace t.join_waiters (gi gid, p.addr.Addr.idx) iv;
+  jw_add t ~gid_int:(gi gid) ~idx:p.addr.Addr.idx iv;
   (match group_of t gid with
   | Some g -> route_event t g (Ev_join (p.addr, credentials))
   | None -> (
     match contact_site_for t gid with
     | Some c -> send_frame t ~dst:c (Proto.Join_req { group = gid; joiner = p.addr; credentials })
     | None ->
-      Hashtbl.remove t.join_waiters (gi gid, p.addr.Addr.idx);
+      ignore (jw_take t ~gid_int:(gi gid) ~idx:p.addr.Addr.idx);
       Ivar.fill iv (Error "no known contact site for group")));
   let r = Ivar.read iv in
   (match r with

@@ -61,4 +61,5 @@ let () =
       ("realtime", Test_realtime.suite);
       ("tools2", Test_tools2.suite);
       ("partition", Test_partition.suite);
+      ("shard", Test_shard.suite);
     ]

@@ -1,0 +1,318 @@
+(* The sharded process-group layer: ring arithmetic units, the sharded
+   twenty-questions service end-to-end (coverage queries recombining
+   the exact flat answer), handoff-on-view-change delivering every key
+   exactly once, and a seeded nemesis sweep over a 16-partition
+   deployment with a per-group oracle. *)
+
+open Vsync_core
+module Ring = Vsync_shard.Ring
+module Sharded = Twentyq.Sharded
+module Deployment = Twentyq.Sharded.Deployment
+module Database = Twentyq.Database
+module Nemesis = Vsync_sim.Nemesis
+
+(* --- ring units ------------------------------------------------------ *)
+
+let test_ring_determinism () =
+  (* FNV-1a of the empty string is the offset basis: an anchor that
+     pins the hash function across word sizes and compiler versions. *)
+  Alcotest.(check string)
+    "fnv-1a offset basis" "cbf29ce484222325"
+    (Printf.sprintf "%Lx" (Ring.hash64 ""));
+  let r1 = Ring.create ~partitions:64 () in
+  let r2 = Ring.create ~partitions:64 () in
+  for i = 0 to 999 do
+    let key = Printf.sprintf "key%d" i in
+    let p = Ring.partition_of_key r1 key in
+    Alcotest.(check bool) "partition in range" true (p >= 0 && p < 64);
+    Alcotest.(check int) "same key, same partition, any ring instance" p
+      (Ring.partition_of_key r2 key)
+  done
+
+let test_ring_balance () =
+  let r = Ring.create ~partitions:64 () in
+  let counts = Array.make 64 0 in
+  let n = 10_000 in
+  for i = 0 to n - 1 do
+    let p = Ring.partition_of_key r (Printf.sprintf "key%d" i) in
+    counts.(p) <- counts.(p) + 1
+  done;
+  let avg = n / 64 in
+  Array.iteri
+    (fun p c ->
+      Alcotest.(check bool)
+        (Printf.sprintf "partition %d count %d within 3x of mean %d" p c avg)
+        true
+        (c > avg / 3 && c < avg * 3))
+    counts
+
+let test_ring_owners () =
+  let r = Ring.create ~partitions:16 () in
+  let sites = [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ] in
+  for part = 0 to 15 do
+    let owners = Ring.owners r ~sites ~replicas:3 part in
+    Alcotest.(check int) "three owners" 3 (List.length owners);
+    Alcotest.(check int) "owners distinct" 3 (List.length (List.sort_uniq compare owners));
+    List.iter
+      (fun s -> Alcotest.(check bool) "owner is a site" true (List.mem s sites))
+      owners;
+    (* Order-insensitive in the site list. *)
+    Alcotest.(check (list int)) "insensitive to site order" owners
+      (Ring.owners r ~sites:(List.rev sites) ~replicas:3 part);
+    Alcotest.(check int) "primary is the first owner" (List.hd owners)
+      (Ring.primary r ~sites part)
+  done;
+  (* Fewer sites than replicas: every site, preference-sorted. *)
+  let all = Ring.owners r ~sites:[ 4; 2 ] ~replicas:3 0 in
+  Alcotest.(check int) "short site list returns all" 2 (List.length all)
+
+(* Rendezvous hashing's minimal-movement property, which the handoff
+   design leans on: deleting one site reassigns only the partitions it
+   owned, and surviving owners keep their slots (in order). *)
+let test_ring_minimal_movement () =
+  let r = Ring.create ~partitions:64 () in
+  let sites = [ 0; 1; 2; 3; 4; 5; 6; 7 ] in
+  let gone = 3 in
+  let remaining = List.filter (fun s -> s <> gone) sites in
+  let moved = ref 0 in
+  for part = 0 to 63 do
+    let before = Ring.owners r ~sites ~replicas:3 part in
+    let after = Ring.owners r ~sites:remaining ~replicas:3 part in
+    if List.mem gone before then begin
+      incr moved;
+      let survivors = List.filter (fun s -> s <> gone) before in
+      Alcotest.(check (list int))
+        (Printf.sprintf "partition %d: survivors keep their order" part)
+        survivors
+        (List.filter (fun s -> List.mem s survivors) after)
+    end
+    else
+      Alcotest.(check (list int))
+        (Printf.sprintf "partition %d: untouched by unrelated site loss" part)
+        before after
+  done;
+  Alcotest.(check bool) "some partitions did move" true (!moved > 0)
+
+(* --- sharded service end-to-end -------------------------------------- *)
+
+let columns = [ "object"; "color"; "price" ]
+
+let demo_rows =
+  [
+    [ "corvette"; "red"; "9500" ]; [ "beetle"; "blue"; "2000" ];
+    [ "pickup"; "red"; "7000" ]; [ "van"; "white"; "8000" ];
+    [ "roadster"; "green"; "12000" ]; [ "wagon"; "blue"; "4500" ];
+    [ "coupe"; "red"; "11000" ]; [ "mini"; "white"; "3000" ];
+  ]
+
+let with_deployment ?(sites = 4) ?(partitions = 8) ?(replicas = 3) ?(seed = 0x51A2L) f =
+  let w = World.create ~seed ~sites () in
+  let d = Deployment.deploy w ~partitions ~replicas ~columns () in
+  Alcotest.(check bool) "deployment formed" true (Deployment.settle d);
+  let cp = World.proc w ~site:0 ~name:"shard-client" in
+  let c = Sharded.connect cp ~partitions in
+  f w d c
+
+let test_coverage_queries () =
+  with_deployment (fun w _d c ->
+      let failures = ref [] in
+      World.run_task w (Vsync_shard.Router.owner_proc (Sharded.router c)) (fun () ->
+          List.iter
+            (fun row ->
+              match Sharded.put c row with
+              | Ok () -> ()
+              | Error e -> failures := e :: !failures)
+            demo_rows;
+          (* The coverage answer must equal the flat relation's. *)
+          let flat = Database.create ~columns in
+          List.iter (Database.add_row flat) demo_rows;
+          List.iter
+            (fun q ->
+              let expected =
+                match Database.parse_query q with
+                | Some pq ->
+                  let hits, examined = Database.count_matches flat pq in
+                  let a =
+                    if examined = 0 || hits = 0 then Database.No
+                    else if hits = examined then Database.Yes
+                    else Database.Sometimes
+                  in
+                  (a, hits)
+                | None -> Alcotest.failf "bad test query %s" q
+              in
+              match Sharded.ask c q with
+              | Ok got ->
+                Alcotest.(check (pair string int))
+                  (Printf.sprintf "coverage answer for %s" q)
+                  (Database.answer_to_string (fst expected), snd expected)
+                  (Database.answer_to_string (fst got), snd got)
+              | Error e -> Alcotest.failf "query %s failed: %s" q e)
+            [ "color=red"; "price>5000"; "price<100"; "color=white"; "nope=1" ];
+          (* Keyed queries are existence probes on the owning partition. *)
+          (match Sharded.ask c "object=beetle" with
+          | Ok (a, hits) ->
+            Alcotest.(check string) "keyed hit" "yes" (Database.answer_to_string a);
+            Alcotest.(check int) "keyed hit count" 1 hits
+          | Error e -> Alcotest.failf "keyed query failed: %s" e);
+          (match Sharded.ask c "object=zeppelin" with
+          | Ok (a, hits) ->
+            Alcotest.(check string) "keyed miss" "no" (Database.answer_to_string a);
+            Alcotest.(check int) "keyed miss count" 0 hits
+          | Error e -> Alcotest.failf "keyed miss failed: %s" e);
+          (* Coverage removal, then the scan sees the survivors only. *)
+          (match Sharded.remove c ~column:"color" ~value:"red" with
+          | Ok n -> Alcotest.(check int) "removed the red rows" 3 n
+          | Error e -> Alcotest.failf "remove failed: %s" e);
+          match Sharded.scan_keys c with
+          | Ok keys ->
+            Alcotest.(check (list string)) "scan = non-red keys"
+              [ "beetle"; "mini"; "roadster"; "van"; "wagon" ]
+              (List.sort compare keys)
+          | Error e -> Alcotest.failf "scan failed: %s" e);
+      World.run w;
+      Alcotest.(check (list string)) "no put failures" [] !failures)
+
+(* --- handoff ---------------------------------------------------------- *)
+
+let put_keys w c ~n ~prefix =
+  let failed = ref [] in
+  World.run_task w (Vsync_shard.Router.owner_proc (Sharded.router c)) (fun () ->
+      for i = 0 to n - 1 do
+        let k = Printf.sprintf "%s%02d" prefix i in
+        match Sharded.put c [ k; "grey"; string_of_int (1000 + i) ] with
+        | Ok () -> ()
+        | Error e -> failed := (k, e) :: !failed
+      done);
+  World.run w;
+  Alcotest.(check int) "all puts accepted" 0 (List.length !failed)
+
+let scan_exactly_once w c ~n ~prefix ~msg =
+  let got = ref None in
+  World.run_task w (Vsync_shard.Router.owner_proc (Sharded.router c)) (fun () ->
+      match Sharded.scan_keys c with
+      | Ok keys -> got := Some keys
+      | Error e -> Alcotest.failf "%s: scan failed: %s" msg e);
+  World.run w;
+  match !got with
+  | None -> Alcotest.failf "%s: scan did not complete" msg
+  | Some keys ->
+    let expected = List.init n (fun i -> Printf.sprintf "%s%02d" prefix i) in
+    Alcotest.(check (list string))
+      (Printf.sprintf "%s: every key exactly once" msg)
+      expected (List.sort compare keys)
+
+(* A site dies; auto-handoff recomputes ring ownership over the
+   survivors and re-replicates by state transfer; the site returns and
+   a rebalance hands partitions back (with the ex-owners retiring).
+   Throughout, a full scatter/gather scan finds every key exactly once
+   — no key lost with its dead replica, none duplicated by re-joins. *)
+let test_handoff_exactly_once () =
+  let n = 50 in
+  with_deployment ~sites:4 ~partitions:16 (fun w d c ->
+      Deployment.enable_auto_handoff d;
+      put_keys w c ~n ~prefix:"h";
+      scan_exactly_once w c ~n ~prefix:"h" ~msg:"before crash";
+      World.crash_site w 3;
+      World.run_for w 5_000_000;
+      Alcotest.(check bool) "re-formed on survivors" true
+        (Deployment.settle ~timeout_us:120_000_000 d);
+      scan_exactly_once w c ~n ~prefix:"h" ~msg:"after crash + handoff";
+      World.restart_site w 3;
+      World.run_for w 2_000_000;
+      Deployment.rebalance d;
+      World.run_for w 20_000_000;
+      Alcotest.(check bool) "re-formed after return" true
+        (Deployment.settle ~timeout_us:120_000_000 d);
+      scan_exactly_once w c ~n ~prefix:"h" ~msg:"after return + rebalance";
+      (* The returned site owns partitions again: handoff went both ways. *)
+      let back = ref false in
+      for part = 0 to 15 do
+        List.iter
+          (fun m ->
+            let addr = Runtime.proc_addr (Sharded.member_proc m) in
+            if addr.Vsync_msg.Addr.site = 3 then back := true)
+          (Deployment.members d part)
+      done;
+      Alcotest.(check bool) "restarted site hosts partitions again" true !back)
+
+(* --- nemesis sweep ---------------------------------------------------- *)
+
+(* 25 seeded fault plans against a 16-partition deployment with
+   auto-handoff on and keyed traffic running: every group must uphold
+   the virtual-synchrony invariants (one oracle per partition group).
+   Traffic-level invariants are vacuous here (service messages carry no
+   oracle tag); what the sweep proves is membership sanity — view
+   consistency, final-view agreement, no split-brain — for every small
+   replica group while crashes, partitions and rebalances churn it. *)
+let test_shard_nemesis_sweep () =
+  let sites = 5 in
+  let partitions = 16 in
+  let with_fault = ref 0 in
+  for i = 0 to 24 do
+    let seed = Int64.of_int (9500 + i) in
+    let w = World.create ~seed ~sites () in
+    let d = Deployment.deploy w ~partitions ~replicas:3 ~columns:[ "object" ] () in
+    if not (Deployment.settle d) then
+      Alcotest.failf "seed %Ld: deployment failed to form" seed;
+    let oracles =
+      List.init partitions (fun part ->
+          match Deployment.members d part with
+          | [] -> Alcotest.failf "seed %Ld: partition %d empty after settle" seed part
+          | first :: _ as members ->
+            let o = Oracle.create w ~gid:(Sharded.member_gid first) in
+            List.iter (fun m -> Oracle.track o (Sharded.member_proc m)) members;
+            (part, o))
+    in
+    Deployment.enable_auto_handoff d;
+    let horizon_us = 12_000_000 in
+    let t0 = World.now w in
+    let cp = World.proc w ~site:0 ~name:"nem-client" in
+    let c = Sharded.connect cp ~partitions in
+    let ok_puts = ref 0 in
+    World.run_task w cp (fun () ->
+        let j = ref 0 in
+        while World.now w < t0 + horizon_us do
+          (match Sharded.put ~retries:1 c [ Printf.sprintf "k%d" (!j mod 40) ] with
+          | Ok () -> incr ok_puts
+          | Error _ -> ());
+          incr j;
+          Runtime.sleep cp 100_000
+        done);
+    let plan = Nemesis.random_plan ~seed ~sites ~horizon_us ~intensity:0.4 () in
+    if
+      List.exists
+        (fun (e : Nemesis.event) ->
+          match e.op with
+          | Nemesis.Crash_site _ | Nemesis.Partition _ | Nemesis.Partition_oneway _ -> true
+          | _ -> false)
+        plan
+    then incr with_fault;
+    World.apply_nemesis w plan;
+    World.run ~until:(t0 + horizon_us + 40_000_000) w;
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %Ld: keyed traffic made progress" seed)
+      true (!ok_puts > 0);
+    List.iter
+      (fun (part, o) ->
+        let violations = Oracle.check ~hygiene:false o in
+        if violations <> [] then
+          Alcotest.failf "seed %Ld partition %d:\n%s" seed part (Oracle.report o violations))
+      oracles
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "sweep exercised faults (%d/25 plans)" !with_fault)
+    true (!with_fault >= 12)
+
+let suite =
+  [
+    Alcotest.test_case "ring: deterministic key placement" `Quick test_ring_determinism;
+    Alcotest.test_case "ring: balanced key distribution" `Quick test_ring_balance;
+    Alcotest.test_case "ring: rendezvous owners" `Quick test_ring_owners;
+    Alcotest.test_case "ring: minimal movement on site loss" `Quick test_ring_minimal_movement;
+    Alcotest.test_case "sharded twentyq: coverage queries recombine the flat answer" `Quick
+      test_coverage_queries;
+    Alcotest.test_case "handoff on view change: every key exactly once" `Slow
+      test_handoff_exactly_once;
+    Alcotest.test_case "sharded nemesis sweep (25 seeds, per-group oracle)" `Slow
+      test_shard_nemesis_sweep;
+  ]
