@@ -21,6 +21,14 @@ let smoke = ref false
 let trace_out : string option ref = ref None
 let trace_oc : out_channel option ref = ref None
 
+(* [--jobs N] lets sweep-shaped experiments (the shard partition sweep,
+   the parallel harness bench) run independent points on N domains.
+   [--wall] asks wall-capable experiments (soak) to add a wall-clock
+   backend run alongside the simulated one.  Parallel paths refuse to
+   combine with [--trace-out]: the JSONL sink is one shared channel. *)
+let jobs = ref 1
+let wall = ref false
+
 let attach_trace w =
   match !trace_out with
   | None -> ()
@@ -154,29 +162,37 @@ type cluster = {
   gid : Addr.group_id;
 }
 
-let make_cluster ?(seed = 0xBE5CL) ?(name = "bench") ?net_config ?runtime_config ~sites () =
+let make_cluster ?(seed = 0xBE5CL) ?(name = "bench") ?net_config ?runtime_config
+    ?(backend = World.Sim) ~sites () =
   let runtime_config =
     match runtime_config with
     | Some _ as c -> c
     | None -> if !no_coalesce then Some legacy_runtime_config else None
   in
-  let w = World.create ~seed ?net_config ?runtime_config ~sites () in
+  let w = World.create ~backend ~seed ?net_config ?runtime_config ~sites () in
   attach_trace w;
   let members =
     Array.init sites (fun s -> World.proc w ~site:s ~name:(Printf.sprintf "b%d" s))
   in
+  (* On the wall backend "run to the horizon" is real seconds, so
+     formation waits on predicates instead; the simulator path is the
+     historical one, untouched. *)
+  let is_wall = World.kind w = Vsync_backend.Backend.Wall in
   let gid = ref None in
   World.run_task w members.(0) (fun () -> gid := Some (Runtime.pg_create members.(0) name));
-  World.run w;
+  if is_wall then ignore (World.run_cond ~timeout_us:30_000_000 w (fun () -> !gid <> None))
+  else World.run w;
   let gid = Option.get !gid in
+  let joined = ref 0 in
   for i = 1 to sites - 1 do
     World.run_task w members.(i) (fun () ->
         ignore (Runtime.pg_lookup members.(i) name);
         match Runtime.pg_join members.(i) gid ~credentials:(Message.create ()) with
-        | Ok () -> ()
+        | Ok () -> incr joined
         | Error e -> failwith ("bench cluster join: " ^ e))
   done;
-  World.run w;
+  if is_wall then ignore (World.run_cond ~timeout_us:30_000_000 w (fun () -> !joined = sites - 1))
+  else World.run w;
   { w; members; gid }
 
 (* Per-site snapshot of the unified metrics registry, for embedding in

@@ -19,7 +19,11 @@
                     coalescing, ack per delivery, ABCAST window 1) for
                     A/B comparisons
      --gc-stats     record the peak live heap (max_live_words) in every
-                    JSON artifact *)
+                    JSON artifact
+     --jobs N       run sweep points of parallel-capable experiments
+                    (shard, parallel) on N domains
+     --wall         add a wall-clock-backend run to wall-capable
+                    experiments (soak) *)
 
 let experiments =
   [
@@ -36,6 +40,7 @@ let experiments =
     ("wire", Wire.run);
     ("soak", Soak.run);
     ("shard", Shard.run);
+    ("parallel", Parallel.run);
   ]
 
 let () =
@@ -61,6 +66,16 @@ let () =
       parse rest
     | "--gc-stats" :: rest ->
       Harness.gc_stats := true;
+      parse rest
+    | "--jobs" :: n :: rest ->
+      let n = int_of_string n in
+      Harness.jobs := (if n <= 0 then Vsync_parallel.Pool.available_cores () else n);
+      parse rest
+    | "--jobs" :: [] ->
+      Printf.eprintf "--jobs needs a count (0 = all cores)\n";
+      exit 2
+    | "--wall" :: rest ->
+      Harness.wall := true;
       parse rest
     | name :: rest -> name :: parse rest
     | [] -> []

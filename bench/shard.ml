@@ -134,12 +134,18 @@ let run () =
   let sweep = if !Harness.smoke then [ 1; 4; 16 ] else [ 1; 4; 16; 64 ] in
   let workers = if !Harness.smoke then 4 else 24 in
   let window_us = if !Harness.smoke then 4_000_000 else 15_000_000 in
+  (* Sweep points are independent worlds, so with [--jobs] they run on
+     separate domains (each point stays internally deterministic).  The
+     shared JSONL trace channel is not domain-safe, so [--trace-out]
+     forces the sequential path. *)
+  let jobs = if !Harness.trace_out <> None then 1 else !Harness.jobs in
   let points =
-    List.map
-      (fun partitions ->
-        Printf.printf "shard: measuring %d partition(s)...\n%!" partitions;
-        bench_point ~sites ~partitions ~workers ~window_us)
-      sweep
+    Array.to_list
+      (Vsync_parallel.Pool.map ~jobs
+         (fun partitions ->
+           Printf.printf "shard: measuring %d partition(s)...\n%!" partitions;
+           bench_point ~sites ~partitions ~workers ~window_us)
+         (Array.of_list sweep))
   in
   let base = List.hd points in
   let upd_speedup p = p.p_updates_per_s /. Float.max 1e-9 base.p_updates_per_s in

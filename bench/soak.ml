@@ -123,6 +123,75 @@ let soak_run ~label ~stability_gc ~msgs ~sites =
 
 let decile_at r i = List.nth r.s_deciles (i - 1)
 
+(* --- wall-clock run --------------------------------------------------- *)
+
+(* The same mixed flood on the wall-clock backend: real time, real
+   scheduling noise, and — with the modelled CPU costs and network
+   latencies zeroed — the protocol stack running as fast as the
+   hardware allows.  The simulated deciles above answer "what would the
+   paper's testbed do"; this column answers "what does this machine
+   do".  No view changes, no settling pauses: pure hardware-speed
+   throughput. *)
+
+type wall_result = {
+  wl_sites : int;
+  wl_msgs : int;
+  wl_delivered : int;
+  wl_wall_s : float;
+  wl_msgs_per_s : float;
+}
+
+let wall_run ~msgs ~sites =
+  let d = Runtime.default_config in
+  let runtime_config =
+    {
+      d with
+      Runtime.cpu_send_us = 0;
+      cpu_recv_us = 0;
+      cpu_us_per_kb = 0;
+      cpu_us_per_extra_packet = 0;
+    }
+  in
+  let wc =
+    {
+      Vsync_backend.Wallclock.default_config with
+      Vsync_backend.Wallclock.wc_intra_site_us = 0;
+      wc_inter_site_us = 1;
+      wc_jitter_us = 1;
+    }
+  in
+  let c =
+    Harness.make_cluster ~seed:0x50A1L ~runtime_config ~backend:(World.Wall wc) ~sites ()
+  in
+  let w = c.Harness.w in
+  let delivered = ref 0 in
+  Array.iter (fun m -> Runtime.bind m Harness.e_app (fun _ -> incr delivered)) c.Harness.members;
+  let chunk = msgs / 10 in
+  let wall0 = Unix.gettimeofday () in
+  for _ = 1 to 10 do
+    let target = !delivered + (chunk * sites) in
+    World.run_task w c.Harness.members.(0) (fun () ->
+        for k = 1 to chunk do
+          let mode = if k mod 8 = 0 then Types.Abcast else Types.Cbcast in
+          ignore
+            (Runtime.bcast c.Harness.members.(0) mode ~dest:(Addr.Group c.Harness.gid)
+               ~entry:Harness.e_app (Harness.padded_msg 64) ~want:Types.No_reply)
+        done);
+    if
+      not
+        (World.run_cond ~slice_us:50_000 ~timeout_us:120_000_000 w (fun () ->
+             !delivered >= target))
+    then Printf.eprintf "soak wall: chunk short: %d < %d\n%!" !delivered target
+  done;
+  let wall = Unix.gettimeofday () -. wall0 in
+  {
+    wl_sites = sites;
+    wl_msgs = msgs;
+    wl_delivered = !delivered;
+    wl_wall_s = wall;
+    wl_msgs_per_s = float_of_int !delivered /. float_of_int sites /. wall;
+  }
+
 (* --- dedup membership microbench ------------------------------------- *)
 
 type micro_result = {
@@ -228,6 +297,17 @@ let run () =
   Printf.printf "dedup residue at decile 10: %d (stability_gc) vs %d (no_gc)\n"
     (decile_at gc_on 10).d_dedup off10.d_dedup;
 
+  let wall_r =
+    if not !Harness.wall then None
+    else begin
+      let r = wall_run ~msgs ~sites in
+      Printf.printf
+        "wall-clock backend: %d msgs in %.2fs real = %.0f msgs/s delivered per member (hardware speed)\n"
+        r.wl_msgs r.wl_wall_s r.wl_msgs_per_s;
+      Some r
+    end
+  in
+
   let m = micro_dedup () in
   Harness.print_table
     ~title:(Printf.sprintf "dedup membership at %dk-message history" (m.m_history / 1000))
@@ -277,6 +357,18 @@ let run () =
            ("msgs", J.Int msgs);
            ("stability_gc", run_json gc_on);
            ("no_gc", run_json gc_off);
+           ( "wall_clock",
+             match wall_r with
+             | None -> J.Bool false
+             | Some r ->
+               J.Obj
+                 [
+                   ("sites", J.Int r.wl_sites);
+                   ("msgs", J.Int r.wl_msgs);
+                   ("delivered", J.Int r.wl_delivered);
+                   ("wall_s", J.Float r.wl_wall_s);
+                   ("msgs_per_s_per_member", J.Float r.wl_msgs_per_s);
+                 ] );
            ( "acceptance",
              J.Obj
                [

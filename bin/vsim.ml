@@ -8,7 +8,8 @@
      dune exec bin/vsim.exe -- --sites 3 --messages 12 --mode abcast
      dune exec bin/vsim.exe -- --crash-site 2 --crash-at 200 --trace
      dune exec bin/vsim.exe -- --loss 0.2 --mode cbcast
-     dune exec bin/vsim.exe -- --sites 5 --shard 16 *)
+     dune exec bin/vsim.exe -- --sites 5 --shard 16
+     dune exec bin/vsim.exe -- --wall --mode abcast *)
 
 open Vsync_core
 module Addr = Vsync_msg.Addr
@@ -155,7 +156,14 @@ let run_shard sites seed partitions =
   end
 
 let run sites seed messages size mode loss crash_site crash_at_ms partition trace_on trace_out
-    nemesis shard =
+    nemesis shard wall =
+  if wall && (nemesis <> None || shard <> None || crash_site <> None || partition <> None || loss > 0.0)
+  then begin
+    Printf.eprintf
+      "--wall runs on real time: fault injection (--nemesis, --shard, --crash-site, --partition, \
+       --loss) is simulator-only\n";
+    exit 2
+  end;
   match shard with
   | Some partitions -> run_shard sites seed partitions
   | None ->
@@ -164,7 +172,15 @@ let run sites seed messages size mode loss crash_site crash_at_ms partition trac
   | None ->
   with_trace_out trace_out @@ fun trace_sink ->
   let net_config = { Net.default_config with Net.loss_probability = loss } in
-  let w = World.create ~seed:(Int64.of_int seed) ~net_config ~sites () in
+  let backend =
+    if wall then World.Wall Vsync_backend.Wallclock.default_config else World.Sim
+  in
+  (* On the wall clock there is no quiescence to run to — wait on the
+     observable condition instead, in real time. *)
+  let wait w pred =
+    if wall then ignore (World.run_cond ~timeout_us:30_000_000 w pred) else World.run w
+  in
+  let w = World.create ~backend ~seed:(Int64.of_int seed) ~net_config ~sites () in
   if trace_on then Trace.set_enabled (World.trace w) true;
   (match trace_sink with
   | None -> ()
@@ -182,16 +198,17 @@ let run sites seed messages size mode loss crash_site crash_at_ms partition trac
   (* Form the group. *)
   let gid = ref None in
   World.run_task w members.(0) (fun () -> gid := Some (Runtime.pg_create members.(0) "vsim"));
-  World.run w;
+  wait w (fun () -> !gid <> None);
   let gid = Option.get !gid in
+  let joined = ref 0 in
   for i = 1 to sites - 1 do
     World.run_task w members.(i) (fun () ->
         ignore (Runtime.pg_lookup members.(i) "vsim");
         match Runtime.pg_join members.(i) gid ~credentials:(Message.create ()) with
-        | Ok () -> ()
+        | Ok () -> incr joined
         | Error e -> Printf.eprintf "member %d failed to join: %s\n" i e)
   done;
-  World.run w;
+  wait w (fun () -> !joined = sites - 1);
   Array.iteri
     (fun i m ->
       Runtime.pg_monitor m gid (fun v changes ->
@@ -241,9 +258,15 @@ let run sites seed messages size mode loss crash_site crash_at_ms partition trac
     World.crash_site w s
   | Some s -> Printf.eprintf "ignoring bad --crash-site %d\n" s
   | None -> ());
-  World.run ~until:(World.now w + 60_000_000) w;
+  if wall then
+    ignore
+      (World.run_cond ~timeout_us:30_000_000 w (fun () ->
+           Array.for_all (fun l -> List.length l = messages) logs))
+  else World.run ~until:(World.now w + 60_000_000) w;
   (* Report. *)
-  Printf.printf "\nvirtual time elapsed: %.1fms\n" (float_of_int (World.now w - t0) /. 1000.);
+  Printf.printf "\n%s time elapsed: %.1fms\n"
+    (if wall then "real" else "virtual")
+    (float_of_int (World.now w - t0) /. 1000.);
   Array.iteri
     (fun i log ->
       let l = List.rev log in
@@ -391,12 +414,21 @@ let shard =
            partitions as 3-replica groups, keyed puts and queries, then a site crash with \
            handoff.  Exits non-zero unless the coverage scan finds every key exactly once.")
 
+let wall =
+  Arg.(
+    value
+    & flag
+    & info [ "wall" ]
+        ~doc:
+          "Run on the wall-clock backend instead of the simulator: real time, real asynchrony, no \
+           determinism.  Incompatible with fault injection, which is simulator-only.")
+
 let cmd =
   let doc = "drive a virtually synchronous process group in simulation" in
   Cmd.v
     (Cmd.info "vsim" ~doc)
     Term.(
       const run $ sites $ seed $ messages $ size $ mode $ loss $ crash_site $ crash_at $ partition
-      $ trace $ trace_out $ nemesis $ shard)
+      $ trace $ trace_out $ nemesis $ shard $ wall)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,49 @@
+(* The record-of-closures form (rather than a functor) keeps the
+   protocol stack first-class over the backend: one compiled runtime,
+   the backend picked at fabric-construction time, and heterogeneous
+   worlds (a simulated one and a wall-clock one) coexisting in one
+   process — which the domain-parallel harness and the conformance
+   tests both rely on. *)
+
+type handle = unit -> unit
+
+type kind = Sim | Wall
+
+type t = {
+  kind : kind;
+  now_f : unit -> int;
+  schedule_at_f : int -> (unit -> unit) -> handle;
+  send_f : int -> int -> int -> (unit -> unit) -> unit;
+  n_sites : int;
+  max_packet_bytes : int;
+  intra_site_us : int;
+  rng : Vsync_util.Rng.t;
+}
+
+let v ~kind ~now ~schedule_at ~send ~n_sites ~max_packet_bytes ~intra_site_us ~rng =
+  {
+    kind;
+    now_f = now;
+    schedule_at_f = schedule_at;
+    send_f = send;
+    n_sites;
+    max_packet_bytes;
+    intra_site_us;
+    rng;
+  }
+
+let kind t = t.kind
+let now t = t.now_f ()
+let schedule_at t at f = t.schedule_at_f at f
+
+let schedule t ~delay f =
+  if delay < 0 then invalid_arg "Backend.schedule: negative delay";
+  t.schedule_at_f (t.now_f () + delay) f
+
+let cancel (h : handle) = h ()
+let send t ~src ~dst ~bytes deliver = t.send_f src dst bytes deliver
+let n_sites t = t.n_sites
+let max_packet_bytes t = t.max_packet_bytes
+let intra_site_us t = t.intra_site_us
+let rng t = t.rng
+let handle_of_cancel f = f

@@ -1,0 +1,88 @@
+(** Execution backend: the seam between the protocol stack and whatever
+    drives it.
+
+    Everything above this interface — the reliable transport
+    ({!Vsync_transport.Endpoint}) and the per-site runtime
+    ({!Vsync_core.Runtime}) — consumes time, timers, frame I/O and
+    randomness exclusively through a [Backend.t].  Two implementations
+    exist:
+
+    - the deterministic discrete-event simulator
+      ({!Vsync_sim.Net.backend}): virtual microseconds, a stable event
+      heap, per-link fault models, bit-reproducible from the seed;
+    - the wall-clock driver ({!Wallclock}): the same microsecond
+      timeline read off the machine's real clock, timers that actually
+      wait, in-process frame delivery — the protocol runs as fast as
+      the hardware allows, under real asynchrony.
+
+    The runtime compiles once against this record; which world it runs
+    in is decided by whoever builds the fabric.  Anything
+    simulator-only (nemesis fault injection, partitions, virtual-time
+    fast-forward) stays on the simulator's own modules and is not part
+    of the seam. *)
+
+(** Cancellable timer handle.  Cancelling a fired or already-cancelled
+    timer is a no-op. *)
+type handle
+
+type kind = Sim | Wall
+
+type t
+
+(** [v ~kind ~now ~schedule_at ~send ~n_sites ~max_packet_bytes
+    ~intra_site_us ~rng] assembles a backend from its primitives.
+    [schedule_at at f] must run [f] no earlier than absolute time [at]
+    (clamping past deadlines to "now"), firing same-deadline events in
+    schedule order.  [send src dst bytes deliver] must run [deliver] on
+    the destination's timeline — or never, if the medium loses the
+    packet. *)
+val v :
+  kind:kind ->
+  now:(unit -> int) ->
+  schedule_at:(int -> (unit -> unit) -> handle) ->
+  send:(int -> int -> int -> (unit -> unit) -> unit) ->
+  n_sites:int ->
+  max_packet_bytes:int ->
+  intra_site_us:int ->
+  rng:Vsync_util.Rng.t ->
+  t
+
+val kind : t -> kind
+
+(** [now t] is the current time in microseconds since the backend
+    started (virtual on the simulator, elapsed real time on the
+    wall clock). *)
+val now : t -> int
+
+(** [schedule t ~delay f] runs [f] [delay] microseconds from now.
+    @raise Invalid_argument if [delay < 0]. *)
+val schedule : t -> delay:int -> (unit -> unit) -> handle
+
+(** [schedule_at t at f] runs [f] at absolute time [at] (clamped to
+    now). *)
+val schedule_at : t -> int -> (unit -> unit) -> handle
+
+val cancel : handle -> unit
+
+(** [send t ~src ~dst ~bytes deliver] offers one packet of [bytes]
+    payload bytes to the medium; [deliver] runs at the destination when
+    (and if) it arrives.
+    @raise Invalid_argument if [bytes] exceeds [max_packet_bytes]. *)
+val send : t -> src:int -> dst:int -> bytes:int -> (unit -> unit) -> unit
+
+val n_sites : t -> int
+
+(** Largest packet the medium carries; senders fragment above this. *)
+val max_packet_bytes : t -> int
+
+(** Latency of a local (same-site) hop. *)
+val intra_site_us : t -> int
+
+(** The backend's root randomness stream.  Subsystems should
+    {!Vsync_util.Rng.split} it once at construction, exactly as they
+    would the simulator engine's. *)
+val rng : t -> Vsync_util.Rng.t
+
+(** [handle_of_cancel f] wraps a raw cancellation closure (idempotence
+    is the implementor's job — {!Vsync_sim.Engine.cancel} already is). *)
+val handle_of_cancel : (unit -> unit) -> handle

@@ -1,0 +1,61 @@
+(** Wall-clock execution backend.
+
+    The same microsecond timeline the simulator fabricates, read off the
+    machine's real clock instead: {!Backend.now} is elapsed real time
+    since {!create}, timers actually wait (the driver sleeps until the
+    next deadline), and frame I/O is in-process delivery after a small
+    configurable real latency.  Protocol behaviour — retransmission
+    timeouts, delayed acks, failure-detector probes — runs against real
+    asynchrony: scheduling jitter, GC pauses and OS preemption replace
+    the simulator's fabricated delays, so nothing is deterministic and
+    the oracle may only be asked order-relaxed questions of such runs.
+
+    A run under a backlog (events whose deadline has already passed)
+    never sleeps, so closed-loop workloads execute at hardware speed —
+    this is what the benches' wall-clock mode measures.
+
+    All of a wall-clock world's events run on the driving domain; the
+    backend is single-domain like the simulator, and parallelism comes
+    from running whole worlds on separate domains
+    ({!Vsync_parallel.Pool}). *)
+
+type config = {
+  wc_intra_site_us : int;  (** latency of a local hop (default 1). *)
+  wc_inter_site_us : int;  (** base latency between sites (default 5). *)
+  wc_jitter_us : int;
+      (** uniform extra latency drawn per packet (default 2); real
+          scheduling noise dwarfs this, it exists so two packets never
+          tie by construction. *)
+  wc_max_packet_bytes : int;  (** fragmentation threshold (default 4096). *)
+}
+
+val default_config : config
+
+type t
+
+(** [create ?config ?seed ~sites ()] starts the clock (elapsed time 0 is
+    the moment of this call). *)
+val create : ?config:config -> ?seed:int64 -> sites:int -> unit -> t
+
+(** The {!Backend.t} view consumed by the transport fabric and the
+    runtimes. *)
+val backend : t -> Backend.t
+
+(** Elapsed real microseconds since {!create}. *)
+val now : t -> int
+
+(** [run_until t until] drives the event loop — sleeping to each
+    deadline, firing overdue events immediately — until the clock
+    passes [until] (elapsed µs) or {!stop} is called.  Returns the
+    number of events fired. *)
+val run_until : t -> int -> int
+
+(** [stop t] makes the innermost {!run_until} return after the event
+    currently executing; callable from inside an event. *)
+val stop : t -> unit
+
+(** Events executed so far. *)
+val events_fired : t -> int
+
+(** Scheduled, not yet fired or cancelled. *)
+val pending : t -> int

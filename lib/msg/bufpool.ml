@@ -1,26 +1,33 @@
 (* A tiny free list of Buffers, so encode bursts (state transfer,
    stable-store snapshots, benchmark loops) reuse their scratch space
-   instead of regrowing a fresh buffer per message. *)
+   instead of regrowing a fresh buffer per message.
+
+   Domain-local ([Vsync_util.Dls]): a Buffer handed between domains
+   would race, and the pool is pure cache — per-domain free lists are
+   both safe and what you want for locality. *)
+
+type state = { mutable pool : Buffer.t list; mutable pooled : int }
 
 let max_pooled = 8
-let pool : Buffer.t list ref = ref []
-let pooled = ref 0
+let state_key = Vsync_util.Dls.make (fun () -> { pool = []; pooled = 0 })
 
 let acquire () =
-  match !pool with
+  let st = Vsync_util.Dls.get state_key in
+  match st.pool with
   | b :: rest ->
-    pool := rest;
-    decr pooled;
+    st.pool <- rest;
+    st.pooled <- st.pooled - 1;
     Buffer.clear b;
     b
   | [] -> Buffer.create 256
 
 let release b =
-  if !pooled < max_pooled then begin
+  let st = Vsync_util.Dls.get state_key in
+  if st.pooled < max_pooled then begin
     (* Don't let one pathological message pin megabytes in the pool. *)
     if Buffer.length b <= 1 lsl 20 then begin
-      pool := b :: !pool;
-      incr pooled
+      st.pool <- b :: st.pool;
+      st.pooled <- st.pooled + 1
     end
   end
 

@@ -75,3 +75,38 @@ let snapshot t =
   List.rev_map (fun name -> (name, read_source (Hashtbl.find t.tbl name))) t.names
 
 let names t = List.rev t.names
+
+(* Cross-registry aggregation, for the parallel harness: per-domain
+   worlds each carry their own registries, and the join merges their
+   snapshots into one fleet-wide view.  Counters and gauges sum
+   (gauges here are already-sampled numbers, not live closures);
+   histograms combine exactly. *)
+let merge_snapshots snaps =
+  let order = ref [] in
+  let acc : (string, value) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (List.iter (fun (name, v) ->
+         match Hashtbl.find_opt acc name with
+         | None ->
+           order := name :: !order;
+           Hashtbl.replace acc name v
+         | Some prev ->
+           let merged =
+             match (prev, v) with
+             | Counter_v a, Counter_v b -> Counter_v (a + b)
+             | Gauge_v a, Gauge_v b -> Gauge_v (a + b)
+             | Histo_v a, Histo_v b ->
+               Histo_v
+                 {
+                   count = a.count + b.count;
+                   sum = a.sum + b.sum;
+                   min = (if b.count = 0 then a.min else if a.count = 0 then b.min else min a.min b.min);
+                   max = (if b.count = 0 then a.max else if a.count = 0 then b.max else max a.max b.max);
+                 }
+             | _ ->
+               invalid_arg
+                 (Printf.sprintf "Metrics.merge_snapshots: %S has mismatched kinds" name)
+           in
+           Hashtbl.replace acc name merged))
+    snaps;
+  List.rev_map (fun name -> (name, Hashtbl.find acc name)) !order

@@ -52,3 +52,10 @@ val read_int : t -> string -> int option
 val snapshot : t -> (string * value) list
 
 val names : t -> string list
+
+(** [merge_snapshots snaps] folds several {!snapshot}s into one:
+    counters and gauges sum, histograms combine their count/sum/min/max.
+    Names keep first-appearance order.  How the parallel harness merges
+    per-domain registries at join.
+    @raise Invalid_argument if a name appears with different kinds. *)
+val merge_snapshots : (string * value) list list -> (string * value) list

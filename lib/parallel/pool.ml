@@ -1,0 +1,37 @@
+let available_cores () = Domain.recommended_domain_count ()
+
+(* Self-balancing pickup: each worker fetch-and-adds the shared cursor
+   until the input is exhausted, so a slow job (a seed that hits a long
+   nemesis schedule) doesn't idle the other domains the way a static
+   block split would. *)
+let map ~jobs f arr =
+  let n = Array.length arr in
+  if jobs <= 1 || n <= 1 then Array.map f arr
+  else begin
+    let results : ('b, exn * Printexc.raw_backtrace) result option array = Array.make n None in
+    let cursor = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add cursor 1 in
+        if i < n then begin
+          (results.(i) <-
+            (match f arr.(i) with
+            | v -> Some (Ok v)
+            | exception e -> Some (Error (e, Printexc.get_raw_backtrace ()))));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let spawned = Array.init (min jobs n - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join spawned;
+    Array.map
+      (function
+        | Some (Ok v) -> v
+        | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+        | None -> assert false (* every index was claimed by some worker *))
+      results
+  end
+
+let run ~jobs thunks = map ~jobs (fun f -> f ()) thunks

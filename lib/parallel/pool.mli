@@ -1,0 +1,32 @@
+(** Domain-parallel work pool.
+
+    Runs independent jobs — whole simulations, bench points, oracle
+    soaks — across OCaml 5 domains, with no dependency beyond the
+    stdlib: plain [Domain.spawn], an [Atomic] work counter for
+    self-balancing pickup, results in a per-slot array.
+
+    The unit of parallelism is one {e world}: every job builds its own
+    engine/backend, runtimes and registries, and all formerly-global
+    state in the stack is domain-local ([Vsync_util.Dls]), so jobs
+    share nothing.  Per-seed determinism is therefore preserved
+    bit-for-bit: a simulation run on a pool domain produces exactly the
+    digest it produces sequentially (the digest-equality test in the
+    suite and the parallel bench both pin this).
+
+    [jobs <= 1] degrades to a plain sequential map on the calling
+    domain — the determinism control the CI keeps alongside the
+    parallel sweep. *)
+
+(** [map ~jobs f arr] applies [f] to every element, running up to
+    [jobs] domains (the calling domain works too; [jobs - 1] are
+    spawned).  Results keep their input positions.  If any job raised,
+    the lowest-index exception is re-raised (with its backtrace) after
+    all domains have joined. *)
+val map : jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+
+(** [run ~jobs thunks] is {!map} over an array of thunks. *)
+val run : jobs:int -> (unit -> 'a) array -> 'a array
+
+(** [Domain.recommended_domain_count ()], the sensible default for
+    [--jobs 0]-style "pick for me" flags. *)
+val available_cores : unit -> int

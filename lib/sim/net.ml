@@ -321,3 +321,20 @@ let packets_lost t = Stats.Counter.get t.counters "net.lost"
 let packets_duplicated t = Stats.Counter.get t.counters "net.dup"
 let packets_reordered t = Stats.Counter.get t.counters "net.reordered"
 let counters t = t.counters
+
+(* The network's [Backend.t] view: what the transport and runtime
+   layers consume instead of touching [Engine]/[Net] directly.  The rng
+   handed out is the engine root, deliberately unsplit — splitting here
+   would advance the root stream and shift the seeds of every later
+   split (workload skew, nemesis), invalidating digest-locked traces. *)
+let backend t =
+  let module B = Vsync_backend.Backend in
+  B.v ~kind:B.Sim
+    ~now:(fun () -> Engine.now t.engine)
+    ~schedule_at:(fun at f ->
+      let h = Engine.schedule_at t.engine at f in
+      B.handle_of_cancel (fun () -> Engine.cancel h))
+    ~send:(fun src dst bytes deliver -> send t ~src ~dst ~bytes deliver)
+    ~n_sites:t.n_sites ~max_packet_bytes:t.cfg.max_packet_bytes
+    ~intra_site_us:t.cfg.intra_site_us
+    ~rng:(Engine.rng t.engine)

@@ -180,3 +180,10 @@ val packets_reordered : t -> int
 
 (** [counters t] exposes the raw counter set for harness snapshots. *)
 val counters : t -> Vsync_util.Stats.Counter.t
+
+(** [backend t] is the network's execution-backend view
+    ({!Vsync_backend.Backend}): virtual-clock time and timers from the
+    underlying engine, frame I/O through {!send} (so every fault model
+    above applies), the engine root RNG.  The transport and runtime
+    layers consume only this. *)
+val backend : t -> Vsync_backend.Backend.t

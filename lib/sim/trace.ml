@@ -9,18 +9,12 @@ module Event = Vsync_obs.Event
 
 type record = { at : Engine.time; category : string; detail : string }
 
-type t = {
-  engine : Engine.t;
-  tracer : Tracer.t;
-}
+type t = { tracer : Tracer.t }
 
 let default_capacity = 200_000
 
-let create engine =
-  let tracer =
-    Tracer.create ~capacity:default_capacity ~now:(fun () -> Engine.now engine) ()
-  in
-  { engine; tracer }
+let create_clock ~now = { tracer = Tracer.create ~capacity:default_capacity ~now () }
+let create engine = create_clock ~now:(fun () -> Engine.now engine)
 
 let obs t = t.tracer
 let set_enabled t b = Tracer.set_enabled t.tracer b

@@ -15,6 +15,10 @@ type t
 
 val create : Engine.t -> t
 
+(** [create_clock ~now] builds a trace stamped by an arbitrary clock —
+    how wall-clock worlds trace (timestamps are elapsed real µs). *)
+val create_clock : now:(unit -> Engine.time) -> t
+
 (** The underlying typed tracer; enable/disable state is shared. *)
 val obs : t -> Vsync_obs.Tracer.t
 

@@ -23,16 +23,23 @@ let f_body = "$bb.body"
 
 (* Post identifiers are minted by the poster so that every replica
    stores the same id: site/slot/sequence packed into one integer. *)
-let post_counters : (int, int ref) Hashtbl.t = Hashtbl.create 16
+(* Domain-local ([Vsync_util.Dls]): instances are keyed by process
+   uid, and processes never cross domains, so per-domain registries are
+   exactly the old global behaviour on one domain and race-free when
+   the parallel harness runs worlds on several. *)
+let post_counters_key : (int, int ref) Hashtbl.t Vsync_util.Dls.t =
+  Vsync_util.Dls.make (fun () -> Hashtbl.create 16)
+
+let post_counters () = Vsync_util.Dls.get post_counters_key
 
 let mint_post_id p =
   let key = Runtime.proc_uid p in
   let ctr =
-    match Hashtbl.find_opt post_counters key with
+    match Hashtbl.find_opt (post_counters ()) key with
     | Some c -> c
     | None ->
       let c = ref 0 in
-      Hashtbl.replace post_counters key c;
+      Hashtbl.replace (post_counters ()) key c;
       c
   in
   incr ctr;
@@ -78,17 +85,20 @@ let handle t m =
     | None -> Runtime.null_reply t.me ~request:m)
   | _ -> ()
 
-let registry : (int, (string, t) Hashtbl.t) Hashtbl.t = Hashtbl.create 16
+let registry_key : (int, (string, t) Hashtbl.t) Hashtbl.t Vsync_util.Dls.t =
+  Vsync_util.Dls.make (fun () -> Hashtbl.create 16)
+
+let registry () = Vsync_util.Dls.get registry_key
 
 let attach me ~gid ~board ~ordered =
   let t = { me; gid; board; ordered; postings = []; watchers = [] } in
   let key = Runtime.proc_uid me in
   let tbl =
-    match Hashtbl.find_opt registry key with
+    match Hashtbl.find_opt (registry ()) key with
     | Some tbl -> tbl
     | None ->
       let tbl = Hashtbl.create 4 in
-      Hashtbl.replace registry key tbl;
+      Hashtbl.replace (registry ()) key tbl;
       Runtime.bind me Entry.generic_bboard (fun m ->
           match Message.get_str m f_board with
           | Some board -> (

@@ -60,18 +60,25 @@ let handle t m =
     | _ -> Runtime.null_reply t.me ~request:m)
   | Some _ | None -> Runtime.null_reply t.me ~request:m
 
-let registry : (int, (string, t) Hashtbl.t) Hashtbl.t = Hashtbl.create 16
+(* Domain-local ([Vsync_util.Dls]): instances are keyed by process
+   uid, and processes never cross domains, so per-domain registries are
+   exactly the old global behaviour on one domain and race-free when
+   the parallel harness runs worlds on several. *)
+let registry_key : (int, (string, t) Hashtbl.t) Hashtbl.t Vsync_util.Dls.t =
+  Vsync_util.Dls.make (fun () -> Hashtbl.create 16)
+
+let registry () = Vsync_util.Dls.get registry_key
 
 let attach me ~gid ~item ~read_quorum ~write_quorum =
   if read_quorum < 1 || write_quorum < 1 then invalid_arg "Quorum.attach: quorums must be positive";
   let t = { me; gid; item; read_quorum; write_quorum; stored = None } in
   let key = Runtime.proc_uid me in
   let tbl =
-    match Hashtbl.find_opt registry key with
+    match Hashtbl.find_opt (registry ()) key with
     | Some tbl -> tbl
     | None ->
       let tbl = Hashtbl.create 4 in
-      Hashtbl.replace registry key tbl;
+      Hashtbl.replace (registry ()) key tbl;
       Runtime.bind me e_quorum (fun m ->
           match Message.get_str m f_item with
           | Some item -> (

@@ -4,7 +4,7 @@ module Message = Vsync_msg.Message
 module Runtime = Vsync_core.Runtime
 module View = Vsync_core.View
 module Types = Vsync_core.Types
-module Engine = Vsync_sim.Engine
+module Backend = Vsync_backend.Backend
 
 let e_time = Entry.user 13
 
@@ -43,17 +43,24 @@ let handle t m =
     | _ -> ())
   | Some _ | None -> if Message.session m <> None then Runtime.null_reply t.me ~request:m
 
-let registry : (int, (int, t) Hashtbl.t) Hashtbl.t = Hashtbl.create 16
+(* Domain-local ([Vsync_util.Dls]): instances are keyed by process
+   uid, and processes never cross domains, so per-domain registries are
+   exactly the old global behaviour on one domain and race-free when
+   the parallel harness runs worlds on several. *)
+let registry_key : (int, (int, t) Hashtbl.t) Hashtbl.t Vsync_util.Dls.t =
+  Vsync_util.Dls.make (fun () -> Hashtbl.create 16)
+
+let registry () = Vsync_util.Dls.get registry_key
 
 let attach me ~gid =
   let t = { me; gid; correction = 0; sensors = [] } in
   let key = Runtime.proc_uid me in
   let tbl =
-    match Hashtbl.find_opt registry key with
+    match Hashtbl.find_opt (registry ()) key with
     | Some tbl -> tbl
     | None ->
       let tbl = Hashtbl.create 4 in
-      Hashtbl.replace registry key tbl;
+      Hashtbl.replace (registry ()) key tbl;
       Runtime.bind me e_time (fun m ->
           Hashtbl.iter (fun _ inst -> handle inst m) tbl);
       tbl
@@ -97,7 +104,7 @@ let schedule_at t ~global f =
   let delay = global - global_time t in
   let delay = if delay < 0 then 0 else delay in
   ignore
-    (Engine.schedule (Runtime.engine (Runtime.runtime_of t.me)) ~delay (fun () ->
+    (Backend.schedule (Runtime.backend (Runtime.runtime_of t.me)) ~delay (fun () ->
          if Runtime.proc_alive t.me then Runtime.spawn_task t.me f))
 
 let report t ~sensor value =

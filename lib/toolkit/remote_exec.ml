@@ -12,9 +12,17 @@ let f_addr = "$rx.addr"
 
 let group_name site = Printf.sprintf "sys.rx.%d" site
 
-let programs : (string, Runtime.proc -> Message.t -> unit) Hashtbl.t = Hashtbl.create 16
+(* Domain-local ([Vsync_util.Dls]): the program table is consulted by
+   executor processes, which never cross domains, so per-domain tables
+   are exactly the old global behaviour on one domain and race-free
+   when the parallel harness runs worlds on several.  Register programs
+   on the domain that runs the world. *)
+let programs_key : (string, Runtime.proc -> Message.t -> unit) Hashtbl.t Vsync_util.Dls.t =
+  Vsync_util.Dls.make (fun () -> Hashtbl.create 16)
 
-let register_program name body = Hashtbl.replace programs name body
+let programs () = Vsync_util.Dls.get programs_key
+
+let register_program name body = Hashtbl.replace (programs ()) name body
 
 let e_spawn = Entry.user 15
 
@@ -24,7 +32,7 @@ let start rt =
       match Message.get_str request f_program with
       | None -> Runtime.null_reply proc ~request
       | Some name -> (
-        match Hashtbl.find_opt programs name with
+        match Hashtbl.find_opt (programs ()) name with
         | None ->
           let r = Message.create () in
           Message.set_str r f_status "unknown program";

@@ -26,7 +26,14 @@ let log_name t = Printf.sprintf "rd.g%d.%s" (Addr.group_to_int t.gid) t.item
 
 (* One dispatcher per process: several items can share the
    generic_repdata entry. *)
-let dispatchers : (int, (string, t) Hashtbl.t) Hashtbl.t = Hashtbl.create 16
+(* Domain-local ([Vsync_util.Dls]): instances are keyed by process
+   uid, and processes never cross domains, so per-domain registries are
+   exactly the old global behaviour on one domain and race-free when
+   the parallel harness runs worlds on several. *)
+let dispatchers_key : (int, (string, t) Hashtbl.t) Hashtbl.t Vsync_util.Dls.t =
+  Vsync_util.Dls.make (fun () -> Hashtbl.create 16)
+
+let dispatchers () = Vsync_util.Dls.get dispatchers_key
 
 let site_of t = (Runtime.proc_addr t.me).Addr.site
 
@@ -78,11 +85,11 @@ let attach me ~gid ~item ~order ~apply ?read ?log ?checkpoint ?(checkpoint_every
   let t = { me; gid; item; order; apply; read; log; checkpoint; checkpoint_every } in
   let key = proc_key me in
   let tbl =
-    match Hashtbl.find_opt dispatchers key with
+    match Hashtbl.find_opt (dispatchers ()) key with
     | Some tbl -> tbl
     | None ->
       let tbl = Hashtbl.create 4 in
-      Hashtbl.replace dispatchers key tbl;
+      Hashtbl.replace (dispatchers ()) key tbl;
       Runtime.bind me Entry.generic_repdata (fun m ->
           match Message.get_str m f_item with
           | Some item -> (

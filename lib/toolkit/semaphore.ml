@@ -122,17 +122,24 @@ let release_failed t (p : Addr.proc) =
       end)
     t.sems
 
-let registry : (int, (int, t) Hashtbl.t) Hashtbl.t = Hashtbl.create 16
+(* Domain-local ([Vsync_util.Dls]): instances are keyed by process
+   uid, and processes never cross domains, so per-domain registries are
+   exactly the old global behaviour on one domain and race-free when
+   the parallel harness runs worlds on several. *)
+let registry_key : (int, (int, t) Hashtbl.t) Hashtbl.t Vsync_util.Dls.t =
+  Vsync_util.Dls.make (fun () -> Hashtbl.create 16)
+
+let registry () = Vsync_util.Dls.get registry_key
 
 let attach me ~gid =
   let t = { me; gid; sems = Hashtbl.create 8 } in
   let key = Runtime.proc_uid me in
   let tbl =
-    match Hashtbl.find_opt registry key with
+    match Hashtbl.find_opt (registry ()) key with
     | Some tbl -> tbl
     | None ->
       let tbl = Hashtbl.create 4 in
-      Hashtbl.replace registry key tbl;
+      Hashtbl.replace (registry ()) key tbl;
       Runtime.bind me Entry.generic_semaphore (fun m ->
           Hashtbl.iter (fun _ inst -> handle inst m) tbl);
       tbl

@@ -18,16 +18,23 @@ let f_present = "$tx.present"
 
 (* Transaction ids are minted by the client so every manager sees the
    same identifier: site/slot/sequence packed into an integer. *)
-let tx_counters : (int, int ref) Hashtbl.t = Hashtbl.create 16
+(* Domain-local ([Vsync_util.Dls]): instances are keyed by process
+   uid, and processes never cross domains, so per-domain registries are
+   exactly the old global behaviour on one domain and race-free when
+   the parallel harness runs worlds on several. *)
+let tx_counters_key : (int, int ref) Hashtbl.t Vsync_util.Dls.t =
+  Vsync_util.Dls.make (fun () -> Hashtbl.create 16)
+
+let tx_counters () = Vsync_util.Dls.get tx_counters_key
 
 let mint_txid p =
   let key = Runtime.proc_uid p in
   let ctr =
-    match Hashtbl.find_opt tx_counters key with
+    match Hashtbl.find_opt (tx_counters ()) key with
     | Some c -> c
     | None ->
       let c = ref 0 in
-      Hashtbl.replace tx_counters key c;
+      Hashtbl.replace (tx_counters ()) key c;
       c
   in
   incr ctr;
@@ -174,7 +181,10 @@ let handle m msg =
     if Message.session msg <> None then Runtime.null_reply m.me ~request:msg
   | _ -> ()
 
-let registry : (int, mgr) Hashtbl.t = Hashtbl.create 16
+let registry_key : (int, mgr) Hashtbl.t Vsync_util.Dls.t =
+  Vsync_util.Dls.make (fun () -> Hashtbl.create 16)
+
+let registry () = Vsync_util.Dls.get registry_key
 
 let attach_manager me ~gid ?store () =
   let m =
@@ -187,7 +197,7 @@ let attach_manager me ~gid ?store () =
       owners = Hashtbl.create 16;
     }
   in
-  Hashtbl.replace registry (Runtime.proc_uid me) m;
+  Hashtbl.replace (registry ()) (Runtime.proc_uid me) m;
   Runtime.bind me Entry.generic_txn (fun msg -> handle m msg);
   (* Locks held by member clients die with them.  (A manager attached
      purely to replay a log after a total failure has no view yet and

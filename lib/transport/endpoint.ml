@@ -1,5 +1,4 @@
-module Net = Vsync_sim.Net
-module Engine = Vsync_sim.Engine
+module Backend = Vsync_backend.Backend
 module Tracer = Vsync_obs.Tracer
 module Event = Vsync_obs.Event
 
@@ -59,7 +58,7 @@ type 'p frame =
 type 'p pending_msg = {
   seq : int;
   frames : 'p frame list;
-  first_sent_at : Engine.time;
+  first_sent_at : int; (* backend µs *)
   mutable attempts : int;
 }
 
@@ -68,7 +67,7 @@ type 'p out_chan = {
   mutable next_seq : int;
   unacked : 'p pending_msg Queue.t; (* oldest first *)
   out_rtt : Rtt.t;
-  mutable rto_timer : Engine.handle option;
+  mutable rto_timer : Backend.handle option;
 }
 
 type 'p partial = {
@@ -82,7 +81,7 @@ type 'p in_chan = {
   mutable next_deliver : int;
   pending : (int, 'p partial) Hashtbl.t;
   mutable ack_owed : bool;
-  mutable ack_timer : Engine.handle option;
+  mutable ack_timer : Backend.handle option;
 }
 
 (* Per-destination staging queue for coalescing: frames enqueued during
@@ -94,8 +93,8 @@ type 'p sendq = { sq : 'p frame Queue.t; mutable flush_scheduled : bool }
 type monitor_state = {
   mon_rtt : Rtt.t;
   mutable missed : int;
-  mutable outstanding : (int * Engine.time) option; (* ping id, sent at *)
-  mutable mon_timer : Engine.handle option;
+  mutable outstanding : (int * int) option; (* ping id, sent at (backend µs) *)
+  mutable mon_timer : Backend.handle option;
   mutable active : bool;
   mutable suspected : bool;
       (* failure declared but probing continues: a later pong revokes
@@ -131,11 +130,11 @@ type 'p t = {
 }
 
 and 'p fabric = {
-  fnet : Net.t;
+  fbk : Backend.t;
   mutable endpoints : 'p t option array;
 }
 
-let fabric net = { fnet = net; endpoints = Array.make (Net.n_sites net) None }
+let fabric bk = { fbk = bk; endpoints = Array.make (Backend.n_sites bk) None }
 
 let create ?(config = default_config) fabric ~site ~size () =
   if site < 0 || site >= Array.length fabric.endpoints then
@@ -176,8 +175,7 @@ let create ?(config = default_config) fabric ~site ~size () =
 let site t = t.my_site
 let epoch t = t.my_epoch
 let alive t = t.is_alive
-let net t = t.fabric.fnet
-let engine t = Net.engine t.fabric.fnet
+let backend t = t.fabric.fbk
 
 let set_receiver t f = t.receiver <- Some f
 let set_tracer t tr = t.tracer <- Some tr
@@ -211,7 +209,7 @@ let frame_bytes t = function
   | Ack _ | Ping _ | Pong _ -> t.cfg.frame_header_bytes
 
 let cancel_ack_timer ch =
-  Option.iter Engine.cancel ch.ack_timer;
+  Option.iter Backend.cancel ch.ack_timer;
   ch.ack_timer <- None
 
 (* Stamp the piggybacked cumulative ack for [dst] onto an outgoing data
@@ -255,7 +253,7 @@ let rec transmit t ~dst frame =
         q.flush_scheduled <- true;
         let my_epoch = t.my_epoch in
         ignore
-          (Engine.schedule (engine t) ~delay:0 (fun () ->
+          (Backend.schedule (backend t) ~delay:0 (fun () ->
                q.flush_scheduled <- false;
                if t.is_alive && t.my_epoch = my_epoch then flush_sendq t ~dst q
                else Queue.clear q.sq))
@@ -263,7 +261,7 @@ let rec transmit t ~dst frame =
     end
 
 and flush_sendq t ~dst q =
-  let max_bytes = (Net.config t.fabric.fnet).Net.max_packet_bytes in
+  let max_bytes = Backend.max_packet_bytes t.fabric.fbk in
   while not (Queue.is_empty q.sq) do
     (* Greedily pack queued frames into one network packet.  Every frame
        fits on its own ([send] fragments to the packet size), so the
@@ -294,7 +292,7 @@ and send_packet t ~dst frames ~bytes =
   | Some tr when Tracer.wants tr Event.Transport ->
     Tracer.emit tr (Event.Packet_send { site = t.my_site; dst; nframes = List.length frames; bytes })
   | Some _ | None -> ());
-  Net.send t.fabric.fnet ~src:t.my_site ~dst ~bytes (fun () ->
+  Backend.send t.fabric.fbk ~src:t.my_site ~dst ~bytes (fun () ->
       match t.fabric.endpoints.(dst) with
       | Some peer when peer.is_alive -> handle_packet peer ~src:t.my_site frames
       | Some _ | None -> ())
@@ -326,7 +324,7 @@ and arm_rto t ~dst ch =
     let delay = Rtt.timeout_us ch.out_rtt in
     ch.rto_timer <-
       Some
-        (Engine.schedule (engine t) ~delay (fun () ->
+        (Backend.schedule (backend t) ~delay (fun () ->
              ch.rto_timer <- None;
              if t.is_alive && t.my_epoch = my_epoch then begin
                trace_transport t (fun () ->
@@ -361,7 +359,7 @@ and retransmit t ~dst ch =
   end
 
 and fail_channel t ~dst ch =
-  Option.iter Engine.cancel ch.rto_timer;
+  Option.iter Backend.cancel ch.rto_timer;
   ch.rto_timer <- None;
   Queue.clear ch.unacked;
   Hashtbl.remove t.outs dst;
@@ -432,7 +430,7 @@ and handle_frame t ~src ~sink frame =
         | None -> ());
         (match Hashtbl.find_opt t.outs src with
         | Some ch ->
-          Option.iter Engine.cancel ch.rto_timer;
+          Option.iter Backend.cancel ch.rto_timer;
           Hashtbl.remove t.outs src
         | None -> ());
         (* A restart can beat the failure detector (crash + revive inside
@@ -468,7 +466,7 @@ and handle_ack t ~src ~gen ~upto =
   | None -> ()
   | Some ch when ch.gen <> gen -> () (* ack for an abandoned channel generation *)
   | Some ch ->
-    let now = Engine.now (engine t) in
+    let now = Backend.now (backend t) in
     (* Trim the acked prefix (the queue is oldest-first, so everything
        the cumulative ack covers sits at the head), sampling the RTT
        estimator as we go.  Karn's algorithm: only first-transmission
@@ -487,7 +485,7 @@ and handle_ack t ~src ~gen ~upto =
       else if !clean then Rtt.observe ch.out_rtt (now - m.first_sent_at)
     done;
     if Queue.is_empty ch.unacked then begin
-      Option.iter Engine.cancel ch.rto_timer;
+      Option.iter Backend.cancel ch.rto_timer;
       ch.rto_timer <- None
     end
 
@@ -508,7 +506,7 @@ and note_ack_owed t ~src ch =
       let my_epoch = t.my_epoch in
       ch.ack_timer <-
         Some
-          (Engine.schedule (engine t) ~delay:t.cfg.delayed_ack_us (fun () ->
+          (Backend.schedule (backend t) ~delay:t.cfg.delayed_ack_us (fun () ->
                ch.ack_timer <- None;
                if t.is_alive && t.my_epoch = my_epoch && ch.ack_owed then begin
                  ch.ack_owed <- false;
@@ -588,7 +586,7 @@ and handle_pong t ~src ~id =
     | Some (expected, sent_at) when expected = id ->
       mon.outstanding <- None;
       mon.missed <- 0;
-      Rtt.observe mon.mon_rtt (Engine.now (engine t) - sent_at);
+      Rtt.observe mon.mon_rtt (Backend.now (backend t) - sent_at);
       if mon.suspected then begin
         mon.suspected <- false;
         t.on_recovery src
@@ -616,8 +614,8 @@ let send t ~dst p =
       (* Local loop: one intra-site hop, no sequencing needed. *)
       let my_epoch = t.my_epoch in
       ignore
-        (Engine.schedule (engine t)
-           ~delay:(Net.config t.fabric.fnet).Net.intra_site_us
+        (Backend.schedule (backend t)
+           ~delay:(Backend.intra_site_us t.fabric.fbk)
            (fun () ->
              if t.is_alive && t.my_epoch = my_epoch then
                match t.receiver with Some deliver -> deliver ~src:t.my_site [ p ] | None -> ()))
@@ -627,7 +625,7 @@ let send t ~dst p =
       let seq = ch.next_seq in
       ch.next_seq <- seq + 1;
       let total = t.size p in
-      let chunk_cap = (Net.config t.fabric.fnet).Net.max_packet_bytes - t.cfg.frame_header_bytes in
+      let chunk_cap = Backend.max_packet_bytes t.fabric.fbk - t.cfg.frame_header_bytes in
       let rec chunks remaining acc =
         if remaining <= chunk_cap then List.rev (remaining :: acc)
         else chunks (remaining - chunk_cap) (chunk_cap :: acc)
@@ -651,7 +649,7 @@ let send t ~dst p =
               })
           sizes
       in
-      let msg = { seq; frames; first_sent_at = Engine.now (engine t); attempts = 0 } in
+      let msg = { seq; frames; first_sent_at = Backend.now (backend t); attempts = 0 } in
       Queue.push msg ch.unacked;
       List.iter (fun f -> transmit t ~dst f) frames;
       arm_rto t ~dst ch
@@ -664,19 +662,19 @@ let rec schedule_ping t ~site mon =
   let my_epoch = t.my_epoch in
   mon.mon_timer <-
     Some
-      (Engine.schedule (engine t) ~delay:t.cfg.ping_interval_us (fun () ->
+      (Backend.schedule (backend t) ~delay:t.cfg.ping_interval_us (fun () ->
            mon.mon_timer <- None;
            if t.is_alive && t.my_epoch = my_epoch && mon.active then send_ping t ~site mon))
 
 and send_ping t ~site mon =
   let id = t.next_ping_id in
   t.next_ping_id <- id + 1;
-  mon.outstanding <- Some (id, Engine.now (engine t));
+  mon.outstanding <- Some (id, Backend.now (backend t));
   transmit t ~dst:site (Ping { epoch = t.my_epoch; id });
   let my_epoch = t.my_epoch in
   let timeout = Rtt.timeout_us mon.mon_rtt in
   ignore
-    (Engine.schedule (engine t) ~delay:timeout (fun () ->
+    (Backend.schedule (backend t) ~delay:timeout (fun () ->
          if t.is_alive && t.my_epoch = my_epoch && mon.active then begin
            (match mon.outstanding with
            | Some (expected, _) when expected = id ->
@@ -721,7 +719,7 @@ let unmonitor t ~site =
   | None -> ()
   | Some mon ->
     mon.active <- false;
-    Option.iter Engine.cancel mon.mon_timer;
+    Option.iter Backend.cancel mon.mon_timer;
     mon.mon_timer <- None;
     Hashtbl.remove t.monitors site
 
@@ -737,9 +735,9 @@ let out_rtt_stats t ~dst =
 
 let crash t =
   t.is_alive <- false;
-  Hashtbl.iter (fun _ ch -> Option.iter Engine.cancel ch.rto_timer) t.outs;
+  Hashtbl.iter (fun _ ch -> Option.iter Backend.cancel ch.rto_timer) t.outs;
   Hashtbl.iter (fun _ ch -> cancel_ack_timer ch) t.ins;
-  Hashtbl.iter (fun _ mon -> Option.iter Engine.cancel mon.mon_timer) t.monitors;
+  Hashtbl.iter (fun _ mon -> Option.iter Backend.cancel mon.mon_timer) t.monitors;
   Hashtbl.reset t.outs;
   Hashtbl.reset t.ins;
   Hashtbl.reset t.sendqs;

@@ -1,0 +1,4 @@
+type 'a t = 'a Domain.DLS.key
+
+let make init = Domain.DLS.new_key init
+let get t = Domain.DLS.get t

@@ -1,0 +1,23 @@
+(** Domain-local state.
+
+    A thin veneer over [Domain.DLS] for module-level mutable state that
+    must be {e per-domain} rather than truly global: each domain that
+    touches the value gets its own instance, built lazily by the
+    initializer on first access.
+
+    This is how the historically-global singletons (the field-name
+    interner, the encode-buffer pool, the toolkit instance registries)
+    become safe under the domain-parallel harness ({!Vsync_parallel}):
+    two simulations running in different domains each see a private
+    copy, so there is no sharing, no locking, and no cross-run
+    interference — exactly the isolation a single-domain process had by
+    construction. *)
+
+type 'a t
+
+(** [make init] declares a domain-local slot.  [init] runs once per
+    domain, on that domain's first {!get}. *)
+val make : (unit -> 'a) -> 'a t
+
+(** [get t] is the calling domain's instance. *)
+val get : 'a t -> 'a

@@ -739,3 +739,5 @@ let report t violations =
     Buffer.add_string b (Printf.sprintf "oracle verdict: FAIL (%d violations)\n" (List.length vs));
     List.iter (fun v -> Buffer.add_string b (Format.asprintf "  %a\n" pp_violation v)) vs);
   Buffer.contents b
+
+let history_digest t = Digest.to_hex (Digest.string (Format.asprintf "%a" pp_history t))

@@ -114,3 +114,10 @@ val report : t -> violation list -> string
     view/delivery log — the raw material behind a violation, for
     post-mortems. *)
 val pp_history : Format.formatter -> t -> unit
+
+(** [history_digest t] is an MD5 hex digest of {!pp_history}'s output:
+    a compact fingerprint of the full delivery history, equal exactly
+    when two runs delivered the same messages in the same interleaved
+    order.  What the regression suite locks and what the parallel
+    harness compares against sequential runs. *)
+val history_digest : t -> string

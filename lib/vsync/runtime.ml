@@ -2,8 +2,7 @@ open Types
 module Addr = Vsync_msg.Addr
 module Entry = Vsync_msg.Entry
 module Message = Vsync_msg.Message
-module Engine = Vsync_sim.Engine
-module Net = Vsync_sim.Net
+module Backend = Vsync_backend.Backend
 module Trace = Vsync_sim.Trace
 module Sched = Vsync_tasks.Sched
 module Ivar = Vsync_tasks.Ivar
@@ -197,7 +196,7 @@ and t = {
   fab : fabric;
   my_site : int;
   cfg : config;
-  eng : Engine.t;
+  bk : Backend.t;
   tracer : Trace.t;
   mutable ep : Proto.frame Endpoint.t option; (* set right after create *)
   ctrs : Stats.Counter.t;
@@ -234,20 +233,20 @@ and t = {
   leave_waiters : (int * int, unit Ivar.t) Hashtbl.t;
   mutable site_watchers : ([ `Down of int | `Up of int ] -> unit) list;
   mon_refs : (int, int) Hashtbl.t;
-  mutable cpu_free : Engine.time;
+  mutable cpu_free : int; (* backend µs *)
   mutable cpu_busy : int;
 }
 
 and fabric = {
-  fnet : Net.t;
+  fbk : Backend.t;
   ep_fabric : Proto.frame Endpoint.fabric;
 }
 
-let make_fabric net = { fnet = net; ep_fabric = Endpoint.fabric net }
-let fabric_net f = f.fnet
+let make_fabric bk = { fbk = bk; ep_fabric = Endpoint.fabric bk }
+let fabric_backend f = f.fbk
 
 let site t = t.my_site
-let engine t = t.eng
+let backend t = t.bk
 let alive t = t.running
 let counters t = t.ctrs
 let trace t = t.tracer
@@ -277,10 +276,10 @@ let trace_note t mk =
 (* The site's local wall clock: true simulation time plus this site's
    (unknown to it) offset.  The real-time tool's clock synchronization
    estimates and cancels the offsets. *)
-let local_time_us t = Engine.now t.eng + t.cfg.clock_offset_us
+let local_time_us t = Backend.now t.bk + t.cfg.clock_offset_us
 
 let uptime_utilization t =
-  let now = Engine.now t.eng in
+  let now = Backend.now t.bk in
   if now = 0 then 0.0 else float_of_int t.cpu_busy /. float_of_int now
 
 let gi = Addr.group_to_int
@@ -393,17 +392,17 @@ let transport_stats t =
    sizes of 1kbytes and 10kbytes occurs because large inter-site
    messages are fragmented into 4kbyte packets". *)
 let cpu_cost t base bytes =
-  let max_packet = (Net.config t.fab.fnet).Net.max_packet_bytes in
+  let max_packet = Backend.max_packet_bytes t.fab.fbk in
   let extra_packets = if bytes <= max_packet then 0 else ((bytes - 1) / max_packet) in
   base + (bytes * t.cfg.cpu_us_per_kb / 1024) + (extra_packets * t.cfg.cpu_us_per_extra_packet)
 
 let on_cpu t cost k =
-  let now = Engine.now t.eng in
+  let now = Backend.now t.bk in
   let start = if t.cpu_free > now then t.cpu_free else now in
   let finish = start + cost in
   t.cpu_free <- finish;
   t.cpu_busy <- t.cpu_busy + cost;
-  ignore (Engine.schedule_at t.eng finish (fun () -> if t.running then k ()))
+  ignore (Backend.schedule_at t.bk finish (fun () -> if t.running then k ()))
 
 (* Frames that are "about" one multicast — the per-uid timeline raw
    material.  Control frames without a uid (directory, membership,
@@ -472,7 +471,12 @@ let mon_release t s =
 
 (* --- processes: basics --- *)
 
-let next_puid = ref 0
+(* Per-domain: process uids need only be unique within one world, and
+   worlds never span domains (the parallel harness runs one world per
+   domain), so domain-local counters keep concurrent simulations from
+   racing — and from perturbing each other's uids. *)
+let next_puid_key = Vsync_util.Dls.make (fun () -> ref 0)
+let next_puid () = Vsync_util.Dls.get next_puid_key
 
 let proc_addr p = p.addr
 let proc_uid p = p.puid
@@ -486,6 +490,7 @@ let spawn_proc t ?name () =
   t.next_proc_idx <- idx + 1;
   let addr = Addr.proc ~site:t.my_site ~idx ~incarnation:(Endpoint.epoch (endpoint t)) in
   let pname = match name with Some n -> n | None -> Printf.sprintf "p%d.%d" t.my_site idx in
+  let next_puid = next_puid () in
   incr next_puid;
   let p =
     {
@@ -510,7 +515,7 @@ let spawn_task p f = if proc_alive p then Sched.spawn p.sched f
 
 let sleep p us =
   if us < 0 then invalid_arg "Runtime.sleep: negative duration";
-  Sched.suspend (fun resume -> ignore (Engine.schedule p.rt.eng ~delay:us (fun () -> resume ())))
+  Sched.suspend (fun resume -> ignore (Backend.schedule p.rt.bk ~delay:us (fun () -> resume ())))
 
 let bind p entry handler =
   if entry < 0 || entry > 255 then invalid_arg "Runtime.bind: bad entry";
@@ -745,9 +750,9 @@ and deliver_to_members t _g body ~members =
         end
       | Some p ->
         if want <> 0 then register_obligation t ~responder:p ~body;
-        let intra = (Net.config t.fab.fnet).Net.intra_site_us in
+        let intra = Backend.intra_site_us t.fab.fbk in
         ignore
-          (Engine.schedule t.eng ~delay:intra (fun () ->
+          (Backend.schedule t.bk ~delay:intra (fun () ->
                if t.running then dispatch_to_proc t p body)))
     members
 
@@ -1251,7 +1256,7 @@ and route_event t g ev =
       enqueue_event t g ev;
       let gid_int = gi g.gid in
       ignore
-        (Engine.schedule t.eng ~delay:500_000 (fun () ->
+        (Backend.schedule t.bk ~delay:500_000 (fun () ->
              if t.running then
                match Hashtbl.find_opt t.groups gid_int with
                | Some g' when g' == g ->
@@ -1407,7 +1412,7 @@ and start_change t g =
 and wedge_retry t g ~attempt =
   let gid_int = gi g.gid in
   ignore
-    (Engine.schedule t.eng ~delay:1_000_000 (fun () ->
+    (Backend.schedule t.bk ~delay:1_000_000 (fun () ->
          if t.running then
            match Hashtbl.find_opt t.groups gid_int with
            | Some g' when g' == g -> (
@@ -1485,7 +1490,7 @@ and enter_minority t g ~batch ~survivors ~certain =
 and schedule_minority_probe t g m =
   let gid_int = gi g.gid in
   ignore
-    (Engine.schedule t.eng ~delay:500_000 (fun () ->
+    (Backend.schedule t.bk ~delay:500_000 (fun () ->
          if t.running then
            match Hashtbl.find_opt t.groups gid_int with
            | Some g' when g' == g -> (
@@ -1709,7 +1714,7 @@ and on_wedge t ~src g ~view_id ~attempt ~coord_site ~coord_epoch =
           g.change <- None;
           let gid_int = gi g.gid in
           ignore
-            (Engine.schedule t.eng ~delay:500_000 (fun () ->
+            (Backend.schedule t.bk ~delay:500_000 (fun () ->
                  if t.running then
                    match Hashtbl.find_opt t.groups gid_int with
                    | Some g' when g' == g -> maybe_start_change t g
@@ -2183,13 +2188,13 @@ and on_commit t ~src g_opt frame =
          the same intra-site hop as message deliveries so that every
          local process observes the retiring view's deliveries BEFORE
          the membership change — same order at every member. *)
-      let intra = (Net.config t.fab.fnet).Net.intra_site_us in
+      let intra = Backend.intra_site_us t.fab.fbk in
       if events <> [] then
         List.iter
           (fun (p, f) ->
             if proc_alive p && View.is_member new_view p.addr then
               ignore
-                (Engine.schedule t.eng ~delay:intra (fun () ->
+                (Backend.schedule t.bk ~delay:intra (fun () ->
                      if proc_alive p then Sched.spawn p.sched (fun () -> f new_view events))))
           g.g_monitors;
       List.iter
@@ -2771,7 +2776,7 @@ let create ?(config = default_config) fab ~site ~trace () =
       fab;
       my_site = site;
       cfg = config;
-      eng = Net.engine fab.fnet;
+      bk = fab.fbk;
       tracer = trace;
       ep = None;
       ctrs = Stats.Counter.create ();
@@ -2841,11 +2846,11 @@ let restart t =
   if t.running then invalid_arg "Runtime.restart: site is up";
   Endpoint.restart (endpoint t);
   t.running <- true;
-  t.cpu_free <- Engine.now t.eng;
+  t.cpu_free <- Backend.now t.bk;
   Trace.emitf t.tracer ~category:"fail" "site %d restarts (epoch %d)" t.my_site
     (Endpoint.epoch (endpoint t));
   (* Announce recovery so recovery managers can react. *)
-  for s = 0 to Net.n_sites t.fab.fnet - 1 do
+  for s = 0 to Backend.n_sites t.fab.fbk - 1 do
     if s <> t.my_site then
       send_frame t ~dst:s (Proto.Site_hello { site = t.my_site; epoch = Endpoint.epoch (endpoint t) })
   done
@@ -2879,7 +2884,7 @@ let pg_lookup p name =
     remember_contacts t gid sites;
     Some gid
   | None ->
-    let n = Net.n_sites t.fab.fnet in
+    let n = Backend.n_sites t.fab.fbk in
     if n <= 1 then None
     else begin
       Stats.Counter.incr t.ctrs "prim.cbcast";

@@ -96,11 +96,13 @@ val default_config : config
     partition heals, and the caller asked not to wait. *)
 exception Partitioned of Addr.group_id
 
-(** The transport fabric shared by all runtimes of a simulation. *)
+(** The transport fabric shared by all runtimes of one world.  Built
+    over an execution backend ({!Vsync_backend.Backend}); the runtime
+    cannot tell a simulated world from a wall-clock one. *)
 type fabric
 
-val make_fabric : Vsync_sim.Net.t -> fabric
-val fabric_net : fabric -> Vsync_sim.Net.t
+val make_fabric : Vsync_backend.Backend.t -> fabric
+val fabric_backend : fabric -> Vsync_backend.Backend.t
 
 (** [create ?config fabric ~site ~trace ()] boots the site's protocols
     process. *)
@@ -108,7 +110,7 @@ val create :
   ?config:config -> fabric -> site:int -> trace:Vsync_sim.Trace.t -> unit -> t
 
 val site : t -> int
-val engine : t -> Vsync_sim.Engine.t
+val backend : t -> Vsync_backend.Backend.t
 val alive : t -> bool
 val counters : t -> Vsync_util.Stats.Counter.t
 val trace : t -> Vsync_sim.Trace.t

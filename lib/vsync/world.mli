@@ -1,21 +1,37 @@
-(** Simulation harness: a complete multi-site ISIS deployment.
+(** Deployment harness: a complete multi-site ISIS deployment.
 
-    Bundles the event engine, the network, the transport fabric, one
-    {!Runtime} per site, and a trace — everything a test, example or
-    benchmark needs to stand up "a cluster" in a few lines:
+    Bundles an execution backend, the transport fabric, one {!Runtime}
+    per site, and a trace — everything a test, example or benchmark
+    needs to stand up "a cluster" in a few lines:
 
     {[
       let w = World.create ~sites:4 () in
       let p0 = World.proc w ~site:0 ~name:"creator" in
       World.run_task w p0 (fun () -> ...);   (* body may block *)
       World.run w                            (* drive to quiescence *)
-    ]} *)
+    ]}
+
+    Two backends ({!backend_kind}): the default deterministic simulator
+    (virtual time, fault injection, bit-reproducible from the seed) and
+    the wall-clock driver (real time, real asynchrony, hardware speed —
+    {!Vsync_backend.Wallclock}).  The protocol stack is the same
+    compiled code either way.  Simulator-only operations — {!engine},
+    {!net}, fault injection, nemesis — raise [Invalid_argument] on a
+    wall-clock world. *)
+
+type backend_kind =
+  | Sim  (** deterministic discrete-event simulation (the default). *)
+  | Wall of Vsync_backend.Wallclock.config
+      (** real time; no loss model, no nemesis, no determinism. *)
 
 type t
 
 (** [create ~sites ~seed ~net_config ~runtime_config ()] builds a
-    deployment with all sites up. *)
+    deployment with all sites up.  [net_config] applies only to the
+    simulator backend (the wall backend carries its own latency knobs in
+    its {!backend_kind} payload). *)
 val create :
+  ?backend:backend_kind ->
   ?seed:int64 ->
   ?net_config:Vsync_sim.Net.config ->
   ?runtime_config:Runtime.config ->
@@ -24,7 +40,16 @@ val create :
   unit ->
   t
 
+(** The world's execution backend. *)
+val backend : t -> Vsync_backend.Backend.t
+
+(** Which backend drives this world. *)
+val kind : t -> Vsync_backend.Backend.kind
+
+(** Simulator-only accessors.
+    @raise Invalid_argument on a wall-clock world. *)
 val engine : t -> Vsync_sim.Engine.t
+
 val net : t -> Vsync_sim.Net.t
 val trace : t -> Vsync_sim.Trace.t
 val n_sites : t -> int
@@ -39,18 +64,30 @@ val proc : t -> site:int -> name:string -> Runtime.proc
     RPCs etc.). *)
 val run_task : t -> Runtime.proc -> (unit -> unit) -> unit
 
-(** [run w] drives the simulation for 60 virtual seconds (failure
-    detector probes recur forever, so there is no natural quiescence);
-    [run ~until w] stops at the given virtual time instead. *)
-val run : ?until:Vsync_sim.Engine.time -> t -> unit
+(** [run w] drives the deployment for 60 seconds of backend time
+    (failure detector probes recur forever, so there is no natural
+    quiescence); [run ~until w] stops at the given backend time instead.
+    On a wall-clock world those are real seconds — prefer {!run_for} or
+    {!run_cond} there. *)
+val run : ?until:int -> t -> unit
 
-(** [run_for w us] advances virtual time by [us]. *)
+(** [run_for w us] advances backend time by [us]. *)
 val run_for : t -> int -> unit
 
-(** [now w] is the current virtual time. *)
-val now : t -> Vsync_sim.Engine.time
+(** [run_cond ~timeout_us w pred] drives the world in [slice_us] slices
+    (default 2 ms) until [pred ()] holds or [timeout_us] elapses;
+    returns the predicate's final verdict.  The only sane way to wait
+    for a condition (group formed, N messages delivered) on the
+    wall-clock backend, and works identically on the simulator. *)
+val run_cond : ?slice_us:int -> timeout_us:int -> t -> (unit -> bool) -> bool
 
-(** {1 Failure injection} *)
+(** [now w] is the current backend time (virtual µs on the simulator,
+    elapsed real µs on the wall clock). *)
+val now : t -> int
+
+(** {1 Failure injection (simulator only)}
+
+    Each of these raises [Invalid_argument] on a wall-clock world. *)
 
 (** [crash_site w s] crashes site [s] (network + runtime + processes). *)
 val crash_site : t -> int -> unit
@@ -76,5 +113,5 @@ val apply_nemesis : t -> Vsync_sim.Nemesis.plan -> unit
 (** {1 Accounting} *)
 
 (** [total_counters w] merges the per-runtime counters with the network
-    counters (prefix ["net."]). *)
+    counters (prefix ["net."]; absent on a wall-clock world). *)
 val total_counters : t -> (string * int) list

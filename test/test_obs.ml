@@ -209,7 +209,7 @@ type payload = { tag : int; size : int }
 let test_reassembly_corruption_fails_channel () =
   let e = Engine.create ~seed:5L () in
   let n = Net.create e Net.default_config ~sites:2 in
-  let fab = Endpoint.fabric n in
+  let fab = Endpoint.fabric (Net.backend n) in
   let eps =
     Array.init 2 (fun site -> Endpoint.create fab ~site ~size:(fun p -> p.size) ())
   in

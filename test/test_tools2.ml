@@ -228,7 +228,7 @@ let prop_transport_loss =
           { Net.default_config with Net.loss_probability = float_of_int loss_pct /. 100.0 }
           ~sites:2
       in
-      let fab = Endpoint.fabric n in
+      let fab = Endpoint.fabric (Net.backend n) in
       let a = Endpoint.create fab ~site:0 ~size:(fun _ -> 64) () in
       let b = Endpoint.create fab ~site:1 ~size:(fun _ -> 64) () in
       Endpoint.set_receiver a (fun ~src:_ _ -> ());

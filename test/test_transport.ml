@@ -12,7 +12,7 @@ type payload = { tag : int; size : int }
 let setup ?(sites = 2) ?(loss = 0.0) ?(seed = 1L) () =
   let e = Engine.create ~seed () in
   let n = Net.create e { Net.default_config with Net.loss_probability = loss } ~sites in
-  let fab = Endpoint.fabric n in
+  let fab = Endpoint.fabric (Net.backend n) in
   let eps =
     Array.init sites (fun site -> Endpoint.create fab ~site ~size:(fun p -> p.size) ())
   in
@@ -73,7 +73,7 @@ let test_retransmit_exhaustion_fails_channel () =
      channel generation. *)
   let e = Engine.create ~seed:11L () in
   let n = Net.create e Net.default_config ~sites:2 in
-  let fab = Endpoint.fabric n in
+  let fab = Endpoint.fabric (Net.backend n) in
   let cfg = { Endpoint.default_config with Endpoint.max_retransmits = 4 } in
   let eps =
     Array.init 2 (fun site -> Endpoint.create ~config:cfg fab ~site ~size:(fun p -> p.size) ())
