@@ -7,7 +7,7 @@
      dune exec bench/main.exe fig2 fig3  # a subset
 
    Experiments: table1 fig2 fig3 twentyq ablate load faults scale micro
-   msgpath wire soak shard.
+   msgpath wire soak shard parallel overload.
 
    Flags (consumed before experiment names):
      --json PATH    JSON-capable experiments (msgpath, wire, soak) write
@@ -41,6 +41,7 @@ let experiments =
     ("soak", Soak.run);
     ("shard", Shard.run);
     ("parallel", Parallel.run);
+    ("overload", Overload.run);
   ]
 
 let () =

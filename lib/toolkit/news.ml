@@ -86,12 +86,15 @@ let unsubscribe a p ~subject =
         not (String.equal s subject && Runtime.proc_uid q = Runtime.proc_uid p))
       a.subs
 
-let post p ~subject m =
+let post ?on_backpressure p ~subject m =
   match Runtime.pg_lookup p group_name with
   | None -> invalid_arg "News.post: no news service running"
   | Some gid ->
     let m = Message.copy m in
     Message.set_str m f_subject subject;
+    (* Honor runtime backpressure: a flooding publisher parks here until
+       the posting group's pipeline has room, instead of growing its
+       queues without bound. *)
     ignore
-      (Runtime.bcast p Types.Abcast ~dest:(Addr.Group gid) ~entry:Entry.generic_news m
-         ~want:Types.No_reply)
+      (Runtime.bcast_wait ?on_backpressure p Types.Abcast ~dest:(Addr.Group gid)
+         ~entry:Entry.generic_news m ~want:Types.No_reply)

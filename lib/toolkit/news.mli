@@ -41,5 +41,11 @@ val subscribe : agent -> Runtime.proc -> subject:string -> (Message.t -> unit) -
 val unsubscribe : agent -> Runtime.proc -> subject:string -> unit
 
 (** [post p ~subject m] publishes (1 ABCAST to the agents).  Any
-    process on any site may post; the poster need not subscribe. *)
-val post : Runtime.proc -> subject:string -> Message.t -> unit
+    process on any site may post; the poster need not subscribe.
+    Posting honors runtime backpressure: under overload the calling
+    task blocks until the agents' group has pipeline room
+    ({!Runtime.bcast_wait}); [on_backpressure] runs once per post that
+    had to wait. *)
+val post :
+  ?on_backpressure:(Addr.group_id -> unit) ->
+  Runtime.proc -> subject:string -> Message.t -> unit

@@ -10,21 +10,31 @@ type config = {
   frame_header_bytes : int;
   max_retransmits : int;
   coalesce : bool;
+  min_rto_us : int;
   delayed_ack_us : int;
+  adaptive_ack : bool;
+  credit_bytes : int;
+  credit_frames : int;
 }
 
 let default_config =
+  let min_rto_us = Rtt.default_min_timeout_us in
   {
     ping_interval_us = 500_000;
     suspect_after = 4;
     frame_header_bytes = 24;
     max_retransmits = 16;
     coalesce = true;
+    min_rto_us;
     (* Long enough for the next protocol-level send (one cpu_send_us
-       apart, ~6 ms) to carry the ack instead; still under the 10 ms
-       minimum retransmission timeout, and the RTO adapts to include
-       the delay as soon as a delayed ack is ever sampled. *)
-    delayed_ack_us = 8_000;
+       apart, ~6 ms) to carry the ack instead, yet derived from the
+       retransmission-timeout floor so the "delayed ack fires before
+       any RTO" relationship cannot be silently inverted by retuning
+       one constant: 4/5 of a 10 ms floor is the historical 8 ms. *)
+    delayed_ack_us = min_rto_us * 4 / 5;
+    adaptive_ack = false;
+    credit_bytes = 0;
+    credit_frames = 0;
   }
 
 (* [gen] is the channel generation: bumped by the sender when it gives
@@ -58,14 +68,23 @@ type 'p frame =
 type 'p pending_msg = {
   seq : int;
   frames : 'p frame list;
+  cost_bytes : int; (* wire bytes charged against the credit budget *)
   first_sent_at : int; (* backend µs *)
   mutable attempts : int;
 }
 
+(* [fly_bytes]/[fly_frames] track the credit the channel's unacked
+   window currently consumes; [waitq] holds payloads admitted by [send]
+   but not yet launched because the budget is spent.  Cumulative acks
+   trim the window, refund the credit and drain the waitq — credit flow
+   control in the classic sliding-budget form. *)
 type 'p out_chan = {
   gen : int;
   mutable next_seq : int;
   unacked : 'p pending_msg Queue.t; (* oldest first *)
+  waitq : 'p Queue.t; (* oldest first; nonempty only with credits on *)
+  mutable fly_bytes : int;
+  mutable fly_frames : int;
   out_rtt : Rtt.t;
   mutable rto_timer : Backend.handle option;
 }
@@ -114,6 +133,12 @@ type 'p t = {
   mutable on_failure : site -> unit;
   mutable on_recovery : site -> unit;
   mutable on_peer_restart : site -> unit;
+  mutable on_congestion : site -> unit;
+      (* an RTO fired toward the site: the path is losing or slow.
+         The runtime's adaptive ABCAST window listens here. *)
+  mutable on_credit : site -> unit;
+      (* a cumulative ack refunded credit toward the site; blocked
+         originators may retry. *)
   outs : (site, 'p out_chan) Hashtbl.t;
   ins : (site, 'p in_chan) Hashtbl.t;
   sendqs : (site, 'p sendq) Hashtbl.t;
@@ -154,6 +179,8 @@ let create ?(config = default_config) fabric ~site ~size () =
       on_failure = (fun _ -> ());
       on_recovery = (fun _ -> ());
       on_peer_restart = (fun _ -> ());
+      on_congestion = (fun _ -> ());
+      on_credit = (fun _ -> ());
       outs = Hashtbl.create 8;
       ins = Hashtbl.create 8;
       sendqs = Hashtbl.create 8;
@@ -190,6 +217,8 @@ let trace_transport t mk =
 let set_failure_handler t f = t.on_failure <- f
 let set_recovery_handler t f = t.on_recovery <- f
 let set_restart_handler t f = t.on_peer_restart <- f
+let set_congestion_handler t f = t.on_congestion <- f
+let set_credit_handler t f = t.on_credit <- f
 let frames_sent t = t.n_frames_sent
 let acks_sent t = t.n_acks_sent
 let packets_sent t = t.n_packets_sent
@@ -203,6 +232,31 @@ let channel_failures t = t.n_channel_failures
    per-message state at all). *)
 let inflight t = Hashtbl.fold (fun _ ch acc -> acc + Queue.length ch.unacked) t.outs 0
 let recv_pending t = Hashtbl.fold (fun _ ch acc -> acc + Hashtbl.length ch.pending) t.ins 0
+
+(* Flow-control gauges: all three drain to zero at quiescence (every
+   send acked refunds its credit, every waiting payload launches, every
+   staged frame flushes within its engine instant). *)
+let sendq_depth t = Hashtbl.fold (fun _ q acc -> acc + Queue.length q.sq) t.sendqs 0
+let credit_waiting t = Hashtbl.fold (fun _ ch acc -> acc + Queue.length ch.waitq) t.outs 0
+let credit_used_bytes t = Hashtbl.fold (fun _ ch acc -> acc + ch.fly_bytes) t.outs 0
+
+let credits_enabled t = t.cfg.credit_bytes > 0 || t.cfg.credit_frames > 0
+
+let backpressured t ~dst =
+  credits_enabled t
+  &&
+  match Hashtbl.find_opt t.outs dst with
+  | Some ch -> not (Queue.is_empty ch.waitq)
+  | None -> false
+
+(* A message fits the budget if it leaves both dimensions within their
+   limits — except on an idle channel, where even an oversized message
+   must launch (a budget smaller than one message must degrade to
+   stop-and-wait, not wedge forever). *)
+let credit_fits t ch ~bytes ~frames =
+  (ch.fly_bytes = 0 && ch.fly_frames = 0)
+  || ((t.cfg.credit_bytes <= 0 || ch.fly_bytes + bytes <= t.cfg.credit_bytes)
+     && (t.cfg.credit_frames <= 0 || ch.fly_frames + frames <= t.cfg.credit_frames))
 
 let frame_bytes t = function
   | Data { chunk; _ } -> chunk + t.cfg.frame_header_bytes
@@ -230,6 +284,37 @@ let account_frame t = function
   | Data _ -> t.n_frames_sent <- t.n_frames_sent + 1
   | Ack _ -> t.n_acks_sent <- t.n_acks_sent + 1
   | Ping _ | Pong _ -> ()
+
+(* Fragment sizes for a payload: every chunk fits its own packet. *)
+let frame_plan t p =
+  let total = t.size p in
+  let chunk_cap = Backend.max_packet_bytes t.fabric.fbk - t.cfg.frame_header_bytes in
+  let rec chunks remaining acc =
+    if remaining <= chunk_cap then List.rev (remaining :: acc)
+    else chunks (remaining - chunk_cap) (chunk_cap :: acc)
+  in
+  chunks (max total 0) []
+
+(* Credit cost of a payload: (wire bytes incl. headers, frame count). *)
+let msg_cost t p =
+  let sizes = frame_plan t p in
+  (List.fold_left (fun acc c -> acc + c + t.cfg.frame_header_bytes) 0 sizes, List.length sizes)
+
+(* With [adaptive_ack], the delayed-ack timer tracks the live Karn RTT
+   estimate of the reverse data channel instead of the static constant:
+   half an RTT is long enough for reverse traffic to carry the
+   piggyback, short enough to refund sender credit promptly on fast
+   paths.  The static [delayed_ack_us] (itself derived from the RTO
+   floor) remains the ceiling, so the ack always beats the minimum
+   RTO. *)
+let ack_delay_us t ~src =
+  if not t.cfg.adaptive_ack then t.cfg.delayed_ack_us
+  else
+    match Hashtbl.find_opt t.outs src with
+    | Some ch when Rtt.samples ch.out_rtt > 0 ->
+      let floor_us = max 500 (t.cfg.min_rto_us / 10) in
+      min t.cfg.delayed_ack_us (max floor_us (Rtt.srtt_us ch.out_rtt / 2))
+    | Some _ | None -> t.cfg.delayed_ack_us
 
 (* Forward declaration dance: transmit needs handle_packet of the peer. *)
 let rec transmit t ~dst frame =
@@ -303,10 +388,66 @@ and out_chan t dst =
   | None ->
     let gen = Option.value ~default:0 (Hashtbl.find_opt t.out_gens dst) in
     let ch =
-      { gen; next_seq = 0; unacked = Queue.create (); out_rtt = Rtt.create (); rto_timer = None }
+      {
+        gen;
+        next_seq = 0;
+        unacked = Queue.create ();
+        waitq = Queue.create ();
+        fly_bytes = 0;
+        fly_frames = 0;
+        out_rtt = Rtt.create ~min_timeout_us:t.cfg.min_rto_us ();
+        rto_timer = None;
+      }
     in
     Hashtbl.replace t.outs dst ch;
     ch
+
+(* Assign a sequence number, fragment, charge the credit budget and put
+   the message on the wire.  Callers have already passed admission. *)
+and launch_msg t ~dst ch p =
+  let seq = ch.next_seq in
+  ch.next_seq <- seq + 1;
+  let sizes = frame_plan t p in
+  let nfrags = List.length sizes in
+  let frames =
+    List.mapi
+      (fun i chunk ->
+        Data
+          {
+            epoch = t.my_epoch;
+            gen = ch.gen;
+            seq;
+            frag = i;
+            nfrags;
+            chunk;
+            payload = (if i = 0 then Some p else None);
+            ack_gen = 0;
+            ack_upto = -1;
+          })
+      sizes
+  in
+  let cost_bytes = List.fold_left (fun acc c -> acc + c + t.cfg.frame_header_bytes) 0 sizes in
+  let msg = { seq; frames; cost_bytes; first_sent_at = Backend.now (backend t); attempts = 0 } in
+  Queue.push msg ch.unacked;
+  ch.fly_bytes <- ch.fly_bytes + cost_bytes;
+  ch.fly_frames <- ch.fly_frames + nfrags;
+  List.iter (fun f -> transmit t ~dst f) frames;
+  arm_rto t ~dst ch
+
+(* Launch as much of the waitq as the refreshed budget admits, in FIFO
+   order (head-of-line blocking is the point: credits pace, never
+   reorder). *)
+and drain_waitq t ~dst ch =
+  let blocked = ref false in
+  while (not !blocked) && not (Queue.is_empty ch.waitq) do
+    let p = Queue.peek ch.waitq in
+    let bytes, frames = msg_cost t p in
+    if credit_fits t ch ~bytes ~frames then begin
+      ignore (Queue.pop ch.waitq);
+      launch_msg t ~dst ch p
+    end
+    else blocked := true
+  done
 
 and in_chan t src =
   match Hashtbl.find_opt t.ins src with
@@ -336,6 +477,7 @@ and arm_rto t ~dst ch =
 and retransmit t ~dst ch =
   if not (Queue.is_empty ch.unacked) then begin
     Rtt.backoff ch.out_rtt;
+    t.on_congestion dst;
     let exhausted =
       Queue.fold (fun acc m -> acc || m.attempts + 1 > t.cfg.max_retransmits) false ch.unacked
     in
@@ -362,6 +504,12 @@ and fail_channel t ~dst ch =
   Option.iter Backend.cancel ch.rto_timer;
   ch.rto_timer <- None;
   Queue.clear ch.unacked;
+  (* Payloads still waiting on credit die with the channel: go-back-N
+     already drops the unacked window, and the failure handler tells the
+     membership layer the peer is unreachable either way. *)
+  Queue.clear ch.waitq;
+  ch.fly_bytes <- 0;
+  ch.fly_frames <- 0;
   Hashtbl.remove t.outs dst;
   (* The next send to [dst] opens a fresh FIFO stream under gen+1; the
      receiver discards any leftovers of this generation when it sees it. *)
@@ -370,6 +518,10 @@ and fail_channel t ~dst ch =
   trace_transport t (fun () ->
       Event.Channel_fail
         { site = t.my_site; peer = dst; dir = "out"; reason = "retransmit budget exhausted" });
+  (* The dropped waitq changed the credit picture for [dst]: wake any
+     blocked originator so it re-evaluates against the failure rather
+     than sleeping on credit that will never be refunded. *)
+  if credits_enabled t then t.on_credit dst;
   t.on_failure dst
 
 (* Inbound analogue of [fail_channel], for a receive stream whose
@@ -479,14 +631,22 @@ and handle_ack t ~src ~gen ~upto =
        fusing sampling into the trim makes each ack O(acked) where the
        historical separate Karn scan was O(in-flight window).) *)
     let clean = ref true in
+    let refunded = ref false in
     while (not (Queue.is_empty ch.unacked)) && (Queue.peek ch.unacked).seq <= upto do
       let m = Queue.pop ch.unacked in
+      ch.fly_bytes <- ch.fly_bytes - m.cost_bytes;
+      ch.fly_frames <- ch.fly_frames - List.length m.frames;
+      refunded := true;
       if m.attempts > 0 then clean := false
       else if !clean then Rtt.observe ch.out_rtt (now - m.first_sent_at)
     done;
     if Queue.is_empty ch.unacked then begin
       Option.iter Backend.cancel ch.rto_timer;
       ch.rto_timer <- None
+    end;
+    if !refunded && credits_enabled t then begin
+      drain_waitq t ~dst:src ch;
+      t.on_credit src
     end
 
 (* Record that [src] is owed a cumulative ack.  With delayed acks the
@@ -506,7 +666,7 @@ and note_ack_owed t ~src ch =
       let my_epoch = t.my_epoch in
       ch.ack_timer <-
         Some
-          (Backend.schedule (backend t) ~delay:t.cfg.delayed_ack_us (fun () ->
+          (Backend.schedule (backend t) ~delay:(ack_delay_us t ~src) (fun () ->
                ch.ack_timer <- None;
                if t.is_alive && t.my_epoch = my_epoch && ch.ack_owed then begin
                  ch.ack_owed <- false;
@@ -622,37 +782,16 @@ let send t ~dst p =
     end
     else begin
       let ch = out_chan t dst in
-      let seq = ch.next_seq in
-      ch.next_seq <- seq + 1;
-      let total = t.size p in
-      let chunk_cap = Backend.max_packet_bytes t.fabric.fbk - t.cfg.frame_header_bytes in
-      let rec chunks remaining acc =
-        if remaining <= chunk_cap then List.rev (remaining :: acc)
-        else chunks (remaining - chunk_cap) (chunk_cap :: acc)
-      in
-      let sizes = chunks (max total 0) [] in
-      let nfrags = List.length sizes in
-      let frames =
-        List.mapi
-          (fun i chunk ->
-            Data
-              {
-                epoch = t.my_epoch;
-                gen = ch.gen;
-                seq;
-                frag = i;
-                nfrags;
-                chunk;
-                payload = (if i = 0 then Some p else None);
-                ack_gen = 0;
-                ack_upto = -1;
-              })
-          sizes
-      in
-      let msg = { seq; frames; first_sent_at = Backend.now (backend t); attempts = 0 } in
-      Queue.push msg ch.unacked;
-      List.iter (fun f -> transmit t ~dst f) frames;
-      arm_rto t ~dst ch
+      if credits_enabled t then begin
+        let bytes, frames = msg_cost t p in
+        (* FIFO admission: if anything is already waiting, queue behind
+           it even when the budget momentarily fits — launching around
+           the waitq would reorder the stream. *)
+        if (not (Queue.is_empty ch.waitq)) || not (credit_fits t ch ~bytes ~frames) then
+          Queue.push p ch.waitq
+        else launch_msg t ~dst ch p
+      end
+      else launch_msg t ~dst ch p
     end
   end
 
@@ -702,7 +841,7 @@ let monitor t ~site =
   if t.is_alive && not (Hashtbl.mem t.monitors site) && site <> t.my_site then begin
     let mon =
       {
-        mon_rtt = Rtt.create ();
+        mon_rtt = Rtt.create ~min_timeout_us:t.cfg.min_rto_us ();
         missed = 0;
         outstanding = None;
         mon_timer = None;

@@ -9,8 +9,15 @@
 
 type t
 
-(** [create ~initial_us ()] seeds the estimator with a guess. *)
-val create : ?initial_us:int -> unit -> t
+(** The default retransmission-timeout floor (µs).  Other timers that
+    must stay {e under} the RTO (the transport's delayed ack) are
+    derived from this constant rather than hardcoded next to it. *)
+val default_min_timeout_us : int
+
+(** [create ~initial_us ()] seeds the estimator with a guess.
+    [min_timeout_us] floors {!timeout_us} (default
+    {!default_min_timeout_us}). *)
+val create : ?initial_us:int -> ?min_timeout_us:int -> unit -> t
 
 (** [observe t rtt_us] folds in a measurement. *)
 val observe : t -> int -> unit
@@ -21,8 +28,9 @@ val srtt_us : t -> int
 (** [rttvar_us t] is the smoothed mean deviation. *)
 val rttvar_us : t -> int
 
-(** [timeout_us t] is [srtt + 4*rttvar], floored at
-    [min_timeout_us] — the per-probe suspicion/retransmission timeout. *)
+(** [timeout_us t] is [srtt + 4*rttvar], floored at the estimator's
+    [min_timeout_us] — the per-probe suspicion/retransmission
+    timeout. *)
 val timeout_us : t -> int
 
 (** [backoff t] doubles the timeout transiently (exponential backoff for

@@ -80,10 +80,13 @@ let row_msg values =
   Message.set_str m "$tq.values" (String.concat "\x1f" values);
   m
 
-let add_row t values =
+(* Async mutations honor runtime backpressure: a bulk loader slamming
+   the database parks until the group's pipeline has room instead of
+   queueing without bound. *)
+let add_row ?on_backpressure t values =
   ignore
-    (Runtime.bcast t.proc Types.Gbcast ~dest:(Addr.Group t.gid) ~entry:Service.entry
-       (row_msg values) ~want:Types.No_reply)
+    (Runtime.bcast_wait ?on_backpressure t.proc Types.Gbcast ~dest:(Addr.Group t.gid)
+       ~entry:Service.entry (row_msg values) ~want:Types.No_reply)
 
 let add_row_sync t values =
   match
@@ -93,11 +96,11 @@ let add_row_sync t values =
   | Runtime.Replies _ -> Ok ()
   | Runtime.All_failed -> Error "service unreachable"
 
-let remove_rows t ~column ~value =
+let remove_rows ?on_backpressure t ~column ~value =
   let m = Message.create () in
   Message.set_str m "$tq.op" "remove_rows";
   Message.set_str m "$tq.col" column;
   Message.set_str m "$tq.val" value;
   ignore
-    (Runtime.bcast t.proc Types.Gbcast ~dest:(Addr.Group t.gid) ~entry:Service.entry m
-       ~want:Types.No_reply)
+    (Runtime.bcast_wait ?on_backpressure t.proc Types.Gbcast ~dest:(Addr.Group t.gid)
+       ~entry:Service.entry m ~want:Types.No_reply)

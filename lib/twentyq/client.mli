@@ -32,13 +32,17 @@ val vertical : ?retries:int -> t -> string -> (Database.answer, string) result
     member-number order.  Iterates until NMEMBERS answers arrive. *)
 val horizontal : ?retries:int -> t -> string -> (Database.answer list, string) result
 
-(** [add_row t values] appends a row (1 GBCAST, Step 5;
-    asynchronous). *)
-val add_row : t -> string list -> unit
+(** [add_row t values] appends a row (1 GBCAST, Step 5; asynchronous).
+    Honors runtime backpressure: under overload the calling task blocks
+    until the group has pipeline room ({!Runtime.bcast_wait});
+    [on_backpressure] runs once per call that had to wait. *)
+val add_row : ?on_backpressure:(Addr.group_id -> unit) -> t -> string list -> unit
 
 (** [add_row_sync t values] appends a row and waits until every member
     has applied it (the members confirm with null replies). *)
 val add_row_sync : t -> string list -> (unit, string) result
 
-(** [remove_rows t ~column ~value] deletes matching rows (1 GBCAST). *)
-val remove_rows : t -> column:string -> value:string -> unit
+(** [remove_rows t ~column ~value] deletes matching rows (1 GBCAST;
+    asynchronous, backpressured like {!add_row}). *)
+val remove_rows :
+  ?on_backpressure:(Addr.group_id -> unit) -> t -> column:string -> value:string -> unit

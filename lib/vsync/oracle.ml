@@ -639,7 +639,19 @@ let check ?(hygiene = true) t =
              covered by a watermark (a nonzero residue means a GC
              path was missed and state would accrete forever). *)
           gauge "runtime.pending_store";
-          gauge "runtime.dedup_residue"
+          gauge "runtime.dedup_residue";
+          (* Flow control: at quiescence no round is queued or in
+             flight and no frame is staged for coalescing — a nonzero
+             reading means admission leaked.  The credit gauges
+             ([transport.credit_waiting] / [credit_used_bytes]) mirror
+             the unacked window and are exempt for the same reason
+             [transport.inflight] is: frames toward a site that died
+             sit in the window until the retransmit budget exhausts,
+             which can outlast any settle period.  Their drain on
+             clean runs is pinned by the flow-control tests. *)
+          gauge "runtime.ab_queue";
+          gauge "runtime.ab_inflight";
+          gauge "transport.sendq_depth"
         end)
       (List.sort_uniq compare final_sites)
   end;

@@ -28,6 +28,9 @@ type config = {
   cpu_us_per_kb : int;
   cpu_us_per_extra_packet : int;
   ab_window : int;
+  ab_window_min : int;
+  ab_adaptive : bool;
+  ab_queue_limit : int;
   stability_gc : bool;
   clock_offset_us : int;
   minority_policy : minority_policy;
@@ -41,6 +44,9 @@ let default_config =
     cpu_us_per_kb = 700;
     cpu_us_per_extra_packet = 8_000;
     ab_window = 16;
+    ab_window_min = 2;
+    ab_adaptive = false;
+    ab_queue_limit = 0;
     stability_gc = true;
     clock_offset_us = 0;
     minority_policy = Buffer;
@@ -99,6 +105,16 @@ and group = {
          slot: at most [ab_window] phase-1 rounds originated here may be
          outstanding at once *)
   mutable ab_inflight : int;
+  mutable ab_cwnd : int;
+      (* AIMD window when [ab_adaptive]: additively grown by clean round
+         completions up to the [ab_window] ceiling, halved on transport
+         congestion (an RTO toward a member site), floored at
+         [ab_window_min] *)
+  mutable ab_grow : int; (* clean commits accumulated toward the next +1 *)
+  mutable ab_cooldown : bool;
+      (* a shrink already happened since the last clean commit: further
+         RTOs in the same loss burst must not multiplicatively collapse
+         the window (one halving per congestion episode, as in TCP) *)
   mutable g_monitors : (proc * (View.t -> View.change list -> unit)) list;
   mutable join_validator : (proc * (Addr.proc -> Message.t -> bool)) option;
   mutable suspects : Int_set.t;
@@ -233,6 +249,10 @@ and t = {
   leave_waiters : (int * int, unit Ivar.t) Hashtbl.t;
   mutable site_watchers : ([ `Down of int | `Up of int ] -> unit) list;
   mon_refs : (int, int) Hashtbl.t;
+  admission : Condition.t;
+      (* originators blocked in [bcast_wait] sleep here; woken whenever
+         transport credit is refunded or the ABCAST pipeline dispatches
+         queued rounds *)
   mutable cpu_free : int; (* backend µs *)
   mutable cpu_busy : int;
 }
@@ -545,6 +565,47 @@ let group_of t gid = Hashtbl.find_opt t.groups (gi gid)
 
 let remote_member_sites t g =
   List.filter (fun s -> s <> t.my_site) (View.sites g.view)
+
+(* --- adaptive ABCAST window (AIMD) --- *)
+
+(* The live origination window: static [ab_window] unless [ab_adaptive],
+   in which case the per-group AIMD estimate (the static value is the
+   ceiling, [ab_window_min] the floor).  [ab_window <= 0] stays
+   ungated. *)
+let current_ab_window t g =
+  if t.cfg.ab_window <= 0 then max_int
+  else if t.cfg.ab_adaptive then max 1 g.ab_cwnd
+  else t.cfg.ab_window
+
+(* Additive increase: one clean round completion per current-window's
+   worth of commits grows the window by one, up to the static ceiling.
+   Any completion also ends the congestion cooldown — the next RTO is a
+   fresh episode. *)
+let aimd_on_commit t g =
+  g.ab_cooldown <- false;
+  if t.cfg.ab_adaptive && t.cfg.ab_window > 0 && g.ab_cwnd < t.cfg.ab_window then begin
+    g.ab_grow <- g.ab_grow + 1;
+    if g.ab_grow >= g.ab_cwnd then begin
+      g.ab_grow <- 0;
+      g.ab_cwnd <- min t.cfg.ab_window (g.ab_cwnd + 1)
+    end
+  end
+
+(* Multiplicative decrease, driven by the transport's congestion signal
+   (an RTO fired toward [s]): halve the window of every group whose
+   fan-out includes [s].  [ab_cooldown] limits the shrink to one halving
+   per loss episode — a retransmission burst fires many RTOs for the
+   same underlying congestion. *)
+let on_transport_congestion t s =
+  if t.cfg.ab_adaptive && t.cfg.ab_window > 0 then
+    Hashtbl.iter
+      (fun _ g ->
+        if (not g.ab_cooldown) && s <> t.my_site && List.mem s (View.sites g.view) then begin
+          g.ab_cwnd <- max (max 1 t.cfg.ab_window_min) (g.ab_cwnd / 2);
+          g.ab_grow <- 0;
+          g.ab_cooldown <- true
+        end)
+      t.groups
 
 let remember_contacts t gid sites =
   Hashtbl.replace t.contacts (gi gid) sites
@@ -1108,20 +1169,24 @@ and dispatch_abcasts t g =
      bursts then overlap, so the originator never idles waiting for a
      round trip), or when the pipeline drains entirely.  [ab_window <=
      0] disables the origination gate (the pre-window behaviour: every
-     round launches immediately). *)
-  let window = if t.cfg.ab_window <= 0 then max_int else t.cfg.ab_window in
+     round launches immediately).  With [ab_adaptive] the window is the
+     live AIMD estimate instead of the static value. *)
+  let window = current_ab_window t g in
   let free = window - g.ab_inflight in
   let quantum = if window = max_int then 1 else (window + 1) / 2 in
   if
     g.wedge = None
     && (not (Queue.is_empty g.ab_queue))
     && (g.ab_inflight = 0 || (free >= quantum && Queue.length g.ab_queue >= quantum))
-  then
+  then begin
     while (not (Queue.is_empty g.ab_queue)) && g.ab_inflight < window do
       let owner, body = Queue.pop g.ab_queue in
       origin_abcast t g ~owner body;
       init_done owner
-    done
+    done;
+    (* Queue space freed: blocked [bcast_wait] originators may retry. *)
+    Condition.broadcast t.admission
+  end
 
 and origin_abcast t g ~owner body =
   let uid = fresh_uid t in
@@ -1206,6 +1271,7 @@ and on_ab_prio t ~src uid prio =
               (remote_member_sites t g);
             Total.commit g.total ~uid final;
             drain_group t g;
+            aimd_on_commit t g;
             (* The freed slot (and any others freed by this same packet)
                dispatches the next queued round(s). *)
             dispatch_abcasts t g
@@ -2323,6 +2389,9 @@ and make_group t ~gid ~gname ~view =
     blocked_sends = [];
     ab_queue = Queue.create ();
     ab_inflight = 0;
+    ab_cwnd = max 1 t.cfg.ab_window;
+    ab_grow = 0;
+    ab_cooldown = false;
     g_monitors = [];
     join_validator = None;
     suspects = Int_set.empty;
@@ -2742,7 +2811,11 @@ let wire_endpoint t =
      incarnation (members, channels, unstable acks) is dead state: treat
      the incarnation change as a site failure.  The revived site rejoins
      groups explicitly, like any newcomer. *)
-  Endpoint.set_restart_handler ep (fun s -> if t.running then on_site_down ~certain:true t s)
+  Endpoint.set_restart_handler ep (fun s -> if t.running then on_site_down ~certain:true t s);
+  (* Close the flow-control loop: RTOs shrink the adaptive ABCAST
+     window, credit refunds wake originators blocked in [bcast_wait]. *)
+  Endpoint.set_congestion_handler ep (fun s -> if t.running then on_transport_congestion t s);
+  Endpoint.set_credit_handler ep (fun _ -> if t.running then Condition.broadcast t.admission)
 
 (* The hygiene gauges live in the registry under stable names, so
    consumers (oracle checks, bench artifacts) sample by name instead of
@@ -2761,7 +2834,15 @@ let register_metrics t =
         (fun _ g acc -> acc + Causal.dedup_residue g.causal + Total.dedup_residue g.total)
         t.groups 0);
   Metrics.gauge m "runtime.cpu_busy_us" (fun () -> t.cpu_busy);
+  Metrics.gauge m "runtime.ab_queue" (fun () ->
+      Hashtbl.fold (fun _ g acc -> acc + Queue.length g.ab_queue) t.groups 0);
+  Metrics.gauge m "runtime.ab_inflight" (fun () ->
+      Hashtbl.fold (fun _ g acc -> acc + g.ab_inflight) t.groups 0);
   Metrics.gauge m "transport.inflight" (fun () -> Endpoint.inflight (endpoint t));
+  Metrics.gauge m "transport.sendq_depth" (fun () -> Endpoint.sendq_depth (endpoint t));
+  Metrics.gauge m "transport.credit_waiting" (fun () -> Endpoint.credit_waiting (endpoint t));
+  Metrics.gauge m "transport.credit_used_bytes" (fun () ->
+      Endpoint.credit_used_bytes (endpoint t));
   Metrics.gauge m "transport.recv_pending" (fun () -> Endpoint.recv_pending (endpoint t));
   Metrics.gauge m "transport.data_frames" (fun () -> Endpoint.frames_sent (endpoint t));
   Metrics.gauge m "transport.ack_frames" (fun () -> Endpoint.acks_sent (endpoint t));
@@ -2804,6 +2885,7 @@ let create ?(config = default_config) fab ~site ~trace () =
       leave_waiters = Hashtbl.create 8;
       site_watchers = [];
       mon_refs = Hashtbl.create 8;
+      admission = Condition.create ();
       cpu_free = 0;
       cpu_busy = 0;
     }
@@ -3059,6 +3141,66 @@ let bcast p mode ~dest ~entry msg ~(want : want) =
           | None -> Replies []
           | Some s -> Ivar.read s.done_ivar)))
   end
+
+(* --- originator backpressure --- *)
+
+type send_verdict =
+  | Admitted of outcome
+  | Backpressure of Addr.group_id
+
+(* A group is overloaded when its origination pipeline is saturated:
+   the ABCAST backlog hit the admission cap, or the transport is holding
+   frames for some member site on exhausted credit.  Only signals —
+   nothing here blocks or drops. *)
+let group_overloaded t g =
+  (t.cfg.ab_queue_limit > 0 && Queue.length g.ab_queue >= t.cfg.ab_queue_limit)
+  ||
+  match t.ep with
+  | Some ep -> List.exists (fun dst -> Endpoint.backpressured ep ~dst) (remote_member_sites t g)
+  | None -> false
+
+let overloaded_dest t dest =
+  match dest with
+  | Addr.Group gid -> (
+    match group_of t gid with
+    | Some g when group_overloaded t g -> Some gid
+    | Some _ | None -> None)
+  | Addr.Proc _ -> None
+
+(* Non-blocking admission: a send into an overloaded group returns the
+   typed [Backpressure] verdict instead of growing the queues — the
+   caller decides whether to retry, shed or block. *)
+let bcast_try p mode ~dest ~entry msg ~(want : want) =
+  match overloaded_dest p.rt dest with
+  | Some gid -> Backpressure gid
+  | None -> Admitted (bcast p mode ~dest ~entry msg ~want)
+
+(* Blocking admission: park the calling task until the overload clears
+   (credit refund or pipeline dispatch wakes [t.admission]), then send.
+   [on_backpressure] fires once when the call actually has to wait, so
+   callers can count or log sheds without wrapping the call. *)
+let bcast_wait ?on_backpressure p mode ~dest ~entry msg ~(want : want) =
+  let t = p.rt in
+  (match overloaded_dest t dest with
+  | Some gid ->
+    (match on_backpressure with Some f -> f gid | None -> ());
+    while overloaded_dest t dest <> None do
+      Condition.wait t.admission
+    done
+  | None -> ());
+  bcast p mode ~dest ~entry msg ~want
+
+(* Live origination window of a locally-visible group: the AIMD value
+   when adaptive, the static config otherwise, [0] meaning ungated.
+   Test/diagnostic surface for the flow-control suite. *)
+let ab_window_now t gid =
+  match group_of t gid with
+  | None -> None
+  | Some g ->
+    Some
+      (if t.cfg.ab_window <= 0 then 0
+       else if t.cfg.ab_adaptive then g.ab_cwnd
+       else t.cfg.ab_window)
 
 (* The paper's mcast signature takes a destination LIST; replies from
    every group and process funnel into one session. *)

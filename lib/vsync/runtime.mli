@@ -69,6 +69,21 @@ type config = {
           each collapse to one packet per destination per burst.
           1 fully serializes rounds; [<= 0] disables the gate (every
           round launches immediately, the historical behaviour). *)
+  ab_window_min : int;
+      (** floor of the adaptive window (see [ab_adaptive]); default 2. *)
+  ab_adaptive : bool;
+      (** size the origination window by AIMD instead of the static
+          value: clean round completions grow it additively up to the
+          [ab_window] ceiling, a transport RTO toward a member site
+          halves it (once per congestion episode) down to
+          [ab_window_min].  Default off; meaningless when
+          [ab_window <= 0]. *)
+  ab_queue_limit : int;
+      (** admission cap on the per-group ABCAST backlog: at or beyond
+          this many queued rounds the group reports overload through
+          {!bcast_try} / {!bcast_wait}.  [0] (default) = unbounded
+          admission ({!bcast} itself never blocks or drops either
+          way). *)
   stability_gc : bool;
       (** Garbage-collect delivery-dedup state from message stability
           (default [true]): once a multicast is {e stable} — every
@@ -264,6 +279,37 @@ val bcast :
     {!bcast}. *)
 val bcast_multi :
   proc -> mode -> dests:Addr.t list -> entry:Entry.t -> Message.t -> want:want -> outcome
+
+(** Verdict of an admission-controlled send ({!bcast_try}). *)
+type send_verdict =
+  | Admitted of outcome  (** the send went through; the usual outcome. *)
+  | Backpressure of Addr.group_id
+      (** the destination group is overloaded — ABCAST backlog at
+          [ab_queue_limit], or transport credit exhausted toward a
+          member site — and the message was {e not} sent. *)
+
+(** [bcast_try] is {!bcast} with non-blocking admission control: if the
+    destination group is overloaded it returns {!Backpressure} without
+    sending, otherwise it behaves exactly like {!bcast}.  Process
+    destinations and relayed (not locally visible) groups are never
+    backpressured. *)
+val bcast_try :
+  proc -> mode -> dest:Addr.t -> entry:Entry.t -> Message.t -> want:want -> send_verdict
+
+(** [bcast_wait] is {!bcast} with blocking admission control: the
+    calling task parks until the overload clears (woken by transport
+    credit refunds and pipeline dispatches), then sends.
+    [on_backpressure gid] runs once if the call actually had to wait —
+    the hook applications use to count shed/slowed requests.  Must run
+    inside a task, like any blocking primitive. *)
+val bcast_wait :
+  ?on_backpressure:(Addr.group_id -> unit) ->
+  proc -> mode -> dest:Addr.t -> entry:Entry.t -> Message.t -> want:want -> outcome
+
+(** [ab_window_now t gid] is the live ABCAST origination window of a
+    locally-visible group: the AIMD value under [ab_adaptive], the
+    static config otherwise, [0] meaning ungated. *)
+val ab_window_now : t -> Addr.group_id -> int option
 
 (** [reply p ~request answer] answers a message delivered to [p] that
     carries a session (1 asynchronous CBCAST, 1 destination). *)

@@ -33,7 +33,11 @@ type result = {
 
     Returns [Error msg] if the harness itself could not be assembled
     (e.g. a member's group join was refused) — setup failures surface
-    as values rather than aborting the whole sweep. *)
+    as values rather than aborting the whole sweep.
+
+    [?runtime_config] overrides every site's runtime configuration (the
+    flow-control sweep A/Bs credit + adaptive-window configs against
+    the default under identical seeds). *)
 val run :
   ?sites:int ->
   ?horizon_us:int ->
@@ -43,6 +47,7 @@ val run :
   ?plan:Vsync_sim.Nemesis.plan ->
   ?intensity:float ->
   ?trace_sink:(Vsync_obs.Event.record -> unit) ->
+  ?runtime_config:Runtime.config ->
   seed:int64 ->
   unit ->
   (result, string) Stdlib.result

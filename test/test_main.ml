@@ -76,4 +76,5 @@ let () =
       ("partition", Test_partition.suite);
       ("shard", Test_shard.suite);
       ("backend", Test_backend.suite);
+      ("flowctl", Test_flowctl.suite);
     ]
